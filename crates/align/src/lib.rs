@@ -1,0 +1,22 @@
+//! # psc-align — extension kernels and alignment algorithms
+//!
+//! The compute layer of the reproduction:
+//!
+//! * [`ungapped`]: the paper's fixed-window ungapped extension kernel
+//!   (step 2 — the code the PSC operator implements in hardware), in the
+//!   two published variants, plus the X-drop ungapped extension NCBI
+//!   BLAST uses (for the baseline);
+//! * [`gapped`]: gapped extension (step 3) — affine-gap X-drop extension
+//!   to find high-scoring ranges, banded global alignment for traceback;
+//! * [`hsp`]: high-scoring segment pair bookkeeping — scores, E-values,
+//!   deduplication and culling.
+
+pub mod gapped;
+pub mod hsp;
+pub mod report;
+pub mod ungapped;
+
+pub use gapped::{banded_global, gapped_extend, AlignOp, Alignment, GapConfig, GappedHit};
+pub use hsp::{cull_hsps, Hsp};
+pub use report::{format_pairwise, AlignmentSummary};
+pub use ungapped::{ungapped_score, xdrop_ungapped, Kernel, UngappedHit};

@@ -1,0 +1,228 @@
+//! BLAST-style pairwise alignment reports.
+//!
+//! Renders an [`crate::Alignment`] the way `tblastn` prints its HSPs:
+//! a scoring header (bits, E-value, identities/positives/gaps) followed
+//! by wrapped `Query:`/`Sbjct:` blocks with 1-based coordinates. Both
+//! the pipeline and the baseline produce the same [`crate::Hsp`] type,
+//! so either tool's results can be rendered.
+
+use psc_score::SubstitutionMatrix;
+
+use crate::gapped::{AlignOp, Alignment};
+
+/// Summary statistics of an alignment under a matrix.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AlignmentSummary {
+    pub identities: usize,
+    /// Pairs with positive substitution score ("positives" in BLAST).
+    pub positives: usize,
+    pub gaps: usize,
+    pub columns: usize,
+}
+
+impl AlignmentSummary {
+    pub fn of(aln: &Alignment, s0: &[u8], s1: &[u8], matrix: &SubstitutionMatrix) -> Self {
+        let (mut i, mut j) = (0usize, 0usize);
+        let mut out = AlignmentSummary {
+            identities: 0,
+            positives: 0,
+            gaps: 0,
+            columns: aln.ops.len(),
+        };
+        for &op in &aln.ops {
+            match op {
+                AlignOp::Match | AlignOp::Sub => {
+                    if s0[i] == s1[j] {
+                        out.identities += 1;
+                    }
+                    if matrix.score(s0[i], s1[j]) > 0 {
+                        out.positives += 1;
+                    }
+                    i += 1;
+                    j += 1;
+                }
+                AlignOp::Del => {
+                    out.gaps += 1;
+                    i += 1;
+                }
+                AlignOp::Ins => {
+                    out.gaps += 1;
+                    j += 1;
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Render one HSP in classic BLAST pairwise style.
+///
+/// `s0`/`s1` are the *aligned segments* (already sliced to the HSP's
+/// ranges); `start0`/`start1` are the 1-based coordinates of the first
+/// residue of each segment in its parent sequence; `width` is the wrap
+/// column (BLAST uses 60).
+#[allow(clippy::too_many_arguments)]
+pub fn format_pairwise(
+    aln: &Alignment,
+    s0: &[u8],
+    s1: &[u8],
+    start0: usize,
+    start1: usize,
+    matrix: &SubstitutionMatrix,
+    bit_score: f64,
+    evalue: f64,
+    width: usize,
+) -> String {
+    let summary = AlignmentSummary::of(aln, s0, s1, matrix);
+    let pct = |n: usize| (n * 100).checked_div(summary.columns).unwrap_or(0);
+    let mut out = format!(
+        " Score = {:.1} bits ({}), Expect = {:.1e}\n Identities = {}/{} ({}%), Positives = {}/{} ({}%), Gaps = {}/{} ({}%)\n\n",
+        bit_score,
+        aln.score,
+        evalue,
+        summary.identities,
+        summary.columns,
+        pct(summary.identities),
+        summary.positives,
+        summary.columns,
+        pct(summary.positives),
+        summary.gaps,
+        summary.columns,
+        pct(summary.gaps),
+    );
+
+    // Build the three full lines, then wrap.
+    let mut q_line = Vec::with_capacity(aln.ops.len());
+    let mut m_line = Vec::with_capacity(aln.ops.len());
+    let mut s_line = Vec::with_capacity(aln.ops.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    for &op in &aln.ops {
+        match op {
+            AlignOp::Match | AlignOp::Sub => {
+                let (a, b) = (s0[i], s1[j]);
+                q_line.push(psc_seqio::Aa(a).to_ascii());
+                s_line.push(psc_seqio::Aa(b).to_ascii());
+                m_line.push(if a == b {
+                    psc_seqio::Aa(a).to_ascii()
+                } else if matrix.score(a, b) > 0 {
+                    b'+'
+                } else {
+                    b' '
+                });
+                i += 1;
+                j += 1;
+            }
+            AlignOp::Del => {
+                q_line.push(psc_seqio::Aa(s0[i]).to_ascii());
+                s_line.push(b'-');
+                m_line.push(b' ');
+                i += 1;
+            }
+            AlignOp::Ins => {
+                q_line.push(b'-');
+                s_line.push(psc_seqio::Aa(s1[j]).to_ascii());
+                m_line.push(b' ');
+                j += 1;
+            }
+        }
+    }
+
+    let coord_width = (start0 + s0.len()).max(start1 + s1.len()).to_string().len();
+    let (mut q_pos, mut s_pos) = (start0, start1);
+    let mut offset = 0usize;
+    while offset < q_line.len() {
+        let end = (offset + width).min(q_line.len());
+        let q_chunk = &q_line[offset..end];
+        let m_chunk = &m_line[offset..end];
+        let s_chunk = &s_line[offset..end];
+        let q_used = q_chunk.iter().filter(|&&c| c != b'-').count();
+        let s_used = s_chunk.iter().filter(|&&c| c != b'-').count();
+        out.push_str(&format!(
+            "Query  {:>cw$}  {}  {}\n",
+            q_pos,
+            String::from_utf8_lossy(q_chunk),
+            q_pos + q_used.saturating_sub(1),
+            cw = coord_width
+        ));
+        out.push_str(&format!(
+            "       {:>cw$}  {}\n",
+            "",
+            String::from_utf8_lossy(m_chunk),
+            cw = coord_width
+        ));
+        out.push_str(&format!(
+            "Sbjct  {:>cw$}  {}  {}\n\n",
+            s_pos,
+            String::from_utf8_lossy(s_chunk),
+            s_pos + s_used.saturating_sub(1),
+            cw = coord_width
+        ));
+        q_pos += q_used;
+        s_pos += s_used;
+        offset = end;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gapped::{banded_global, GapConfig};
+    use psc_score::blosum62;
+    use psc_seqio::alphabet::encode_protein;
+
+    #[test]
+    fn summary_counts() {
+        let m = blosum62();
+        let a = encode_protein(b"MKVLAWRND");
+        let b = encode_protein(b"MKIRND"); // V->I sub-ish + deletion
+        let aln = banded_global(m, &a, &b, &GapConfig::default(), 8);
+        let s = AlignmentSummary::of(&aln, &a, &b, m);
+        assert_eq!(s.columns, aln.ops.len());
+        assert!(s.identities >= 5);
+        assert!(s.positives >= s.identities);
+        assert_eq!(s.gaps, 3);
+    }
+
+    #[test]
+    fn pairwise_renders_blast_style() {
+        let m = blosum62();
+        let a = encode_protein(b"MKVLAWRNDCQEHFYW");
+        let b = encode_protein(b"MKILAWRNDCQEHFYW");
+        let aln = banded_global(m, &a, &b, &GapConfig::default(), 8);
+        let text = format_pairwise(&aln, &a, &b, 1, 101, m, 35.4, 1.2e-8, 60);
+        assert!(text.contains("Score = 35.4 bits"), "{text}");
+        assert!(text.contains("Expect = 1.2e-8"), "{text}");
+        assert!(text.contains("Identities = 15/16 (93%)"), "{text}");
+        assert!(text.contains("Query    1  MKVLAW"), "{text}");
+        assert!(text.contains("Sbjct  101  MKILAW"), "{text}");
+        // The middle line shows '+' for the positive-scoring V/I pair.
+        assert!(text.lines().any(|l| l.contains('+')), "{text}");
+    }
+
+    #[test]
+    fn wrapping_advances_coordinates() {
+        let m = blosum62();
+        let a: Vec<u8> = encode_protein(b"MKVLAWRNDC").repeat(10); // 100 aa
+        let aln = banded_global(m, &a, &a, &GapConfig::default(), 4);
+        let text = format_pairwise(&aln, &a, &a, 1, 1, m, 200.0, 1e-50, 60);
+        // Two blocks: 1..60 and 61..100.
+        assert!(text.contains("Query    1  "), "{text}");
+        assert!(text.contains("Query   61  "), "{text}");
+        assert!(text.contains("  100\n"), "{text}");
+    }
+
+    #[test]
+    fn gaps_do_not_advance_the_gapped_side() {
+        let m = blosum62();
+        let a = encode_protein(b"MKVLAWRND");
+        let b = encode_protein(b"MKVRND");
+        let aln = banded_global(m, &a, &b, &GapConfig::default(), 8);
+        let text = format_pairwise(&aln, &a, &b, 1, 1, m, 10.0, 1.0, 60);
+        // Subject consumed 6 residues: final coordinate 6.
+        assert!(text.contains("  6\n"), "{text}");
+        // Query consumed 9.
+        assert!(text.contains("  9\n"), "{text}");
+        assert!(text.contains("---"), "{text}");
+    }
+}

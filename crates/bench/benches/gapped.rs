@@ -1,0 +1,63 @@
+//! Gapped extension cost (paper step 3, the post-RASC bottleneck of
+//! Table 7).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use psc_align::{banded_global, gapped_extend, GapConfig};
+use psc_datagen::{mutate_protein, random_protein, MutationConfig};
+use psc_score::blosum62;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_gapped_extend(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(21);
+    let mut group = c.benchmark_group("gapped_extend");
+    group.sample_size(20);
+    for len in [200usize, 800] {
+        let a = random_protein(&mut rng, len);
+        let hom = mutate_protein(
+            &mut rng,
+            &a,
+            &MutationConfig {
+                divergence: 0.3,
+                indel_rate: 0.01,
+                indel_extend: 0.4,
+            },
+        );
+        group.throughput(Throughput::Elements(len as u64));
+        group.bench_with_input(
+            BenchmarkId::new("homolog", len),
+            &(&a, &hom),
+            |bch, (a, hom)| {
+                bch.iter(|| {
+                    gapped_extend(blosum62(), a, hom, len / 2, hom.len() / 2, &GapConfig::default())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_traceback(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(22);
+    let a = random_protein(&mut rng, 300);
+    let b = mutate_protein(
+        &mut rng,
+        &a,
+        &MutationConfig {
+            divergence: 0.2,
+            indel_rate: 0.01,
+            indel_extend: 0.4,
+        },
+    );
+    let mut group = c.benchmark_group("banded_global");
+    group.sample_size(20);
+    for pad in [8usize, 32] {
+        group.bench_with_input(BenchmarkId::new("band_pad", pad), &pad, |bch, &pad| {
+            bch.iter(|| banded_global(blosum62(), &a, &b, &GapConfig::default(), pad));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gapped_extend, bench_traceback);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Index construction cost (paper step 1): seed models compared.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use psc_datagen::{random_bank, BankConfig};
+use psc_index::{subset_seed_default, subset_seed_span3, ExactSeed, FlatBank, SeedIndex, SeedModel};
+
+fn bench_index_build(c: &mut Criterion) {
+    let bank = random_bank(&BankConfig {
+        count: 300,
+        min_len: 100,
+        max_len: 400,
+        seed: 5,
+    });
+    let flat = FlatBank::from_bank(&bank);
+    let residues = flat.len() as u64;
+
+    let models: Vec<(&str, Box<dyn SeedModel>)> = vec![
+        ("subset4", Box::new(subset_seed_default())),
+        ("subset3", Box::new(subset_seed_span3())),
+        ("exact4", Box::new(ExactSeed::new(4))),
+    ];
+
+    let mut group = c.benchmark_group("index_build");
+    group.throughput(Throughput::Elements(residues));
+    group.sample_size(20);
+    for (name, model) in &models {
+        group.bench_with_input(BenchmarkId::new(*name, residues), model, |b, model| {
+            b.iter(|| SeedIndex::build(&flat, model.as_ref(), 1));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_index_build);
+criterion_main!(benches);

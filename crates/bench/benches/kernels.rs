@@ -1,0 +1,51 @@
+//! Micro-benchmarks of the ungapped kernels — the instruction stream a
+//! PE replaces (paper Figure 2 / §2.2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use psc_align::{ungapped_score, xdrop_ungapped, Kernel};
+use psc_score::blosum62;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn residues(rng: &mut StdRng, n: usize) -> Vec<u8> {
+    (0..n).map(|_| rng.gen_range(0..20u8)).collect()
+}
+
+fn bench_window_kernels(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut group = c.benchmark_group("ungapped_window");
+    for window in [20usize, 60, 120] {
+        let w0 = residues(&mut rng, window);
+        let w1 = residues(&mut rng, window);
+        group.throughput(Throughput::Elements(window as u64));
+        for (kernel, name) in [
+            (Kernel::ClampedSum, "clamped"),
+            (Kernel::PaperLiteral, "literal"),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(name, window),
+                &(&w0, &w1),
+                |b, (w0, w1)| {
+                    b.iter(|| ungapped_score(kernel, blosum62(), w0, w1));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_xdrop(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut group = c.benchmark_group("xdrop_ungapped");
+    for len in [200usize, 1000] {
+        let s = residues(&mut rng, len);
+        group.throughput(Throughput::Elements(len as u64));
+        group.bench_with_input(BenchmarkId::new("self", len), &s, |b, s| {
+            b.iter(|| xdrop_ungapped(blosum62(), s, s, len / 2, len / 2, 3, 16));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_window_kernels, bench_xdrop);
+criterion_main!(benches);

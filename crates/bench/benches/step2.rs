@@ -1,0 +1,49 @@
+//! Step-2 software backend cost (the paper's "Sequential" column of
+//! Table 4, in miniature).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use psc_align::Kernel;
+use psc_core::step2::{run_software, Step2Params};
+use psc_datagen::{random_bank, BankConfig};
+use psc_index::{subset_seed_span3, FlatBank, SeedIndex};
+use psc_score::blosum62;
+
+fn bench_step2(c: &mut Criterion) {
+    let bank0 = random_bank(&BankConfig {
+        count: 100,
+        min_len: 100,
+        max_len: 300,
+        seed: 11,
+    });
+    let bank1 = random_bank(&BankConfig {
+        count: 100,
+        min_len: 100,
+        max_len: 300,
+        seed: 12,
+    });
+    let f0 = FlatBank::from_bank(&bank0);
+    let f1 = FlatBank::from_bank(&bank1);
+    let model = subset_seed_span3();
+    let i0 = SeedIndex::build(&f0, &model, 1);
+    let i1 = SeedIndex::build(&f1, &model, 1);
+    let pairs = i0.pair_count(&i1);
+
+    let params = Step2Params {
+        matrix: blosum62(),
+        kernel: Kernel::ClampedSum,
+        span: 3,
+        n_ctx: 28,
+        threshold: 45,
+    };
+
+    let mut group = c.benchmark_group("step2_software");
+    group.throughput(Throughput::Elements(pairs));
+    group.sample_size(10);
+    group.bench_with_input(BenchmarkId::new("scalar", pairs), &params, |b, p| {
+        b.iter(|| run_software(&f0, &i0, &f1, &i1, p, 1));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_step2);
+criterion_main!(benches);

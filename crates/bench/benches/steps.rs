@@ -1,0 +1,46 @@
+//! Whole-pipeline cost and the step balance behind paper Tables 1 & 7.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use psc_bench::data::build_workload;
+use psc_bench::ladder::experiment_config;
+use psc_bench::Scale;
+use psc_core::{search_genome, Step2Backend};
+use psc_score::blosum62;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let workload = build_workload(&Scale::quick());
+    let mut group = c.benchmark_group("pipeline_end_to_end");
+    group.sample_size(10);
+
+    group.bench_function(BenchmarkId::new("software_scalar", "quick-1x"), |b| {
+        b.iter(|| {
+            search_genome(
+                &workload.banks[0],
+                &workload.genome.genome,
+                blosum62(),
+                experiment_config(),
+            )
+        });
+    });
+
+    group.bench_function(BenchmarkId::new("rasc_sim_192pe", "quick-1x"), |b| {
+        b.iter(|| {
+            let mut cfg = experiment_config();
+            cfg.backend = Step2Backend::Rasc {
+                pe_count: 192,
+                fpga_count: 1,
+                host_threads: 1,
+            };
+            search_genome(
+                &workload.banks[0],
+                &workload.genome.genome,
+                blosum62(),
+                cfg,
+            )
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

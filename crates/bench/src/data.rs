@@ -1,0 +1,96 @@
+//! Workload construction for the experiment ladder.
+
+use psc_datagen::{generate_genome, random_bank, BankConfig, GenomeConfig, MutationConfig, SyntheticGenome};
+use psc_seqio::{Bank, Seq};
+
+use crate::scale::Scale;
+
+/// The full workload: four nested banks and one genome with planted
+/// homology.
+pub struct Workload {
+    /// Banks in ascending size (nested prefixes of one draw).
+    pub banks: [Bank; 4],
+    pub genome: SyntheticGenome,
+}
+
+impl Workload {
+    /// Amino-acid count of bank `i` (the paper reports these per row).
+    pub fn bank_kaa(&self, i: usize) -> f64 {
+        self.banks[i].total_residues() as f64 / 1e3
+    }
+
+    /// Genome size in mega-nucleotides.
+    pub fn genome_mnt(&self) -> f64 {
+        self.genome.genome.len() as f64 / 1e6
+    }
+}
+
+/// Build the workload for a scale (deterministic).
+pub fn build_workload(scale: &Scale) -> Workload {
+    let largest = random_bank(&BankConfig {
+        count: scale.bank_counts[3],
+        min_len: 100,
+        max_len: 600,
+        seed: scale.seed,
+    });
+    let seqs: Vec<Seq> = largest.into_seqs();
+    let banks = [
+        Bank::from_seqs(seqs[..scale.bank_counts[0]].to_vec()),
+        Bank::from_seqs(seqs[..scale.bank_counts[1]].to_vec()),
+        Bank::from_seqs(seqs[..scale.bank_counts[2]].to_vec()),
+        Bank::from_seqs(seqs.clone()),
+    ];
+
+    // Plant genes from the *smallest* bank so every ladder row shares
+    // the same true homology (the paper's banks are nested, so a hit
+    // for the 1K bank is a hit for all).
+    let genome = generate_genome(
+        &GenomeConfig {
+            len: scale.genome_nt,
+            gene_count: scale.planted_genes,
+            mutation: MutationConfig {
+                divergence: 0.25,
+                indel_rate: 0.004,
+                indel_extend: 0.3,
+            },
+            max_plant_aa: 300,
+            gc_content: 0.41,
+            seed: scale.seed ^ 0xdead,
+            ..GenomeConfig::default()
+        },
+        &banks[0],
+    );
+
+    Workload { banks, genome }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn banks_are_nested_prefixes() {
+        let w = build_workload(&Scale::quick());
+        for i in 0..3 {
+            let small = &w.banks[i];
+            let big = &w.banks[i + 1];
+            assert!(small.len() < big.len());
+            for j in 0..small.len() {
+                assert_eq!(small.get(j).residues, big.get(j).residues);
+            }
+        }
+    }
+
+    #[test]
+    fn genome_has_plants_from_smallest_bank() {
+        let s = Scale::quick();
+        let w = build_workload(&s);
+        assert!(!w.genome.plants.is_empty());
+        for p in &w.genome.plants {
+            assert!(p.protein_idx < s.bank_counts[0]);
+        }
+        assert!(w.genome.genome.len() == s.genome_nt);
+        assert!(w.bank_kaa(0) > 0.0);
+        assert!(w.genome_mnt() > 0.0);
+    }
+}

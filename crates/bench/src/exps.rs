@@ -1,0 +1,710 @@
+//! The table/figure generators. Each prints the reproduction of one
+//! paper artefact, with the paper's own numbers alongside for shape
+//! comparison.
+
+use std::time::Instant;
+
+use psc_align::{ungapped_score, Kernel};
+use psc_blast::{tblastn, BlastConfig};
+use psc_core::{search_genome, PipelineConfig, SeedChoice, Step2Backend};
+use psc_datagen::family::FamilyConfig;
+use psc_quality::{build_benchmark, evaluate_ranked, BenchmarkConfig, QualityScores, RankedHit};
+use psc_score::blosum62;
+use psc_seqio::{translate_six_frames, Frame, FrameCoord, GeneticCode};
+
+use crate::data::Workload;
+#[allow(unused_imports)]
+use crate::ladder::{experiment_config, LadderRow};
+use crate::report::{ratio, secs, Table};
+
+/// Table 1 — % of time per step, sequential software, largest bank.
+pub fn table1(workload: &Workload) {
+    println!("## Table 1 — % time per step (sequential software, largest bank)");
+    println!("   paper: step1 0.3%   step2 97%   step3 2.7%\n");
+    let r = search_genome(
+        &workload.banks[3],
+        &workload.genome.genome,
+        blosum62(),
+        experiment_config(),
+    );
+    let (p1, p2, p3) = r.output.profile.percentages();
+    let mut t = Table::new(&["", "step 1", "step 2", "step 3"]);
+    t.row(vec![
+        "paper".into(),
+        "0.3 %".into(),
+        "97 %".into(),
+        "2.7 %".into(),
+    ]);
+    t.row(vec![
+        "measured".into(),
+        format!("{p1:.1} %"),
+        format!("{p2:.1} %"),
+        format!("{p3:.1} %"),
+    ]);
+    t.print();
+    println!();
+}
+
+/// Table 2 — overall time and speedup vs the baseline, per bank size and
+/// PE-array size.
+pub fn table2(rows: &[LadderRow]) {
+    println!("## Table 2 — overall performance, baseline vs RASC (seconds)");
+    println!("   paper speedups: 1K 4.7–5.4×, 3K 8.1–11.2×, 10K 10.8–16.6×, 30K 11.8–19.3×\n");
+    let mut t = Table::new(&[
+        "bank", "tblastn", "RASC 64 PE", "Speedup", "RASC 128 PE", "Speedup", "RASC 192 PE",
+        "Speedup",
+    ]);
+    for row in rows {
+        let base = row.baseline.expect("table2 needs the baseline").total_seconds;
+        let mut cells = vec![row.label.clone(), secs(base)];
+        for run in &row.rasc {
+            let total = run.profile.total();
+            cells.push(secs(total));
+            cells.push(ratio(base / total));
+        }
+        t.row(cells);
+    }
+    t.print();
+    println!();
+}
+
+/// Table 3 — one vs two FPGAs at 192 PEs (raised threshold).
+pub fn table3(rows: &[LadderRow]) {
+    println!("## Table 3 — 1 vs 2 FPGAs, 192 PEs, raised threshold (seconds)");
+    println!("   paper speedups: 1.14 / 1.27 / 1.54 / 1.80\n");
+    let mut t = Table::new(&["bank", "1 FPGA", "2 FPGAs", "Speedup", "paper"]);
+    let paper = [1.14, 1.27, 1.54, 1.80];
+    for (row, paper_speedup) in rows.iter().zip(paper) {
+        let (one, two) = row.dual.as_ref().expect("table3 needs dual runs");
+        let t1 = one.profile.total();
+        let t2 = two.profile.total();
+        t.row(vec![
+            row.label.clone(),
+            secs(t1),
+            secs(t2),
+            ratio(t1 / t2),
+            ratio(paper_speedup),
+        ]);
+    }
+    t.print();
+    println!();
+}
+
+/// Table 4 — step 2 only: sequential software vs each array size.
+pub fn table4(rows: &[LadderRow]) {
+    println!("## Table 4 — step 2 only, sequential vs RASC (seconds)");
+    println!("   paper speedups: 1K 10.8–14.0×, 3K 16.4–34.0×, 10K 18.1–48.4×, 30K 18.7–53.5×\n");
+    let mut t = Table::new(&[
+        "bank",
+        "Sequential",
+        "RASC 64 PE",
+        "Speedup",
+        "RASC 128 PE",
+        "Speedup",
+        "RASC 192 PE",
+        "Speedup",
+    ]);
+    for row in rows {
+        let seq = row.scalar.as_ref().expect("table4 needs scalar run").0.step2_wall;
+        let mut cells = vec![row.label.clone(), secs(seq)];
+        for run in &row.rasc {
+            let accel = run
+                .profile
+                .step2_accelerated
+                .expect("RASC runs report accelerated time");
+            cells.push(secs(accel));
+            cells.push(ratio(seq / accel));
+        }
+        t.row(cells);
+    }
+    t.print();
+    println!();
+}
+
+/// Table 5 — throughput in Kaa×Mnt/s across implementations.
+pub fn table5(rows: &[LadderRow], workload: &Workload) {
+    println!("## Table 5 — throughput (Kilo amino acids × Mega nucleotides / second)");
+    println!("   paper: DeCypher 182, CLC 2, FLASH/FPGA 451, Systolic 863, ½ RASC-100 620\n");
+    // The paper's RASC number uses the largest bank on one FPGA (half
+    // the board) at 192 PEs.
+    let top = rows.last().expect("ladder rows");
+    let run = top
+        .rasc
+        .iter()
+        .find(|r| r.pe_count == 192)
+        .expect("192-PE run");
+    let ours = top.kaa * workload.genome_mnt() / run.profile.total();
+    let mut t = Table::new(&["implementation", "KaaMnt/s"]);
+    t.row(vec!["DeCypher (paper)".into(), "182".into()]);
+    t.row(vec!["CLC (paper)".into(), "2".into()]);
+    t.row(vec!["FLASH/FPGA (paper)".into(), "451".into()]);
+    t.row(vec!["Systolic peak (paper)".into(), "863".into()]);
+    t.row(vec!["1/2 RASC-100 (paper)".into(), "620".into()]);
+    t.row(vec!["1/2 RASC-100 (this reproduction)".into(), format!("{ours:.0}")]);
+    t.print();
+    println!("\n   (absolute throughput scales with workload size; the paper's point is the");
+    println!("    ranking of the seed-based FPGA designs over sensitive/systolic ones)\n");
+}
+
+/// Table 6 — ROC50 and AP-Mean, pipeline vs baseline.
+pub fn table6(quick: bool) {
+    println!("## Table 6 — sensitivity/selectivity (ROC50, AP-Mean)");
+    println!("   paper: FPGA-RASC 0.468 / 0.447   NCBI-BLAST 0.479 / 0.441\n");
+    let families = if quick { 24 } else { 102 };
+    // The paper's benchmark (102 queries vs yeast, SCOP-style families)
+    // sits near the twilight zone — scores of ~0.45, not ~1.0. The
+    // synthetic families are pushed to the same regime: 62 % divergence
+    // (≈ 35-40 % identity) with indels, where seed-based detection
+    // genuinely misses members and rankings differ.
+    let bench = build_benchmark(&BenchmarkConfig {
+        families: FamilyConfig {
+            family_count: families,
+            members_per_family: 5,
+            min_len: 120,
+            max_len: 300,
+            mutation: psc_datagen::MutationConfig {
+                divergence: 0.62,
+                indel_rate: 0.02,
+                indel_extend: 0.4,
+            },
+            ..FamilyConfig::default()
+        },
+        genome_slack: 3.0,
+        seed: 0x6a11,
+    });
+    eprintln!("[table6] benchmark: {families} families, genome {} nt", bench.genome.len());
+
+    // Pipeline (the "FPGA-RASC" row — identical results to the RASC
+    // backend by the backend-equivalence tests; run on software for
+    // speed).
+    eprintln!("[table6] pipeline…");
+    let pipeline_scores = {
+        let r = search_genome(
+            &bench.queries,
+            &bench.genome,
+            blosum62(),
+            PipelineConfig::default(),
+        );
+        let hits: Vec<RankedHit> = r
+            .matches
+            .iter()
+            .map(|m| RankedHit {
+                query: m.protein_idx,
+                score: m.bit_score,
+                start: m.genome_start,
+                end: m.genome_end,
+            })
+            .collect();
+        evaluate_ranked(&bench, &hits)
+    };
+
+    eprintln!("[table6] baseline…");
+    let blast_scores = {
+        let translated = translate_six_frames(&bench.genome, GeneticCode::standard());
+        let frames = translated.to_bank();
+        let rep = tblastn(&bench.queries, &frames, blosum62(), &BlastConfig::default());
+        let hits: Vec<RankedHit> = rep
+            .hsps
+            .iter()
+            .map(|h| {
+                let frame = Frame::ALL[h.seq1 as usize];
+                let (s, e, _) = translated.to_genome_interval(
+                    FrameCoord {
+                        frame,
+                        aa_pos: h.start1 as usize,
+                    },
+                    (h.end1 - h.start1) as usize,
+                );
+                RankedHit {
+                    query: h.seq0 as usize,
+                    score: h.bit_score,
+                    start: s,
+                    end: e,
+                }
+            })
+            .collect();
+        evaluate_ranked(&bench, &hits)
+    };
+
+    print_table6(pipeline_scores, blast_scores);
+}
+
+fn print_table6(pipeline: QualityScores, blast: QualityScores) {
+    let mut t = Table::new(&["", "FPGA-RASC", "NCBI-BLAST"]);
+    t.row(vec![
+        "ROC50".into(),
+        format!("{:.3}", pipeline.roc50),
+        format!("{:.3}", blast.roc50),
+    ]);
+    t.row(vec![
+        "AP-Mean".into(),
+        format!("{:.3}", pipeline.ap_mean),
+        format!("{:.3}", blast.ap_mean),
+    ]);
+    t.print();
+    println!();
+}
+
+/// Table 7 — % time per step on the RASC (192 PEs) per bank size.
+pub fn table7(rows: &[LadderRow]) {
+    println!("## Table 7 — % time per step, RASC 192 PEs");
+    println!("   paper: step1 43/31/14/6  step2 38/35/35/37  step3 19/34/51/57\n");
+    let mut t = Table::new(&["bank", "step 1", "step 2", "step 3"]);
+    for row in rows {
+        let run = row
+            .rasc
+            .iter()
+            .find(|r| r.pe_count == 192)
+            .expect("192-PE run");
+        let (p1, p2, p3) = run.profile.percentages();
+        t.row(vec![
+            row.label.clone(),
+            format!("{p1:.0} %"),
+            format!("{p2:.0} %"),
+            format!("{p3:.0} %"),
+        ]);
+    }
+    t.print();
+    println!();
+}
+
+/// Figure 1 equivalent — the slotted-pipeline design space: slot size vs
+/// cycle overhead and achievable clock.
+///
+/// The paper's architectural argument for slots + register barriers is
+/// that short broadcast paths keep the clock at 100 MHz while costing a
+/// little latency. Cycle overhead comes from the simulator; the
+/// achievable clock uses a simple fan-out model calibrated to the
+/// paper's 16-PE slots at 100 MHz: `f(s) = 133 MHz / (1 + s/64)`.
+pub fn fig1(workload: &Workload) {
+    println!("## Figure 1 equivalent — slot size trade-off (192 PEs, 10× bank)");
+    println!("   paper: 16-PE slots with register barriers reach 100 MHz\n");
+    let mut t = Table::new(&[
+        "slot size",
+        "slots",
+        "cycles",
+        "model fmax (MHz)",
+        "step-2 time (s)",
+        "slices %",
+    ]);
+    let mut best: Option<(usize, f64)> = None;
+    for slot_size in [2usize, 4, 8, 16, 32, 64, 192] {
+        let mut cfg = experiment_config();
+        cfg.slot_size = slot_size;
+        cfg.backend = Step2Backend::Rasc {
+            pe_count: 192,
+            fpga_count: 1,
+            host_threads: 1,
+        };
+        let mut op_cfg = cfg.operator_config(192);
+        op_cfg.slot_size = slot_size;
+        let util = psc_rasc::ResourceModel::estimate(&op_cfg);
+        let r = search_genome(&workload.banks[2], &workload.genome.genome, blosum62(), cfg);
+        let board = r.output.board.unwrap();
+        let cycles = board.fpga_cycles[0];
+        let fmax = 133.0e6 / (1.0 + slot_size as f64 / 64.0);
+        let time = cycles as f64 / fmax;
+        if best.map(|(_, t)| time < t).unwrap_or(true) {
+            best = Some((slot_size, time));
+        }
+        t.row(vec![
+            slot_size.to_string(),
+            (192usize.div_ceil(slot_size)).to_string(),
+            cycles.to_string(),
+            format!("{:.0}", fmax / 1e6),
+            secs(time),
+            util.slice_pct.to_string(),
+        ]);
+    }
+    t.print();
+    let (s, _) = best.unwrap();
+    println!("\n   fastest under the clock model: slot size {s}; the paper chose 16,");
+    println!("   balancing clock against the per-slot barrier/FIFO slice cost —");
+    println!("   the latency penalty between 2 and 16 is <0.2% of cycles either way\n");
+}
+
+/// Figure 2 equivalent — the PE datapath: bit-equivalence with the
+/// software kernel and the cycles-per-window cost.
+pub fn fig2() {
+    use psc_rasc::{OperatorConfig, PscOperator};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    println!("## Figure 2 equivalent — PE datapath verification and cost");
+    println!("   (one residue pair per clock; window of W+2N cycles per comparison)\n");
+    let mut rng = StdRng::seed_from_u64(0xfe);
+    let mut t = Table::new(&[
+        "window (W+2N)",
+        "cycles/comparison",
+        "comparisons/s @100MHz",
+        "hw ≡ sw",
+    ]);
+    for window in [20usize, 40, 60, 80, 120] {
+        let mut cfg = OperatorConfig::new(1);
+        cfg.window_len = window;
+        cfg.slot_size = 1;
+        cfg.threshold = 1;
+        let mut op = PscOperator::new(cfg, blosum62()).unwrap();
+        // Verify equivalence on random windows.
+        let mut all_equal = true;
+        for _ in 0..200 {
+            let w0: Vec<u8> = (0..window).map(|_| rng.gen_range(0..20u8)).collect();
+            let w1: Vec<u8> = (0..window).map(|_| rng.gen_range(0..20u8)).collect();
+            let r = op.run_entry(&w0, &w1);
+            let sw = ungapped_score(Kernel::ClampedSum, blosum62(), &w0, &w1);
+            let hw = r.hits.first().map(|h| h.score).unwrap_or(0);
+            if hw != sw.max(0) && !(sw < 1 && r.hits.is_empty()) {
+                all_equal = false;
+            }
+        }
+        t.row(vec![
+            window.to_string(),
+            window.to_string(),
+            format!("{:.1e}", 100.0e6 / window as f64),
+            if all_equal { "yes".into() } else { "NO".into() },
+        ]);
+    }
+    t.print();
+    println!("\n   (192 PEs × 100 MHz / 60-cycle windows = 3.2e8 comparisons/s peak)\n");
+}
+
+/// Figure 3 equivalent — board integration occupancy: where the
+/// accelerated seconds go (compute vs DMA vs sync vs setup).
+pub fn fig3(rows: &[LadderRow]) {
+    println!("## Figure 3 equivalent — accelerated-section breakdown (192 PEs, 1 FPGA)");
+    println!("   (RASC-100 integration: NUMAlink DMA streams overlap compute; results,");
+    println!("    sync and setup serialize — paper Fig. 3's SGI-core data paths)\n");
+    let mut t = Table::new(&[
+        "bank",
+        "compute (s)",
+        "input wire (s)",
+        "output wire (s)",
+        "sync (s)",
+        "setup (s)",
+        "total (s)",
+        "PE util",
+    ]);
+    for row in rows {
+        let run = row
+            .rasc
+            .iter()
+            .find(|r| r.pe_count == 192)
+            .expect("192-PE run");
+        let b = &run.board;
+        let clock = 1.0e8;
+        let compute = b.fpga_cycles[0] as f64 / clock;
+        let wire_in = b.bytes_in as f64 / psc_rasc::NUMALINK_BANDWIDTH;
+        let wire_out = b.bytes_out as f64 / psc_rasc::NUMALINK_BANDWIDTH;
+        t.row(vec![
+            row.label.clone(),
+            secs(compute),
+            format!("{wire_in:.4}"),
+            format!("{wire_out:.4}"),
+            format!("{:.4}", b.sync_seconds),
+            format!("{:.3}", b.setup_seconds),
+            secs(b.accelerated_seconds),
+            format!("{:.1} %", b.utilization(192) * 100.0),
+        ]);
+    }
+    t.print();
+    println!();
+}
+
+/// Ablation — the two readings of the paper's ungapped pseudocode.
+pub fn ablation_kernel(workload: &Workload) {
+    println!("## Ablation — ungapped kernel variant (10× bank)");
+    println!("   (the paper's pseudocode literally accumulates positive scores only;");
+    println!("    the PE datapath description matches the clamped 1-D Smith-Waterman)\n");
+    let mut t = Table::new(&[
+        "kernel",
+        "candidates",
+        "anchors",
+        "alignments",
+        "plants recovered",
+        "step2 (s)",
+    ]);
+    for (kernel, label) in [
+        (Kernel::ClampedSum, "ClampedSum (default)"),
+        (Kernel::PaperLiteral, "PaperLiteral"),
+    ] {
+        let mut cfg = experiment_config();
+        cfg.kernel = kernel;
+        let r = search_genome(&workload.banks[2], &workload.genome.genome, blosum62(), cfg);
+        let recovered = workload
+            .genome
+            .plants
+            .iter()
+            .filter(|p| {
+                r.matches.iter().any(|m| {
+                    m.protein_idx == p.protein_idx
+                        && m.genome_start < p.end
+                        && p.start < m.genome_end
+                })
+            })
+            .count();
+        t.row(vec![
+            label.into(),
+            r.output.stats.step2.candidates.to_string(),
+            r.output.stats.anchors.to_string(),
+            r.output.hsps.len().to_string(),
+            format!("{recovered}/{}", workload.genome.plants.len()),
+            secs(r.output.profile.step2_wall),
+        ]);
+    }
+    t.print();
+    println!();
+}
+
+/// Ablation — seed models: index fan-out, work and recall.
+pub fn ablation_seed(workload: &Workload) {
+    println!("## Ablation — seed model (10× bank)");
+    println!("   (the paper chose a span-4 subset seed for indexing efficiency and");
+    println!("    BLAST-equivalent sensitivity)\n");
+    let mut t = Table::new(&[
+        "seed",
+        "keys",
+        "pairs",
+        "candidates",
+        "alignments",
+        "plants recovered",
+        "step2 (s)",
+    ]);
+    let choices: Vec<(SeedChoice, String)> = vec![
+        (
+            SeedChoice::Custom(psc_index::subset_seed_span3()),
+            "subset span-3 (ladder)".into(),
+        ),
+        (SeedChoice::SubsetDefault, "subset span-4 (paper)".into()),
+        (SeedChoice::Exact(4), "exact 4-mer".into()),
+    ];
+    for (seed, label) in choices {
+        let keys = seed.model().key_count();
+        let mut cfg = experiment_config();
+        cfg.seed = seed;
+        let r = search_genome(&workload.banks[2], &workload.genome.genome, blosum62(), cfg);
+        let recovered = workload
+            .genome
+            .plants
+            .iter()
+            .filter(|p| {
+                r.matches.iter().any(|m| {
+                    m.protein_idx == p.protein_idx
+                        && m.genome_start < p.end
+                        && p.start < m.genome_end
+                })
+            })
+            .count();
+        t.row(vec![
+            label,
+            keys.to_string(),
+            r.output.stats.step2.pairs.to_string(),
+            r.output.stats.step2.candidates.to_string(),
+            r.output.hsps.len().to_string(),
+            format!("{recovered}/{}", workload.genome.plants.len()),
+            secs(r.output.profile.step2_wall),
+        ]);
+    }
+    t.print();
+    println!();
+}
+
+/// Extension — the paper's proposed second-FPGA gapped operator
+/// (conclusion: "another reconfigurable operator dedicated to the
+/// computation of similarities including gap penalty" running
+/// concurrently with the PSC operator).
+pub fn extension_step3(workload: &Workload) {
+    use psc_core::config::Step3Backend;
+    println!("## Extension — step-3 gapped operator on the second FPGA (192 PEs, largest bank)");
+    println!("   (the paper's conclusion; Table 7 shows step 3 becoming the bottleneck.");
+    println!("    To land in that regime at our scale, this run lowers the ungapped");
+    println!("    threshold by 8, multiplying the gapped-extension load)\n");
+    let mut cfg = experiment_config();
+    cfg.threshold -= 8;
+    cfg.backend = Step2Backend::Rasc {
+        pe_count: 192,
+        fpga_count: 1,
+        host_threads: 1,
+    };
+    cfg.step3_backend = Step3Backend::RascGapped { band: 128 };
+    let r = search_genome(&workload.banks[3], &workload.genome.genome, blosum62(), cfg);
+    let p = &r.output.profile;
+    let mut t = Table::new(&["deployment", "step 1", "step 2", "step 3", "total (s)"]);
+    t.row(vec![
+        "PSC op + host step 3".into(),
+        secs(p.step1),
+        secs(p.step2()),
+        secs(p.step3),
+        secs(p.step1 + p.step2() + p.step3),
+    ]);
+    t.row(vec![
+        "PSC op + gapped op (sequential)".into(),
+        secs(p.step1),
+        secs(p.step2()),
+        secs(p.step3()),
+        secs(p.total()),
+    ]);
+    t.row(vec![
+        "PSC op + gapped op (both FPGAs, concurrent)".into(),
+        secs(p.step1),
+        secs(p.step2().max(p.step3())),
+        "-".into(),
+        secs(p.total_concurrent()),
+    ]);
+    t.print();
+    println!(
+        "\n   gapped operator simulated time: {:.4} s for {} anchors\n",
+        p.step3_accelerated.unwrap_or(0.0),
+        r.output.stats.anchors
+    );
+}
+
+/// Ablation — hybrid CPU+FPGA dispatch (the paper's closing question:
+/// "how to dispatch the overall computation between cores and FPGA").
+pub fn ablation_hybrid(workload: &Workload) {
+    println!("## Ablation — hybrid CPU+FPGA step-2 dispatch (10× bank, 192 PEs)");
+    println!("   (step-2 effective time = max(FPGA, CPU); sweep of the FPGA share)\n");
+    let mut t = Table::new(&[
+        "FPGA share",
+        "FPGA (s)",
+        "effective step 2 (s)",
+        "bound by",
+        "candidates",
+    ]);
+    let mut best: Option<(f64, f64)> = None;
+    for share in [0.0f64, 0.25, 0.5, 0.75, 0.9, 1.0] {
+        let mut cfg = experiment_config();
+        cfg.backend = Step2Backend::Hybrid {
+            pe_count: 192,
+            cpu_threads: 1,
+            fpga_share: share,
+        };
+        let r = search_genome(&workload.banks[2], &workload.genome.genome, blosum62(), cfg);
+        let board = r.output.board.unwrap();
+        let effective = r.output.profile.step2_accelerated.unwrap();
+        let bound_by = if effective > board.accelerated_seconds + 1e-9 {
+            "CPU"
+        } else {
+            "FPGA"
+        };
+        if best.map(|(_, b)| effective < b).unwrap_or(true) {
+            best = Some((share, effective));
+        }
+        t.row(vec![
+            format!("{share:.2}"),
+            format!("{:.3}", board.accelerated_seconds),
+            secs(effective),
+            bound_by.into(),
+            r.output.stats.step2.candidates.to_string(),
+        ]);
+    }
+    t.print();
+    let (share, eff) = best.unwrap();
+    println!("\n   best dispatch: {share:.2} of the pair mass on the FPGA ({eff:.3} s) —");
+    println!("   the optimum sits where CPU and FPGA finish together\n");
+}
+
+/// Ablation — soft low-complexity masking on a repeat-laden genome.
+pub fn ablation_masking() {
+    use psc_datagen::{generate_genome, random_bank, BankConfig, GenomeConfig, MutationConfig};
+    println!("## Ablation — SEG-like soft masking (repeat-laden genome, 3× bank)");
+    println!("   (low-complexity tracts flood seeding; masking suppresses them");
+    println!("    without losing true homology — BLAST's rationale for SEG)\n");
+    let proteins = random_bank(&BankConfig {
+        count: 150,
+        min_len: 100,
+        max_len: 400,
+        seed: 4242,
+    });
+    let synth = generate_genome(
+        &GenomeConfig {
+            len: 120_000,
+            gene_count: 30,
+            repeat_tracts: 40,
+            repeat_len: 600,
+            mutation: MutationConfig {
+                divergence: 0.25,
+                indel_rate: 0.004,
+                indel_extend: 0.3,
+            },
+            seed: 4243,
+            ..GenomeConfig::default()
+        },
+        &proteins,
+    );
+    let mut t = Table::new(&[
+        "masking",
+        "pairs",
+        "candidates",
+        "anchors",
+        "alignments",
+        "plants recovered",
+        "step2 (s)",
+    ]);
+    for (mask, label) in [(None, "off"), (Some(psc_seqio::MaskConfig::default()), "on")] {
+        let cfg = PipelineConfig {
+            mask,
+            ..experiment_config()
+        };
+        let r = search_genome(&proteins, &synth.genome, blosum62(), cfg);
+        let recovered = synth
+            .plants
+            .iter()
+            .filter(|p| {
+                r.matches.iter().any(|m| {
+                    m.protein_idx == p.protein_idx
+                        && m.genome_start < p.end
+                        && p.start < m.genome_end
+                })
+            })
+            .count();
+        t.row(vec![
+            label.into(),
+            r.output.stats.step2.pairs.to_string(),
+            r.output.stats.step2.candidates.to_string(),
+            r.output.stats.anchors.to_string(),
+            r.output.hsps.len().to_string(),
+            format!("{recovered}/{}", synth.plants.len()),
+            secs(r.output.profile.step2_wall),
+        ]);
+    }
+    t.print();
+    println!();
+}
+
+/// Ablation — one-hit vs two-hit seeding in the baseline.
+pub fn ablation_twohit(workload: &Workload) {
+    println!("## Ablation — baseline two-hit rule (3× bank)");
+    let translated = translate_six_frames(&workload.genome.genome, GeneticCode::standard());
+    let frames = translated.to_bank();
+    let mut t = Table::new(&[
+        "mode",
+        "word hits",
+        "ungapped ext.",
+        "gapped ext.",
+        "HSPs",
+        "scan (s)",
+    ]);
+    for (one_hit, label) in [(false, "two-hit (NCBI)"), (true, "one-hit")] {
+        let t0 = Instant::now();
+        let rep = tblastn(
+            &workload.banks[1],
+            &frames,
+            blosum62(),
+            &BlastConfig {
+                one_hit,
+                ..BlastConfig::default()
+            },
+        );
+        let _ = t0;
+        t.row(vec![
+            label.into(),
+            rep.word_hits.to_string(),
+            rep.ungapped_extensions.to_string(),
+            rep.gapped_extensions.to_string(),
+            rep.hsps.len().to_string(),
+            secs(rep.scan_seconds),
+        ]);
+    }
+    t.print();
+    println!();
+}

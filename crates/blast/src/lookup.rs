@@ -1,0 +1,201 @@
+//! Query-side lookup table of neighbourhood words.
+//!
+//! For every word position of every query, all `w`-mers scoring at least
+//! `T` against it are enumerated and registered in a CSR table keyed by
+//! the exact `w`-mer code, so the genome scan can find, in O(1) per
+//! subject word, every (query, position) it might seed.
+
+use psc_index::neighborhood::neighborhood_keys;
+use psc_index::seed::{ExactSeed, SeedModel};
+use psc_score::SubstitutionMatrix;
+
+/// A `(query index, query offset)` pair registered under a word key.
+/// `qconcat` is the offset in the concatenated all-queries coordinate
+/// space (the two-hit tracker's diagonal basis).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WordSite {
+    pub query: u32,
+    pub qpos: u32,
+    pub qconcat: u32,
+}
+
+/// The scan-side lookup table.
+pub struct QueryLookup {
+    word_len: usize,
+    offsets: Vec<u32>,
+    sites: Vec<WordSite>,
+    /// Number of (word, neighbour) registrations (diagnostics).
+    pub registrations: usize,
+    /// Total residues across all queries (concatenated coordinate space).
+    pub query_total: usize,
+}
+
+impl QueryLookup {
+    /// Build from a query bank (`queries[i]` = encoded residues).
+    pub fn build<'a>(
+        queries: impl Iterator<Item = &'a [u8]>,
+        matrix: &SubstitutionMatrix,
+        word_len: usize,
+        threshold: i32,
+    ) -> QueryLookup {
+        let model = ExactSeed::new(word_len);
+        let key_count = model.key_count();
+
+        // Collect (key, site) pairs, then counting-sort into CSR.
+        let mut pairs: Vec<(u32, WordSite)> = Vec::new();
+        let mut neigh = Vec::new();
+        let mut offset = 0usize;
+        for (q, residues) in queries.enumerate() {
+            if residues.len() >= word_len {
+                for qpos in 0..=residues.len() - word_len {
+                    let word = &residues[qpos..qpos + word_len];
+                    if word.iter().any(|&c| c >= 20) {
+                        continue;
+                    }
+                    neighborhood_keys(word, matrix, threshold, &mut neigh);
+                    for &key in &neigh {
+                        pairs.push((
+                            key,
+                            WordSite {
+                                query: q as u32,
+                                qpos: qpos as u32,
+                                qconcat: (offset + qpos) as u32,
+                            },
+                        ));
+                    }
+                }
+            }
+            offset += residues.len();
+        }
+
+        let mut offsets = vec![0u32; key_count + 1];
+        for &(key, _) in &pairs {
+            offsets[key as usize + 1] += 1;
+        }
+        for k in 0..key_count {
+            offsets[k + 1] += offsets[k];
+        }
+        let mut sites = vec![
+            WordSite {
+                query: 0,
+                qpos: 0,
+                qconcat: 0
+            };
+            pairs.len()
+        ];
+        let mut cursor = offsets.clone();
+        for (key, site) in &pairs {
+            let c = &mut cursor[*key as usize];
+            sites[*c as usize] = *site;
+            *c += 1;
+        }
+        QueryLookup {
+            word_len,
+            offsets,
+            registrations: pairs.len(),
+            sites,
+            query_total: offset,
+        }
+    }
+
+    /// Sites whose neighbourhood contains the exact word at `key`.
+    #[inline]
+    pub fn sites(&self, key: u32) -> &[WordSite] {
+        let k = key as usize;
+        &self.sites[self.offsets[k] as usize..self.offsets[k + 1] as usize]
+    }
+
+    /// Exact-seed key of a subject word, if it is made of standard
+    /// residues.
+    #[inline]
+    pub fn key_of(&self, word: &[u8]) -> Option<u32> {
+        debug_assert_eq!(word.len(), self.word_len);
+        let mut key = 0u32;
+        for &c in word {
+            if c >= 20 {
+                return None;
+            }
+            key = key * 20 + c as u32;
+        }
+        Some(key)
+    }
+
+    pub fn word_len(&self) -> usize {
+        self.word_len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psc_score::blosum62;
+    use psc_seqio::alphabet::encode_protein;
+
+    fn has(lut: &QueryLookup, key: u32, query: u32, qpos: u32) -> bool {
+        lut.sites(key)
+            .iter()
+            .any(|s| s.query == query && s.qpos == qpos)
+    }
+
+    #[test]
+    fn identical_word_always_registered() {
+        let q = encode_protein(b"MKVLAW");
+        let lut = QueryLookup::build(std::iter::once(q.as_slice()), blosum62(), 3, 11);
+        // The word MKV at qpos 0 self-scores 14 ≥ 11: looking up MKV must
+        // find (0, 0).
+        let key = lut.key_of(&encode_protein(b"MKV")).unwrap();
+        assert!(has(&lut, key, 0, 0));
+        // WLA...: the word LAW at qpos 3.
+        let key = lut.key_of(&encode_protein(b"LAW")).unwrap();
+        assert!(has(&lut, key, 0, 3));
+    }
+
+    #[test]
+    fn neighbour_word_registered() {
+        let q = encode_protein(b"MKV");
+        let lut = QueryLookup::build(std::iter::once(q.as_slice()), blosum62(), 3, 11);
+        // MKI scores 5+5+3 = 13 ≥ 11 against MKV.
+        let key = lut.key_of(&encode_protein(b"MKI")).unwrap();
+        assert!(has(&lut, key, 0, 0));
+        // GGG scores badly; must not be registered.
+        let key = lut.key_of(&encode_protein(b"GGG")).unwrap();
+        assert!(lut.sites(key).is_empty());
+    }
+
+    #[test]
+    fn nonstandard_words_skipped() {
+        let q = encode_protein(b"MKXVL"); // MKX and KXV unusable, XVL too
+        let lut = QueryLookup::build(std::iter::once(q.as_slice()), blosum62(), 3, 11);
+        // Only no window is fully standard except none (len 5, windows
+        // MKX KXV XVL) — registrations must be zero.
+        assert_eq!(lut.registrations, 0);
+        assert_eq!(lut.key_of(&encode_protein(b"MKX")), None);
+    }
+
+    #[test]
+    fn multiple_queries_tracked() {
+        let q0 = encode_protein(b"MKV");
+        let q1 = encode_protein(b"AMKVA");
+        let lut = QueryLookup::build([q0.as_slice(), q1.as_slice()].into_iter(), blosum62(), 3, 12);
+        let key = lut.key_of(&encode_protein(b"MKV")).unwrap();
+        assert!(has(&lut, key, 0, 0));
+        assert!(has(&lut, key, 1, 1));
+        // qconcat of query 1's site is query-0 length (3) + qpos (1).
+        let site = lut
+            .sites(key)
+            .iter()
+            .find(|s| s.query == 1)
+            .copied()
+            .unwrap();
+        assert_eq!(site.qconcat, 4);
+        assert_eq!(lut.query_total, 8);
+    }
+
+    #[test]
+    fn higher_threshold_fewer_registrations() {
+        let q = encode_protein(b"MKVLAWRNDCQEHFY");
+        let lo = QueryLookup::build(std::iter::once(q.as_slice()), blosum62(), 3, 10);
+        let hi = QueryLookup::build(std::iter::once(q.as_slice()), blosum62(), 3, 13);
+        assert!(lo.registrations > hi.registrations);
+    }
+}

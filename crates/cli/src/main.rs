@@ -1,0 +1,457 @@
+//! `psc` — command-line front-end for the seed-based comparison pipeline.
+//!
+//! ```text
+//! psc generate-bank   --count N [--min-len A --max-len B --seed S] -o bank.fasta
+//! psc generate-genome --len L [--genes G --bank bank.fasta --seed S] -o genome.fasta
+//! psc translate       --genome genome.fasta [-o frames.fasta]
+//! psc search          --proteins bank.fasta --genome genome.fasta
+//!                     [--backend scalar|parallel|rasc] [--pes 192] [--fpgas 1]
+//!                     [--threads T] [--evalue 1e-3] [--seed-model subset4|subset3|exact4]
+//! psc blast           --proteins bank.fasta --genome genome.fasta [--evalue 1e-3]
+//! psc resources       [--pes N] [--window W] [--slot S]
+//! psc matrix
+//! ```
+
+use std::collections::HashMap;
+use std::io::Write;
+use std::process::ExitCode;
+
+use psc_blast::{tblastn, BlastConfig};
+use psc_core::{search_genome, PipelineConfig, SeedChoice, Step2Backend};
+use psc_datagen::{generate_genome, random_bank, BankConfig, GenomeConfig};
+use psc_index::subset_seed_span3;
+use psc_rasc::{OperatorConfig, ResourceModel};
+use psc_score::blosum62;
+use psc_seqio::{
+    read_fasta_path, translate_six_frames, write_fasta, Frame, FrameCoord, GeneticCode, SeqKind,
+};
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(command) = args.next() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let flags = match Flags::parse(args) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let result = match command.as_str() {
+        "generate-bank" => generate_bank(&flags),
+        "generate-genome" => generate_genome_cmd(&flags),
+        "translate" => translate(&flags),
+        "search" => search(&flags),
+        "blast" => blast(&flags),
+        "index" => index_cmd(&flags),
+        "resources" => resources(&flags),
+        "matrix" => matrix(),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+psc — protein seed-based comparison (RASC-100 reproduction)
+
+commands:
+  generate-bank   --count N [--min-len A] [--max-len B] [--seed S] -o FILE
+  generate-genome --len L [--genes G] [--bank FILE] [--seed S] -o FILE
+  translate       --genome FILE [-o FILE]
+  search          --proteins FILE --genome FILE [--backend scalar|parallel|rasc]
+                  [--pes N] [--fpgas N] [--threads N] [--evalue E]
+                  [--seed-model subset4|subset3|exact4] [--threshold T]
+                  [--format tab|pairwise|gff] [--mask on]
+  blast           --proteins FILE --genome FILE [--evalue E] [--mask on]
+  index           --genome FILE -o FILE [--seed-model ...]   (build + save)
+  resources       [--pes N] [--window W] [--slot S]
+  matrix";
+
+/// Trivial `--flag value` parser.
+struct Flags(HashMap<String, String>);
+
+impl Flags {
+    fn parse(args: impl Iterator<Item = String>) -> Result<Flags, String> {
+        let mut map = HashMap::new();
+        let mut args = args.peekable();
+        while let Some(a) = args.next() {
+            let key = a
+                .strip_prefix("--")
+                .or_else(|| a.strip_prefix('-'))
+                .ok_or_else(|| format!("expected a flag, got {a:?}"))?;
+            let value = args
+                .next()
+                .ok_or_else(|| format!("flag --{key} needs a value"))?;
+            map.insert(key.to_string(), value);
+        }
+        Ok(Flags(map))
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.0.get(key).map(String::as_str)
+    }
+
+    fn required(&self, key: &str) -> Result<&str, String> {
+        self.get(key).ok_or_else(|| format!("--{key} is required"))
+    }
+
+    fn parsed<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("bad value for --{key}: {v:?}")),
+        }
+    }
+}
+
+fn generate_bank(flags: &Flags) -> Result<(), String> {
+    let count = flags.parsed("count", 0usize)?;
+    if count == 0 {
+        return Err("--count must be positive".into());
+    }
+    let bank = random_bank(&BankConfig {
+        count,
+        min_len: flags.parsed("min-len", 100)?,
+        max_len: flags.parsed("max-len", 600)?,
+        seed: flags.parsed("seed", 0x5eed_u64)?,
+    });
+    let out = flags.required("o")?;
+    let file = std::fs::File::create(out).map_err(|e| format!("create {out}: {e}"))?;
+    write_fasta(file, &bank).map_err(|e| e.to_string())?;
+    eprintln!("wrote {} proteins ({} aa) to {out}", bank.len(), bank.total_residues());
+    Ok(())
+}
+
+fn generate_genome_cmd(flags: &Flags) -> Result<(), String> {
+    let len = flags.parsed("len", 0usize)?;
+    if len == 0 {
+        return Err("--len must be positive".into());
+    }
+    let genes = flags.parsed("genes", 0usize)?;
+    let donors = match flags.get("bank") {
+        Some(path) => read_fasta_path(path, SeqKind::Protein).map_err(|e| e.to_string())?,
+        None if genes > 0 => return Err("--genes needs --bank for donor proteins".into()),
+        None => psc_seqio::Bank::new(),
+    };
+    let synth = generate_genome(
+        &GenomeConfig {
+            len,
+            gene_count: genes,
+            seed: flags.parsed("seed", 0xd14_u64)?,
+            ..GenomeConfig::default()
+        },
+        &donors,
+    );
+    let out = flags.required("o")?;
+    let mut bank = psc_seqio::Bank::new();
+    bank.push(synth.genome.clone());
+    let file = std::fs::File::create(out).map_err(|e| format!("create {out}: {e}"))?;
+    write_fasta(file, &bank).map_err(|e| e.to_string())?;
+    eprintln!(
+        "wrote genome of {} nt with {} planted genes to {out}",
+        synth.genome.len(),
+        synth.plants.len()
+    );
+    for p in &synth.plants {
+        eprintln!(
+            "  plant: protein {} at {}..{} ({})",
+            p.protein_idx,
+            p.start,
+            p.end,
+            if p.forward { "+" } else { "-" }
+        );
+    }
+    Ok(())
+}
+
+fn load_genome(path: &str) -> Result<psc_seqio::Seq, String> {
+    let bank = read_fasta_path(path, SeqKind::Dna).map_err(|e| e.to_string())?;
+    if bank.len() != 1 {
+        return Err(format!("{path} must contain exactly one genome sequence"));
+    }
+    Ok(bank.into_seqs().remove(0))
+}
+
+fn translate(flags: &Flags) -> Result<(), String> {
+    let genome = load_genome(flags.required("genome")?)?;
+    let translated = translate_six_frames(&genome, GeneticCode::standard());
+    let bank = translated.to_bank();
+    match flags.get("o") {
+        Some(out) => {
+            let file = std::fs::File::create(out).map_err(|e| format!("create {out}: {e}"))?;
+            write_fasta(file, &bank).map_err(|e| e.to_string())?;
+            eprintln!("wrote 6 frames ({} aa) to {out}", bank.total_residues());
+        }
+        None => {
+            let stdout = std::io::stdout();
+            write_fasta(stdout.lock(), &bank).map_err(|e| e.to_string())?;
+        }
+    }
+    Ok(())
+}
+
+fn seed_choice(flags: &Flags) -> Result<SeedChoice, String> {
+    Ok(match flags.get("seed-model").unwrap_or("subset4") {
+        "subset4" => SeedChoice::SubsetDefault,
+        "subset3" => SeedChoice::Custom(subset_seed_span3()),
+        "exact4" => SeedChoice::Exact(4),
+        other => return Err(format!("unknown seed model {other:?}")),
+    })
+}
+
+fn search(flags: &Flags) -> Result<(), String> {
+    let proteins =
+        read_fasta_path(flags.required("proteins")?, SeqKind::Protein).map_err(|e| e.to_string())?;
+    let genome = load_genome(flags.required("genome")?)?;
+    let threads = flags.parsed("threads", 1usize)?;
+    let backend = match flags.get("backend").unwrap_or("scalar") {
+        "scalar" => Step2Backend::SoftwareScalar,
+        "parallel" => Step2Backend::SoftwareParallel { threads },
+        "rasc" => Step2Backend::Rasc {
+            pe_count: flags.parsed("pes", 192usize)?,
+            fpga_count: flags.parsed("fpgas", 1usize)?,
+            host_threads: threads,
+        },
+        other => return Err(format!("unknown backend {other:?}")),
+    };
+    let config = PipelineConfig {
+        seed: seed_choice(flags)?,
+        backend,
+        max_evalue: flags.parsed("evalue", 1e-3f64)?,
+        threshold: flags.parsed("threshold", 45i32)?,
+        index_threads: threads,
+        mask: match flags.get("mask") {
+            Some("on") => Some(psc_seqio::MaskConfig::default()),
+            Some("off") | None => None,
+            Some(other) => return Err(format!("bad --mask value {other:?}")),
+        },
+        ..PipelineConfig::default()
+    };
+    let result = search_genome(&proteins, &genome, blosum62(), config);
+
+    match flags.get("format") {
+        Some("pairwise") => return print_pairwise(&proteins, &genome, &result),
+        Some("gff") => {
+            print!("{}", psc_core::to_gff3(&genome.id, "psc-rasc", &result.matches));
+            eprintln!("{} matches as GFF3", result.matches.len());
+            return Ok(());
+        }
+        Some("tab") | None => {}
+        Some(other) => return Err(format!("unknown format {other:?}")),
+    }
+
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    writeln!(out, "# protein\tframe\tgenome_start\tgenome_end\tstrand\traw\tbits\tevalue")
+        .map_err(|e| e.to_string())?;
+    for m in &result.matches {
+        writeln!(
+            out,
+            "{}\t{:+}\t{}\t{}\t{}\t{}\t{:.1}\t{:.2e}",
+            m.protein_id,
+            m.frame.number(),
+            m.genome_start,
+            m.genome_end,
+            if m.forward { "+" } else { "-" },
+            m.score,
+            m.bit_score,
+            m.evalue
+        )
+        .map_err(|e| e.to_string())?;
+    }
+    let p = &result.output.profile;
+    eprintln!(
+        "steps: {:.2}s index / {:.2}s ungapped / {:.2}s gapped; {} matches",
+        p.step1,
+        p.step2(),
+        p.step3,
+        result.matches.len()
+    );
+    if let Some(board) = &result.output.board {
+        eprintln!(
+            "simulated accelerator: {:.3}s ({} entries, {} hits, {:.1}% PE utilization)",
+            board.accelerated_seconds,
+            board.entries,
+            board.hit_count,
+            board.utilization(config_pes(flags).unwrap_or(192)) * 100.0
+        );
+    }
+    Ok(())
+}
+
+fn config_pes(flags: &Flags) -> Result<usize, String> {
+    flags.parsed("pes", 192usize)
+}
+
+/// BLAST-style pairwise rendering of genome-search results.
+fn print_pairwise(
+    proteins: &psc_seqio::Bank,
+    genome: &psc_seqio::Seq,
+    result: &psc_core::GenomeSearchResult,
+) -> Result<(), String> {
+    use psc_align::{banded_global, format_pairwise, GapConfig};
+    let translated = translate_six_frames(genome, GeneticCode::standard());
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    for (h, m) in result.output.hsps.iter().zip(&result.matches) {
+        let q = proteins.get(h.seq0 as usize);
+        let frame_seq = translated.frame(m.frame);
+        let qa = &q.residues[h.start0 as usize..h.end0 as usize];
+        let sa = &frame_seq.residues[h.start1 as usize..h.end1 as usize];
+        let band = qa.len().abs_diff(sa.len()) + 16;
+        let aln = banded_global(blosum62(), qa, sa, &GapConfig::default(), band);
+        writeln!(
+            out,
+            "> {} vs genome {}..{} (frame {:+}, {} strand)",
+            q.id,
+            m.genome_start,
+            m.genome_end,
+            m.frame.number(),
+            if m.forward { "+" } else { "-" }
+        )
+        .map_err(|e| e.to_string())?;
+        let text = format_pairwise(
+            &aln,
+            qa,
+            sa,
+            h.start0 as usize + 1,
+            h.start1 as usize + 1,
+            blosum62(),
+            h.bit_score,
+            h.evalue,
+            60,
+        );
+        writeln!(out, "{text}").map_err(|e| e.to_string())?;
+    }
+    eprintln!("{} alignments rendered", result.matches.len());
+    Ok(())
+}
+
+/// Build a seed index of a genome's six frames and save it to disk.
+fn index_cmd(flags: &Flags) -> Result<(), String> {
+    use psc_index::{deserialize_index, serialize_index, FlatBank, SeedIndex};
+    let genome = load_genome(flags.required("genome")?)?;
+    let out = flags.required("o")?;
+    let choice = seed_choice(flags)?;
+    let model = choice.model();
+    let translated = translate_six_frames(&genome, GeneticCode::standard());
+    let flat = FlatBank::from_bank(&translated.to_bank());
+    let t0 = std::time::Instant::now();
+    let idx = SeedIndex::build(&flat, model.as_ref(), flags.parsed("threads", 1usize)?);
+    let build = t0.elapsed().as_secs_f64();
+    let bytes = serialize_index(&idx, model.as_ref());
+    std::fs::write(out, &bytes).map_err(|e| format!("write {out}: {e}"))?;
+    // Verify the round trip before declaring success.
+    let reread = std::fs::read(out).map_err(|e| e.to_string())?;
+    let back = deserialize_index(&reread, model.as_ref()).map_err(|e| e.to_string())?;
+    let st = back.stats();
+    eprintln!(
+        "indexed {} aa in {build:.2}s under {}; {} positions, {} non-empty keys (max list {}); wrote {} bytes to {out}",
+        flat.len(),
+        model.name(),
+        st.total_positions,
+        st.nonempty_keys,
+        st.max_list_len,
+        bytes.len()
+    );
+    Ok(())
+}
+
+fn blast(flags: &Flags) -> Result<(), String> {
+    let proteins =
+        read_fasta_path(flags.required("proteins")?, SeqKind::Protein).map_err(|e| e.to_string())?;
+    let genome = load_genome(flags.required("genome")?)?;
+    let translated = translate_six_frames(&genome, GeneticCode::standard());
+    let config = BlastConfig {
+        max_evalue: flags.parsed("evalue", 1e-3f64)?,
+        mask: match flags.get("mask") {
+            Some("on") => Some(psc_seqio::MaskConfig::default()),
+            _ => None,
+        },
+        ..BlastConfig::default()
+    };
+    let report = tblastn(&proteins, &translated.to_bank(), blosum62(), &config);
+
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    writeln!(out, "# protein\tframe\tgenome_start\tgenome_end\traw\tbits\tevalue")
+        .map_err(|e| e.to_string())?;
+    for h in &report.hsps {
+        let frame = Frame::ALL[h.seq1 as usize];
+        let (s, e, _) = translated.to_genome_interval(
+            FrameCoord {
+                frame,
+                aa_pos: h.start1 as usize,
+            },
+            (h.end1 - h.start1) as usize,
+        );
+        writeln!(
+            out,
+            "{}\t{:+}\t{}\t{}\t{}\t{:.1}\t{:.2e}",
+            proteins.get(h.seq0 as usize).id,
+            frame.number(),
+            s,
+            e,
+            h.score,
+            h.bit_score,
+            h.evalue
+        )
+        .map_err(|e| e.to_string())?;
+    }
+    eprintln!(
+        "tblastn: {} word hits, {} ungapped ext, {} gapped ext, {} HSPs in {:.2}s",
+        report.word_hits,
+        report.ungapped_extensions,
+        report.gapped_extensions,
+        report.hsps.len(),
+        report.total_seconds()
+    );
+    Ok(())
+}
+
+fn resources(flags: &Flags) -> Result<(), String> {
+    let pes = flags.parsed("pes", 192usize)?;
+    let mut cfg = OperatorConfig::new(pes);
+    cfg.window_len = flags.parsed("window", 60usize)?;
+    cfg.slot_size = flags.parsed("slot", 16usize)?;
+    match ResourceModel::check(&cfg) {
+        Ok(u) => println!(
+            "{pes} PEs, window {}, slots of {}: {} slices ({}%), {} BRAMs ({}%) on one Virtex-4 LX200",
+            cfg.window_len, cfg.slot_size, u.slices, u.slice_pct, u.brams, u.bram_pct
+        ),
+        Err(e) => println!("does not fit: {e}"),
+    }
+    println!(
+        "largest fitting array at this geometry: {} PEs",
+        ResourceModel::max_pes(cfg.window_len, cfg.slot_size)
+    );
+    Ok(())
+}
+
+fn matrix() -> Result<(), String> {
+    let m = blosum62();
+    print!("  ");
+    for b in psc_seqio::alphabet::AA_LETTERS {
+        print!("{:>3}", b as char);
+    }
+    println!();
+    for a in 0..24u8 {
+        print!("{:>2}", psc_seqio::alphabet::AA_LETTERS[a as usize] as char);
+        for b in 0..24u8 {
+            print!("{:>3}", m.score(a, b));
+        }
+        println!();
+    }
+    Ok(())
+}

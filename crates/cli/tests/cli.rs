@@ -1,0 +1,142 @@
+//! End-to-end tests of the `psc` binary: generate → search → verify.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn psc() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_psc"))
+}
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("psc-cli-test-{name}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn no_args_prints_usage() {
+    let out = psc().output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("psc"));
+}
+
+#[test]
+fn unknown_command_fails() {
+    let out = psc().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
+
+#[test]
+fn matrix_prints_blosum62() {
+    let out = psc().arg("matrix").output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    // W/W = 11 must appear in the W row.
+    let wrow = text.lines().find(|l| l.starts_with(" W")).unwrap();
+    assert!(wrow.contains("11"), "{wrow}");
+}
+
+#[test]
+fn resources_reports_fit() {
+    let out = psc()
+        .args(["resources", "--pes", "192", "--window", "60"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("192 PEs"));
+    assert!(text.contains("largest fitting array"));
+}
+
+#[test]
+fn generate_search_blast_round_trip() {
+    let dir = tmpdir("roundtrip");
+    let bank = dir.join("bank.fasta");
+    let genome = dir.join("genome.fasta");
+
+    // Generate a bank.
+    let out = psc()
+        .args(["generate-bank", "--count", "8", "--seed", "9"])
+        .args(["--min-len", "120", "--max-len", "250"])
+        .args(["-o", bank.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    // Generate a genome with plants from the bank.
+    let out = psc()
+        .args(["generate-genome", "--len", "15000", "--genes", "4", "--seed", "10"])
+        .args(["--bank", bank.to_str().unwrap()])
+        .args(["-o", genome.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let plants = String::from_utf8_lossy(&out.stderr)
+        .lines()
+        .filter(|l| l.contains("plant:"))
+        .count();
+    assert!(plants >= 1);
+
+    // Search with the RASC backend.
+    let out = psc()
+        .args(["search", "--proteins", bank.to_str().unwrap()])
+        .args(["--genome", genome.to_str().unwrap()])
+        .args(["--backend", "rasc", "--pes", "64"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let table = String::from_utf8_lossy(&out.stdout);
+    let matches = table.lines().filter(|l| !l.starts_with('#')).count();
+    assert!(matches >= plants, "search found {matches} < {plants} plants:\n{table}");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("simulated accelerator"));
+
+    // Baseline agrees on the hit count order of magnitude.
+    let out = psc()
+        .args(["blast", "--proteins", bank.to_str().unwrap()])
+        .args(["--genome", genome.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let blast_matches = String::from_utf8_lossy(&out.stdout)
+        .lines()
+        .filter(|l| !l.starts_with('#'))
+        .count();
+    assert!(blast_matches >= plants);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn translate_outputs_six_frames() {
+    let dir = tmpdir("translate");
+    let genome = dir.join("g.fasta");
+    std::fs::write(&genome, ">g\nATGGCCTAAATGGCCTAAATGGCC\n").unwrap();
+    let out = psc()
+        .args(["translate", "--genome", genome.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(text.matches('>').count(), 6);
+    assert!(text.contains("frame+1"));
+    assert!(text.contains("frame-3"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn search_rejects_multi_sequence_genome() {
+    let dir = tmpdir("multiseq");
+    let bank = dir.join("bank.fasta");
+    let genome = dir.join("g.fasta");
+    std::fs::write(&bank, ">p\nMKVLAW\n").unwrap();
+    std::fs::write(&genome, ">a\nACGT\n>b\nACGT\n").unwrap();
+    let out = psc()
+        .args(["search", "--proteins", bank.to_str().unwrap()])
+        .args(["--genome", genome.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("exactly one"));
+    std::fs::remove_dir_all(&dir).ok();
+}

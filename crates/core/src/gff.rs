@@ -1,0 +1,111 @@
+//! GFF3 output for genome-search results.
+//!
+//! The paper's motivating workflow is genome annotation; annotation
+//! pipelines consume protein-to-genome matches as GFF3 `protein_match`
+//! features. This module renders [`crate::GenomeMatch`]es accordingly
+//! (1-based inclusive coordinates, `.` for unscored columns, attributes
+//! carrying the alignment details).
+
+use std::fmt::Write as _;
+
+use crate::genome::GenomeMatch;
+
+/// Render matches as a GFF3 document.
+///
+/// `seqid` is the genome's column-1 identifier; `source` labels column 2
+/// (e.g. "psc-rasc"). Matches keep their input order; callers sort by
+/// E-value or position beforehand if they care.
+pub fn to_gff3(seqid: &str, source: &str, matches: &[GenomeMatch]) -> String {
+    let mut out = String::from("##gff-version 3\n");
+    for (i, m) in matches.iter().enumerate() {
+        // GFF3 is 1-based, end-inclusive.
+        let start = m.genome_start + 1;
+        let end = m.genome_end;
+        let strand = if m.forward { '+' } else { '-' };
+        // Phase of a protein_match is the frame offset within the codon.
+        let phase = match m.frame {
+            psc_seqio::Frame::Plus(k) | psc_seqio::Frame::Minus(k) => k,
+        };
+        let mut attrs = String::new();
+        let _ = write!(
+            attrs,
+            "ID=match{i:05};Name={};Target={} {} {};frame={:+};bit_score={:.1};evalue={:.3e}",
+            m.protein_id,
+            m.protein_id,
+            m.protein_start + 1,
+            m.protein_end,
+            m.frame.number(),
+            m.bit_score,
+            m.evalue
+        );
+        let _ = writeln!(
+            out,
+            "{seqid}\t{source}\tprotein_match\t{start}\t{end}\t{:.1}\t{strand}\t{phase}\t{attrs}",
+            m.bit_score
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psc_seqio::Frame;
+
+    fn sample_match(forward: bool) -> GenomeMatch {
+        GenomeMatch {
+            protein_idx: 3,
+            protein_id: "protX".into(),
+            frame: if forward { Frame::Plus(1) } else { Frame::Minus(0) },
+            genome_start: 99,
+            genome_end: 399,
+            forward,
+            protein_start: 0,
+            protein_end: 100,
+            score: 250,
+            bit_score: 101.5,
+            evalue: 3.2e-25,
+        }
+    }
+
+    #[test]
+    fn renders_valid_gff3_lines() {
+        let text = to_gff3("chr_synth", "psc-rasc", &[sample_match(true)]);
+        let mut lines = text.lines();
+        assert_eq!(lines.next(), Some("##gff-version 3"));
+        let line = lines.next().unwrap();
+        let cols: Vec<&str> = line.split('\t').collect();
+        assert_eq!(cols.len(), 9, "{line}");
+        assert_eq!(cols[0], "chr_synth");
+        assert_eq!(cols[1], "psc-rasc");
+        assert_eq!(cols[2], "protein_match");
+        assert_eq!(cols[3], "100"); // 1-based start
+        assert_eq!(cols[4], "399"); // inclusive end
+        assert_eq!(cols[6], "+");
+        assert_eq!(cols[7], "1"); // frame +2 ⇒ phase 1
+        assert!(cols[8].contains("Name=protX"));
+        assert!(cols[8].contains("Target=protX 1 100"));
+        assert!(cols[8].contains("evalue=3.200e-25"));
+    }
+
+    #[test]
+    fn reverse_strand_marked() {
+        let text = to_gff3("g", "psc", &[sample_match(false)]);
+        let line = text.lines().nth(1).unwrap();
+        let cols: Vec<&str> = line.split('\t').collect();
+        assert_eq!(cols[6], "-");
+        assert!(cols[8].contains("frame=-1"));
+    }
+
+    #[test]
+    fn ids_are_unique_per_match() {
+        let text = to_gff3("g", "psc", &[sample_match(true), sample_match(true)]);
+        assert!(text.contains("ID=match00000"));
+        assert!(text.contains("ID=match00001"));
+    }
+
+    #[test]
+    fn empty_input_is_header_only() {
+        assert_eq!(to_gff3("g", "s", &[]), "##gff-version 3\n");
+    }
+}

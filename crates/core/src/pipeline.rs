@@ -1,0 +1,612 @@
+//! The three-step pipeline driver.
+
+use std::time::Instant;
+
+use psc_align::{cull_hsps, gapped_extend, Hsp};
+use psc_index::{FlatBank, SeedIndex};
+use psc_rasc::{BoardReport, Entry, RascBoard};
+use psc_score::karlin::{gapped_params, ungapped_params};
+use psc_score::{SubstitutionMatrix, ROBINSON_FREQS};
+use psc_seqio::Bank;
+
+use crate::config::{PipelineConfig, Step2Backend, Step3Backend};
+use crate::profile::StepProfile;
+use crate::step2::{self, Candidate, Step2Params, Step2Stats};
+
+/// Instrumentation of a pipeline run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PipelineStats {
+    /// Positions indexed in each bank.
+    pub indexed0: usize,
+    pub indexed1: usize,
+    /// Step-2 counters.
+    pub step2: Step2Stats,
+    /// Gapped-extension anchors after per-diagonal deduplication.
+    pub anchors: u64,
+    /// HSPs surviving E-value filtering and culling.
+    pub reported: usize,
+}
+
+/// Everything a run produces.
+#[derive(Clone, Debug)]
+pub struct PipelineOutput {
+    /// Final alignments, best E-value first. `seq0` indexes bank 0,
+    /// `seq1` indexes bank 1.
+    pub hsps: Vec<Hsp>,
+    pub profile: StepProfile,
+    pub stats: PipelineStats,
+    /// Present when step 2 ran on the simulated RASC board.
+    pub board: Option<BoardReport>,
+}
+
+/// The paper's bank-vs-bank comparison pipeline.
+pub struct Pipeline {
+    config: PipelineConfig,
+}
+
+impl Pipeline {
+    pub fn new(config: PipelineConfig) -> Pipeline {
+        Pipeline { config }
+    }
+
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    /// Compare two protein banks.
+    pub fn run(&self, bank0: &Bank, bank1: &Bank, matrix: &SubstitutionMatrix) -> PipelineOutput {
+        let cfg = &self.config;
+        let model = cfg.seed.model();
+        let span = model.span();
+
+        // ---- Step 1: indexing --------------------------------------
+        let t0 = Instant::now();
+        // Soft masking: the seeding/step-2 view of the banks is entropy
+        // masked; step 3 extends over the original residues.
+        let (flat0, flat1) = match &cfg.mask {
+            None => (FlatBank::from_bank(bank0), FlatBank::from_bank(bank1)),
+            Some(mask_cfg) => {
+                let masked = |bank: &Bank| -> Bank {
+                    bank.seqs()
+                        .iter()
+                        .map(|s| {
+                            psc_seqio::Seq::from_codes(
+                                s.id.clone(),
+                                psc_seqio::mask_low_complexity(&s.residues, mask_cfg),
+                                s.kind,
+                            )
+                        })
+                        .collect()
+                };
+                (
+                    FlatBank::from_bank(&masked(bank0)),
+                    FlatBank::from_bank(&masked(bank1)),
+                )
+            }
+        };
+        let idx0 = SeedIndex::build(&flat0, model.as_ref(), cfg.index_threads);
+        let idx1 = SeedIndex::build(&flat1, model.as_ref(), cfg.index_threads);
+        let step1 = t0.elapsed().as_secs_f64();
+
+        // ---- Step 2: ungapped extension ----------------------------
+        let t1 = Instant::now();
+        let params = Step2Params {
+            matrix,
+            kernel: cfg.kernel,
+            span,
+            n_ctx: cfg.n_ctx,
+            threshold: cfg.threshold,
+        };
+        let key_count = idx0.key_count() as u32;
+        let (candidates, s2stats, board, step2_accel_override) = match &cfg.backend {
+            Step2Backend::SoftwareScalar => {
+                let (c, s) = step2::run_software(&flat0, &idx0, &flat1, &idx1, &params, 1);
+                (c, s, None, None)
+            }
+            Step2Backend::SoftwareParallel { threads } => {
+                let (c, s) = step2::run_software(&flat0, &idx0, &flat1, &idx1, &params, *threads);
+                (c, s, None, None)
+            }
+            Step2Backend::Rasc {
+                pe_count,
+                fpga_count,
+                host_threads,
+            } => {
+                let board = RascBoard::new(cfg.board_config(*pe_count, *fpga_count), matrix)
+                    .expect("operator does not fit the FPGA");
+                let (c, s, r) = run_rasc_step2(
+                    &board,
+                    &flat0,
+                    &idx0,
+                    &flat1,
+                    &idx1,
+                    span,
+                    cfg.n_ctx,
+                    *host_threads,
+                    0..key_count,
+                );
+                (c, s, Some(r), None)
+            }
+            Step2Backend::Hybrid {
+                pe_count,
+                cpu_threads,
+                fpga_share,
+            } => {
+                assert!((0.0..=1.0).contains(fpga_share), "fpga_share must be in 0..=1");
+                let cut = split_keys_by_pair_mass(&idx0, &idx1, *fpga_share);
+                let board = RascBoard::new(cfg.board_config(*pe_count, 1), matrix)
+                    .expect("operator does not fit the FPGA");
+                // FPGA takes the dense low keys; CPU workers the rest.
+                let (mut c, mut s, r) = run_rasc_step2(
+                    &board,
+                    &flat0,
+                    &idx0,
+                    &flat1,
+                    &idx1,
+                    span,
+                    cfg.n_ctx,
+                    1,
+                    0..cut,
+                );
+                let t_cpu = Instant::now();
+                let (c2, s2) = step2::run_software_keys(
+                    &flat0,
+                    &idx0,
+                    &flat1,
+                    &idx1,
+                    &params,
+                    cut..key_count,
+                    *cpu_threads,
+                );
+                let cpu_wall = t_cpu.elapsed().as_secs_f64();
+                c.extend(c2);
+                c.sort_unstable_by_key(|x| (x.pos0, x.pos1));
+                s.pairs += s2.pairs;
+                s.active_keys += s2.active_keys;
+                s.candidates = c.len() as u64;
+                // CPU and FPGA run concurrently: the slower side bounds
+                // the effective step-2 time.
+                let effective = r.accelerated_seconds.max(cpu_wall);
+                (c, s, Some(r), Some(effective))
+            }
+        };
+        let step2_wall = t1.elapsed().as_secs_f64();
+        let step2_accelerated =
+            step2_accel_override.or_else(|| board.as_ref().map(|r| r.accelerated_seconds));
+
+        // ---- Step 3: gapped extension ------------------------------
+        let t2 = Instant::now();
+        let ungapped_stats =
+            ungapped_params(matrix, &ROBINSON_FREQS).expect("matrix must support local alignment");
+        let stats =
+            gapped_params(matrix, cfg.gap.open, cfg.gap.extend).unwrap_or(ungapped_stats);
+        let (m, n) = (bank0.total_residues(), bank1.total_residues());
+
+        let anchors = dedup_anchors(candidates, &flat0, &flat1, cfg.min_anchor_sep);
+        // Optional step-3 accelerator (the paper's proposed second-FPGA
+        // gapped operator). Results are identical either way; the
+        // operator additionally accounts simulated cycles.
+        let gapped_op = match cfg.step3_backend {
+            Step3Backend::Software => None,
+            Step3Backend::RascGapped { band } => {
+                let op_cfg = psc_rasc::GappedOperatorConfig {
+                    band,
+                    gap: cfg.gap,
+                    ..psc_rasc::GappedOperatorConfig::default()
+                };
+                Some(
+                    psc_rasc::GappedOperator::new(op_cfg, matrix)
+                        .expect("gapped operator does not fit the FPGA"),
+                )
+            }
+        };
+        let mut step3_cycles = 0u64;
+        let mut hsps = Vec::new();
+        for a in &anchors {
+            let s0 = &bank0.get(a.seq0 as usize).residues;
+            let s1 = &bank1.get(a.seq1 as usize).residues;
+            let hit = match &gapped_op {
+                None => gapped_extend(matrix, s0, s1, a.local0 as usize, a.local1 as usize, &cfg.gap),
+                Some(op) => {
+                    let (hit, cycles, _overflow) =
+                        op.extend(s0, s1, a.local0 as usize, a.local1 as usize);
+                    step3_cycles += cycles;
+                    hit
+                }
+            };
+            let evalue = stats.evalue(hit.score, m, n);
+            if evalue <= cfg.max_evalue {
+                hsps.push(Hsp {
+                    seq0: a.seq0,
+                    seq1: a.seq1,
+                    start0: hit.start0 as u32,
+                    end0: hit.end0 as u32,
+                    start1: hit.start1 as u32,
+                    end1: hit.end1 as u32,
+                    score: hit.score,
+                    bit_score: stats.bit_score(hit.score),
+                    evalue,
+                });
+            }
+        }
+        let mut hsps = cull_hsps(hsps, 0.9);
+        hsps.sort_by(|a, b| a.evalue.total_cmp(&b.evalue));
+        let step3 = t2.elapsed().as_secs_f64();
+
+        PipelineOutput {
+            stats: PipelineStats {
+                indexed0: idx0.total_positions(),
+                indexed1: idx1.total_positions(),
+                step2: s2stats,
+                anchors: anchors.len() as u64,
+                reported: hsps.len(),
+            },
+            hsps,
+            profile: StepProfile {
+                step1,
+                step2_wall,
+                step2_accelerated,
+                step3,
+                step3_accelerated: gapped_op
+                    .as_ref()
+                    .map(|op| step3_cycles as f64 / op.config().clock_hz as f64),
+            },
+            board,
+        }
+    }
+}
+
+/// An anchor for gapped extension, in sequence-local coordinates.
+#[derive(Clone, Copy, Debug)]
+struct Anchor {
+    seq0: u32,
+    seq1: u32,
+    local0: u32,
+    local1: u32,
+}
+
+/// Localize candidates and fold near-duplicates: one anchor per
+/// `(seq0, seq1, diagonal)` line every `min_sep` subject residues,
+/// keeping the best-scoring candidate of each fold group.
+fn dedup_anchors(
+    candidates: Vec<Candidate>,
+    flat0: &FlatBank,
+    flat1: &FlatBank,
+    min_sep: u32,
+) -> Vec<Anchor> {
+    #[derive(Clone, Copy)]
+    struct Localized {
+        seq0: u32,
+        seq1: u32,
+        diag: i64,
+        local0: u32,
+        local1: u32,
+        score: i32,
+    }
+    let mut loc: Vec<Localized> = candidates
+        .into_iter()
+        .map(|c| {
+            let (s0, l0) = flat0.locate(c.pos0);
+            let (s1, l1) = flat1.locate(c.pos1);
+            Localized {
+                seq0: s0 as u32,
+                seq1: s1 as u32,
+                diag: l1 as i64 - l0 as i64,
+                local0: l0 as u32,
+                local1: l1 as u32,
+                score: c.score,
+            }
+        })
+        .collect();
+    loc.sort_by_key(|c| (c.seq0, c.seq1, c.diag, c.local1));
+
+    let mut anchors: Vec<Anchor> = Vec::new();
+    let mut group: Option<(u32, u32, i64, u32, Localized)> = None; // key + best
+    for c in loc {
+        match &mut group {
+            Some((s0, s1, d, last1, best))
+                if *s0 == c.seq0 && *s1 == c.seq1 && *d == c.diag && c.local1 < *last1 + min_sep =>
+            {
+                // Same fold group: extend it, keep the best-scoring seed.
+                *last1 = c.local1;
+                if c.score > best.score {
+                    *best = c;
+                }
+            }
+            _ => {
+                if let Some((_, _, _, _, best)) = group.take() {
+                    anchors.push(Anchor {
+                        seq0: best.seq0,
+                        seq1: best.seq1,
+                        local0: best.local0,
+                        local1: best.local1,
+                    });
+                }
+                group = Some((c.seq0, c.seq1, c.diag, c.local1, c));
+            }
+        }
+    }
+    if let Some((_, _, _, _, best)) = group.take() {
+        anchors.push(Anchor {
+            seq0: best.seq0,
+            seq1: best.seq1,
+            local0: best.local0,
+            local1: best.local1,
+        });
+    }
+    anchors
+}
+
+/// Prefix key cut such that keys `0..cut` carry ≈ `share` of the total
+/// pair mass.
+fn split_keys_by_pair_mass(idx0: &SeedIndex, idx1: &SeedIndex, share: f64) -> u32 {
+    let total = idx0.pair_count(idx1);
+    let want = (total as f64 * share) as u64;
+    let mut acc = 0u64;
+    for key in 0..idx0.key_count() as u32 {
+        if acc >= want {
+            return key;
+        }
+        acc += idx0.list(key).len() as u64 * idx1.list(key).len() as u64;
+    }
+    idx0.key_count() as u32
+}
+
+/// Step 2 on the simulated board: stream one entry per active key in
+/// `keys`.
+#[allow(clippy::too_many_arguments)]
+fn run_rasc_step2(
+    board: &RascBoard,
+    flat0: &FlatBank,
+    idx0: &SeedIndex,
+    flat1: &FlatBank,
+    idx1: &SeedIndex,
+    span: usize,
+    n_ctx: usize,
+    host_threads: usize,
+    keys: std::ops::Range<u32>,
+) -> (Vec<Candidate>, Step2Stats, BoardReport) {
+    // Keys with work on both sides, in key order.
+    let active: Vec<u32> = keys
+        .filter(|&k| !idx0.list(k).is_empty() && !idx1.list(k).is_empty())
+        .collect();
+
+    let mut stats = Step2Stats {
+        active_keys: active.len() as u64,
+        ..Step2Stats::default()
+    };
+    for &k in &active {
+        stats.pairs += idx0.list(k).len() as u64 * idx1.list(k).len() as u64;
+    }
+
+    let entries = active.iter().map(|&key| {
+        let mut il0 = Vec::new();
+        let mut il1 = Vec::new();
+        step2::gather_windows(flat0, idx0.list(key), span, n_ctx, &mut il0);
+        step2::gather_windows(flat1, idx1.list(key), span, n_ctx, &mut il1);
+        Entry { il0, il1 }
+    });
+
+    let mut candidates: Vec<Candidate> = Vec::new();
+    let report = board.run_stream(entries, host_threads, |entry_idx, hits| {
+        let key = active[entry_idx as usize];
+        let list0 = idx0.list(key);
+        let list1 = idx1.list(key);
+        for h in hits {
+            candidates.push(Candidate {
+                pos0: list0[h.i0 as usize],
+                pos1: list1[h.i1 as usize],
+                score: h.score,
+            });
+        }
+    });
+    // Entry completion order depends on host threading; normalize.
+    candidates.sort_unstable_by_key(|c| (c.pos0, c.pos1));
+    stats.candidates = candidates.len() as u64;
+    (candidates, stats, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{SeedChoice, Step2Backend};
+    use psc_score::blosum62;
+    use psc_seqio::Seq;
+
+    fn bank(seqs: &[&[u8]]) -> Bank {
+        seqs.iter()
+            .enumerate()
+            .map(|(i, s)| Seq::protein(format!("s{i}"), s))
+            .collect()
+    }
+
+    fn small_config() -> PipelineConfig {
+        PipelineConfig {
+            n_ctx: 8,
+            threshold: 22,
+            max_evalue: 10.0, // tiny banks: keep permissive
+            ..PipelineConfig::default()
+        }
+    }
+
+    #[test]
+    fn finds_identical_pair() {
+        let s = b"MKVLAWRNDCQEHFYWMKVLAWRNDCQEHFYW".as_slice();
+        let b0 = bank(&[s]);
+        let b1 = bank(&[s]);
+        let out = Pipeline::new(small_config()).run(&b0, &b1, blosum62());
+        assert_eq!(out.stats.reported, out.hsps.len());
+        assert!(!out.hsps.is_empty(), "stats: {:?}", out.stats);
+        let h = &out.hsps[0];
+        assert_eq!((h.start0, h.end0), (0, 32));
+        assert_eq!((h.start1, h.end1), (0, 32));
+        assert!(out.profile.total() > 0.0);
+        assert!(out.board.is_none());
+    }
+
+    #[test]
+    fn unrelated_banks_stay_silent() {
+        let b0 = bank(&[b"MKVLAWMKVLAWMKVLAWMKVLAW"]);
+        let b1 = bank(&[b"GGGGGGGGGGGGGGGGGGGGGGGG"]);
+        let out = Pipeline::new(small_config()).run(&b0, &b1, blosum62());
+        assert!(out.hsps.is_empty());
+        assert_eq!(out.stats.step2.pairs, 0);
+    }
+
+    #[test]
+    fn backends_agree() {
+        let seqs: Vec<Vec<u8>> = (0..12)
+            .map(|i| {
+                (0..150u32)
+                    .map(|j| (((i * 13 + j * 11) % 89) % 20) as u8)
+                    .collect()
+            })
+            .collect();
+        let b0: Bank = seqs[..6]
+            .iter()
+            .enumerate()
+            .map(|(i, s)| Seq::from_codes(format!("q{i}"), s.clone(), psc_seqio::SeqKind::Protein))
+            .collect();
+        // Bank 1 shares two sequences with bank 0 → guaranteed hits.
+        let b1: Bank = seqs[4..]
+            .iter()
+            .enumerate()
+            .map(|(i, s)| Seq::from_codes(format!("t{i}"), s.clone(), psc_seqio::SeqKind::Protein))
+            .collect();
+
+        let mk = |backend| {
+            let cfg = PipelineConfig {
+                backend,
+                ..small_config()
+            };
+            Pipeline::new(cfg).run(&b0, &b1, blosum62())
+        };
+        let scalar = mk(Step2Backend::SoftwareScalar);
+        let parallel = mk(Step2Backend::SoftwareParallel { threads: 4 });
+        let rasc = mk(Step2Backend::Rasc {
+            pe_count: 64,
+            fpga_count: 2,
+            host_threads: 2,
+        });
+        assert!(!scalar.hsps.is_empty());
+        assert_eq!(scalar.hsps, parallel.hsps);
+        assert_eq!(scalar.hsps, rasc.hsps);
+        assert_eq!(scalar.stats.step2, parallel.stats.step2);
+        assert_eq!(scalar.stats.step2, rasc.stats.step2);
+        assert!(rasc.board.is_some());
+        assert!(rasc.profile.step2_accelerated.is_some());
+    }
+
+    #[test]
+    fn exact_seed_ablation_runs() {
+        let s = b"MKVLAWRNDCQEHFYWMKVLAWRNDCQEHFYW".as_slice();
+        let b0 = bank(&[s]);
+        let b1 = bank(&[s]);
+        let cfg = PipelineConfig {
+            seed: SeedChoice::Exact(4),
+            ..small_config()
+        };
+        let out = Pipeline::new(cfg).run(&b0, &b1, blosum62());
+        assert!(!out.hsps.is_empty());
+    }
+
+    #[test]
+    fn soft_masking_suppresses_low_complexity_seeding() {
+        // A poly-A homopolymer pair seeds furiously without masking and
+        // not at all with it; a normal homologous pair is found either
+        // way (step 3 sees the original residues).
+        let mut seqs0 = vec![Seq::protein("real", b"MKVLAWRNDCQEHFYWMKVLAWRNDCQEHFYW")];
+        seqs0.push(Seq::protein("junk", &[b'A'; 80]));
+        let b0 = Bank::from_seqs(seqs0.clone());
+        let b1 = Bank::from_seqs(seqs0);
+        let plain = Pipeline::new(small_config()).run(&b0, &b1, blosum62());
+        let masked_cfg = PipelineConfig {
+            mask: Some(psc_seqio::MaskConfig::default()),
+            ..small_config()
+        };
+        let masked = Pipeline::new(masked_cfg).run(&b0, &b1, blosum62());
+        assert!(
+            masked.stats.step2.pairs < plain.stats.step2.pairs / 2,
+            "masking should kill homopolymer pairs: {} vs {}",
+            masked.stats.step2.pairs,
+            plain.stats.step2.pairs
+        );
+        // The real pair is still reported.
+        assert!(masked
+            .hsps
+            .iter()
+            .any(|h| h.seq0 == 0 && h.seq1 == 0 && h.end0 - h.start0 == 32));
+    }
+
+    #[test]
+    fn hybrid_backend_agrees_with_scalar() {
+        let seqs: Vec<Vec<u8>> = (0..10)
+            .map(|i| {
+                (0..160u32)
+                    .map(|j| (((i * 17 + j * 5) % 83) % 20) as u8)
+                    .collect()
+            })
+            .collect();
+        let b0: Bank = seqs
+            .iter()
+            .enumerate()
+            .map(|(i, s)| Seq::from_codes(format!("q{i}"), s.clone(), psc_seqio::SeqKind::Protein))
+            .collect();
+        let b1 = b0.clone();
+        let scalar = Pipeline::new(small_config()).run(&b0, &b1, blosum62());
+        for share in [0.0, 0.3, 0.7, 1.0] {
+            let cfg = PipelineConfig {
+                backend: Step2Backend::Hybrid {
+                    pe_count: 64,
+                    cpu_threads: 2,
+                    fpga_share: share,
+                },
+                ..small_config()
+            };
+            let hybrid = Pipeline::new(cfg).run(&b0, &b1, blosum62());
+            assert_eq!(scalar.hsps, hybrid.hsps, "share={share}");
+            assert_eq!(scalar.stats.step2, hybrid.stats.step2, "share={share}");
+            assert!(hybrid.profile.step2_accelerated.is_some());
+        }
+    }
+
+    #[test]
+    fn rasc_gapped_step3_agrees_with_software() {
+        use crate::config::Step3Backend;
+        let s = b"MKVLAWRNDCQEHFYWMKVLAWRNDCQEHFYW".as_slice();
+        let b0 = bank(&[s]);
+        let b1 = bank(&[s]);
+        let sw = Pipeline::new(small_config()).run(&b0, &b1, blosum62());
+        let cfg = PipelineConfig {
+            step3_backend: Step3Backend::RascGapped { band: 64 },
+            ..small_config()
+        };
+        let hw = Pipeline::new(cfg).run(&b0, &b1, blosum62());
+        assert_eq!(sw.hsps, hw.hsps);
+        assert!(sw.profile.step3_accelerated.is_none());
+        let accel = hw.profile.step3_accelerated.expect("gapped operator time");
+        assert!(accel > 0.0);
+        // total_concurrent never exceeds the sequential total.
+        assert!(hw.profile.total_concurrent() <= hw.profile.total() + 1e-12);
+    }
+
+    #[test]
+    fn anchor_dedup_limits_step3() {
+        // A long identical pair seeds at every position; anchors must be
+        // far fewer than candidates.
+        let s: Vec<u8> = (0..600u32).map(|j| ((j * 7 + j / 13) % 20) as u8).collect();
+        let b0: Bank =
+            std::iter::once(Seq::from_codes("a", s.clone(), psc_seqio::SeqKind::Protein)).collect();
+        let b1: Bank =
+            std::iter::once(Seq::from_codes("b", s, psc_seqio::SeqKind::Protein)).collect();
+        let out = Pipeline::new(small_config()).run(&b0, &b1, blosum62());
+        assert!(out.stats.step2.candidates > 0);
+        assert!(
+            out.stats.anchors * 3 < out.stats.step2.candidates,
+            "anchors {} vs candidates {}",
+            out.stats.anchors,
+            out.stats.step2.candidates
+        );
+        assert_eq!(out.hsps.len(), 1, "one clean alignment expected");
+    }
+}

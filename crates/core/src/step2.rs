@@ -1,0 +1,305 @@
+//! Step 2 — all-pairs ungapped extension over matching index lists.
+//!
+//! This is the paper's critical section (97 % of sequential runtime,
+//! Table 1). The software implementations here are the "Sequential"
+//! baseline of Table 4 and the host-side reference the RASC backend is
+//! verified against; they were deliberately written the way the paper
+//! describes ("primarily designed to have an optimal efficiency on a
+//! parallel support"): gather the fixed-length windows per key, then a
+//! dense rectangular pair loop — exactly the data flow the PE array
+//! consumes.
+
+use crossbeam::thread;
+use psc_align::{ungapped_score, Kernel};
+use psc_index::{FlatBank, SeedIndex};
+use psc_score::SubstitutionMatrix;
+
+/// A pair that survived step 2: global seed positions in each bank and
+/// the windowed score.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Candidate {
+    pub pos0: u32,
+    pub pos1: u32,
+    pub score: i32,
+}
+
+/// Instrumentation counters for step 2.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Step2Stats {
+    /// Window pairs scored (`Σ_k |IL0_k|·|IL1_k|`).
+    pub pairs: u64,
+    /// Pairs at or above the threshold.
+    pub candidates: u64,
+    /// Keys with work on both sides.
+    pub active_keys: u64,
+}
+
+/// Gather the extension windows for every position of an index list into
+/// one contiguous buffer (the byte stream an input controller would DMA).
+pub fn gather_windows(flat: &FlatBank, list: &[u32], span: usize, n_ctx: usize, out: &mut Vec<u8>) {
+    let l = span + 2 * n_ctx;
+    out.clear();
+    out.resize(list.len() * l, 0);
+    for (i, &pos) in list.iter().enumerate() {
+        flat.window_into(pos, span, n_ctx, &mut out[i * l..(i + 1) * l]);
+    }
+}
+
+/// Scoring parameters threaded through the software backends.
+#[derive(Clone, Copy)]
+pub struct Step2Params<'m> {
+    pub matrix: &'m SubstitutionMatrix,
+    pub kernel: Kernel,
+    pub span: usize,
+    pub n_ctx: usize,
+    pub threshold: i32,
+}
+
+/// Run step 2 on one key range, appending candidates (key-major order).
+#[allow(clippy::too_many_arguments)]
+fn run_key_range(
+    flat0: &FlatBank,
+    idx0: &SeedIndex,
+    flat1: &FlatBank,
+    idx1: &SeedIndex,
+    params: &Step2Params<'_>,
+    keys: std::ops::Range<u32>,
+    out: &mut Vec<Candidate>,
+    stats: &mut Step2Stats,
+) {
+    let l = params.span + 2 * params.n_ctx;
+    let mut w0 = Vec::new();
+    let mut w1 = Vec::new();
+    for key in keys {
+        let list0 = idx0.list(key);
+        let list1 = idx1.list(key);
+        if list0.is_empty() || list1.is_empty() {
+            continue;
+        }
+        stats.active_keys += 1;
+        stats.pairs += list0.len() as u64 * list1.len() as u64;
+        gather_windows(flat0, list0, params.span, params.n_ctx, &mut w0);
+        gather_windows(flat1, list1, params.span, params.n_ctx, &mut w1);
+        for (i, &pos0) in list0.iter().enumerate() {
+            let win0 = &w0[i * l..(i + 1) * l];
+            for (j, &pos1) in list1.iter().enumerate() {
+                let win1 = &w1[j * l..(j + 1) * l];
+                let score = ungapped_score(params.kernel, params.matrix, win0, win1);
+                if score >= params.threshold {
+                    out.push(Candidate { pos0, pos1, score });
+                }
+            }
+        }
+    }
+    stats.candidates = out.len() as u64;
+}
+
+/// Software step 2 over all keys with `threads` workers (1 = the
+/// sequential baseline). Candidates come back in key-major order
+/// regardless of thread count.
+pub fn run_software(
+    flat0: &FlatBank,
+    idx0: &SeedIndex,
+    flat1: &FlatBank,
+    idx1: &SeedIndex,
+    params: &Step2Params<'_>,
+    threads: usize,
+) -> (Vec<Candidate>, Step2Stats) {
+    let key_count = idx0.key_count() as u32;
+    run_software_keys(flat0, idx0, flat1, idx1, params, 0..key_count, threads)
+}
+
+/// Software step 2 restricted to a key range (used standalone by the
+/// hybrid CPU+FPGA backend).
+pub fn run_software_keys(
+    flat0: &FlatBank,
+    idx0: &SeedIndex,
+    flat1: &FlatBank,
+    idx1: &SeedIndex,
+    params: &Step2Params<'_>,
+    keys: std::ops::Range<u32>,
+    threads: usize,
+) -> (Vec<Candidate>, Step2Stats) {
+    assert_eq!(idx0.key_count(), idx1.key_count(), "incompatible indexes");
+    let threads = threads.max(1);
+
+    if threads == 1 {
+        let mut out = Vec::new();
+        let mut stats = Step2Stats::default();
+        run_key_range(flat0, idx0, flat1, idx1, params, keys, &mut out, &mut stats);
+        return (out, stats);
+    }
+
+    // Balance key ranges by pair mass.
+    let mut cuts = vec![keys.start];
+    {
+        let total_pairs: u64 = keys
+            .clone()
+            .map(|k| idx0.list(k).len() as u64 * idx1.list(k).len() as u64)
+            .sum();
+        let per = (total_pairs / threads as u64).max(1);
+        let mut acc = 0u64;
+        for key in keys.clone() {
+            acc += idx0.list(key).len() as u64 * idx1.list(key).len() as u64;
+            if acc >= per && (cuts.len() as usize) < threads {
+                cuts.push(key + 1);
+                acc = 0;
+            }
+        }
+    }
+    cuts.push(keys.end);
+
+    let chunks: Vec<std::ops::Range<u32>> = cuts.windows(2).map(|w| w[0]..w[1]).collect();
+    let mut results: Vec<(Vec<Candidate>, Step2Stats)> = Vec::with_capacity(chunks.len());
+    thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|range| {
+                s.spawn(move |_| {
+                    let mut out = Vec::new();
+                    let mut stats = Step2Stats::default();
+                    run_key_range(flat0, idx0, flat1, idx1, params, range, &mut out, &mut stats);
+                    (out, stats)
+                })
+            })
+            .collect();
+        for h in handles {
+            results.push(h.join().expect("step-2 worker panicked"));
+        }
+    })
+    .expect("step-2 scope");
+
+    let mut out = Vec::new();
+    let mut stats = Step2Stats::default();
+    for (mut part, st) in results {
+        out.append(&mut part);
+        stats.pairs += st.pairs;
+        stats.active_keys += st.active_keys;
+    }
+    stats.candidates = out.len() as u64;
+    (out, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psc_index::seed::subset_seed_default;
+    use psc_score::blosum62;
+    use psc_seqio::{Bank, Seq};
+
+    fn setup(seqs0: &[&[u8]], seqs1: &[&[u8]]) -> (FlatBank, SeedIndex, FlatBank, SeedIndex) {
+        let b0: Bank = seqs0
+            .iter()
+            .enumerate()
+            .map(|(i, s)| Seq::protein(format!("a{i}"), s))
+            .collect();
+        let b1: Bank = seqs1
+            .iter()
+            .enumerate()
+            .map(|(i, s)| Seq::protein(format!("b{i}"), s))
+            .collect();
+        let f0 = FlatBank::from_bank(&b0);
+        let f1 = FlatBank::from_bank(&b1);
+        let model = subset_seed_default();
+        let i0 = SeedIndex::build(&f0, &model, 1);
+        let i1 = SeedIndex::build(&f1, &model, 1);
+        (f0, i0, f1, i1)
+    }
+
+    fn params(matrix: &SubstitutionMatrix, threshold: i32) -> Step2Params<'_> {
+        Step2Params {
+            matrix,
+            kernel: Kernel::ClampedSum,
+            span: 4,
+            n_ctx: 6,
+            threshold,
+        }
+    }
+
+    #[test]
+    fn identical_sequences_pair_up() {
+        let s = b"MKVLAWRNDCQEHFYW".as_slice();
+        let (f0, i0, f1, i1) = setup(&[s], &[s]);
+        let m = blosum62();
+        let (cands, stats) = run_software(&f0, &i0, &f1, &i1, &params(m, 30), 1);
+        assert!(!cands.is_empty());
+        assert!(stats.pairs >= cands.len() as u64);
+        // The strongest candidate pairs identical positions.
+        assert!(cands.iter().any(|c| c.pos0 == c.pos1));
+        assert_eq!(stats.candidates, cands.len() as u64);
+    }
+
+    #[test]
+    fn threshold_filters() {
+        let s = b"MKVLAWRNDCQEHFYW".as_slice();
+        let (f0, i0, f1, i1) = setup(&[s], &[s]);
+        let m = blosum62();
+        let (lo, _) = run_software(&f0, &i0, &f1, &i1, &params(m, 10), 1);
+        let (hi, _) = run_software(&f0, &i0, &f1, &i1, &params(m, 60), 1);
+        assert!(lo.len() > hi.len());
+        // The identical 16-residue window self-scores 101; a threshold
+        // above that is unreachable.
+        let (none, _) = run_software(&f0, &i0, &f1, &i1, &params(m, 105), 1);
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        // Enough sequences to spread across keys. These are residue
+        // *codes*, so banks are built with from_codes, not the ASCII
+        // setup() helper.
+        let seqs: Vec<Vec<u8>> = (0..30)
+            .map(|i| {
+                (0..120u32)
+                    .map(|j| (((i * 31 + j * 7) % 97) % 20) as u8)
+                    .collect()
+            })
+            .collect();
+        let mk = |seqs: &[Vec<u8>]| -> (FlatBank, SeedIndex) {
+            let bank: Bank = seqs
+                .iter()
+                .enumerate()
+                .map(|(i, s)| {
+                    Seq::from_codes(format!("s{i}"), s.clone(), psc_seqio::SeqKind::Protein)
+                })
+                .collect();
+            let flat = FlatBank::from_bank(&bank);
+            let idx = SeedIndex::build(&flat, &subset_seed_default(), 1);
+            (flat, idx)
+        };
+        let (f0, i0) = mk(&seqs);
+        let (f1, i1) = mk(&seqs);
+        let m = blosum62();
+        let (seq_c, seq_s) = run_software(&f0, &i0, &f1, &i1, &params(m, 18), 1);
+        for threads in [2, 4, 7] {
+            let (par_c, par_s) = run_software(&f0, &i0, &f1, &i1, &params(m, 18), threads);
+            assert_eq!(seq_c, par_c, "threads={threads}");
+            assert_eq!(seq_s, par_s, "threads={threads}");
+        }
+        assert!(!seq_c.is_empty());
+    }
+
+    #[test]
+    fn disjoint_banks_no_pairs() {
+        let (f0, i0, f1, i1) = setup(&[b"MKVLMKVLMKVL"], &[b"GGGGGGGGGGGG"]);
+        let m = blosum62();
+        let (cands, stats) = run_software(&f0, &i0, &f1, &i1, &params(m, 1), 1);
+        assert!(cands.is_empty());
+        assert_eq!(stats.pairs, 0);
+        assert_eq!(stats.active_keys, 0);
+    }
+
+    #[test]
+    fn gather_windows_layout() {
+        let (f0, i0, _, _) = setup(&[b"MKVLAWRNDCQEHFYW"], &[b"MKVLAWRNDCQEHFYW"]);
+        let key = i0.nonempty_keys().next().unwrap();
+        let list = i0.list(key);
+        let mut buf = Vec::new();
+        gather_windows(&f0, list, 4, 6, &mut buf);
+        assert_eq!(buf.len(), list.len() * 16);
+        // Each window must equal the direct extraction.
+        for (i, &pos) in list.iter().enumerate() {
+            assert_eq!(&buf[i * 16..(i + 1) * 16], f0.window(pos, 4, 6).as_slice());
+        }
+    }
+}

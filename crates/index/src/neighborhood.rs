@@ -1,0 +1,160 @@
+//! BLAST-style neighbourhood word generation.
+//!
+//! NCBI BLAST seeds on *neighbourhood words*: a database word `w'` hits a
+//! query word `w` when `score(w, w') ≥ T` under the substitution matrix.
+//! This module enumerates, for each query word, the set of words in its
+//! neighbourhood — the `psc-blast` baseline builds its lookup table from
+//! them. The paper's own pipeline does not use neighbourhoods (that is
+//! the point of the subset-seed index), so this lives here purely for the
+//! baseline's benefit.
+
+use psc_score::SubstitutionMatrix;
+
+#[cfg(test)]
+use crate::seed::ExactSeed;
+
+/// Enumerate the neighbourhood of `word` (exact `w`-mer keys of all words
+/// scoring at least `threshold` against it). Returns keys under
+/// [`crate::seed::ExactSeed`] encoding.
+///
+/// Complexity is `O(20^w)` per word pruned by best-remaining bounds; for
+/// the 3-mers BLAST uses this is a few hundred candidates per word.
+pub fn neighborhood_keys(
+    word: &[u8],
+    matrix: &SubstitutionMatrix,
+    threshold: i32,
+    out: &mut Vec<u32>,
+) {
+    out.clear();
+    let w = word.len();
+    debug_assert!((1..=6).contains(&w));
+    // best_tail[i] = max attainable score from positions i.. (for pruning).
+    let mut best_tail = vec![0i32; w + 1];
+    for i in (0..w).rev() {
+        let best_here = (0..20u8).map(|c| matrix.score(word[i], c)).max().unwrap();
+        best_tail[i] = best_tail[i + 1] + best_here;
+    }
+    // Depth-first enumeration over the 20^w word space.
+    let mut stack_choice = vec![0u8; w];
+    let mut depth = 0usize;
+    let mut score_so_far = vec![0i32; w + 1];
+    let mut key_so_far = vec![0u32; w + 1];
+    loop {
+        if stack_choice[depth] < 20 {
+            let c = stack_choice[depth];
+            let s = score_so_far[depth] + matrix.score(word[depth], c);
+            // Prune: even the best tail cannot reach the threshold.
+            if s + best_tail[depth + 1] >= threshold {
+                let k = key_so_far[depth] * 20 + c as u32;
+                if depth + 1 == w {
+                    if s >= threshold {
+                        out.push(k);
+                    }
+                    stack_choice[depth] += 1;
+                } else {
+                    score_so_far[depth + 1] = s;
+                    key_so_far[depth + 1] = k;
+                    depth += 1;
+                    stack_choice[depth] = 0;
+                }
+            } else {
+                stack_choice[depth] += 1;
+            }
+        } else if depth == 0 {
+            break;
+        } else {
+            depth -= 1;
+            stack_choice[depth] += 1;
+        }
+    }
+}
+
+/// Convenience: neighbourhood including a self-check that the word itself
+/// is present whenever its self-score passes the threshold.
+pub fn neighborhood(word: &[u8], matrix: &SubstitutionMatrix, threshold: i32) -> Vec<u32> {
+    let mut out = Vec::new();
+    neighborhood_keys(word, matrix, threshold, &mut out);
+    out
+}
+
+/// Self-score of a word (sum of diagonal substitution scores).
+pub fn self_score(word: &[u8], matrix: &SubstitutionMatrix) -> i32 {
+    word.iter().map(|&c| matrix.score(c, c)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psc_score::blosum62;
+    use crate::seed::SeedModel;
+    use psc_seqio::alphabet::encode_protein;
+
+    #[test]
+    fn word_in_own_neighbourhood() {
+        let m = blosum62();
+        let word = encode_protein(b"WKV");
+        let t = self_score(&word, m);
+        let n = neighborhood(&word, m, t);
+        let model = ExactSeed::new(3);
+        let own = model.key(&word).unwrap();
+        assert!(n.contains(&own));
+    }
+
+    #[test]
+    fn neighbourhood_shrinks_with_threshold() {
+        let m = blosum62();
+        let word = encode_protein(b"MKV");
+        let n11 = neighborhood(&word, m, 11);
+        let n13 = neighborhood(&word, m, 13);
+        let n8 = neighborhood(&word, m, 8);
+        assert!(n8.len() > n11.len());
+        assert!(n11.len() >= n13.len());
+        assert!(!n11.is_empty());
+    }
+
+    #[test]
+    fn neighbourhood_matches_brute_force() {
+        let m = blosum62();
+        let word = encode_protein(b"HGD");
+        let t = 11;
+        let mut brute = Vec::new();
+        for a in 0..20u8 {
+            for b in 0..20u8 {
+                for c in 0..20u8 {
+                    let s = m.score(word[0], a) + m.score(word[1], b) + m.score(word[2], c);
+                    if s >= t {
+                        brute.push(a as u32 * 400 + b as u32 * 20 + c as u32);
+                    }
+                }
+            }
+        }
+        let mut fast = neighborhood(&word, m, t);
+        fast.sort_unstable();
+        brute.sort_unstable();
+        assert_eq!(fast, brute);
+    }
+
+    #[test]
+    fn impossible_threshold_empty() {
+        let m = blosum62();
+        let word = encode_protein(b"AAA");
+        // Max self-ish score for AAA is 12; 50 is unreachable.
+        assert!(neighborhood(&word, m, 50).is_empty());
+    }
+
+    #[test]
+    fn keys_decode_to_scoring_words() {
+        let m = blosum62();
+        let word = encode_protein(b"FWY");
+        let t = 15;
+        for key in neighborhood(&word, m, t) {
+            let w = [
+                ((key / 400) % 20) as u8,
+                ((key / 20) % 20) as u8,
+                (key % 20) as u8,
+            ];
+            let s: i32 = word.iter().zip(&w).map(|(&a, &b)| m.score(a, b)).sum();
+            assert!(s >= t);
+        }
+    }
+}

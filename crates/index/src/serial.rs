@@ -1,0 +1,215 @@
+//! Binary serialization of seed indexes.
+//!
+//! The paper's workflow re-uses the genome index across protein banks
+//! ("the time for indexing the banks… remains high compared to the
+//! execution time of steps 2 and 3"), so being able to build the genome
+//! index once and reload it is a real workflow win. The format is a
+//! little-endian sectioned layout with a magic, a format version, and a
+//! seed-model fingerprint so an index cannot silently be used with the
+//! wrong model.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::seed::SeedModel;
+use crate::table::SeedIndex;
+
+const MAGIC: &[u8; 8] = b"PSCIDX\x00\x01";
+
+/// Serialization errors.
+#[derive(Debug, PartialEq, Eq)]
+pub enum SerialError {
+    /// Not a PSC index file (bad magic or truncated header).
+    BadMagic,
+    /// Produced by an incompatible format version.
+    BadVersion(u16),
+    /// Built under a different seed model than the one supplied.
+    ModelMismatch { stored: String, supplied: String },
+    /// Structurally invalid payload (truncation, inconsistent counts).
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for SerialError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SerialError::BadMagic => write!(f, "not a PSC index file"),
+            SerialError::BadVersion(v) => write!(f, "unsupported index format version {v}"),
+            SerialError::ModelMismatch { stored, supplied } => write!(
+                f,
+                "index was built with seed model {stored:?}, not {supplied:?}"
+            ),
+            SerialError::Corrupt(what) => write!(f, "corrupt index: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SerialError {}
+
+const VERSION: u16 = 1;
+
+/// Serialize an index together with its seed-model fingerprint.
+pub fn serialize_index(index: &SeedIndex, model: &dyn SeedModel) -> Bytes {
+    let offsets = index.offsets();
+    let positions = index.positions();
+    let name = model.name();
+    let mut buf = BytesMut::with_capacity(
+        MAGIC.len() + 2 + 2 + name.len() + 16 + offsets.len() * 4 + positions.len() * 4,
+    );
+    buf.put_slice(MAGIC);
+    buf.put_u16_le(VERSION);
+    buf.put_u16_le(name.len() as u16);
+    buf.put_slice(name.as_bytes());
+    buf.put_u64_le(index.key_count() as u64);
+    buf.put_u64_le(positions.len() as u64);
+    for &o in offsets {
+        buf.put_u32_le(o);
+    }
+    for &p in positions {
+        buf.put_u32_le(p);
+    }
+    buf.freeze()
+}
+
+/// Deserialize an index, verifying it was built under `model`.
+pub fn deserialize_index(mut data: &[u8], model: &dyn SeedModel) -> Result<SeedIndex, SerialError> {
+    if data.len() < MAGIC.len() + 4 || &data[..MAGIC.len()] != MAGIC {
+        return Err(SerialError::BadMagic);
+    }
+    data.advance(MAGIC.len());
+    let version = data.get_u16_le();
+    if version != VERSION {
+        return Err(SerialError::BadVersion(version));
+    }
+    let name_len = data.get_u16_le() as usize;
+    if data.remaining() < name_len {
+        return Err(SerialError::Corrupt("model name truncated"));
+    }
+    let stored = String::from_utf8_lossy(&data[..name_len]).into_owned();
+    data.advance(name_len);
+    let supplied = model.name();
+    if stored != supplied {
+        return Err(SerialError::ModelMismatch { stored, supplied });
+    }
+    if data.remaining() < 16 {
+        return Err(SerialError::Corrupt("header truncated"));
+    }
+    let key_count = data.get_u64_le() as usize;
+    let n_positions = data.get_u64_le() as usize;
+    if key_count != model.key_count() {
+        return Err(SerialError::Corrupt("key count does not match model"));
+    }
+    let need = (key_count + 1)
+        .checked_add(n_positions)
+        .and_then(|words| words.checked_mul(4))
+        .ok_or(SerialError::Corrupt("size overflow"))?;
+    if data.remaining() != need {
+        return Err(SerialError::Corrupt("payload size mismatch"));
+    }
+    let mut offsets = Vec::with_capacity(key_count + 1);
+    for _ in 0..=key_count {
+        offsets.push(data.get_u32_le());
+    }
+    let mut positions = Vec::with_capacity(n_positions);
+    for _ in 0..n_positions {
+        positions.push(data.get_u32_le());
+    }
+    // Structural validation: offsets must be a monotone prefix-sum table
+    // ending exactly at the positions length.
+    if offsets[0] != 0 {
+        return Err(SerialError::Corrupt("offsets do not start at zero"));
+    }
+    if offsets.windows(2).any(|w| w[0] > w[1]) {
+        return Err(SerialError::Corrupt("offsets not monotone"));
+    }
+    if offsets[key_count] as usize != n_positions {
+        return Err(SerialError::Corrupt("offsets do not cover positions"));
+    }
+    Ok(SeedIndex::from_parts(key_count, offsets, positions))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flat::FlatBank;
+    use crate::seed::{subset_seed_default, ExactSeed};
+    use psc_seqio::{Bank, Seq};
+
+    fn sample_index() -> (SeedIndex, crate::seed::SubsetSeed) {
+        let bank: Bank = (0..10)
+            .map(|i| {
+                let res: Vec<u8> = (0..80u32).map(|j| ((i * 7 + j * 3) % 20) as u8).collect();
+                Seq::from_codes(format!("s{i}"), res, psc_seqio::SeqKind::Protein)
+            })
+            .collect();
+        let flat = FlatBank::from_bank(&bank);
+        let model = subset_seed_default();
+        (SeedIndex::build(&flat, &model, 1), model)
+    }
+
+    #[test]
+    fn round_trip() {
+        let (idx, model) = sample_index();
+        let bytes = serialize_index(&idx, &model);
+        let back = deserialize_index(&bytes, &model).unwrap();
+        assert_eq!(back.key_count(), idx.key_count());
+        assert_eq!(back.total_positions(), idx.total_positions());
+        for k in idx.nonempty_keys() {
+            assert_eq!(back.list(k), idx.list(k));
+        }
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let model = subset_seed_default();
+        assert_eq!(
+            deserialize_index(b"not an index", &model).unwrap_err(),
+            SerialError::BadMagic
+        );
+        assert_eq!(
+            deserialize_index(b"", &model).unwrap_err(),
+            SerialError::BadMagic
+        );
+    }
+
+    #[test]
+    fn rejects_wrong_model() {
+        let (idx, model) = sample_index();
+        let bytes = serialize_index(&idx, &model);
+        let err = deserialize_index(&bytes, &ExactSeed::new(4)).unwrap_err();
+        assert!(matches!(err, SerialError::ModelMismatch { .. }));
+        assert!(err.to_string().contains("seed model"));
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let (idx, model) = sample_index();
+        let bytes = serialize_index(&idx, &model);
+        for cut in [bytes.len() - 1, bytes.len() / 2, MAGIC.len() + 3] {
+            let err = deserialize_index(&bytes[..cut], &model);
+            assert!(err.is_err(), "cut at {cut} accepted");
+        }
+    }
+
+    #[test]
+    fn rejects_tampered_offsets() {
+        let (idx, model) = sample_index();
+        let bytes = serialize_index(&idx, &model);
+        let mut raw = bytes.to_vec();
+        // Flip a byte inside the offsets table (after the header).
+        let header = MAGIC.len() + 2 + 2 + model.name().len() + 16;
+        raw[header + 5] ^= 0xFF;
+        let err = deserialize_index(&raw, &model).unwrap_err();
+        assert!(matches!(err, SerialError::Corrupt(_)), "{err}");
+    }
+
+    #[test]
+    fn rejects_bad_version() {
+        let (idx, model) = sample_index();
+        let bytes = serialize_index(&idx, &model);
+        let mut raw = bytes.to_vec();
+        raw[MAGIC.len()] = 99;
+        assert_eq!(
+            deserialize_index(&raw, &model).unwrap_err(),
+            SerialError::BadVersion(99)
+        );
+    }
+}

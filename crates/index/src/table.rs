@@ -1,0 +1,396 @@
+//! The index table (paper step 1): seed key → index list of positions.
+//!
+//! Layout is CSR: one flat `positions` array grouped by key, sliced by a
+//! `key_count + 1` offset table. Construction is the classic two-pass
+//! counting sort — count keys, prefix-sum, scatter — parallelised over
+//! contiguous ranges of sequences with per-thread histograms, so each
+//! `(thread, key)` pair owns a disjoint output range and pass 2 writes
+//! without synchronisation.
+
+use crossbeam::thread;
+
+use crate::flat::FlatBank;
+use crate::seed::SeedModel;
+
+/// Summary statistics of an index (used by reports and by the operator's
+/// batch scheduler).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct IndexStats {
+    pub nonempty_keys: usize,
+    pub total_positions: usize,
+    pub max_list_len: usize,
+    pub mean_list_len: f64,
+}
+
+/// A seed index over one flattened bank.
+#[derive(Clone, Debug)]
+pub struct SeedIndex {
+    key_count: usize,
+    offsets: Vec<u32>,
+    positions: Vec<u32>,
+}
+
+impl SeedIndex {
+    /// Build the index of `flat` under `model` using `threads` worker
+    /// threads (1 = sequential).
+    pub fn build(flat: &FlatBank, model: &dyn SeedModel, threads: usize) -> SeedIndex {
+        let threads = threads.max(1);
+        let key_count = model.key_count();
+
+        // Partition sequences into contiguous chunks of roughly equal
+        // residue mass.
+        let chunks = sequence_chunks(flat, threads);
+        let nchunks = chunks.len();
+
+        // Pass 1: per-chunk histograms.
+        let mut histograms: Vec<Vec<u32>> = Vec::with_capacity(nchunks);
+        if nchunks == 1 {
+            histograms.push(count_chunk(flat, model, chunks[0]));
+        } else {
+            thread::scope(|s| {
+                let handles: Vec<_> = chunks
+                    .iter()
+                    .map(|&range| s.spawn(move |_| count_chunk(flat, model, range)))
+                    .collect();
+                for h in handles {
+                    histograms.push(h.join().expect("index counter panicked"));
+                }
+            })
+            .expect("index build scope");
+        }
+
+        // Global offsets: prefix sum over keys of summed chunk counts, and
+        // per-(chunk, key) write cursors.
+        let mut offsets = vec![0u32; key_count + 1];
+        for hist in &histograms {
+            for (k, &c) in hist.iter().enumerate() {
+                offsets[k + 1] += c;
+            }
+        }
+        for k in 0..key_count {
+            offsets[k + 1] += offsets[k];
+        }
+        let total = offsets[key_count] as usize;
+
+        // cursors[chunk][key] = where that chunk starts writing key's
+        // positions. Chunks are in ascending sequence order, so each
+        // key's list comes out sorted by global position.
+        let mut cursors: Vec<Vec<u32>> = Vec::with_capacity(nchunks);
+        {
+            let mut running = offsets[..key_count].to_vec();
+            for hist in &histograms {
+                cursors.push(running.clone());
+                for (k, &c) in hist.iter().enumerate() {
+                    running[k] += c;
+                }
+            }
+        }
+
+        // Pass 2: scatter. Each (chunk, key) range is disjoint by
+        // construction, so chunks write concurrently through a shared
+        // pointer.
+        let mut positions = vec![0u32; total];
+        if nchunks == 1 {
+            scatter_chunk(flat, model, chunks[0], &mut cursors[0], &mut positions);
+        } else {
+            let writer = DisjointWriter(positions.as_mut_ptr());
+            thread::scope(|s| {
+                for (&range, cursor) in chunks.iter().zip(cursors.iter_mut()) {
+                    s.spawn(move |_| {
+                        // Capture the wrapper, not its raw-pointer field
+                        // (edition-2021 closures capture fields).
+                        let writer: DisjointWriter = writer;
+                        // SAFETY: every write lands inside this chunk's
+                        // cursor ranges, disjoint from all other chunks'.
+                        let out = unsafe {
+                            std::slice::from_raw_parts_mut(writer.0, total)
+                        };
+                        scatter_chunk(flat, model, range, cursor, out);
+                    });
+                }
+            })
+            .expect("index scatter scope");
+        }
+
+        SeedIndex {
+            key_count,
+            offsets,
+            positions,
+        }
+    }
+
+    /// Number of possible keys.
+    #[inline]
+    pub fn key_count(&self) -> usize {
+        self.key_count
+    }
+
+    /// The index list `IL_k`: global positions whose window keys to `k`,
+    /// in ascending order.
+    #[inline]
+    pub fn list(&self, key: u32) -> &[u32] {
+        let k = key as usize;
+        &self.positions[self.offsets[k] as usize..self.offsets[k + 1] as usize]
+    }
+
+    /// Total indexed positions.
+    #[inline]
+    pub fn total_positions(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Keys with at least one occurrence.
+    pub fn nonempty_keys(&self) -> impl Iterator<Item = u32> + '_ {
+        (0..self.key_count as u32).filter(|&k| !self.list(k).is_empty())
+    }
+
+    /// Summary statistics.
+    pub fn stats(&self) -> IndexStats {
+        let mut nonempty = 0usize;
+        let mut max_len = 0usize;
+        for k in 0..self.key_count {
+            let len = (self.offsets[k + 1] - self.offsets[k]) as usize;
+            if len > 0 {
+                nonempty += 1;
+                max_len = max_len.max(len);
+            }
+        }
+        IndexStats {
+            nonempty_keys: nonempty,
+            total_positions: self.positions.len(),
+            max_list_len: max_len,
+            mean_list_len: if nonempty == 0 {
+                0.0
+            } else {
+                self.positions.len() as f64 / nonempty as f64
+            },
+        }
+    }
+
+    /// Raw offset table (CSR row pointers), for serialization.
+    pub(crate) fn offsets(&self) -> &[u32] {
+        &self.offsets
+    }
+
+    /// Raw position array, for serialization.
+    pub(crate) fn positions(&self) -> &[u32] {
+        &self.positions
+    }
+
+    /// Rebuild from raw parts (deserialization only; the caller has
+    /// validated the CSR invariants).
+    pub(crate) fn from_parts(key_count: usize, offsets: Vec<u32>, positions: Vec<u32>) -> SeedIndex {
+        debug_assert_eq!(offsets.len(), key_count + 1);
+        SeedIndex {
+            key_count,
+            offsets,
+            positions,
+        }
+    }
+
+    /// Number of ungapped extensions step 2 will perform against another
+    /// index: `Σ_k |IL0_k| · |IL1_k|`.
+    pub fn pair_count(&self, other: &SeedIndex) -> u64 {
+        assert_eq!(self.key_count, other.key_count, "incompatible seed models");
+        (0..self.key_count)
+            .map(|k| {
+                let a = (self.offsets[k + 1] - self.offsets[k]) as u64;
+                let b = (other.offsets[k + 1] - other.offsets[k]) as u64;
+                a * b
+            })
+            .sum()
+    }
+}
+
+/// Split sequences into ≤ `threads` contiguous ranges of roughly equal
+/// residue mass. Returned ranges are `(first_seq, last_seq_exclusive)`.
+fn sequence_chunks(flat: &FlatBank, threads: usize) -> Vec<(usize, usize)> {
+    let nseqs = flat.seq_count();
+    if nseqs == 0 {
+        return vec![(0, 0)];
+    }
+    let per_chunk = (flat.len() / threads).max(1);
+    let mut chunks = Vec::with_capacity(threads);
+    let mut start = 0usize;
+    let mut mass = 0usize;
+    for seq in 0..nseqs {
+        let (lo, hi) = flat.bounds_of(seq);
+        mass += (hi - lo) as usize;
+        if mass >= per_chunk && chunks.len() + 1 < threads {
+            chunks.push((start, seq + 1));
+            start = seq + 1;
+            mass = 0;
+        }
+    }
+    if start < nseqs {
+        chunks.push((start, nseqs));
+    }
+    if chunks.is_empty() {
+        chunks.push((0, nseqs));
+    }
+    chunks
+}
+
+fn count_chunk(flat: &FlatBank, model: &dyn SeedModel, (s0, s1): (usize, usize)) -> Vec<u32> {
+    let span = model.span();
+    let mut hist = vec![0u32; model.key_count()];
+    let residues = flat.residues();
+    for seq in s0..s1 {
+        let (lo, hi) = flat.bounds_of(seq);
+        let (lo, hi) = (lo as usize, hi as usize);
+        if hi - lo < span {
+            continue;
+        }
+        for pos in lo..=hi - span {
+            if let Some(k) = model.key(&residues[pos..pos + span]) {
+                hist[k as usize] += 1;
+            }
+        }
+    }
+    hist
+}
+
+fn scatter_chunk(
+    flat: &FlatBank,
+    model: &dyn SeedModel,
+    (s0, s1): (usize, usize),
+    cursor: &mut [u32],
+    out: &mut [u32],
+) {
+    let span = model.span();
+    let residues = flat.residues();
+    for seq in s0..s1 {
+        let (lo, hi) = flat.bounds_of(seq);
+        let (lo, hi) = (lo as usize, hi as usize);
+        if hi - lo < span {
+            continue;
+        }
+        for pos in lo..=hi - span {
+            if let Some(k) = model.key(&residues[pos..pos + span]) {
+                let c = &mut cursor[k as usize];
+                out[*c as usize] = pos as u32;
+                *c += 1;
+            }
+        }
+    }
+}
+
+/// Shared mutable pointer for the disjoint pass-2 scatter.
+#[derive(Clone, Copy)]
+struct DisjointWriter(*mut u32);
+// SAFETY: all concurrent writers target disjoint index ranges (per-chunk
+// cursor ranges computed in pass 1); no element is written twice.
+unsafe impl Send for DisjointWriter {}
+unsafe impl Sync for DisjointWriter {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seed::{subset_seed_default, ExactSeed};
+    use psc_seqio::{Bank, Seq};
+
+    fn small_bank() -> Bank {
+        let mut b = Bank::new();
+        b.push(Seq::protein("a", b"MKVLMKVL"));
+        b.push(Seq::protein("b", b"MKV"));
+        b.push(Seq::protein("c", b"XX")); // nothing indexable
+        b
+    }
+
+    #[test]
+    fn exact_index_finds_all_occurrences() {
+        let bank = small_bank();
+        let flat = FlatBank::from_bank(&bank);
+        let model = ExactSeed::new(3);
+        let idx = SeedIndex::build(&flat, &model, 1);
+        let key = model.key(&psc_seqio::alphabet::encode_protein(b"MKV")).unwrap();
+        // MKV occurs at global positions 0, 4 (in "MKVLMKVL") and 8 ("MKV").
+        assert_eq!(idx.list(key), &[0, 4, 8]);
+        // KVL occurs at 1, 5.
+        let key = model.key(&psc_seqio::alphabet::encode_protein(b"KVL")).unwrap();
+        assert_eq!(idx.list(key), &[1, 5]);
+    }
+
+    #[test]
+    fn windows_never_cross_sequence_boundaries() {
+        // "VLM" occurs inside sequence a but the window ending at a's last
+        // residue plus b's first must NOT be indexed.
+        let bank = small_bank();
+        let flat = FlatBank::from_bank(&bank);
+        let model = ExactSeed::new(3);
+        let idx = SeedIndex::build(&flat, &model, 1);
+        // Window at position 6 would be "VL|M" crossing into sequence b:
+        // check nothing indexed spans positions 6..9 etc. Verify by
+        // asserting total count: seq a (len 8) has 6 windows, seq b
+        // (len 3) has 1, seq c none.
+        assert_eq!(idx.total_positions(), 7);
+    }
+
+    #[test]
+    fn parallel_build_matches_sequential() {
+        let bank: Bank = (0..40)
+            .map(|i| {
+                let res: Vec<u8> = (0..137u32).map(|j| ((i * 7 + j * 13) % 20) as u8).collect();
+                Seq::from_codes(format!("s{i}"), res, psc_seqio::SeqKind::Protein)
+            })
+            .collect();
+        let flat = FlatBank::from_bank(&bank);
+        let model = subset_seed_default();
+        let seq = SeedIndex::build(&flat, &model, 1);
+        for threads in [2, 3, 8] {
+            let par = SeedIndex::build(&flat, &model, threads);
+            assert_eq!(par.offsets, seq.offsets, "threads={threads}");
+            assert_eq!(par.positions, seq.positions, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn lists_are_sorted() {
+        let bank: Bank = (0..20)
+            .map(|i| {
+                let res: Vec<u8> = (0..200u32).map(|j| ((i + j * 3) % 20) as u8).collect();
+                Seq::from_codes(format!("s{i}"), res, psc_seqio::SeqKind::Protein)
+            })
+            .collect();
+        let flat = FlatBank::from_bank(&bank);
+        let model = subset_seed_default();
+        let idx = SeedIndex::build(&flat, &model, 4);
+        for k in idx.nonempty_keys() {
+            let l = idx.list(k);
+            assert!(l.windows(2).all(|w| w[0] < w[1]), "key {k} unsorted");
+        }
+    }
+
+    #[test]
+    fn stats_and_pair_count() {
+        let bank = small_bank();
+        let flat = FlatBank::from_bank(&bank);
+        let model = ExactSeed::new(3);
+        let idx = SeedIndex::build(&flat, &model, 1);
+        let st = idx.stats();
+        assert_eq!(st.total_positions, 7);
+        assert_eq!(st.max_list_len, 3); // MKV
+        assert!(st.nonempty_keys >= 4);
+        // Pairs against itself: MKV contributes 3*3, KVL 2*2, VLM 1, LMK 1.
+        assert_eq!(idx.pair_count(&idx), 9 + 4 + 1 + 1);
+    }
+
+    #[test]
+    fn empty_bank_index() {
+        let flat = FlatBank::from_bank(&Bank::new());
+        let idx = SeedIndex::build(&flat, &ExactSeed::new(3), 4);
+        assert_eq!(idx.total_positions(), 0);
+        assert_eq!(idx.stats().nonempty_keys, 0);
+        assert_eq!(idx.pair_count(&idx), 0);
+    }
+
+    #[test]
+    fn nonstandard_residues_not_seeded() {
+        let mut b = Bank::new();
+        b.push(Seq::protein("s", b"MKXVL*AW"));
+        let flat = FlatBank::from_bank(&b);
+        let idx = SeedIndex::build(&flat, &ExactSeed::new(2), 1);
+        // Windows: MK ok, KX no, XV no, VL ok, L* no, *A no, AW ok.
+        assert_eq!(idx.total_positions(), 3);
+    }
+}

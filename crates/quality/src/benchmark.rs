@@ -1,0 +1,272 @@
+//! Benchmark construction and evaluation driver.
+//!
+//! The benchmark plants every member of every synthetic family into one
+//! synthetic genome. A tool under test searches the family queries
+//! against that genome and reports, per query, a score-ranked list of
+//! genomic hits; a hit is a true positive when its interval overlaps a
+//! planted member of the query's family.
+
+use psc_datagen::family::{family_of, generate_families, members_bank, Family, FamilyConfig};
+use psc_datagen::{generate_genome, GenomeConfig, MutationConfig, SyntheticGenome};
+use psc_seqio::{Bank, Seq};
+
+use crate::metrics::{average_precision, roc_n};
+
+/// Benchmark parameters.
+#[derive(Clone, Debug)]
+pub struct BenchmarkConfig {
+    pub families: FamilyConfig,
+    /// Genome residues per planted coding nucleotide (≥ 1.5; larger means
+    /// more non-coding decoy sequence).
+    pub genome_slack: f64,
+    pub seed: u64,
+}
+
+impl Default for BenchmarkConfig {
+    fn default() -> Self {
+        BenchmarkConfig {
+            families: FamilyConfig::default(),
+            genome_slack: 3.0,
+            seed: 0xbe9c,
+        }
+    }
+}
+
+/// A planted interval with its family label.
+#[derive(Clone, Copy, Debug)]
+pub struct PlantLabel {
+    pub start: usize,
+    pub end: usize,
+    pub family: usize,
+}
+
+/// The generated benchmark.
+pub struct Benchmark {
+    pub families: Vec<Family>,
+    /// The query bank (one representative per family, in family order).
+    pub queries: Bank,
+    /// The genome with every family member planted.
+    pub genome: Seq,
+    /// Plant intervals labelled with family ids, sorted by start.
+    pub labels: Vec<PlantLabel>,
+}
+
+impl Benchmark {
+    /// Ground-truth positives for a query: members of its family that
+    /// were actually planted.
+    pub fn positives_of(&self, family: usize) -> usize {
+        self.labels.iter().filter(|l| l.family == family).count()
+    }
+
+    /// Label one hit interval: true positive iff it overlaps a plant of
+    /// the query's family.
+    pub fn is_true_positive(&self, family: usize, start: usize, end: usize) -> bool {
+        self.labels
+            .iter()
+            .any(|l| l.family == family && start < l.end && l.start < end)
+    }
+}
+
+/// Build the benchmark: generate families, plant all members.
+pub fn build_benchmark(config: &BenchmarkConfig) -> Benchmark {
+    let families = generate_families(&config.families);
+    let members = members_bank(&families);
+    let coding_nt: usize = members.total_residues() * 3;
+    let genome_len = (coding_nt as f64 * config.genome_slack) as usize;
+
+    let synth: SyntheticGenome = generate_genome(
+        &GenomeConfig {
+            len: genome_len,
+            gene_count: members.len(),
+            // Members are already diverged from the ancestor; plant them
+            // verbatim.
+            mutation: MutationConfig {
+                divergence: 0.0,
+                indel_rate: 0.0,
+                indel_extend: 0.0,
+            },
+            max_plant_aa: usize::MAX,
+            gc_content: 0.41,
+            repeat_tracts: 0,
+            repeat_len: 300,
+            seed: config.seed,
+        },
+        &members,
+    );
+
+    let labels = synth
+        .plants
+        .iter()
+        .map(|p| PlantLabel {
+            start: p.start,
+            end: p.end,
+            family: family_of(&members.get(p.protein_idx).id)
+                .expect("member ids encode their family"),
+        })
+        .collect();
+
+    let queries: Bank = families.iter().map(|f| f.query.clone()).collect();
+
+    Benchmark {
+        families,
+        queries,
+        genome: synth.genome,
+        labels,
+    }
+}
+
+/// One scored hit a tool reports for a query.
+#[derive(Clone, Copy, Debug)]
+pub struct RankedHit {
+    /// Query index (= family id in this benchmark).
+    pub query: usize,
+    /// Bit score (ranking key, higher is better).
+    pub score: f64,
+    /// Genomic interval of the hit.
+    pub start: usize,
+    pub end: usize,
+}
+
+/// The paper's Table 6 pair of numbers.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct QualityScores {
+    pub roc50: f64,
+    pub ap_mean: f64,
+}
+
+/// Evaluate a tool's hits against the benchmark.
+///
+/// Per query: hits are sorted by descending score, truncated to the
+/// paper's list lengths (100 for ROC50, 50 for AP), labelled, and
+/// scored; the returned values are means over all queries.
+pub fn evaluate_ranked(benchmark: &Benchmark, hits: &[RankedHit]) -> QualityScores {
+    let nq = benchmark.queries.len();
+    let mut per_query: Vec<Vec<(f64, bool)>> = vec![Vec::new(); nq];
+    for h in hits {
+        let tp = benchmark.is_true_positive(h.query, h.start, h.end);
+        per_query[h.query].push((h.score, tp));
+    }
+    let mut roc_sum = 0.0;
+    let mut ap_sum = 0.0;
+    for (family, list) in per_query.iter_mut().enumerate() {
+        list.sort_by(|a, b| b.0.total_cmp(&a.0));
+        let positives = benchmark.positives_of(family);
+        let labels100: Vec<bool> = list.iter().take(100).map(|&(_, t)| t).collect();
+        let labels50: Vec<bool> = list.iter().take(50).map(|&(_, t)| t).collect();
+        roc_sum += roc_n(&labels100, 50, positives);
+        ap_sum += average_precision(&labels50, positives);
+    }
+    QualityScores {
+        roc50: roc_sum / nq as f64,
+        ap_mean: ap_sum / nq as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> BenchmarkConfig {
+        BenchmarkConfig {
+            families: FamilyConfig {
+                family_count: 4,
+                members_per_family: 3,
+                min_len: 80,
+                max_len: 120,
+                ..FamilyConfig::default()
+            },
+            genome_slack: 2.0,
+            seed: 99,
+        }
+    }
+
+    #[test]
+    fn benchmark_plants_all_members() {
+        let b = build_benchmark(&tiny_config());
+        assert_eq!(b.queries.len(), 4);
+        assert_eq!(b.labels.len(), 12, "every member planted");
+        for f in 0..4 {
+            assert_eq!(b.positives_of(f), 3);
+        }
+        // Labels lie inside the genome.
+        for l in &b.labels {
+            assert!(l.end <= b.genome.len());
+            assert!(l.family < 4);
+        }
+    }
+
+    #[test]
+    fn true_positive_labelling() {
+        let b = build_benchmark(&tiny_config());
+        let l = b.labels[0];
+        assert!(b.is_true_positive(l.family, l.start, l.end));
+        assert!(b.is_true_positive(l.family, l.start + 10, l.start + 20));
+        // Wrong family or disjoint interval: false.
+        let other = (l.family + 1) % 4;
+        if !b
+            .labels
+            .iter()
+            .any(|x| x.family == other && l.start < x.end && x.start < l.end)
+        {
+            assert!(!b.is_true_positive(other, l.start, l.end));
+        }
+        assert!(!b.is_true_positive(l.family, l.end + 1_000_000, l.end + 1_000_010));
+    }
+
+    #[test]
+    fn oracle_tool_scores_perfectly() {
+        // A tool that reports exactly the family's plants, best first.
+        let b = build_benchmark(&tiny_config());
+        let mut hits = Vec::new();
+        for l in &b.labels {
+            hits.push(RankedHit {
+                query: l.family,
+                score: 100.0,
+                start: l.start,
+                end: l.end,
+            });
+        }
+        let s = evaluate_ranked(&b, &hits);
+        assert!((s.roc50 - 1.0).abs() < 1e-12, "roc {s:?}");
+        assert!((s.ap_mean - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_tool_scores_poorly() {
+        // A tool that reports only junk intervals far from any plant…
+        let b = build_benchmark(&tiny_config());
+        let g = b.genome.len();
+        let hits: Vec<RankedHit> = (0..40)
+            .map(|i| RankedHit {
+                query: i % 4,
+                score: 10.0 + i as f64,
+                start: g + 100 + i, // outside the genome: overlaps nothing
+                end: g + 130 + i,
+            })
+            .collect();
+        let s = evaluate_ranked(&b, &hits);
+        assert_eq!(s.roc50, 0.0);
+        assert_eq!(s.ap_mean, 0.0);
+    }
+
+    #[test]
+    fn missing_half_the_plants_halves_recall_metrics() {
+        let b = build_benchmark(&tiny_config());
+        // Report plants of family 0 only, perfect ranking.
+        let hits: Vec<RankedHit> = b
+            .labels
+            .iter()
+            .filter(|l| l.family == 0)
+            .map(|l| RankedHit {
+                query: 0,
+                score: 50.0,
+                start: l.start,
+                end: l.end,
+            })
+            .collect();
+        let s = evaluate_ranked(&b, &hits);
+        // Query 0 perfect, other three queries zero → mean = 1/4.
+        assert!((s.roc50 - 0.25).abs() < 1e-12);
+        assert!((s.ap_mean - 0.25).abs() < 1e-12);
+    }
+}

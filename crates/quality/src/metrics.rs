@@ -1,0 +1,128 @@
+//! Ranked-retrieval metrics: ROC_n and average precision.
+//!
+//! Implemented exactly as the paper describes (§4.4): both operate on a
+//! per-query hit list sorted by decreasing score, where each hit is
+//! labelled true or false positive by the annotation (here: synthetic
+//! family membership).
+
+/// ROC_n score of one ranked hit list.
+///
+/// For each of the first `n` false positives, count the true positives
+/// ranked above it; sum these counts and divide by `n × P`, with `P` the
+/// number of ground-truth positives for the query. When the list runs
+/// out before `n` false positives are seen, the remaining FP slots are
+/// credited with every true positive found (the standard convention —
+/// a tool that produces few false positives is not penalised for it).
+pub fn roc_n(ranked: &[bool], n: usize, total_positives: usize) -> f64 {
+    if total_positives == 0 || n == 0 {
+        return 0.0;
+    }
+    let mut tp_above = 0usize;
+    let mut fp_seen = 0usize;
+    let mut sum = 0usize;
+    for &is_tp in ranked {
+        if is_tp {
+            tp_above += 1;
+        } else {
+            sum += tp_above;
+            fp_seen += 1;
+            if fp_seen == n {
+                break;
+            }
+        }
+    }
+    if fp_seen < n {
+        sum += (n - fp_seen) * tp_above;
+    }
+    sum as f64 / (n as f64 * total_positives as f64)
+}
+
+/// Average precision of one ranked hit list.
+///
+/// For each true positive at position `i` (1-based), precision is
+/// `(true positives so far) / i`; the mean over all `total_positives`
+/// ground-truth positives (positives never retrieved contribute zero)
+/// is the AP.
+pub fn average_precision(ranked: &[bool], total_positives: usize) -> f64 {
+    if total_positives == 0 {
+        return 0.0;
+    }
+    let mut tp = 0usize;
+    let mut sum = 0.0f64;
+    for (i, &is_tp) in ranked.iter().enumerate() {
+        if is_tp {
+            tp += 1;
+            sum += tp as f64 / (i + 1) as f64;
+        }
+    }
+    sum / total_positives as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_ranking_scores_one() {
+        // 3 positives first, then noise; P = 3.
+        let ranked = [true, true, true, false, false];
+        assert!((roc_n(&ranked, 50, 3) - 1.0).abs() < 1e-12);
+        assert!((average_precision(&ranked, 3) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn worst_ranking_scores_zero() {
+        let ranked = [false, false, false, true, true];
+        // With n=2 (both FPs before any TP): 0 TPs above each.
+        assert_eq!(roc_n(&ranked, 2, 2), 0.0);
+        // AP: TPs at ranks 4,5 → (1/4 + 2/5)/2 = 0.325.
+        assert!((average_precision(&ranked, 2) - 0.325).abs() < 1e-12);
+    }
+
+    #[test]
+    fn roc_partial_interleaving() {
+        // T F T F, P=2, n=2: first FP has 1 TP above, second has 2.
+        let ranked = [true, false, true, false];
+        assert!((roc_n(&ranked, 2, 2) - 3.0 / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn roc_credits_missing_fps() {
+        // Only TPs retrieved, fewer FPs than n: remaining slots credit
+        // all TPs → perfect score.
+        let ranked = [true, true];
+        assert!((roc_n(&ranked, 50, 2) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn roc_truncates_at_n() {
+        // After the n-th FP, further hits are ignored.
+        let a = [true, false, true];
+        let b = [true, false, false];
+        assert!((roc_n(&a, 1, 2) - roc_n(&b, 1, 2)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ap_penalises_unretrieved_positives() {
+        // One of two positives retrieved at rank 1: AP = (1/1)/2.
+        let ranked = [true, false];
+        assert!((average_precision(&ranked, 2) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(roc_n(&[], 50, 0), 0.0);
+        assert_eq!(roc_n(&[], 50, 3), 0.0);
+        assert_eq!(average_precision(&[], 0), 0.0);
+        assert_eq!(average_precision(&[], 3), 0.0);
+    }
+
+    #[test]
+    fn monotone_in_ranking_quality() {
+        // Moving a TP up strictly improves both metrics.
+        let worse = [false, true, true, false, true];
+        let better = [true, false, true, false, true];
+        assert!(roc_n(&better, 2, 3) > roc_n(&worse, 2, 3));
+        assert!(average_precision(&better, 3) > average_precision(&worse, 3));
+    }
+}

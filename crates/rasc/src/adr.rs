@@ -1,0 +1,287 @@
+//! Algorithm Defined Registers — the host-visible control interface.
+//!
+//! SGI Core exposes a small register file (ADRs) through which the host
+//! drives an algorithm build: write configuration, set the start bit,
+//! poll status, read back result counts (paper Figure 3). This module
+//! models that interface as a register-mapped facade over the
+//! functional operator, including the command FSM a real driver has to
+//! respect — the same handshake whose per-dispatch cost appears in the
+//! DMA model as `dispatch_latency`.
+
+use psc_score::SubstitutionMatrix;
+
+use crate::config::OperatorConfig;
+use crate::functional::FunctionalOperator;
+use crate::operator::Hit;
+
+/// Register addresses (64-bit registers, word-addressed).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[repr(u8)]
+pub enum Reg {
+    /// RO: algorithm identifier ("PSC1").
+    AlgorithmId = 0x0,
+    /// RW: ungapped threshold.
+    Threshold = 0x1,
+    /// RW: IL0 window count of the staged entry.
+    Il0Count = 0x2,
+    /// RW: IL1 window count of the staged entry.
+    Il1Count = 0x3,
+    /// WO: command register (see [`Cmd`]).
+    Command = 0x4,
+    /// RO: status register (see [`Status`]).
+    Status = 0x5,
+    /// RO: number of results available after completion.
+    ResultCount = 0x6,
+    /// RO: simulated cycle counter of the last run.
+    CycleCount = 0x7,
+    /// RO: pops one result (packed `(i0 << 32) | i1`) per read.
+    ResultPop = 0x8,
+}
+
+/// Commands accepted by [`Reg::Command`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[repr(u64)]
+pub enum Cmd {
+    Start = 1,
+    Reset = 2,
+}
+
+/// Status register values.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[repr(u64)]
+pub enum Status {
+    Idle = 0,
+    Done = 2,
+    /// Host misused the protocol (e.g. Start without staged data).
+    Fault = 3,
+}
+
+/// Magic value in [`Reg::AlgorithmId`].
+pub const ALGORITHM_ID: u64 = 0x5053_4331; // "PSC1"
+
+/// The register-mapped device.
+pub struct AdrDevice {
+    op: FunctionalOperator,
+    /// The substitution ROM baked into the bitstream.
+    matrix: SubstitutionMatrix,
+    threshold: i32,
+    il0: Vec<u8>,
+    il1: Vec<u8>,
+    staged0: u64,
+    staged1: u64,
+    status: Status,
+    results: std::collections::VecDeque<Hit>,
+    cycles: u64,
+}
+
+impl AdrDevice {
+    pub fn new(config: OperatorConfig, matrix: &SubstitutionMatrix) -> Result<AdrDevice, String> {
+        let threshold = config.threshold;
+        Ok(AdrDevice {
+            op: FunctionalOperator::new(config, matrix)?,
+            matrix: matrix.clone(),
+            threshold,
+            il0: Vec::new(),
+            il1: Vec::new(),
+            staged0: 0,
+            staged1: 0,
+            status: Status::Idle,
+            results: std::collections::VecDeque::new(),
+            cycles: 0,
+        })
+    }
+
+    /// Stage window data into board SRAM (the DMA path; not register
+    /// mapped, but required before `Start`).
+    pub fn stage(&mut self, il0: &[u8], il1: &[u8]) {
+        self.il0 = il0.to_vec();
+        self.il1 = il1.to_vec();
+    }
+
+    /// Host write to a register.
+    pub fn write(&mut self, reg: Reg, value: u64) {
+        match reg {
+            Reg::Threshold => self.threshold = value as i32,
+            Reg::Il0Count => self.staged0 = value,
+            Reg::Il1Count => self.staged1 = value,
+            Reg::Command if value == Cmd::Reset as u64 => {
+                self.results.clear();
+                self.cycles = 0;
+                self.status = Status::Idle;
+            }
+            Reg::Command if value == Cmd::Start as u64 => self.start(),
+            Reg::Command => self.status = Status::Fault,
+            // Writes to RO registers are ignored (bus semantics).
+            _ => {}
+        }
+    }
+
+    /// Host read of a register.
+    pub fn read(&mut self, reg: Reg) -> u64 {
+        match reg {
+            Reg::AlgorithmId => ALGORITHM_ID,
+            Reg::Threshold => self.threshold as u64,
+            Reg::Il0Count => self.staged0,
+            Reg::Il1Count => self.staged1,
+            Reg::Command => 0,
+            Reg::Status => self.status as u64,
+            Reg::ResultCount => self.results.len() as u64,
+            Reg::CycleCount => self.cycles,
+            Reg::ResultPop => match self.results.pop_front() {
+                Some(h) => ((h.i0 as u64) << 32) | h.i1 as u64,
+                None => u64::MAX,
+            },
+        }
+    }
+
+    fn start(&mut self) {
+        let l = self.op.config().window_len as u64;
+        // Protocol checks: staged counts must match the SRAM contents.
+        if self.staged0 * l != self.il0.len() as u64 || self.staged1 * l != self.il1.len() as u64 {
+            self.status = Status::Fault;
+            return;
+        }
+        // The real hardware reads the threshold register
+        // combinationally; here it is part of the operator config, so
+        // rebuild when it changed (the ROM stays the bitstream's).
+        let mut cfg = self.op.config().clone();
+        cfg.threshold = self.threshold;
+        if cfg.threshold != self.op.config().threshold {
+            self.op = FunctionalOperator::new(cfg, &self.matrix).expect("valid config");
+        }
+        let r = self.op.run_entry(&self.il0, &self.il1);
+        self.cycles = r.cycles;
+        self.results = r.hits.into();
+        self.status = Status::Done;
+    }
+}
+
+/// Convenience driver: the full handshake a host application performs.
+pub fn run_via_adr(device: &mut AdrDevice, il0: &[u8], il1: &[u8]) -> (Vec<Hit>, u64) {
+    let l = device.op.config().window_len as u64;
+    device.stage(il0, il1);
+    device.write(Reg::Il0Count, il0.len() as u64 / l);
+    device.write(Reg::Il1Count, il1.len() as u64 / l);
+    device.write(Reg::Command, Cmd::Start as u64);
+    assert_eq!(device.read(Reg::Status), Status::Done as u64, "device faulted");
+    let n = device.read(Reg::ResultCount);
+    let mut hits = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        let packed = device.read(Reg::ResultPop);
+        hits.push(Hit {
+            i0: (packed >> 32) as u32,
+            i1: packed as u32,
+            // Scores stay on the board in this protocol (the paper's
+            // operator reports pair numbers; the host rescoring is part
+            // of step 3's anchor handling).
+            score: 0,
+        });
+    }
+    let cycles = device.read(Reg::CycleCount);
+    device.write(Reg::Command, Cmd::Reset as u64);
+    (hits, cycles)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psc_score::blosum62;
+    use psc_seqio::alphabet::encode_protein;
+
+    fn device() -> AdrDevice {
+        let mut cfg = OperatorConfig::new(8);
+        cfg.window_len = 6;
+        cfg.threshold = 20;
+        cfg.slot_size = 4;
+        AdrDevice::new(cfg, blosum62()).unwrap()
+    }
+
+    fn windows(words: &[&[u8]]) -> Vec<u8> {
+        words.iter().flat_map(|w| encode_protein(w)).collect()
+    }
+
+    #[test]
+    fn id_register() {
+        let mut d = device();
+        assert_eq!(d.read(Reg::AlgorithmId), ALGORITHM_ID);
+    }
+
+    #[test]
+    fn full_handshake_matches_direct_run() {
+        let mut d = device();
+        let il0 = windows(&[b"MKVLAW", b"PPPPPP", b"MKVLAV"]);
+        let il1 = windows(&[b"MKVLAW", b"GGGGGG"]);
+        let (hits, cycles) = run_via_adr(&mut d, &il0, &il1);
+
+        let direct = FunctionalOperator::new(
+            {
+                let mut c = OperatorConfig::new(8);
+                c.window_len = 6;
+                c.threshold = 20;
+                c.slot_size = 4;
+                c
+            },
+            blosum62(),
+        )
+        .unwrap()
+        .run_entry(&il0, &il1);
+        assert_eq!(cycles, direct.cycles);
+        assert_eq!(hits.len(), direct.hits.len());
+        for (a, b) in hits.iter().zip(&direct.hits) {
+            assert_eq!((a.i0, a.i1), (b.i0, b.i1));
+        }
+        // After reset the device is reusable.
+        assert_eq!(d.read(Reg::Status), Status::Idle as u64);
+        assert_eq!(d.read(Reg::ResultCount), 0);
+    }
+
+    #[test]
+    fn start_with_wrong_counts_faults() {
+        let mut d = device();
+        d.stage(&windows(&[b"MKVLAW"]), &windows(&[b"MKVLAW"]));
+        d.write(Reg::Il0Count, 99); // lies about the staged data
+        d.write(Reg::Il1Count, 1);
+        d.write(Reg::Command, Cmd::Start as u64);
+        assert_eq!(d.read(Reg::Status), Status::Fault as u64);
+        // Reset recovers.
+        d.write(Reg::Command, Cmd::Reset as u64);
+        assert_eq!(d.read(Reg::Status), Status::Idle as u64);
+    }
+
+    #[test]
+    fn unknown_command_faults() {
+        let mut d = device();
+        d.write(Reg::Command, 0xDEAD);
+        assert_eq!(d.read(Reg::Status), Status::Fault as u64);
+    }
+
+    #[test]
+    fn threshold_register_reconfigures() {
+        let mut d = device();
+        let il0 = windows(&[b"MKVLAW"]);
+        let il1 = windows(&[b"MKVLAW"]);
+        d.write(Reg::Threshold, 1000);
+        let (hits, _) = run_via_adr(&mut d, &il0, &il1);
+        assert!(hits.is_empty(), "threshold 1000 must suppress results");
+        d.write(Reg::Threshold, 10);
+        let (hits, _) = run_via_adr(&mut d, &il0, &il1);
+        assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn popping_empty_results_returns_sentinel() {
+        let mut d = device();
+        assert_eq!(d.read(Reg::ResultPop), u64::MAX);
+    }
+
+    #[test]
+    fn writes_to_read_only_registers_ignored() {
+        let mut d = device();
+        d.write(Reg::AlgorithmId, 42);
+        d.write(Reg::Status, 42);
+        d.write(Reg::CycleCount, 42);
+        assert_eq!(d.read(Reg::AlgorithmId), ALGORITHM_ID);
+        assert_eq!(d.read(Reg::Status), Status::Idle as u64);
+        assert_eq!(d.read(Reg::CycleCount), 0);
+    }
+}

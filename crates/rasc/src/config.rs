@@ -1,0 +1,118 @@
+//! Operator configuration shared by the cycle-accurate and functional
+//! paths.
+
+use psc_align::Kernel;
+
+/// The paper's bitstreams clock the PE array at 100 MHz.
+pub const DEFAULT_CLOCK_HZ: u64 = 100_000_000;
+
+/// Static configuration of a PSC operator instance.
+#[derive(Clone, Debug)]
+pub struct OperatorConfig {
+    /// Number of processing elements (the paper builds 64/128/192).
+    pub pe_count: usize,
+    /// PEs per slot (slots are separated by register barriers).
+    pub slot_size: usize,
+    /// Window length `W + 2N` each PE holds and scores.
+    pub window_len: usize,
+    /// Ungapped score threshold: a pair is reported when its windowed
+    /// score is ≥ this value.
+    pub threshold: i32,
+    /// Which score recurrence the PE datapath implements.
+    pub kernel: Kernel,
+    /// Total capacity of the cascaded result FIFOs (items).
+    pub fifo_capacity: usize,
+    /// Clock frequency (Hz), for converting cycles to seconds.
+    pub clock_hz: u64,
+}
+
+impl OperatorConfig {
+    /// The paper's default geometry: seed span 4 with 28 residues of
+    /// context per side (window 60), 16-PE slots, and a threshold tuned
+    /// for BLOSUM62 selectivity — random 60-residue windows pass at
+    /// ≈1e-4 (see `psc-core`'s pipeline defaults).
+    pub fn new(pe_count: usize) -> OperatorConfig {
+        OperatorConfig {
+            pe_count,
+            slot_size: 16,
+            window_len: 60,
+            threshold: 45,
+            kernel: Kernel::ClampedSum,
+            fifo_capacity: 512,
+            clock_hz: DEFAULT_CLOCK_HZ,
+        }
+    }
+
+    /// Number of slots (register-barrier groups).
+    pub fn num_slots(&self) -> usize {
+        self.pe_count.div_ceil(self.slot_size)
+    }
+
+    /// Validate invariants the simulator relies on.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.pe_count == 0 {
+            return Err("pe_count must be positive".into());
+        }
+        if self.slot_size == 0 {
+            return Err("slot_size must be positive".into());
+        }
+        if self.window_len == 0 {
+            return Err("window_len must be positive".into());
+        }
+        if self.fifo_capacity == 0 {
+            return Err("fifo_capacity must be positive".into());
+        }
+        if self.clock_hz == 0 {
+            return Err("clock_hz must be positive".into());
+        }
+        Ok(())
+    }
+
+    /// Convert a cycle count to seconds at the configured clock.
+    pub fn cycles_to_seconds(&self, cycles: u64) -> f64 {
+        cycles as f64 / self.clock_hz as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        for pes in [1, 64, 128, 192] {
+            let c = OperatorConfig::new(pes);
+            assert!(c.validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn slot_count_rounds_up() {
+        let mut c = OperatorConfig::new(192);
+        assert_eq!(c.num_slots(), 12);
+        c.pe_count = 100;
+        assert_eq!(c.num_slots(), 7);
+        c.pe_count = 1;
+        assert_eq!(c.num_slots(), 1);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let mut c = OperatorConfig::new(64);
+        c.pe_count = 0;
+        assert!(c.validate().is_err());
+        let mut c = OperatorConfig::new(64);
+        c.window_len = 0;
+        assert!(c.validate().is_err());
+        let mut c = OperatorConfig::new(64);
+        c.fifo_capacity = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn cycle_conversion() {
+        let c = OperatorConfig::new(64);
+        assert!((c.cycles_to_seconds(100_000_000) - 1.0).abs() < 1e-12);
+        assert_eq!(c.cycles_to_seconds(0), 0.0);
+    }
+}

@@ -1,0 +1,84 @@
+//! Host ⇄ FPGA transfer model (NUMAlink + SGI Core DMA, paper Figure 3).
+//!
+//! The RASC-100 connects to the Altix host over NUMAlink through SGI's
+//! TIO modules; SGI Core provides DMA engines, SRAM staging and algorithm
+//! defined registers (ADRs) for control. For performance accounting what
+//! matters is: sustained link bandwidth, a fixed per-dispatch handshake
+//! cost (ADR writes, DMA descriptor setup), and the fact that the *input*
+//! streams overlap computation while results are only credited once the
+//! run drains.
+
+/// Sustained NUMAlink-4 bandwidth per direction (bytes/second).
+pub const NUMALINK_BANDWIDTH: f64 = 3.2e9;
+
+/// Transfer model parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct DmaModel {
+    /// Link bandwidth, bytes per second.
+    pub bandwidth: f64,
+    /// Fixed cost of one dispatch (ADR handshake + DMA setup), seconds.
+    pub dispatch_latency: f64,
+    /// One-time cost of configuring the FPGA with the bitstream, seconds.
+    pub bitstream_load: f64,
+}
+
+impl Default for DmaModel {
+    fn default() -> Self {
+        DmaModel {
+            bandwidth: NUMALINK_BANDWIDTH,
+            dispatch_latency: 2.0e-6,
+            bitstream_load: 0.8,
+        }
+    }
+}
+
+impl DmaModel {
+    /// Pure wire time for `bytes`.
+    #[inline]
+    pub fn wire_time(&self, bytes: u64) -> f64 {
+        bytes as f64 / self.bandwidth
+    }
+
+    /// Effective wall time of one FPGA job whose input streaming overlaps
+    /// computation: `max(compute, input) + output`.
+    pub fn job_time(&self, compute_sec: f64, bytes_in: u64, bytes_out: u64) -> f64 {
+        compute_sec.max(self.wire_time(bytes_in)) + self.wire_time(bytes_out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_time_scales_linearly() {
+        let d = DmaModel::default();
+        let t1 = d.wire_time(1_000_000);
+        let t2 = d.wire_time(2_000_000);
+        assert!((t2 / t1 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn compute_bound_job_hides_input() {
+        let d = DmaModel::default();
+        // 1 s of compute vs 1 ms of input: job ≈ compute.
+        let t = d.job_time(1.0, 3_200_000, 0);
+        assert!((t - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn io_bound_job_pays_the_wire() {
+        let d = DmaModel::default();
+        // 1 µs of compute, 3.2 GB of input: job ≈ 1 s.
+        let t = d.job_time(1e-6, 3_200_000_000, 0);
+        assert!((t - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn output_always_serializes() {
+        let d = DmaModel::default();
+        let quiet = d.job_time(1.0, 0, 0);
+        let chatty = d.job_time(1.0, 0, 3_200_000_000);
+        assert!((chatty - quiet - 1.0).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,119 @@
+//! Bounded hardware-style FIFO.
+//!
+//! The PSC operator's result path is a chain of small FIFOs, one per PE
+//! slot, cascaded toward the output controller. What matters behaviourally
+//! is bounded capacity (full FIFOs exert backpressure that stalls the PE
+//! array) and strict arrival order — both captured here.
+
+use std::collections::VecDeque;
+
+/// A bounded FIFO. `push` on a full FIFO is a *caller* error in the
+/// simulator (hardware would stall instead), so it returns the rejected
+/// item and the caller models the stall.
+#[derive(Clone, Debug)]
+pub struct Fifo<T> {
+    items: VecDeque<T>,
+    capacity: usize,
+    /// High-water mark, for occupancy reporting.
+    peak: usize,
+}
+
+impl<T> Fifo<T> {
+    pub fn new(capacity: usize) -> Fifo<T> {
+        assert!(capacity > 0, "FIFO needs positive capacity");
+        Fifo {
+            items: VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            peak: 0,
+        }
+    }
+
+    /// Try to enqueue; `Err(item)` when full.
+    pub fn push(&mut self, item: T) -> Result<(), T> {
+        if self.items.len() == self.capacity {
+            return Err(item);
+        }
+        self.items.push_back(item);
+        self.peak = self.peak.max(self.items.len());
+        Ok(())
+    }
+
+    /// Dequeue the oldest item.
+    pub fn pop(&mut self) -> Option<T> {
+        self.items.pop_front()
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    #[inline]
+    pub fn is_full(&self) -> bool {
+        self.items.len() == self.capacity
+    }
+
+    #[inline]
+    pub fn free(&self) -> usize {
+        self.capacity - self.items.len()
+    }
+
+    /// High-water mark since construction.
+    #[inline]
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_preserved() {
+        let mut f = Fifo::new(4);
+        for i in 0..4 {
+            f.push(i).unwrap();
+        }
+        for i in 0..4 {
+            assert_eq!(f.pop(), Some(i));
+        }
+        assert_eq!(f.pop(), None);
+    }
+
+    #[test]
+    fn full_fifo_rejects() {
+        let mut f = Fifo::new(2);
+        f.push(1).unwrap();
+        f.push(2).unwrap();
+        assert!(f.is_full());
+        assert_eq!(f.push(3), Err(3));
+        f.pop();
+        assert_eq!(f.free(), 1);
+        f.push(3).unwrap();
+        assert_eq!(f.pop(), Some(2));
+        assert_eq!(f.pop(), Some(3));
+    }
+
+    #[test]
+    fn peak_tracks_high_water() {
+        let mut f = Fifo::new(8);
+        f.push(1).unwrap();
+        f.push(2).unwrap();
+        f.pop();
+        f.push(3).unwrap();
+        assert_eq!(f.peak(), 2);
+        assert_eq!(f.len(), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_capacity_rejected() {
+        Fifo::<u32>::new(0);
+    }
+}

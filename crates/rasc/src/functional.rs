@@ -1,0 +1,199 @@
+//! Functional + analytic fast path.
+//!
+//! Computes exactly the hits, the hit order and the cycle count of
+//! [`crate::operator::PscOperator`] — scoring with the software kernel
+//! instead of stepping each PE register, and accounting cycles wave by
+//! wave in closed form instead of clock by clock. The equivalence is
+//! enforced by unit tests here and property tests in
+//! `tests/equivalence.rs`; the large experiment sweeps run on this path.
+
+use psc_align::ungapped_score;
+use psc_score::SubstitutionMatrix;
+
+use crate::config::OperatorConfig;
+use crate::operator::{EntryResult, Hit};
+
+/// Functional PSC operator: same contract as the cycle-accurate one.
+pub struct FunctionalOperator {
+    config: OperatorConfig,
+    matrix: SubstitutionMatrix,
+}
+
+impl FunctionalOperator {
+    pub fn new(config: OperatorConfig, matrix: &SubstitutionMatrix) -> Result<FunctionalOperator, String> {
+        config.validate()?;
+        Ok(FunctionalOperator {
+            config,
+            matrix: matrix.clone(),
+        })
+    }
+
+    pub fn config(&self) -> &OperatorConfig {
+        &self.config
+    }
+
+    /// Process one index entry (see the cycle-accounting contract in
+    /// [`crate::operator`]).
+    pub fn run_entry(&self, il0: &[u8], il1: &[u8]) -> EntryResult {
+        let l = self.config.window_len;
+        assert_eq!(il0.len() % l, 0, "IL0 not a whole number of windows");
+        assert_eq!(il1.len() % l, 0, "IL1 not a whole number of windows");
+        let k0 = il0.len() / l;
+        let k1 = il1.len() / l;
+        let mut out = EntryResult::default();
+        if k0 == 0 || k1 == 0 {
+            return out;
+        }
+
+        let p = self.config.pe_count;
+        let slots = self.config.num_slots() as u64;
+        let cap = self.config.fifo_capacity;
+
+        let mut batch_start = 0usize;
+        while batch_start < k0 {
+            let pb = p.min(k0 - batch_start);
+            // Load + barrier fill.
+            out.cycles += (pb * l) as u64 + (slots - 1);
+
+            let mut pending = 0usize;
+            for wave in 0..k1 {
+                let w1 = &il1[wave * l..(wave + 1) * l];
+                // Wave compute + concurrent drain (≤ L results).
+                out.cycles += l as u64;
+                pending -= pending.min(l);
+                for idx in 0..pb {
+                    let w0 = &il0[(batch_start + idx) * l..(batch_start + idx + 1) * l];
+                    let score = ungapped_score(self.config.kernel, &self.matrix, w0, w1);
+                    if score >= self.config.threshold {
+                        out.hits.push(Hit {
+                            i0: (batch_start + idx) as u32,
+                            i1: wave as u32,
+                            score,
+                        });
+                        pending += 1;
+                    }
+                }
+                if pending > cap {
+                    let stall = (pending - cap) as u64;
+                    out.cycles += stall;
+                    out.stall_cycles += stall;
+                    pending = cap;
+                }
+            }
+            out.busy_pe_cycles += (pb * l * k1) as u64;
+            out.cycles += pending as u64 + slots;
+            batch_start += pb;
+        }
+        out
+    }
+
+    /// Closed-form cycle cost of an entry assuming **no hits** (the
+    /// traffic-free lower bound; useful for capacity planning).
+    pub fn cycles_lower_bound(&self, k0: usize, k1: usize) -> u64 {
+        if k0 == 0 || k1 == 0 {
+            return 0;
+        }
+        let p = self.config.pe_count;
+        let l = self.config.window_len as u64;
+        let slots = self.config.num_slots() as u64;
+        let full_batches = (k0 / p) as u64;
+        let tail = (k0 % p) as u64;
+        let per_full = p as u64 * l + (slots - 1) + k1 as u64 * l + slots;
+        let mut total = full_batches * per_full;
+        if tail > 0 {
+            total += tail * l + (slots - 1) + k1 as u64 * l + slots;
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operator::PscOperator;
+    use psc_score::blosum62;
+    use psc_seqio::alphabet::encode_protein;
+
+    fn windows(words: &[&[u8]]) -> Vec<u8> {
+        let mut v = Vec::new();
+        for w in words {
+            v.extend_from_slice(&encode_protein(w));
+        }
+        v
+    }
+
+    fn check_equivalence(cfg: OperatorConfig, il0: &[u8], il1: &[u8]) {
+        let mut cycle_accurate = PscOperator::new(cfg.clone(), blosum62()).unwrap();
+        let functional = FunctionalOperator::new(cfg, blosum62()).unwrap();
+        let a = cycle_accurate.run_entry(il0, il1);
+        let b = functional.run_entry(il0, il1);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn equivalent_on_simple_entry() {
+        let mut cfg = OperatorConfig::new(4);
+        cfg.window_len = 6;
+        cfg.threshold = 20;
+        cfg.slot_size = 2;
+        cfg.fifo_capacity = 8;
+        let il0 = windows(&[b"MKVLAW", b"PPPPPP", b"MKVLAV"]);
+        let il1 = windows(&[b"MKVLAW", b"GGGGGG", b"MKVLAW"]);
+        check_equivalence(cfg, &il0, &il1);
+    }
+
+    #[test]
+    fn equivalent_under_flood() {
+        let mut cfg = OperatorConfig::new(8);
+        cfg.window_len = 4;
+        cfg.threshold = 1;
+        cfg.slot_size = 4;
+        cfg.fifo_capacity = 2;
+        let w: Vec<&[u8]> = vec![b"MKVL"; 13];
+        let il0 = windows(&w);
+        let il1 = windows(&w[..7]);
+        check_equivalence(cfg, &il0, &il1);
+    }
+
+    #[test]
+    fn equivalent_with_partial_batches() {
+        let mut cfg = OperatorConfig::new(3);
+        cfg.window_len = 4;
+        cfg.threshold = 12;
+        cfg.slot_size = 2;
+        cfg.fifo_capacity = 4;
+        let il0 = windows(&[b"MKVL", b"GGGG", b"MKVL", b"RNDC", b"MKVL", b"HFYW", b"MKVL"]);
+        let il1 = windows(&[b"MKVL", b"RNDC"]);
+        check_equivalence(cfg, &il0, &il1);
+    }
+
+    #[test]
+    fn lower_bound_matches_quiet_run() {
+        let mut cfg = OperatorConfig::new(3);
+        cfg.window_len = 4;
+        cfg.threshold = 10_000; // nothing ever hits
+        cfg.slot_size = 2;
+        let il0 = windows(&[b"MKVL", b"GGGG", b"MKVL", b"RNDC", b"MKVL"]);
+        let il1 = windows(&[b"MKVL", b"RNDC", b"AAAA"]);
+        let f = FunctionalOperator::new(cfg, blosum62()).unwrap();
+        let r = f.run_entry(&il0, &il1);
+        assert_eq!(r.cycles, f.cycles_lower_bound(5, 3));
+        assert_eq!(f.cycles_lower_bound(0, 3), 0);
+        assert_eq!(f.cycles_lower_bound(5, 0), 0);
+    }
+
+    #[test]
+    fn lower_bound_is_a_lower_bound_under_traffic() {
+        let mut cfg = OperatorConfig::new(4);
+        cfg.window_len = 4;
+        cfg.threshold = 1;
+        cfg.fifo_capacity = 2;
+        cfg.slot_size = 2;
+        let w: Vec<&[u8]> = vec![b"MKVL"; 9];
+        let il0 = windows(&w);
+        let il1 = windows(&w[..5]);
+        let f = FunctionalOperator::new(cfg, blosum62()).unwrap();
+        let r = f.run_entry(&il0, &il1);
+        assert!(r.cycles >= f.cycles_lower_bound(9, 5));
+    }
+}

@@ -1,0 +1,182 @@
+//! The processing element (paper Figure 2).
+//!
+//! One PE holds an IL0 window in a feedback shift register. During a
+//! compute wave it consumes one amino-acid pair per clock: its own
+//! residue (recirculated from the shift register) and the broadcast IL1
+//! residue, looks up the substitution cost in its ROM, adds it to the
+//! running score and updates the running maximum. After `window_len`
+//! cycles the maximum is handed to the slot's result-management module.
+
+use psc_align::Kernel;
+use psc_seqio::alphabet::AA_ALPHABET_LEN;
+
+/// One processing element.
+#[derive(Clone, Debug)]
+pub struct Pe {
+    /// Shift-register contents (the stored IL0 window).
+    window: Vec<u8>,
+    /// Recirculation pointer.
+    head: usize,
+    /// Residues loaded so far (load phase).
+    loaded: usize,
+    /// Accumulator and maximum registers.
+    score: i32,
+    max_score: i32,
+    kernel: Kernel,
+    /// Disabled PEs (array not fully filled) never report.
+    active: bool,
+}
+
+impl Pe {
+    /// A fresh, inactive PE with an empty shift register.
+    pub fn new(window_len: usize, kernel: Kernel) -> Pe {
+        Pe {
+            window: vec![0u8; window_len],
+            head: 0,
+            loaded: 0,
+            score: 0,
+            max_score: 0,
+            kernel,
+            active: false,
+        }
+    }
+
+    /// Begin the initialization phase: forget the stored window.
+    pub fn reset_for_load(&mut self) {
+        self.loaded = 0;
+        self.active = false;
+    }
+
+    /// Shift one residue of the IL0 window in (one per clock during the
+    /// load phase). The PE activates once the register is full.
+    pub fn load_residue(&mut self, residue: u8) {
+        debug_assert!(self.loaded < self.window.len(), "overfilled shift register");
+        self.window[self.loaded] = residue;
+        self.loaded += 1;
+        if self.loaded == self.window.len() {
+            self.active = true;
+        }
+    }
+
+    /// True once a full window is stored.
+    #[inline]
+    pub fn is_active(&self) -> bool {
+        self.active
+    }
+
+    /// Start a compute wave: clear accumulator/maximum, rewind the
+    /// recirculation pointer.
+    pub fn begin_wave(&mut self) {
+        self.score = 0;
+        self.max_score = 0;
+        self.head = 0;
+    }
+
+    /// One compute clock: combine the recirculated IL0 residue with the
+    /// arriving IL1 residue through the ROM and the accumulator/max
+    /// datapath.
+    #[inline]
+    pub fn step(&mut self, rom: &[i8; AA_ALPHABET_LEN * AA_ALPHABET_LEN], il1_residue: u8) {
+        let own = self.window[self.head];
+        self.head += 1;
+        if self.head == self.window.len() {
+            self.head = 0; // feedback loop
+        }
+        let sub = rom[own as usize * AA_ALPHABET_LEN + il1_residue as usize] as i32;
+        self.score = match self.kernel {
+            Kernel::ClampedSum => (self.score + sub).max(0),
+            Kernel::PaperLiteral => self.score.max(self.score + sub),
+        };
+        self.max_score = self.max_score.max(self.score);
+    }
+
+    /// Maximum score register at the end of a wave.
+    #[inline]
+    pub fn wave_score(&self) -> i32 {
+        self.max_score
+    }
+
+    /// The stored window (diagnostics/tests).
+    pub fn stored_window(&self) -> &[u8] {
+        &self.window[..self.loaded]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psc_align::ungapped_score;
+    use psc_score::blosum62;
+    use psc_seqio::alphabet::encode_protein;
+
+    fn run_wave(pe: &mut Pe, il1: &[u8]) -> i32 {
+        let rom = blosum62().flat();
+        pe.begin_wave();
+        for &r in il1 {
+            pe.step(rom, r);
+        }
+        pe.wave_score()
+    }
+
+    #[test]
+    fn pe_matches_software_kernel() {
+        let w0 = encode_protein(b"MKVLAWRNDCQE");
+        let w1 = encode_protein(b"MKVLAWRNDCQE");
+        let mut pe = Pe::new(w0.len(), Kernel::ClampedSum);
+        pe.reset_for_load();
+        for &r in &w0 {
+            pe.load_residue(r);
+        }
+        assert!(pe.is_active());
+        let hw = run_wave(&mut pe, &w1);
+        let sw = ungapped_score(Kernel::ClampedSum, blosum62(), &w0, &w1);
+        assert_eq!(hw, sw);
+    }
+
+    #[test]
+    fn feedback_register_replays_for_many_waves() {
+        let w0 = encode_protein(b"MKVLAW");
+        let waves = [
+            encode_protein(b"MKVLAW"),
+            encode_protein(b"PPPPPP"),
+            encode_protein(b"MKVLAW"),
+        ];
+        let mut pe = Pe::new(6, Kernel::ClampedSum);
+        pe.reset_for_load();
+        for &r in &w0 {
+            pe.load_residue(r);
+        }
+        let scores: Vec<i32> = waves.iter().map(|w| run_wave(&mut pe, w)).collect();
+        assert_eq!(scores[0], 33);
+        assert_eq!(scores[2], 33, "shift register must recirculate intact");
+        assert!(scores[1] < 33);
+    }
+
+    #[test]
+    fn inactive_until_fully_loaded() {
+        let mut pe = Pe::new(4, Kernel::ClampedSum);
+        pe.reset_for_load();
+        pe.load_residue(0);
+        pe.load_residue(1);
+        assert!(!pe.is_active());
+        pe.load_residue(2);
+        pe.load_residue(3);
+        assert!(pe.is_active());
+        assert_eq!(pe.stored_window(), &[0, 1, 2, 3]);
+        pe.reset_for_load();
+        assert!(!pe.is_active());
+        assert!(pe.stored_window().is_empty());
+    }
+
+    #[test]
+    fn paper_literal_datapath() {
+        let w0 = encode_protein(b"WPWP");
+        let w1 = encode_protein(b"WWWW");
+        let mut pe = Pe::new(4, Kernel::PaperLiteral);
+        pe.reset_for_load();
+        for &r in &w0 {
+            pe.load_residue(r);
+        }
+        assert_eq!(run_wave(&mut pe, &w1), 22); // two +11, negatives gated
+    }
+}

@@ -1,0 +1,186 @@
+//! Virtex-4 resource model.
+//!
+//! The RASC-100 carries two Xilinx Virtex-4 LX200 FPGAs. A configuration
+//! is only buildable if the PE array, the per-slot result management, and
+//! SGI's fixed Core services (DMA engines, NUMAlink interface, algorithm
+//! defined registers) fit the device. The numbers below are engineering
+//! estimates calibrated so the paper's largest published build (192 PEs)
+//! fits with headroom while absurd arrays are rejected — the model's job
+//! is to keep simulated configurations honest, not to replace a P&R run.
+
+use crate::config::OperatorConfig;
+
+/// Slice capacity of one Virtex-4 LX200.
+pub const LX200_SLICES: u32 = 89_088;
+/// Block RAMs (18 kb each) on an LX200.
+pub const LX200_BRAMS: u32 = 336;
+
+/// Fixed cost of the SGI Core services wrapper (DMA, TIO link, ADRs).
+const SGI_CORE_SLICES: u32 = 9_500;
+const SGI_CORE_BRAMS: u32 = 24;
+
+/// Per-PE datapath cost: shift register (window_len × 5 bits), ROM
+/// address path, adder, two max gates, control.
+fn pe_slices(window_len: usize) -> u32 {
+    140 + (window_len as u32 * 5) / 8
+}
+
+/// Each PE's substitution ROM is one 18 kb BRAM (24×24 signed bytes fits
+/// easily; the BRAM count, not depth, is the binding constraint).
+const PE_BRAMS: u32 = 1;
+
+/// Per-slot result management module + FIFO stage.
+const SLOT_SLICES: u32 = 220;
+const SLOT_BRAMS: u32 = 1;
+
+/// Controllers (input ×2, output, master).
+const CONTROLLER_SLICES: u32 = 1_800;
+
+/// Resource usage report.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Utilization {
+    pub slices: u32,
+    pub brams: u32,
+    pub slice_pct: u32,
+    pub bram_pct: u32,
+}
+
+/// Why a configuration does not fit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ResourceError {
+    SlicesExceeded { needed: u32, available: u32 },
+    BramsExceeded { needed: u32, available: u32 },
+}
+
+impl std::fmt::Display for ResourceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ResourceError::SlicesExceeded { needed, available } => {
+                write!(f, "design needs {needed} slices, LX200 has {available}")
+            }
+            ResourceError::BramsExceeded { needed, available } => {
+                write!(f, "design needs {needed} BRAMs, LX200 has {available}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ResourceError {}
+
+/// The device model.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ResourceModel;
+
+impl ResourceModel {
+    /// Estimate utilization of a configuration on one LX200.
+    pub fn estimate(config: &OperatorConfig) -> Utilization {
+        let slots = config.num_slots() as u32;
+        let slices = SGI_CORE_SLICES
+            + CONTROLLER_SLICES
+            + config.pe_count as u32 * pe_slices(config.window_len)
+            + slots * SLOT_SLICES;
+        let brams = SGI_CORE_BRAMS + config.pe_count as u32 * PE_BRAMS + slots * SLOT_BRAMS;
+        Utilization {
+            slices,
+            brams,
+            slice_pct: slices * 100 / LX200_SLICES,
+            bram_pct: brams * 100 / LX200_BRAMS,
+        }
+    }
+
+    /// Check a configuration fits one FPGA.
+    pub fn check(config: &OperatorConfig) -> Result<Utilization, ResourceError> {
+        let u = Self::estimate(config);
+        if u.slices > LX200_SLICES {
+            return Err(ResourceError::SlicesExceeded {
+                needed: u.slices,
+                available: LX200_SLICES,
+            });
+        }
+        if u.brams > LX200_BRAMS {
+            return Err(ResourceError::BramsExceeded {
+                needed: u.brams,
+                available: LX200_BRAMS,
+            });
+        }
+        Ok(u)
+    }
+
+    /// Largest PE array that fits for a given window length and slot
+    /// size (binary search over [1, 4096]).
+    pub fn max_pes(window_len: usize, slot_size: usize) -> usize {
+        let fits = |pes: usize| {
+            let mut c = OperatorConfig::new(pes);
+            c.window_len = window_len;
+            c.slot_size = slot_size;
+            Self::check(&c).is_ok()
+        };
+        if !fits(1) {
+            return 0;
+        }
+        let (mut lo, mut hi) = (1usize, 4096usize);
+        while lo < hi {
+            let mid = (lo + hi + 1).div_ceil(2);
+            if fits(mid) {
+                lo = mid;
+            } else {
+                hi = mid - 1;
+            }
+        }
+        lo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn published_builds_fit() {
+        for pes in [64, 128, 192] {
+            let c = OperatorConfig::new(pes);
+            let u = ResourceModel::check(&c).unwrap_or_else(|e| panic!("{pes} PEs: {e}"));
+            assert!(u.slice_pct <= 100);
+        }
+    }
+
+    #[test]
+    fn utilization_grows_with_pes() {
+        let u64 = ResourceModel::estimate(&OperatorConfig::new(64));
+        let u192 = ResourceModel::estimate(&OperatorConfig::new(192));
+        assert!(u192.slices > u64.slices);
+        assert!(u192.brams > u64.brams);
+    }
+
+    #[test]
+    fn absurd_array_rejected() {
+        let c = OperatorConfig::new(4000);
+        match ResourceModel::check(&c) {
+            Err(ResourceError::SlicesExceeded { .. }) | Err(ResourceError::BramsExceeded { .. }) => {}
+            Ok(u) => panic!("4000 PEs should not fit: {u:?}"),
+        }
+    }
+
+    #[test]
+    fn bram_constraint_binds_first_for_small_windows() {
+        // With 1 BRAM per PE and 336 on chip, ~300 PEs is the ceiling
+        // regardless of slices for short windows.
+        let max = ResourceModel::max_pes(20, 16);
+        assert!(max < 336);
+        assert!(max >= 192, "paper's 192-PE build must fit, got {max}");
+    }
+
+    #[test]
+    fn max_pes_monotone_in_window() {
+        assert!(ResourceModel::max_pes(20, 16) >= ResourceModel::max_pes(120, 16));
+    }
+
+    #[test]
+    fn error_display() {
+        let e = ResourceError::SlicesExceeded {
+            needed: 10,
+            available: 5,
+        };
+        assert!(e.to_string().contains("10"));
+    }
+}

@@ -1,0 +1,97 @@
+//! Background amino-acid frequencies.
+
+/// Robinson & Robinson (1991) background frequencies for the 20 standard
+/// amino acids, in `A R N D C Q E G H I L K M F P S T W Y V` encoding
+/// order. These are the frequencies NCBI BLAST uses for Karlin–Altschul
+/// parameter computation.
+pub const ROBINSON_FREQS: [f64; 20] = [
+    0.078_05, // A
+    0.051_29, // R
+    0.044_87, // N
+    0.053_64, // D
+    0.019_25, // C
+    0.042_64, // Q
+    0.062_95, // E
+    0.073_77, // G
+    0.021_99, // H
+    0.051_42, // I
+    0.090_19, // L
+    0.057_44, // K
+    0.022_43, // M
+    0.038_56, // F
+    0.052_03, // P
+    0.071_20, // S
+    0.058_41, // T
+    0.013_30, // W
+    0.032_16, // Y
+    0.064_41, // V
+];
+
+/// Normalise a 20-long count vector into frequencies; falls back to
+/// [`ROBINSON_FREQS`] when the counts are all zero.
+pub fn normalise_counts(counts: &[u64; 20]) -> [f64; 20] {
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return ROBINSON_FREQS;
+    }
+    let mut out = [0.0; 20];
+    for (o, &c) in out.iter_mut().zip(counts.iter()) {
+        *o = c as f64 / total as f64;
+    }
+    out
+}
+
+/// Observed frequencies of the standard residues in a set of sequences
+/// (non-standard residues are ignored).
+pub fn observed_freqs<'a>(seqs: impl Iterator<Item = &'a [u8]>) -> [f64; 20] {
+    let mut counts = [0u64; 20];
+    for seq in seqs {
+        for &c in seq {
+            if (c as usize) < 20 {
+                counts[c as usize] += 1;
+            }
+        }
+    }
+    normalise_counts(&counts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn robinson_sums_to_one() {
+        let sum: f64 = ROBINSON_FREQS.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-3, "sum {sum}");
+    }
+
+    #[test]
+    fn robinson_all_positive() {
+        assert!(ROBINSON_FREQS.iter().all(|&p| p > 0.0));
+    }
+
+    #[test]
+    fn normalise_counts_basic() {
+        let mut counts = [0u64; 20];
+        counts[0] = 3;
+        counts[1] = 1;
+        let f = normalise_counts(&counts);
+        assert!((f[0] - 0.75).abs() < 1e-12);
+        assert!((f[1] - 0.25).abs() < 1e-12);
+        assert_eq!(f[2], 0.0);
+    }
+
+    #[test]
+    fn normalise_zero_falls_back() {
+        assert_eq!(normalise_counts(&[0; 20]), ROBINSON_FREQS);
+    }
+
+    #[test]
+    fn observed_ignores_nonstandard() {
+        use psc_seqio::alphabet::encode_protein;
+        let s = encode_protein(b"AAXX**R");
+        let f = observed_freqs(std::iter::once(s.as_slice()));
+        assert!((f[0] - 2.0 / 3.0).abs() < 1e-12);
+        assert!((f[1] - 1.0 / 3.0).abs() < 1e-12);
+    }
+}

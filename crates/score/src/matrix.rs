@@ -1,0 +1,207 @@
+//! Dense amino-acid substitution matrices.
+//!
+//! Scores are stored as a flat `[i8; 24*24]` addressed by the residue codes
+//! of `psc-seqio` (`A R N D C Q E G H I L K M F P S T W Y V B Z X *`).
+//! The flat-`i8` layout is exactly the ROM contents a PSC processing
+//! element holds on the FPGA, so the simulator and the software kernels
+//! read the same table.
+
+use psc_seqio::alphabet::{Aa, AA_ALPHABET_LEN};
+
+/// A 24×24 substitution matrix over encoded amino acids.
+#[derive(Clone, PartialEq, Eq)]
+pub struct SubstitutionMatrix {
+    /// Human-readable name ("BLOSUM62", …).
+    pub name: String,
+    scores: [i8; AA_ALPHABET_LEN * AA_ALPHABET_LEN],
+}
+
+impl std::fmt::Debug for SubstitutionMatrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SubstitutionMatrix({})", self.name)
+    }
+}
+
+impl SubstitutionMatrix {
+    /// Build from a flat row-major table.
+    pub fn from_flat(name: impl Into<String>, scores: [i8; AA_ALPHABET_LEN * AA_ALPHABET_LEN]) -> Self {
+        SubstitutionMatrix {
+            name: name.into(),
+            scores,
+        }
+    }
+
+    /// Score for substituting residue `a` by residue `b`.
+    #[inline(always)]
+    pub fn score(&self, a: u8, b: u8) -> i32 {
+        debug_assert!((a as usize) < AA_ALPHABET_LEN && (b as usize) < AA_ALPHABET_LEN);
+        self.scores[a as usize * AA_ALPHABET_LEN + b as usize] as i32
+    }
+
+    /// Typed accessor.
+    #[inline(always)]
+    pub fn score_aa(&self, a: Aa, b: Aa) -> i32 {
+        self.score(a.0, b.0)
+    }
+
+    /// The raw flat table — this is what gets loaded into a PE's ROM.
+    #[inline]
+    pub fn flat(&self) -> &[i8; AA_ALPHABET_LEN * AA_ALPHABET_LEN] {
+        &self.scores
+    }
+
+    /// Highest score in the matrix (over standard residues).
+    pub fn max_score(&self) -> i32 {
+        let mut m = i32::MIN;
+        for a in Aa::standard() {
+            for b in Aa::standard() {
+                m = m.max(self.score_aa(a, b));
+            }
+        }
+        m
+    }
+
+    /// Lowest score in the matrix (over standard residues).
+    pub fn min_score(&self) -> i32 {
+        let mut m = i32::MAX;
+        for a in Aa::standard() {
+            for b in Aa::standard() {
+                m = m.min(self.score_aa(a, b));
+            }
+        }
+        m
+    }
+
+    /// Expected score per aligned pair under background frequencies
+    /// (must be negative for Karlin–Altschul statistics to apply).
+    pub fn expected_score(&self, freqs: &[f64; 20]) -> f64 {
+        let mut e = 0.0;
+        for (i, &pi) in freqs.iter().enumerate() {
+            for (j, &pj) in freqs.iter().enumerate() {
+                e += pi * pj * self.score(i as u8, j as u8) as f64;
+            }
+        }
+        e
+    }
+
+    /// True when `score(a,b) == score(b,a)` for all residues.
+    pub fn is_symmetric(&self) -> bool {
+        for a in 0..AA_ALPHABET_LEN as u8 {
+            for b in 0..a {
+                if self.score(a, b) != self.score(b, a) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+/// The canonical NCBI BLOSUM62 matrix (half-bit units), row/column order
+/// `A R N D C Q E G H I L K M F P S T W Y V B Z X *`.
+#[rustfmt::skip]
+const BLOSUM62: [i8; AA_ALPHABET_LEN * AA_ALPHABET_LEN] = [
+//   A   R   N   D   C   Q   E   G   H   I   L   K   M   F   P   S   T   W   Y   V   B   Z   X   *
+     4, -1, -2, -2,  0, -1, -1,  0, -2, -1, -1, -1, -1, -2, -1,  1,  0, -3, -2,  0, -2, -1,  0, -4, // A
+    -1,  5,  0, -2, -3,  1,  0, -2,  0, -3, -2,  2, -1, -3, -2, -1, -1, -3, -2, -3, -1,  0, -1, -4, // R
+    -2,  0,  6,  1, -3,  0,  0,  0,  1, -3, -3,  0, -2, -3, -2,  1,  0, -4, -2, -3,  3,  0, -1, -4, // N
+    -2, -2,  1,  6, -3,  0,  2, -1, -1, -3, -4, -1, -3, -3, -1,  0, -1, -4, -3, -3,  4,  1, -1, -4, // D
+     0, -3, -3, -3,  9, -3, -4, -3, -3, -1, -1, -3, -1, -2, -3, -1, -1, -2, -2, -1, -3, -3, -2, -4, // C
+    -1,  1,  0,  0, -3,  5,  2, -2,  0, -3, -2,  1,  0, -3, -1,  0, -1, -2, -1, -2,  0,  3, -1, -4, // Q
+    -1,  0,  0,  2, -4,  2,  5, -2,  0, -3, -3,  1, -2, -3, -1,  0, -1, -3, -2, -2,  1,  4, -1, -4, // E
+     0, -2,  0, -1, -3, -2, -2,  6, -2, -4, -4, -2, -3, -3, -2,  0, -2, -2, -3, -3, -1, -2, -1, -4, // G
+    -2,  0,  1, -1, -3,  0,  0, -2,  8, -3, -3, -1, -2, -1, -2, -1, -2, -2,  2, -3,  0,  0, -1, -4, // H
+    -1, -3, -3, -3, -1, -3, -3, -4, -3,  4,  2, -3,  1,  0, -3, -2, -1, -3, -1,  3, -3, -3, -1, -4, // I
+    -1, -2, -3, -4, -1, -2, -3, -4, -3,  2,  4, -2,  2,  0, -3, -2, -1, -2, -1,  1, -4, -3, -1, -4, // L
+    -1,  2,  0, -1, -3,  1,  1, -2, -1, -3, -2,  5, -1, -3, -1,  0, -1, -3, -2, -2,  0,  1, -1, -4, // K
+    -1, -1, -2, -3, -1,  0, -2, -3, -2,  1,  2, -1,  5,  0, -2, -1, -1, -1, -1,  1, -3, -1, -1, -4, // M
+    -2, -3, -3, -3, -2, -3, -3, -3, -1,  0,  0, -3,  0,  6, -4, -2, -2,  1,  3, -1, -3, -3, -1, -4, // F
+    -1, -2, -2, -1, -3, -1, -1, -2, -2, -3, -3, -1, -2, -4,  7, -1, -1, -4, -3, -2, -2, -1, -2, -4, // P
+     1, -1,  1,  0, -1,  0,  0,  0, -1, -2, -2,  0, -1, -2, -1,  4,  1, -3, -2, -2,  0,  0,  0, -4, // S
+     0, -1,  0, -1, -1, -1, -1, -2, -2, -1, -1, -1, -1, -2, -1,  1,  5, -2, -2,  0, -1, -1,  0, -4, // T
+    -3, -3, -4, -4, -2, -2, -3, -2, -2, -3, -2, -3, -1,  1, -4, -3, -2, 11,  2, -3, -4, -3, -2, -4, // W
+    -2, -2, -2, -3, -2, -1, -2, -3,  2, -1, -1, -2, -1,  3, -3, -2, -2,  2,  7, -1, -3, -2, -1, -4, // Y
+     0, -3, -3, -3, -1, -2, -2, -3, -3,  3,  1, -2,  1, -1, -2, -2,  0, -3, -1,  4, -3, -2, -1, -4, // V
+    -2, -1,  3,  4, -3,  0,  1, -1,  0, -3, -4,  0, -3, -3, -2,  0, -1, -4, -3, -3,  4,  1, -1, -4, // B
+    -1,  0,  0,  1, -3,  3,  4, -2,  0, -3, -3,  1, -1, -3, -1,  0, -1, -3, -2, -2,  1,  4, -1, -4, // Z
+     0, -1, -1, -1, -2, -1, -1, -1, -1, -1, -1, -1, -1, -1, -2,  0,  0, -2, -1, -1, -1, -1, -1, -4, // X
+    -4, -4, -4, -4, -4, -4, -4, -4, -4, -4, -4, -4, -4, -4, -4, -4, -4, -4, -4, -4, -4, -4, -4,  1, // *
+];
+
+/// The canonical BLOSUM62 matrix (the paper's scoring function).
+pub fn blosum62() -> &'static SubstitutionMatrix {
+    static M: std::sync::OnceLock<SubstitutionMatrix> = std::sync::OnceLock::new();
+    M.get_or_init(|| SubstitutionMatrix::from_flat("BLOSUM62", BLOSUM62))
+}
+
+/// A simple match/mismatch matrix, useful for tests and ablations.
+pub fn match_mismatch(name: &str, matched: i8, mismatched: i8) -> SubstitutionMatrix {
+    let mut scores = [mismatched; AA_ALPHABET_LEN * AA_ALPHABET_LEN];
+    for i in 0..AA_ALPHABET_LEN {
+        scores[i * AA_ALPHABET_LEN + i] = matched;
+    }
+    SubstitutionMatrix::from_flat(name, scores)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::freqs::ROBINSON_FREQS;
+    use psc_seqio::alphabet::Aa;
+
+    fn aa(c: u8) -> Aa {
+        Aa::from_ascii_lossy(c)
+    }
+
+    #[test]
+    fn blosum62_spot_values() {
+        let m = blosum62();
+        assert_eq!(m.score_aa(aa(b'W'), aa(b'W')), 11);
+        assert_eq!(m.score_aa(aa(b'A'), aa(b'A')), 4);
+        assert_eq!(m.score_aa(aa(b'C'), aa(b'C')), 9);
+        assert_eq!(m.score_aa(aa(b'E'), aa(b'Q')), 2);
+        assert_eq!(m.score_aa(aa(b'I'), aa(b'L')), 2);
+        assert_eq!(m.score_aa(aa(b'G'), aa(b'I')), -4);
+        assert_eq!(m.score_aa(aa(b'W'), aa(b'P')), -4);
+        assert_eq!(m.score_aa(Aa::STOP, Aa::STOP), 1);
+        assert_eq!(m.score_aa(aa(b'A'), Aa::STOP), -4);
+        assert_eq!(m.score_aa(aa(b'A'), Aa::X), 0);
+    }
+
+    #[test]
+    fn blosum62_is_symmetric() {
+        assert!(blosum62().is_symmetric());
+    }
+
+    #[test]
+    fn blosum62_extremes() {
+        assert_eq!(blosum62().max_score(), 11); // W/W
+        assert_eq!(blosum62().min_score(), -4);
+    }
+
+    #[test]
+    fn blosum62_expected_score_negative() {
+        // Karlin-Altschul requires E[s] < 0. Under Robinson background
+        // frequencies BLOSUM62's expected pair score is ≈ -0.95 (the often
+        // quoted -0.52 uses the matrix's own training frequencies).
+        let e = blosum62().expected_score(&ROBINSON_FREQS);
+        assert!(e < -0.7 && e > -1.2, "expected score {e}");
+    }
+
+    #[test]
+    fn blosum62_diagonal_positive() {
+        for a in Aa::standard() {
+            assert!(blosum62().score_aa(a, a) > 0, "diagonal for {:?}", a);
+        }
+    }
+
+    #[test]
+    fn match_mismatch_shape() {
+        let m = match_mismatch("MM", 5, -4);
+        assert_eq!(m.score(0, 0), 5);
+        assert_eq!(m.score(0, 1), -4);
+        assert!(m.is_symmetric());
+        assert_eq!(m.max_score(), 5);
+        assert_eq!(m.min_score(), -4);
+    }
+}

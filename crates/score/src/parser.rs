@@ -1,0 +1,125 @@
+//! Parser for NCBI-format substitution matrix text files.
+//!
+//! The format is the one distributed with BLAST: `#` comment lines, a
+//! header row of residue letters, then one row per residue starting with
+//! its letter. Columns/rows may appear in any order and may omit
+//! residues; missing pairs default to the most negative score seen.
+
+use crate::matrix::SubstitutionMatrix;
+use psc_seqio::alphabet::{Aa, AA_ALPHABET_LEN};
+
+/// Parse an NCBI-format matrix (e.g. the distributed `BLOSUM62` file).
+pub fn parse_ncbi_matrix(name: &str, text: &str) -> Result<SubstitutionMatrix, String> {
+    let mut columns: Option<Vec<Aa>> = None;
+    let mut scores = [[None::<i8>; AA_ALPHABET_LEN]; AA_ALPHABET_LEN];
+    let mut min_seen = 0i8;
+
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut fields = line.split_whitespace();
+        if columns.is_none() {
+            // Header row: residue letters only.
+            let cols: Result<Vec<Aa>, String> = fields
+                .map(|f| {
+                    let b = f.as_bytes();
+                    if b.len() != 1 {
+                        return Err(format!("line {}: bad column label {f:?}", lineno + 1));
+                    }
+                    Aa::from_ascii(b[0])
+                        .ok_or_else(|| format!("line {}: unknown residue {f:?}", lineno + 1))
+                })
+                .collect();
+            columns = Some(cols?);
+            continue;
+        }
+        let cols = columns.as_ref().unwrap();
+        let row_label = fields
+            .next()
+            .ok_or_else(|| format!("line {}: empty row", lineno + 1))?;
+        let rb = row_label.as_bytes();
+        if rb.len() != 1 {
+            return Err(format!("line {}: bad row label {row_label:?}", lineno + 1));
+        }
+        let row = Aa::from_ascii(rb[0])
+            .ok_or_else(|| format!("line {}: unknown residue {row_label:?}", lineno + 1))?;
+        for (col_idx, field) in fields.enumerate() {
+            let col = *cols.get(col_idx).ok_or_else(|| {
+                format!("line {}: more scores than columns", lineno + 1)
+            })?;
+            let v: i8 = field
+                .parse()
+                .map_err(|_| format!("line {}: bad score {field:?}", lineno + 1))?;
+            min_seen = min_seen.min(v);
+            scores[row.0 as usize][col.0 as usize] = Some(v);
+        }
+    }
+
+    if columns.is_none() {
+        return Err("no header row found".into());
+    }
+    let mut flat = [min_seen; AA_ALPHABET_LEN * AA_ALPHABET_LEN];
+    for (i, row) in scores.iter().enumerate() {
+        for (j, v) in row.iter().enumerate() {
+            if let Some(v) = v {
+                flat[i * AA_ALPHABET_LEN + j] = *v;
+            }
+        }
+    }
+    Ok(SubstitutionMatrix::from_flat(name, flat))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::blosum62;
+    use psc_seqio::alphabet::AA_LETTERS;
+
+    /// Render a matrix in NCBI text format (used by the round-trip test
+    /// and by the CLI `matrix dump` command).
+    pub fn render_ncbi(m: &SubstitutionMatrix) -> String {
+        let mut out = String::from("# rendered by psc-score\n  ");
+        for &c in AA_LETTERS.iter() {
+            out.push(' ');
+            out.push(c as char);
+            out.push(' ');
+        }
+        out.push('\n');
+        for a in 0..AA_ALPHABET_LEN as u8 {
+            out.push(AA_LETTERS[a as usize] as char);
+            for b in 0..AA_ALPHABET_LEN as u8 {
+                out.push_str(&format!(" {:2}", m.score(a, b)));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    #[test]
+    fn round_trips_blosum62() {
+        let text = render_ncbi(blosum62());
+        let parsed = parse_ncbi_matrix("BLOSUM62", &text).unwrap();
+        assert_eq!(parsed.flat()[..], blosum62().flat()[..]);
+    }
+
+    #[test]
+    fn parses_small_matrix_with_comments() {
+        let text = "# tiny\n   A  R\nA  4 -1\nR -1  5\n";
+        let m = parse_ncbi_matrix("tiny", text).unwrap();
+        assert_eq!(m.score(0, 0), 4);
+        assert_eq!(m.score(0, 1), -1);
+        assert_eq!(m.score(1, 1), 5);
+        // Missing pairs default to the most negative seen (-1).
+        assert_eq!(m.score(2, 2), -1);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse_ncbi_matrix("x", "").is_err());
+        assert!(parse_ncbi_matrix("x", "A R\nA 4 foo\n").is_err());
+        assert!(parse_ncbi_matrix("x", "A R\nA 4 -1 7\n").is_err());
+        assert!(parse_ncbi_matrix("x", "AB R\nA 1 2\n").is_err());
+    }
+}

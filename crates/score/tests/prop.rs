@@ -1,0 +1,95 @@
+//! Property tests for scoring and statistics.
+
+use proptest::prelude::*;
+use psc_score::karlin::{compute_h, compute_lambda, ungapped_params};
+use psc_score::matrix::match_mismatch;
+use psc_score::{blosum62, parse_ncbi_matrix, ROBINSON_FREQS};
+
+/// Random valid frequency vector (positive, normalized).
+fn freqs() -> impl Strategy<Value = [f64; 20]> {
+    proptest::collection::vec(0.01f64..1.0, 20).prop_map(|v| {
+        let sum: f64 = v.iter().sum();
+        let mut out = [0.0; 20];
+        for (o, x) in out.iter_mut().zip(v) {
+            *o = x / sum;
+        }
+        out
+    })
+}
+
+proptest! {
+    /// λ exists for any match/mismatch system with negative expectation,
+    /// and satisfies its defining equation.
+    #[test]
+    fn lambda_solves_defining_equation(
+        freqs in freqs(),
+        matched in 1i8..12,
+        mismatched in -12i8..-1,
+    ) {
+        let m = match_mismatch("mm", matched, mismatched);
+        if m.expected_score(&freqs) < -1e-6 {
+            let lambda = compute_lambda(&m, &freqs).expect("negative drift has a root");
+            prop_assert!(lambda > 0.0);
+            // Σ pᵢpⱼ e^{λ sᵢⱼ} = 1.
+            let mut phi = 0.0;
+            for (i, &pi) in freqs.iter().enumerate() {
+                for (j, &pj) in freqs.iter().enumerate() {
+                    phi += pi * pj * (lambda * m.score(i as u8, j as u8) as f64).exp();
+                }
+            }
+            prop_assert!((phi - 1.0).abs() < 1e-6, "phi = {phi}");
+            // H is positive for a usable system.
+            let h = compute_h(&m, &freqs, lambda);
+            prop_assert!(h > 0.0);
+        }
+    }
+
+    /// E-values are monotone decreasing in score and increasing in
+    /// search space; bit scores invert consistently.
+    #[test]
+    fn evalue_monotonicity(s1 in 1i32..200, ds in 1i32..50, m in 1usize..10_000, n in 1usize..10_000) {
+        let p = ungapped_params(blosum62(), &ROBINSON_FREQS).unwrap();
+        prop_assert!(p.evalue(s1 + ds, m, n) < p.evalue(s1, m, n));
+        prop_assert!(p.evalue(s1, m * 2, n) > p.evalue(s1, m, n));
+        prop_assert!(p.bit_score(s1 + ds) > p.bit_score(s1));
+        // score_for_evalue is the inverse threshold.
+        let e = p.evalue(s1, m, n);
+        let s = p.score_for_evalue(e, m, n);
+        prop_assert!(s <= s1, "s={s} s1={s1}");
+        prop_assert!(p.evalue(s, m, n) <= e * (1.0 + 1e-9));
+    }
+
+    /// The NCBI-format matrix parser round-trips arbitrary symmetric
+    /// matrices rendered as text.
+    #[test]
+    fn parser_round_trips(seed_scores in proptest::collection::vec(-9i8..9, 300)) {
+        // Build a symmetric 24x24 from the seeds.
+        let mut flat = [0i8; 576];
+        let mut k = 0;
+        for a in 0..24usize {
+            for b in 0..=a {
+                let v = seed_scores[k % seed_scores.len()];
+                flat[a * 24 + b] = v;
+                flat[b * 24 + a] = v;
+                k += 1;
+            }
+        }
+        let m = psc_score::SubstitutionMatrix::from_flat("rand", flat);
+        // Render in NCBI format.
+        let mut text = String::from("  ");
+        for c in psc_seqio::alphabet::AA_LETTERS {
+            text.push(' ');
+            text.push(c as char);
+        }
+        text.push('\n');
+        for a in 0..24u8 {
+            text.push(psc_seqio::alphabet::AA_LETTERS[a as usize] as char);
+            for b in 0..24u8 {
+                text.push_str(&format!(" {}", m.score(a, b)));
+            }
+            text.push('\n');
+        }
+        let parsed = parse_ncbi_matrix("rand", &text).unwrap();
+        prop_assert_eq!(&parsed.flat()[..], &m.flat()[..]);
+    }
+}

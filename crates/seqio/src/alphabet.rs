@@ -1,0 +1,266 @@
+//! Residue alphabets and their compact `u8` encodings.
+//!
+//! Amino acids use the NCBIstdaa-like ordering `A R N D C Q E G H I L K M F
+//! P S T W Y V B Z X *` (indices 0–23), which is also the row/column order
+//! of the embedded BLOSUM/PAM matrices in `psc-score`. Nucleotides use
+//! `A C G T` (0–3) with `N = 4` for ambiguity.
+
+/// Number of encoded amino-acid symbols (20 standard + B, Z, X, `*`).
+pub const AA_ALPHABET_LEN: usize = 24;
+
+/// Number of standard (unambiguous) amino acids.
+pub const AA_STANDARD_LEN: usize = 20;
+
+/// Number of encoded nucleotide symbols (A, C, G, T, N).
+pub const NT_ALPHABET_LEN: usize = 5;
+
+/// ASCII letters in encoding order for amino acids.
+pub const AA_LETTERS: [u8; AA_ALPHABET_LEN] = *b"ARNDCQEGHILKMFPSTWYVBZX*";
+
+/// ASCII letters in encoding order for nucleotides.
+pub const NT_LETTERS: [u8; NT_ALPHABET_LEN] = *b"ACGTN";
+
+/// An encoded amino acid (0..=23).
+///
+/// The wrapper is deliberately thin: hot loops read `.0` directly, while the
+/// constructors centralise ASCII conversion and validity checks.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Aa(pub u8);
+
+impl Aa {
+    /// Ambiguous residue `X`.
+    pub const X: Aa = Aa(22);
+    /// Translation stop `*`.
+    pub const STOP: Aa = Aa(23);
+
+    /// Decode an ASCII letter (case-insensitive). Unknown letters map to `X`.
+    #[inline]
+    pub fn from_ascii_lossy(c: u8) -> Aa {
+        Aa(AA_FROM_ASCII[c as usize])
+    }
+
+    /// Decode an ASCII letter, rejecting anything outside the alphabet.
+    #[inline]
+    pub fn from_ascii(c: u8) -> Option<Aa> {
+        let code = AA_FROM_ASCII_STRICT[c as usize];
+        (code != INVALID).then_some(Aa(code))
+    }
+
+    /// The ASCII letter for this residue.
+    #[inline]
+    pub fn to_ascii(self) -> u8 {
+        AA_LETTERS[self.0 as usize]
+    }
+
+    /// True for the 20 standard amino acids (excludes B, Z, X, `*`).
+    #[inline]
+    pub fn is_standard(self) -> bool {
+        (self.0 as usize) < AA_STANDARD_LEN
+    }
+
+    /// Iterate over the 20 standard amino acids.
+    pub fn standard() -> impl Iterator<Item = Aa> {
+        (0..AA_STANDARD_LEN as u8).map(Aa)
+    }
+
+    /// Iterate over all 24 encoded symbols.
+    pub fn all() -> impl Iterator<Item = Aa> {
+        (0..AA_ALPHABET_LEN as u8).map(Aa)
+    }
+}
+
+/// An encoded nucleotide (0..=4).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Nt(pub u8);
+
+impl Nt {
+    pub const A: Nt = Nt(0);
+    pub const C: Nt = Nt(1);
+    pub const G: Nt = Nt(2);
+    pub const T: Nt = Nt(3);
+    /// Ambiguity code; any IUPAC ambiguity letter collapses to `N`.
+    pub const N: Nt = Nt(4);
+
+    /// Decode an ASCII letter (case-insensitive, `U` treated as `T`).
+    /// Unknown letters map to `N`.
+    #[inline]
+    pub fn from_ascii_lossy(c: u8) -> Nt {
+        Nt(NT_FROM_ASCII[c as usize])
+    }
+
+    /// Decode an ASCII letter, rejecting anything that is not
+    /// `ACGTUN` (case-insensitive).
+    #[inline]
+    pub fn from_ascii(c: u8) -> Option<Nt> {
+        let code = NT_FROM_ASCII_STRICT[c as usize];
+        (code != INVALID).then_some(Nt(code))
+    }
+
+    /// The ASCII letter for this nucleotide.
+    #[inline]
+    pub fn to_ascii(self) -> u8 {
+        NT_LETTERS[self.0 as usize]
+    }
+
+    /// Watson–Crick complement; `N` complements to `N`.
+    #[inline]
+    pub fn complement(self) -> Nt {
+        match self {
+            Nt::A => Nt::T,
+            Nt::C => Nt::G,
+            Nt::G => Nt::C,
+            Nt::T => Nt::A,
+            _ => Nt::N,
+        }
+    }
+
+    /// Iterate over the four unambiguous nucleotides.
+    pub fn standard() -> impl Iterator<Item = Nt> {
+        (0..4u8).map(Nt)
+    }
+}
+
+const INVALID: u8 = 0xFF;
+
+/// Build the lossy amino-acid decode table at compile time.
+const fn build_aa_from_ascii(lossy: bool) -> [u8; 256] {
+    let mut table = [if lossy { 22u8 } else { INVALID }; 256]; // default: X / invalid
+    let mut i = 0;
+    while i < AA_ALPHABET_LEN {
+        let c = AA_LETTERS[i];
+        table[c as usize] = i as u8;
+        // Lower-case aliases (skip '*').
+        if c.is_ascii_uppercase() {
+            table[(c + 32) as usize] = i as u8;
+        }
+        i += 1;
+    }
+    // Selenocysteine U and pyrrolysine O are rare; map to C and K (their
+    // closest standard residues) in both tables, matching BLAST behaviour.
+    table[b'U' as usize] = 4; // C
+    table[b'u' as usize] = 4;
+    table[b'O' as usize] = 11; // K
+    table[b'o' as usize] = 11;
+    // J = I or L ambiguity; fold to X only in the lossy table.
+    if lossy {
+        table[b'J' as usize] = 22;
+        table[b'j' as usize] = 22;
+    }
+    table
+}
+
+const fn build_nt_from_ascii(lossy: bool) -> [u8; 256] {
+    let mut table = [if lossy { 4u8 } else { INVALID }; 256]; // default: N / invalid
+    let pairs: [(u8, u8); 6] = [
+        (b'A', 0),
+        (b'C', 1),
+        (b'G', 2),
+        (b'T', 3),
+        (b'U', 3),
+        (b'N', 4),
+    ];
+    let mut i = 0;
+    while i < pairs.len() {
+        let (c, code) = pairs[i];
+        table[c as usize] = code;
+        table[(c + 32) as usize] = code;
+        i += 1;
+    }
+    table
+}
+
+static AA_FROM_ASCII: [u8; 256] = build_aa_from_ascii(true);
+static AA_FROM_ASCII_STRICT: [u8; 256] = build_aa_from_ascii(false);
+static NT_FROM_ASCII: [u8; 256] = build_nt_from_ascii(true);
+static NT_FROM_ASCII_STRICT: [u8; 256] = build_nt_from_ascii(false);
+
+/// Encode an ASCII protein string into residue codes (lossy).
+pub fn encode_protein(s: &[u8]) -> Vec<u8> {
+    s.iter().map(|&c| Aa::from_ascii_lossy(c).0).collect()
+}
+
+/// Encode an ASCII DNA string into nucleotide codes (lossy).
+pub fn encode_dna(s: &[u8]) -> Vec<u8> {
+    s.iter().map(|&c| Nt::from_ascii_lossy(c).0).collect()
+}
+
+/// Decode residue codes back to ASCII protein letters.
+pub fn decode_protein(codes: &[u8]) -> Vec<u8> {
+    codes.iter().map(|&c| Aa(c).to_ascii()).collect()
+}
+
+/// Decode nucleotide codes back to ASCII DNA letters.
+pub fn decode_dna(codes: &[u8]) -> Vec<u8> {
+    codes.iter().map(|&c| Nt(c).to_ascii()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aa_ascii_round_trip() {
+        for aa in Aa::all() {
+            assert_eq!(Aa::from_ascii_lossy(aa.to_ascii()), aa);
+            assert_eq!(Aa::from_ascii(aa.to_ascii()), Some(aa));
+        }
+    }
+
+    #[test]
+    fn aa_lower_case_decodes() {
+        assert_eq!(Aa::from_ascii_lossy(b'a'), Aa(0));
+        assert_eq!(Aa::from_ascii_lossy(b'v'), Aa(19));
+        assert_eq!(Aa::from_ascii(b'w'), Some(Aa(17)));
+    }
+
+    #[test]
+    fn aa_unknown_maps_to_x() {
+        assert_eq!(Aa::from_ascii_lossy(b'?'), Aa::X);
+        assert_eq!(Aa::from_ascii_lossy(b'1'), Aa::X);
+        assert_eq!(Aa::from_ascii(b'?'), None);
+    }
+
+    #[test]
+    fn aa_rare_residues_fold_to_neighbours() {
+        // U (selenocysteine) -> C, O (pyrrolysine) -> K.
+        assert_eq!(Aa::from_ascii_lossy(b'U').to_ascii(), b'C');
+        assert_eq!(Aa::from_ascii_lossy(b'O').to_ascii(), b'K');
+    }
+
+    #[test]
+    fn aa_standard_set() {
+        assert_eq!(Aa::standard().count(), 20);
+        assert!(Aa::standard().all(|a| a.is_standard()));
+        assert!(!Aa::X.is_standard());
+        assert!(!Aa::STOP.is_standard());
+        assert_eq!(Aa::STOP.to_ascii(), b'*');
+    }
+
+    #[test]
+    fn nt_ascii_round_trip() {
+        for code in 0..NT_ALPHABET_LEN as u8 {
+            let nt = Nt(code);
+            assert_eq!(Nt::from_ascii_lossy(nt.to_ascii()), nt);
+        }
+        assert_eq!(Nt::from_ascii_lossy(b'u'), Nt::T);
+        assert_eq!(Nt::from_ascii_lossy(b'R'), Nt::N); // IUPAC ambiguity
+        assert_eq!(Nt::from_ascii(b'R'), None);
+    }
+
+    #[test]
+    fn nt_complement_is_involution() {
+        for nt in Nt::standard() {
+            assert_eq!(nt.complement().complement(), nt);
+            assert_ne!(nt.complement(), nt);
+        }
+        assert_eq!(Nt::N.complement(), Nt::N);
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let p = b"MKVLAW*XBZ";
+        assert_eq!(decode_protein(&encode_protein(p)), p.to_vec());
+        let d = b"ACGTNACGT";
+        assert_eq!(decode_dna(&encode_dna(d)), d.to_vec());
+    }
+}

@@ -1,0 +1,132 @@
+//! The genetic code: codon → amino-acid translation.
+//!
+//! Only the standard code (NCBI translation table 1) ships built in — the
+//! paper's workload is eukaryotic genome annotation — but [`GeneticCode`]
+//! accepts any 64-letter table, so alternative codes (mitochondrial,
+//! bacterial initiators…) can be constructed by callers.
+
+use crate::alphabet::{Aa, Nt};
+
+/// The 64-codon translation string in classic TCAG order (first base cycles
+/// slowest), as printed in the NCBI translation-table registry.
+const STANDARD_TCAG: &[u8; 64] =
+    b"FFLLSSSSYY**CC*WLLLLPPPPHHQQRRRRIIIMTTTTNNKKSSRRVVVVAAAADDEEGGGG";
+
+/// A codon translation table over encoded nucleotides.
+#[derive(Clone, Debug)]
+pub struct GeneticCode {
+    /// Indexed by `nt0*16 + nt1*4 + nt2` with our A=0,C=1,G=2,T=3 encoding.
+    table: [Aa; 64],
+}
+
+impl GeneticCode {
+    /// The standard genetic code (translation table 1).
+    pub fn standard() -> &'static GeneticCode {
+        static STANDARD: std::sync::OnceLock<GeneticCode> = std::sync::OnceLock::new();
+        STANDARD.get_or_init(|| GeneticCode::from_tcag_string(STANDARD_TCAG))
+    }
+
+    /// Build from a 64-letter amino-acid string in TCAG order (the order
+    /// used by the NCBI genetic-code registry).
+    pub fn from_tcag_string(tcag: &[u8; 64]) -> GeneticCode {
+        // TCAG order position of each of our encoded bases A,C,G,T.
+        const TCAG_POS: [usize; 4] = [2, 1, 3, 0]; // A→2, C→1, G→3, T→0
+        let mut table = [Aa::X; 64];
+        for b0 in 0..4 {
+            for b1 in 0..4 {
+                for b2 in 0..4 {
+                    let tcag_idx = TCAG_POS[b0] * 16 + TCAG_POS[b1] * 4 + TCAG_POS[b2];
+                    table[b0 * 16 + b1 * 4 + b2] = Aa::from_ascii_lossy(tcag[tcag_idx]);
+                }
+            }
+        }
+        GeneticCode { table }
+    }
+
+    /// Translate one codon of encoded nucleotides. Any ambiguous base (`N`)
+    /// yields `X`.
+    #[inline]
+    pub fn translate(&self, n0: Nt, n1: Nt, n2: Nt) -> Aa {
+        if n0.0 >= 4 || n1.0 >= 4 || n2.0 >= 4 {
+            return Aa::X;
+        }
+        self.table[(n0.0 as usize) * 16 + (n1.0 as usize) * 4 + n2.0 as usize]
+    }
+
+    /// Translate a codon given as a 3-byte slice of encoded nucleotides.
+    #[inline]
+    pub fn translate_codes(&self, codon: &[u8]) -> Aa {
+        debug_assert_eq!(codon.len(), 3);
+        self.translate(Nt(codon[0]), Nt(codon[1]), Nt(codon[2]))
+    }
+
+    /// All codons (as encoded triples) that translate to `aa`.
+    pub fn codons_for(&self, aa: Aa) -> Vec<[u8; 3]> {
+        let mut out = Vec::new();
+        for idx in 0..64usize {
+            if self.table[idx] == aa {
+                out.push([(idx / 16) as u8, ((idx / 4) % 4) as u8, (idx % 4) as u8]);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::encode_dna;
+
+    fn tr(code: &GeneticCode, s: &str) -> u8 {
+        code.translate_codes(&encode_dna(s.as_bytes())).to_ascii()
+    }
+
+    #[test]
+    fn canonical_codons() {
+        let c = GeneticCode::standard();
+        assert_eq!(tr(c, "ATG"), b'M');
+        assert_eq!(tr(c, "TGG"), b'W');
+        assert_eq!(tr(c, "TAA"), b'*');
+        assert_eq!(tr(c, "TAG"), b'*');
+        assert_eq!(tr(c, "TGA"), b'*');
+        assert_eq!(tr(c, "TTT"), b'F');
+        assert_eq!(tr(c, "AAA"), b'K');
+        assert_eq!(tr(c, "GGG"), b'G');
+        assert_eq!(tr(c, "CGA"), b'R');
+        assert_eq!(tr(c, "AGA"), b'R');
+        assert_eq!(tr(c, "ATA"), b'I');
+        assert_eq!(tr(c, "GAT"), b'D');
+        assert_eq!(tr(c, "GAA"), b'E');
+    }
+
+    #[test]
+    fn ambiguous_base_gives_x() {
+        let c = GeneticCode::standard();
+        assert_eq!(tr(c, "ANG"), b'X');
+        assert_eq!(tr(c, "NNN"), b'X');
+    }
+
+    #[test]
+    fn degeneracy_counts() {
+        let c = GeneticCode::standard();
+        // Leucine, serine and arginine each have 6 codons; methionine and
+        // tryptophan have 1; there are 3 stops.
+        assert_eq!(c.codons_for(Aa::from_ascii_lossy(b'L')).len(), 6);
+        assert_eq!(c.codons_for(Aa::from_ascii_lossy(b'S')).len(), 6);
+        assert_eq!(c.codons_for(Aa::from_ascii_lossy(b'R')).len(), 6);
+        assert_eq!(c.codons_for(Aa::from_ascii_lossy(b'M')).len(), 1);
+        assert_eq!(c.codons_for(Aa::from_ascii_lossy(b'W')).len(), 1);
+        assert_eq!(c.codons_for(Aa::STOP).len(), 3);
+    }
+
+    #[test]
+    fn all_64_codons_translate_to_standard_or_stop() {
+        let c = GeneticCode::standard();
+        let mut count = 0;
+        for aa in Aa::standard() {
+            count += c.codons_for(aa).len();
+        }
+        count += c.codons_for(Aa::STOP).len();
+        assert_eq!(count, 64);
+    }
+}

@@ -1,0 +1,69 @@
+//! Error type shared by the sequence-I/O layer.
+
+use std::fmt;
+use std::io;
+
+/// Errors produced while reading or manipulating sequences.
+#[derive(Debug)]
+pub enum SeqError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// FASTA syntax problem (`line` is 1-based).
+    Fasta { line: usize, msg: String },
+    /// A sequence contained a character outside the expected alphabet.
+    InvalidResidue { record: String, byte: u8 },
+    /// A request referenced a sequence or coordinate that does not exist.
+    OutOfBounds(String),
+}
+
+impl fmt::Display for SeqError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SeqError::Io(e) => write!(f, "I/O error: {e}"),
+            SeqError::Fasta { line, msg } => write!(f, "FASTA parse error at line {line}: {msg}"),
+            SeqError::InvalidResidue { record, byte } => write!(
+                f,
+                "invalid residue byte 0x{byte:02x} ({:?}) in record {record}",
+                *byte as char
+            ),
+            SeqError::OutOfBounds(msg) => write!(f, "out of bounds: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SeqError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SeqError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for SeqError {
+    fn from(e: io::Error) -> Self {
+        SeqError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = SeqError::Fasta {
+            line: 3,
+            msg: "empty header".into(),
+        };
+        assert!(e.to_string().contains("line 3"));
+        let e = SeqError::InvalidResidue {
+            record: "q1".into(),
+            byte: b'?',
+        };
+        assert!(e.to_string().contains("q1"));
+        let e = SeqError::from(io::Error::new(io::ErrorKind::NotFound, "nope"));
+        assert!(e.to_string().contains("nope"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

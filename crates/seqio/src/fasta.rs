@@ -1,0 +1,218 @@
+//! Byte-oriented FASTA reading and writing.
+//!
+//! The parser is strict about structure (headers must start with `>`, a
+//! record must have an identifier) but lossy about residues by default —
+//! unknown letters become `X`/`N`, matching how BLAST-family tools treat
+//! real-world bank files. A strict mode rejects them instead.
+
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::alphabet::{Aa, Nt};
+use crate::bank::Bank;
+use crate::error::SeqError;
+use crate::seq::{Seq, SeqKind};
+
+/// Residue policy for the parser.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ResiduePolicy {
+    /// Unknown letters collapse to the alphabet's ambiguity code.
+    Lossy,
+    /// Unknown letters are an error.
+    Strict,
+}
+
+/// Read a FASTA stream into a [`Bank`] of the given alphabet (lossy).
+pub fn read_fasta<R: Read>(reader: R, kind: SeqKind) -> Result<Bank, SeqError> {
+    read_fasta_with(reader, kind, ResiduePolicy::Lossy)
+}
+
+/// Read a FASTA file from disk (lossy).
+pub fn read_fasta_path(path: impl AsRef<Path>, kind: SeqKind) -> Result<Bank, SeqError> {
+    read_fasta(File::open(path)?, kind)
+}
+
+/// Read a FASTA stream with an explicit residue policy.
+pub fn read_fasta_with<R: Read>(
+    reader: R,
+    kind: SeqKind,
+    policy: ResiduePolicy,
+) -> Result<Bank, SeqError> {
+    let mut reader = BufReader::new(reader);
+    let mut seqs: Vec<Seq> = Vec::new();
+    let mut current: Option<Seq> = None;
+    let mut line = Vec::with_capacity(256);
+    let mut lineno = 0usize;
+
+    loop {
+        line.clear();
+        let n = reader.read_until(b'\n', &mut line)?;
+        if n == 0 {
+            break;
+        }
+        lineno += 1;
+        // Trim trailing newline / carriage return.
+        while matches!(line.last(), Some(b'\n') | Some(b'\r')) {
+            line.pop();
+        }
+        if line.is_empty() {
+            continue;
+        }
+        if line[0] == b'>' {
+            if let Some(seq) = current.take() {
+                seqs.push(seq);
+            }
+            let header = &line[1..];
+            let header_str = String::from_utf8_lossy(header);
+            let mut words = header_str.splitn(2, char::is_whitespace);
+            let id = words.next().unwrap_or("").trim().to_string();
+            if id.is_empty() {
+                return Err(SeqError::Fasta {
+                    line: lineno,
+                    msg: "record header has no identifier".into(),
+                });
+            }
+            let description = words.next().unwrap_or("").trim().to_string();
+            current = Some(Seq {
+                id,
+                description,
+                residues: Vec::new(),
+                kind,
+            });
+        } else {
+            let seq = current.as_mut().ok_or_else(|| SeqError::Fasta {
+                line: lineno,
+                msg: "sequence data before any '>' header".into(),
+            })?;
+            for &c in line.iter() {
+                if c.is_ascii_whitespace() {
+                    continue;
+                }
+                let code = match (kind, policy) {
+                    (SeqKind::Protein, ResiduePolicy::Lossy) => Aa::from_ascii_lossy(c).0,
+                    (SeqKind::Dna, ResiduePolicy::Lossy) => Nt::from_ascii_lossy(c).0,
+                    (SeqKind::Protein, ResiduePolicy::Strict) => {
+                        Aa::from_ascii(c)
+                            .ok_or_else(|| SeqError::InvalidResidue {
+                                record: seq.id.clone(),
+                                byte: c,
+                            })?
+                            .0
+                    }
+                    (SeqKind::Dna, ResiduePolicy::Strict) => {
+                        Nt::from_ascii(c)
+                            .ok_or_else(|| SeqError::InvalidResidue {
+                                record: seq.id.clone(),
+                                byte: c,
+                            })?
+                            .0
+                    }
+                };
+                seq.residues.push(code);
+            }
+        }
+    }
+    if let Some(seq) = current.take() {
+        seqs.push(seq);
+    }
+    Ok(Bank::from_seqs(seqs))
+}
+
+/// Write a bank as FASTA with 70-column wrapping.
+pub fn write_fasta<W: Write>(writer: W, bank: &Bank) -> Result<(), SeqError> {
+    const WIDTH: usize = 70;
+    let mut w = BufWriter::new(writer);
+    for (_, seq) in bank.iter() {
+        if seq.description.is_empty() {
+            writeln!(w, ">{}", seq.id)?;
+        } else {
+            writeln!(w, ">{} {}", seq.id, seq.description)?;
+        }
+        let ascii = seq.to_ascii();
+        for chunk in ascii.chunks(WIDTH) {
+            w.write_all(chunk)?;
+            w.write_all(b"\n")?;
+        }
+    }
+    w.flush()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str, kind: SeqKind) -> Bank {
+        read_fasta(s.as_bytes(), kind).unwrap()
+    }
+
+    #[test]
+    fn parses_two_records() {
+        let bank = parse(">a first protein\nMKV\nLAW\n>b\nGG\n", SeqKind::Protein);
+        assert_eq!(bank.len(), 2);
+        assert_eq!(bank.get(0).id, "a");
+        assert_eq!(bank.get(0).description, "first protein");
+        assert_eq!(bank.get(0).to_ascii(), b"MKVLAW");
+        assert_eq!(bank.get(1).to_ascii(), b"GG");
+    }
+
+    #[test]
+    fn skips_blank_lines_and_crlf() {
+        let bank = parse(">a\r\nMK\r\n\r\nVL\r\n", SeqKind::Protein);
+        assert_eq!(bank.get(0).to_ascii(), b"MKVL");
+    }
+
+    #[test]
+    fn data_before_header_is_error() {
+        let err = read_fasta("MKV\n".as_bytes(), SeqKind::Protein).unwrap_err();
+        assert!(matches!(err, SeqError::Fasta { line: 1, .. }));
+    }
+
+    #[test]
+    fn empty_header_is_error() {
+        let err = read_fasta(">   \nMKV\n".as_bytes(), SeqKind::Protein).unwrap_err();
+        assert!(matches!(err, SeqError::Fasta { .. }));
+    }
+
+    #[test]
+    fn lossy_vs_strict_residues() {
+        let bank = parse(">a\nMK?V\n", SeqKind::Protein);
+        assert_eq!(bank.get(0).to_ascii(), b"MKXV");
+        let err =
+            read_fasta_with(">a\nMK?V\n".as_bytes(), SeqKind::Protein, ResiduePolicy::Strict)
+                .unwrap_err();
+        assert!(matches!(err, SeqError::InvalidResidue { byte: b'?', .. }));
+    }
+
+    #[test]
+    fn dna_parsing_folds_iupac() {
+        let bank = parse(">g\nACGTRYSWacgtu\n", SeqKind::Dna);
+        assert_eq!(bank.get(0).to_ascii(), b"ACGTNNNNACGTT");
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let mut bank = Bank::new();
+        bank.push(Seq::protein("p1", b"MKVLAWGG"));
+        let mut seq2 = Seq::protein("p2", &[b'A'; 200]);
+        seq2.description = "long one".into();
+        bank.push(seq2);
+        let mut buf = Vec::new();
+        write_fasta(&mut buf, &bank).unwrap();
+        let back = read_fasta(&buf[..], SeqKind::Protein).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.get(0).residues, bank.get(0).residues);
+        assert_eq!(back.get(1).residues, bank.get(1).residues);
+        assert_eq!(back.get(1).description, "long one");
+        // 200 residues at width 70 -> lines of 70/70/60.
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.lines().any(|l| l.len() == 60));
+    }
+
+    #[test]
+    fn empty_input_is_empty_bank() {
+        let bank = parse("", SeqKind::Protein);
+        assert!(bank.is_empty());
+    }
+}

@@ -1,0 +1,91 @@
+//! Determinism guarantees: identical inputs and configuration produce
+//! identical outputs — across repeated runs, across backends, and across
+//! thread counts. This is what makes the simulated-hardware numbers in
+//! EXPERIMENTS.md reproducible statements rather than measurements.
+
+use psc_core::{search_genome, PipelineConfig, Step2Backend};
+use psc_datagen::{generate_genome, random_bank, BankConfig, GenomeConfig};
+use psc_score::blosum62;
+
+fn workload() -> (psc_seqio::Bank, psc_seqio::Seq) {
+    let proteins = random_bank(&BankConfig {
+        count: 15,
+        min_len: 80,
+        max_len: 160,
+        seed: 313,
+    });
+    let genome = generate_genome(
+        &GenomeConfig {
+            len: 25_000,
+            gene_count: 6,
+            repeat_tracts: 3,
+            seed: 314,
+            ..GenomeConfig::default()
+        },
+        &proteins,
+    );
+    (proteins, genome.genome)
+}
+
+#[test]
+fn repeated_runs_identical() {
+    let (proteins, genome) = workload();
+    let run = || search_genome(&proteins, &genome, blosum62(), PipelineConfig::default());
+    let a = run();
+    let b = run();
+    assert_eq!(a.output.hsps, b.output.hsps);
+    assert_eq!(a.output.stats.step2, b.output.stats.step2);
+    assert_eq!(a.matches.len(), b.matches.len());
+}
+
+#[test]
+fn board_numbers_independent_of_host_threads() {
+    let (proteins, genome) = workload();
+    let run = |host_threads: usize| {
+        search_genome(
+            &proteins,
+            &genome,
+            blosum62(),
+            PipelineConfig {
+                backend: Step2Backend::Rasc {
+                    pe_count: 128,
+                    fpga_count: 2,
+                    host_threads,
+                },
+                ..PipelineConfig::default()
+            },
+        )
+    };
+    let one = run(1);
+    let four = run(4);
+    assert_eq!(one.output.hsps, four.output.hsps);
+    let b1 = one.output.board.unwrap();
+    let b4 = four.output.board.unwrap();
+    assert_eq!(b1.fpga_cycles, b4.fpga_cycles);
+    assert_eq!(b1.stall_cycles, b4.stall_cycles);
+    assert_eq!(b1.bytes_in, b4.bytes_in);
+    assert_eq!(b1.bytes_out, b4.bytes_out);
+    assert!((b1.accelerated_seconds - b4.accelerated_seconds).abs() < 1e-12);
+}
+
+#[test]
+fn masking_is_deterministic_and_recall_preserving() {
+    let (proteins, genome) = workload();
+    let masked_cfg = || PipelineConfig {
+        mask: Some(psc_seqio::MaskConfig::default()),
+        ..PipelineConfig::default()
+    };
+    let a = search_genome(&proteins, &genome, blosum62(), masked_cfg());
+    let b = search_genome(&proteins, &genome, blosum62(), masked_cfg());
+    assert_eq!(a.output.hsps, b.output.hsps);
+    // Every unmasked match's protein is still matched when masking.
+    let plain = search_genome(&proteins, &genome, blosum62(), PipelineConfig::default());
+    for m in &plain.matches {
+        assert!(
+            a.matches.iter().any(|x| x.protein_idx == m.protein_idx
+                && x.genome_start < m.genome_end
+                && m.genome_start < x.genome_end),
+            "masking lost {m:?}"
+        );
+    }
+}

@@ -1,0 +1,145 @@
+//! End-to-end pipeline integration: planted-homology recovery, profile
+//! sanity, and the step-2 dominance that motivates the whole paper.
+
+use psc_core::{search_genome, PipelineConfig, Step2Backend};
+use psc_datagen::{generate_genome, random_bank, BankConfig, GenomeConfig, MutationConfig};
+use psc_score::blosum62;
+
+fn workload() -> (psc_seqio::Bank, psc_datagen::SyntheticGenome) {
+    let proteins = random_bank(&BankConfig {
+        count: 20,
+        min_len: 80,
+        max_len: 200,
+        seed: 2024,
+    });
+    let genome = generate_genome(
+        &GenomeConfig {
+            len: 60_000,
+            gene_count: 15,
+            mutation: MutationConfig {
+                divergence: 0.2,
+                indel_rate: 0.003,
+                indel_extend: 0.3,
+            },
+            seed: 2025,
+            ..GenomeConfig::default()
+        },
+        &proteins,
+    );
+    (proteins, genome)
+}
+
+#[test]
+fn recovers_every_planted_gene() {
+    let (proteins, synth) = workload();
+    assert!(synth.plants.len() >= 10, "want a meaningful plant count");
+    let result = search_genome(
+        &proteins,
+        &synth.genome,
+        blosum62(),
+        PipelineConfig::default(),
+    );
+    for plant in &synth.plants {
+        let found = result.matches.iter().any(|m| {
+            m.protein_idx == plant.protein_idx
+                && m.forward == plant.forward
+                && m.genome_start < plant.end
+                && plant.start < m.genome_end
+        });
+        assert!(found, "plant not recovered: {plant:?}");
+    }
+}
+
+#[test]
+fn no_hallucinated_matches() {
+    // Every reported match must overlap *some* plant: the background is
+    // random DNA, which should not align at E ≤ 1e-3.
+    let (proteins, synth) = workload();
+    let result = search_genome(
+        &proteins,
+        &synth.genome,
+        blosum62(),
+        PipelineConfig::default(),
+    );
+    assert!(!result.matches.is_empty());
+    for m in &result.matches {
+        let on_plant = synth
+            .plants
+            .iter()
+            .any(|p| m.genome_start < p.end && p.start < m.genome_end);
+        assert!(on_plant, "match off any plant: {m:?}");
+    }
+}
+
+#[test]
+fn step2_dominates_sequential_profile() {
+    // The paper's Table 1: ungapped extension ≈ 97 % of sequential time.
+    // At our scale the exact share varies, but step 2 must dominate.
+    let (proteins, synth) = workload();
+    let result = search_genome(
+        &proteins,
+        &synth.genome,
+        blosum62(),
+        PipelineConfig {
+            backend: Step2Backend::SoftwareScalar,
+            ..PipelineConfig::default()
+        },
+    );
+    let (p1, p2, p3) = result.output.profile.percentages();
+    assert!(
+        p2 > 50.0,
+        "step 2 should dominate the sequential profile: {p1:.1}/{p2:.1}/{p3:.1}"
+    );
+    assert!(result.output.stats.step2.pairs > 0);
+    assert!(result.output.stats.anchors <= result.output.stats.step2.candidates);
+}
+
+#[test]
+fn tighter_evalue_reports_less() {
+    let (proteins, synth) = workload();
+    let loose = search_genome(
+        &proteins,
+        &synth.genome,
+        blosum62(),
+        PipelineConfig {
+            max_evalue: 1e-3,
+            ..PipelineConfig::default()
+        },
+    );
+    let strict = search_genome(
+        &proteins,
+        &synth.genome,
+        blosum62(),
+        PipelineConfig {
+            max_evalue: 1e-40,
+            ..PipelineConfig::default()
+        },
+    );
+    assert!(strict.matches.len() <= loose.matches.len());
+    for m in &strict.matches {
+        assert!(m.evalue <= 1e-40);
+    }
+}
+
+#[test]
+fn parallel_index_and_step2_match_scalar() {
+    let (proteins, synth) = workload();
+    let scalar = search_genome(
+        &proteins,
+        &synth.genome,
+        blosum62(),
+        PipelineConfig::default(),
+    );
+    let parallel = search_genome(
+        &proteins,
+        &synth.genome,
+        blosum62(),
+        PipelineConfig {
+            backend: Step2Backend::SoftwareParallel { threads: 4 },
+            index_threads: 4,
+            ..PipelineConfig::default()
+        },
+    );
+    assert_eq!(scalar.output.hsps, parallel.output.hsps);
+    assert_eq!(scalar.matches.len(), parallel.matches.len());
+}
