@@ -57,7 +57,12 @@ const NEG_INF: i32 = i32::MIN / 4;
 /// One direction of affine X-drop extension: align prefixes of `a`
 /// against prefixes of `b`, anchored at `(0,0)`, returning
 /// `(best_score, a_consumed, b_consumed)`.
-fn xdrop_half(matrix: &SubstitutionMatrix, a: &[u8], b: &[u8], cfg: &GapConfig) -> (i32, usize, usize) {
+fn xdrop_half(
+    matrix: &SubstitutionMatrix,
+    a: &[u8],
+    b: &[u8],
+    cfg: &GapConfig,
+) -> (i32, usize, usize) {
     let n = a.len().min(cfg.max_extent);
     let m = b.len().min(cfg.max_extent);
     if n == 0 || m == 0 {
@@ -340,8 +345,16 @@ pub fn banded_global(
             // In banded diagonal coordinates, (i-1, j) is column c+1 of
             // the previous row, (i-1, j-1) is column c, and (i, j-1) is
             // column c-1 of the current row.
-            let up = if c + 1 < width { h_prev[c + 1] } else { NEG_INF };
-            let up_f = if c + 1 < width { f_prev[c + 1] } else { NEG_INF };
+            let up = if c + 1 < width {
+                h_prev[c + 1]
+            } else {
+                NEG_INF
+            };
+            let up_f = if c + 1 < width {
+                f_prev[c + 1]
+            } else {
+                NEG_INF
+            };
             let f_open = up.saturating_add(-(cfg.open + cfg.extend));
             let f_ext = up_f.saturating_add(-cfg.extend);
             let f = f_open.max(f_ext);

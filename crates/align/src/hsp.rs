@@ -110,7 +110,7 @@ mod tests {
     fn cull_drops_contained_duplicates() {
         let hsps = vec![
             hsp(0, 0, 0, 100, 0, 100, 80),
-            hsp(0, 0, 10, 90, 10, 90, 50), // fully inside the first
+            hsp(0, 0, 10, 90, 10, 90, 50),     // fully inside the first
             hsp(0, 0, 200, 250, 200, 250, 40), // disjoint: kept
         ];
         let kept = cull_hsps(hsps, 0.9);
@@ -141,10 +141,7 @@ mod tests {
 
     #[test]
     fn cull_keeps_higher_scoring_on_tie_ranges() {
-        let hsps = vec![
-            hsp(0, 0, 0, 50, 0, 50, 10),
-            hsp(0, 0, 0, 50, 0, 50, 90),
-        ];
+        let hsps = vec![hsp(0, 0, 0, 50, 0, 50, 10), hsp(0, 0, 0, 50, 0, 50, 90)];
         let kept = cull_hsps(hsps, 0.9);
         assert_eq!(kept.len(), 1);
         assert_eq!(kept[0].score, 90);
@@ -159,10 +156,7 @@ mod tests {
     fn cull_requires_overlap_on_both_axes() {
         // Same query range, disjoint subject ranges (repeat in subject):
         // both must be kept.
-        let hsps = vec![
-            hsp(0, 0, 0, 50, 0, 50, 90),
-            hsp(0, 0, 0, 50, 500, 550, 70),
-        ];
+        let hsps = vec![hsp(0, 0, 0, 50, 0, 50, 90), hsp(0, 0, 0, 50, 500, 550, 70)];
         assert_eq!(cull_hsps(hsps, 0.5).len(), 2);
     }
 }

@@ -29,7 +29,14 @@ fn bench_gapped_extend(c: &mut Criterion) {
             &(&a, &hom),
             |bch, (a, hom)| {
                 bch.iter(|| {
-                    gapped_extend(blosum62(), a, hom, len / 2, hom.len() / 2, &GapConfig::default())
+                    gapped_extend(
+                        blosum62(),
+                        a,
+                        hom,
+                        len / 2,
+                        hom.len() / 2,
+                        &GapConfig::default(),
+                    )
                 });
             },
         );

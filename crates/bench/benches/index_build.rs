@@ -2,7 +2,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use psc_datagen::{random_bank, BankConfig};
-use psc_index::{subset_seed_default, subset_seed_span3, ExactSeed, FlatBank, SeedIndex, SeedModel};
+use psc_index::{
+    subset_seed_default, subset_seed_span3, ExactSeed, FlatBank, SeedIndex, SeedModel,
+};
 
 fn bench_index_build(c: &mut Criterion) {
     let bank = random_bank(&BankConfig {

@@ -31,12 +31,7 @@ fn bench_pipeline(c: &mut Criterion) {
                 fpga_count: 1,
                 host_threads: 1,
             };
-            search_genome(
-                &workload.banks[0],
-                &workload.genome.genome,
-                blosum62(),
-                cfg,
-            )
+            search_genome(&workload.banks[0], &workload.genome.genome, blosum62(), cfg)
         });
     });
     group.finish();

@@ -1,6 +1,8 @@
 //! Workload construction for the experiment ladder.
 
-use psc_datagen::{generate_genome, random_bank, BankConfig, GenomeConfig, MutationConfig, SyntheticGenome};
+use psc_datagen::{
+    generate_genome, random_bank, BankConfig, GenomeConfig, MutationConfig, SyntheticGenome,
+};
 use psc_seqio::{Bank, Seq};
 
 use crate::scale::Scale;

@@ -176,7 +176,12 @@ mod tests {
     fn multiple_queries_tracked() {
         let q0 = encode_protein(b"MKV");
         let q1 = encode_protein(b"AMKVA");
-        let lut = QueryLookup::build([q0.as_slice(), q1.as_slice()].into_iter(), blosum62(), 3, 12);
+        let lut = QueryLookup::build(
+            [q0.as_slice(), q1.as_slice()].into_iter(),
+            blosum62(),
+            3,
+            12,
+        );
         let key = lut.key_of(&encode_protein(b"MKV")).unwrap();
         assert!(has(&lut, key, 0, 0));
         assert!(has(&lut, key, 1, 1));

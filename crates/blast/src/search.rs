@@ -266,7 +266,11 @@ mod tests {
         subject.extend_from_slice(&homolog);
         subject.extend_from_slice(&flank1);
 
-        let q = Bank::from_seqs(vec![Seq::from_codes("q", core, psc_seqio::SeqKind::Protein)]);
+        let q = Bank::from_seqs(vec![Seq::from_codes(
+            "q",
+            core,
+            psc_seqio::SeqKind::Protein,
+        )]);
         let s = Bank::from_seqs(vec![Seq::from_codes(
             "s",
             subject,

@@ -62,16 +62,32 @@ fn generate_search_blast_round_trip() {
         .args(["-o", bank.to_str().unwrap()])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     // Generate a genome with plants from the bank.
     let out = psc()
-        .args(["generate-genome", "--len", "15000", "--genes", "4", "--seed", "10"])
+        .args([
+            "generate-genome",
+            "--len",
+            "15000",
+            "--genes",
+            "4",
+            "--seed",
+            "10",
+        ])
         .args(["--bank", bank.to_str().unwrap()])
         .args(["-o", genome.to_str().unwrap()])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let plants = String::from_utf8_lossy(&out.stderr)
         .lines()
         .filter(|l| l.contains("plant:"))
@@ -85,10 +101,17 @@ fn generate_search_blast_round_trip() {
         .args(["--backend", "rasc", "--pes", "64"])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let table = String::from_utf8_lossy(&out.stdout);
     let matches = table.lines().filter(|l| !l.starts_with('#')).count();
-    assert!(matches >= plants, "search found {matches} < {plants} plants:\n{table}");
+    assert!(
+        matches >= plants,
+        "search found {matches} < {plants} plants:\n{table}"
+    );
     assert!(String::from_utf8_lossy(&out.stderr).contains("simulated accelerator"));
 
     // Baseline agrees on the hit count order of magnitude.

@@ -56,7 +56,11 @@ mod tests {
         GenomeMatch {
             protein_idx: 3,
             protein_id: "protX".into(),
-            frame: if forward { Frame::Plus(1) } else { Frame::Minus(0) },
+            frame: if forward {
+                Frame::Plus(1)
+            } else {
+                Frame::Minus(0)
+            },
             genome_start: 99,
             genome_end: 399,
             forward,

@@ -105,12 +105,7 @@ pub fn members_bank(families: &[Family]) -> Bank {
 
 /// Recover the family id encoded in a member/query sequence id.
 pub fn family_of(seq_id: &str) -> Option<usize> {
-    seq_id
-        .strip_prefix("fam")?
-        .split('_')
-        .next()?
-        .parse()
-        .ok()
+    seq_id.strip_prefix("fam")?.split('_').next()?.parse().ok()
 }
 
 #[cfg(test)]

@@ -107,7 +107,9 @@ pub fn generate_genome(config: &GenomeConfig, donors: &Bank) -> SyntheticGenome 
     let at = (1.0 - config.gc_content) / 2.0;
     let gc = config.gc_content / 2.0;
     let base_dist = WeightedIndex::new([at, gc, gc, at]).expect("valid GC content");
-    let mut genome: Vec<u8> = (0..config.len).map(|_| base_dist.sample(&mut rng) as u8).collect();
+    let mut genome: Vec<u8> = (0..config.len)
+        .map(|_| base_dist.sample(&mut rng) as u8)
+        .collect();
 
     // Plant coding regions at non-overlapping positions.
     let mut plants = Vec::with_capacity(config.gene_count);
@@ -174,7 +176,11 @@ pub fn generate_genome(config: &GenomeConfig, donors: &Bank) -> SyntheticGenome 
     plants.sort_by_key(|p| p.start);
 
     SyntheticGenome {
-        genome: Seq::from_codes(format!("synth_genome_{:#x}", config.seed), genome, psc_seqio::SeqKind::Dna),
+        genome: Seq::from_codes(
+            format!("synth_genome_{:#x}", config.seed),
+            genome,
+            psc_seqio::SeqKind::Dna,
+        ),
         plants,
     }
 }

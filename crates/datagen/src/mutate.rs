@@ -54,8 +54,7 @@ impl ConditionalModel {
                             // decides whether a substitution happens.
                             0.0
                         } else {
-                            BACKGROUND[j as usize]
-                                * (lambda * matrix.score(i, j) as f64).exp()
+                            BACKGROUND[j as usize] * (lambda * matrix.score(i, j) as f64).exp()
                         }
                     })
                     .collect();
@@ -85,8 +84,7 @@ impl ConditionalModel {
 /// residues or delete a geometric-length run.
 pub fn mutate_protein(rng: &mut StdRng, ancestor: &[u8], config: &MutationConfig) -> Vec<u8> {
     let model = ConditionalModel::instance();
-    let background =
-        WeightedIndex::new(BACKGROUND).expect("background weights are positive");
+    let background = WeightedIndex::new(BACKGROUND).expect("background weights are positive");
     let mut out = Vec::with_capacity(ancestor.len() + 8);
     let mut i = 0usize;
     while i < ancestor.len() {
@@ -180,7 +178,12 @@ mod tests {
         let m = mutate_protein(&mut r, &ancestor, &cfg);
         let count = |res: u8| m.iter().filter(|&&c| c == res).count();
         // Theory: q(V|I)/q(P|I) = (p_V/p_P)·e^{λ(s_IV - s_IP)} ≈ 8.3.
-        assert!(count(19) > 6 * count(14).max(1), "V={} P={}", count(19), count(14));
+        assert!(
+            count(19) > 6 * count(14).max(1),
+            "V={} P={}",
+            count(19),
+            count(14)
+        );
         assert!(count(10) > 5 * count(14).max(1));
         assert_eq!(count(9), 0, "identity excluded");
     }

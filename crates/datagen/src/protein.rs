@@ -76,7 +76,10 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let cfg = BankConfig::default();
-        let a = random_bank(&BankConfig { count: 5, ..cfg.clone() });
+        let a = random_bank(&BankConfig {
+            count: 5,
+            ..cfg.clone()
+        });
         let b = random_bank(&BankConfig { count: 5, ..cfg });
         for i in 0..5 {
             assert_eq!(a.get(i).residues, b.get(i).residues);
@@ -85,8 +88,18 @@ mod tests {
 
     #[test]
     fn different_seeds_differ() {
-        let a = random_bank(&BankConfig { count: 1, min_len: 200, max_len: 200, seed: 1 });
-        let b = random_bank(&BankConfig { count: 1, min_len: 200, max_len: 200, seed: 2 });
+        let a = random_bank(&BankConfig {
+            count: 1,
+            min_len: 200,
+            max_len: 200,
+            seed: 1,
+        });
+        let b = random_bank(&BankConfig {
+            count: 1,
+            min_len: 200,
+            max_len: 200,
+            seed: 2,
+        });
         assert_ne!(a.get(0).residues, b.get(0).residues);
     }
 

@@ -85,8 +85,8 @@ pub fn self_score(word: &[u8], matrix: &SubstitutionMatrix) -> i32 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use psc_score::blosum62;
     use crate::seed::SeedModel;
+    use psc_score::blosum62;
     use psc_seqio::alphabet::encode_protein;
 
     #[test]

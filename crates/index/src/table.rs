@@ -102,9 +102,7 @@ impl SeedIndex {
                         let writer: DisjointWriter = writer;
                         // SAFETY: every write lands inside this chunk's
                         // cursor ranges, disjoint from all other chunks'.
-                        let out = unsafe {
-                            std::slice::from_raw_parts_mut(writer.0, total)
-                        };
+                        let out = unsafe { std::slice::from_raw_parts_mut(writer.0, total) };
                         scatter_chunk(flat, model, range, cursor, out);
                     });
                 }
@@ -179,7 +177,11 @@ impl SeedIndex {
 
     /// Rebuild from raw parts (deserialization only; the caller has
     /// validated the CSR invariants).
-    pub(crate) fn from_parts(key_count: usize, offsets: Vec<u32>, positions: Vec<u32>) -> SeedIndex {
+    pub(crate) fn from_parts(
+        key_count: usize,
+        offsets: Vec<u32>,
+        positions: Vec<u32>,
+    ) -> SeedIndex {
         debug_assert_eq!(offsets.len(), key_count + 1);
         SeedIndex {
             key_count,
@@ -303,11 +305,15 @@ mod tests {
         let flat = FlatBank::from_bank(&bank);
         let model = ExactSeed::new(3);
         let idx = SeedIndex::build(&flat, &model, 1);
-        let key = model.key(&psc_seqio::alphabet::encode_protein(b"MKV")).unwrap();
+        let key = model
+            .key(&psc_seqio::alphabet::encode_protein(b"MKV"))
+            .unwrap();
         // MKV occurs at global positions 0, 4 (in "MKVLMKVL") and 8 ("MKV").
         assert_eq!(idx.list(key), &[0, 4, 8]);
         // KVL occurs at 1, 5.
-        let key = model.key(&psc_seqio::alphabet::encode_protein(b"KVL")).unwrap();
+        let key = model
+            .key(&psc_seqio::alphabet::encode_protein(b"KVL"))
+            .unwrap();
         assert_eq!(idx.list(key), &[1, 5]);
     }
 

@@ -15,5 +15,7 @@
 pub mod benchmark;
 pub mod metrics;
 
-pub use benchmark::{build_benchmark, evaluate_ranked, Benchmark, BenchmarkConfig, QualityScores, RankedHit};
+pub use benchmark::{
+    build_benchmark, evaluate_ranked, Benchmark, BenchmarkConfig, QualityScores, RankedHit,
+};
 pub use metrics::{average_precision, roc_n};

@@ -163,7 +163,11 @@ pub fn run_via_adr(device: &mut AdrDevice, il0: &[u8], il1: &[u8]) -> (Vec<Hit>,
     device.write(Reg::Il0Count, il0.len() as u64 / l);
     device.write(Reg::Il1Count, il1.len() as u64 / l);
     device.write(Reg::Command, Cmd::Start as u64);
-    assert_eq!(device.read(Reg::Status), Status::Done as u64, "device faulted");
+    assert_eq!(
+        device.read(Reg::Status),
+        Status::Done as u64,
+        "device faulted"
+    );
     let n = device.read(Reg::ResultCount);
     let mut hits = Vec::with_capacity(n as usize);
     for _ in 0..n {

@@ -115,7 +115,10 @@ pub struct RascBoard {
 
 impl RascBoard {
     /// Build a board; every FPGA must fit the configured operator.
-    pub fn new(config: BoardConfig, matrix: &SubstitutionMatrix) -> Result<RascBoard, ResourceError> {
+    pub fn new(
+        config: BoardConfig,
+        matrix: &SubstitutionMatrix,
+    ) -> Result<RascBoard, ResourceError> {
         assert!(
             (1..=2).contains(&config.fpga_count),
             "RASC-100 has one or two FPGAs"
@@ -444,7 +447,10 @@ mod tests {
         assert_eq!(r.bytes_out, (total_hits * 8) as u64);
         assert_eq!(r.hit_count, total_hits as u64);
         // Input: all IL0 + IL1 bytes of both entries (single FPGA).
-        let expect: u64 = entries().iter().map(|e| (e.il0.len() + e.il1.len()) as u64).sum();
+        let expect: u64 = entries()
+            .iter()
+            .map(|e| (e.il0.len() + e.il1.len()) as u64)
+            .sum();
         assert_eq!(r.bytes_in, expect);
         assert!(r.accelerated_seconds > 0.0);
         assert_eq!(r.entries, 2);
@@ -454,9 +460,7 @@ mod tests {
     #[test]
     fn empty_workload() {
         let m = blosum62();
-        let (hits, r) = RascBoard::new(test_config(2), m)
-            .unwrap()
-            .run_workload(&[]);
+        let (hits, r) = RascBoard::new(test_config(2), m).unwrap().run_workload(&[]);
         assert!(hits.is_empty());
         assert_eq!(r.bytes_in, 0);
         assert_eq!(r.sync_seconds, 0.0);

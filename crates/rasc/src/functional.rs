@@ -20,7 +20,10 @@ pub struct FunctionalOperator {
 }
 
 impl FunctionalOperator {
-    pub fn new(config: OperatorConfig, matrix: &SubstitutionMatrix) -> Result<FunctionalOperator, String> {
+    pub fn new(
+        config: OperatorConfig,
+        matrix: &SubstitutionMatrix,
+    ) -> Result<FunctionalOperator, String> {
         config.validate()?;
         Ok(FunctionalOperator {
             config,
@@ -162,7 +165,9 @@ mod tests {
         cfg.threshold = 12;
         cfg.slot_size = 2;
         cfg.fifo_capacity = 4;
-        let il0 = windows(&[b"MKVL", b"GGGG", b"MKVL", b"RNDC", b"MKVL", b"HFYW", b"MKVL"]);
+        let il0 = windows(&[
+            b"MKVL", b"GGGG", b"MKVL", b"RNDC", b"MKVL", b"HFYW", b"MKVL",
+        ]);
         let il1 = windows(&[b"MKVL", b"RNDC"]);
         check_equivalence(cfg, &il0, &il1);
     }

@@ -304,9 +304,18 @@ mod tests {
         let b = encode_protein(b"MKVLAWRNDCQEHFYWGGAML");
         let cfg = GapConfig::default();
         let anchored = gapped_extend(m, &a, &b, 0, 0, &cfg);
-        let (sw, _) =
-            systolic_banded_sw(m, &a[anchored.start0..anchored.end0], &b[anchored.start1..anchored.end1], 64, &cfg);
-        assert!(sw >= anchored.score, "systolic {sw} < anchored {}", anchored.score);
+        let (sw, _) = systolic_banded_sw(
+            m,
+            &a[anchored.start0..anchored.end0],
+            &b[anchored.start1..anchored.end1],
+            64,
+            &cfg,
+        );
+        assert!(
+            sw >= anchored.score,
+            "systolic {sw} < anchored {}",
+            anchored.score
+        );
     }
 
     #[test]
@@ -325,8 +334,14 @@ mod tests {
     #[test]
     fn systolic_empty_inputs() {
         let m = blosum62();
-        assert_eq!(systolic_banded_sw(m, &[], &[1, 2], 8, &GapConfig::default()), (0, 0));
-        assert_eq!(systolic_banded_sw(m, &[1], &[], 8, &GapConfig::default()), (0, 0));
+        assert_eq!(
+            systolic_banded_sw(m, &[], &[1, 2], 8, &GapConfig::default()),
+            (0, 0)
+        );
+        assert_eq!(
+            systolic_banded_sw(m, &[1], &[], 8, &GapConfig::default()),
+            (0, 0)
+        );
     }
 
     #[test]

@@ -42,6 +42,8 @@ pub use board::{BoardConfig, BoardReport, Entry, RascBoard};
 pub use config::{OperatorConfig, DEFAULT_CLOCK_HZ};
 pub use dma::{DmaModel, NUMALINK_BANDWIDTH};
 pub use functional::FunctionalOperator;
-pub use gapped_op::{systolic_banded_sw, GappedOperator, GappedOperatorConfig, GappedOperatorResult};
+pub use gapped_op::{
+    systolic_banded_sw, GappedOperator, GappedOperatorConfig, GappedOperatorResult,
+};
 pub use operator::{EntryResult, Hit, PscOperator};
 pub use resource::{ResourceError, ResourceModel, Utilization};

@@ -26,8 +26,8 @@
 //! * at batch end the remaining results drain (one per cycle) plus `S`
 //!   cycles of cascade flush.
 
-use psc_seqio::alphabet::AA_ALPHABET_LEN;
 use psc_score::SubstitutionMatrix;
+use psc_seqio::alphabet::AA_ALPHABET_LEN;
 
 use crate::config::OperatorConfig;
 use crate::pe::Pe;
@@ -336,13 +336,21 @@ mod tests {
     #[test]
     fn absorb_accumulates() {
         let mut a = EntryResult {
-            hits: vec![Hit { i0: 0, i1: 0, score: 5 }],
+            hits: vec![Hit {
+                i0: 0,
+                i1: 0,
+                score: 5,
+            }],
             cycles: 10,
             stall_cycles: 1,
             busy_pe_cycles: 4,
         };
         a.absorb(EntryResult {
-            hits: vec![Hit { i0: 1, i1: 1, score: 7 }],
+            hits: vec![Hit {
+                i0: 1,
+                i1: 1,
+                score: 7,
+            }],
             cycles: 20,
             stall_cycles: 2,
             busy_pe_cycles: 8,

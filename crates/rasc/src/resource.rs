@@ -156,7 +156,8 @@ mod tests {
     fn absurd_array_rejected() {
         let c = OperatorConfig::new(4000);
         match ResourceModel::check(&c) {
-            Err(ResourceError::SlicesExceeded { .. }) | Err(ResourceError::BramsExceeded { .. }) => {}
+            Err(ResourceError::SlicesExceeded { .. })
+            | Err(ResourceError::BramsExceeded { .. }) => {}
             Ok(u) => panic!("4000 PEs should not fit: {u:?}"),
         }
     }

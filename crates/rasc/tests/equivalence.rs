@@ -23,14 +23,14 @@ struct Case {
 
 fn case() -> impl Strategy<Value = Case> {
     (
-        1usize..12,                // pe_count
-        1usize..6,                 // slot_size
-        2usize..14,                // window_len
-        0i32..40,                  // threshold
-        1usize..12,                // fifo_capacity
-        prop::bool::ANY,           // kernel select
-        0usize..20,                // k0
-        0usize..20,                // k1
+        1usize..12,      // pe_count
+        1usize..6,       // slot_size
+        2usize..14,      // window_len
+        0i32..40,        // threshold
+        1usize..12,      // fifo_capacity
+        prop::bool::ANY, // kernel select
+        0usize..20,      // k0
+        0usize..20,      // k1
     )
         .prop_flat_map(
             |(pe_count, slot_size, window_len, threshold, fifo_capacity, literal, k0, k1)| {

@@ -195,8 +195,8 @@ pub fn build_blosum(name: &str, blocks: &[Block], clustering: f64) -> Substituti
     for ns in AA_STANDARD_LEN..AA_ALPHABET_LEN {
         for other in 0..AA_ALPHABET_LEN {
             let v = match ns {
-                23 => fill,           // '*'
-                _ => -1,              // B, Z, X simplified
+                23 => fill, // '*'
+                _ => -1,    // B, Z, X simplified
             };
             flat[ns * AA_ALPHABET_LEN + other] = v;
             flat[other * AA_ALPHABET_LEN + ns] = v;
@@ -276,8 +276,7 @@ mod tests {
                 n += 1.0;
             }
         }
-        let r = (n * sxy - sx * sy)
-            / ((n * sxx - sx * sx).sqrt() * (n * syy - sy * sy).sqrt());
+        let r = (n * sxy - sx * sy) / ((n * sxx - sx * sx).sqrt() * (n * syy - sy * sy).sqrt());
         assert!(r > 0.6, "correlation with BLOSUM62 too weak: {r:.3}");
     }
 

@@ -321,11 +321,7 @@ mod tests {
     fn blosum62_k_matches_published() {
         // Published K ≈ 0.134.
         let p = ungapped_params(blosum62(), &ROBINSON_FREQS).unwrap();
-        assert!(
-            (p.k - 0.134).abs() < 0.02,
-            "K {} vs published 0.134",
-            p.k
-        );
+        assert!((p.k - 0.134).abs() < 0.02, "K {} vs published 0.134", p.k);
     }
 
     #[test]

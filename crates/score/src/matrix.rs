@@ -24,7 +24,10 @@ impl std::fmt::Debug for SubstitutionMatrix {
 
 impl SubstitutionMatrix {
     /// Build from a flat row-major table.
-    pub fn from_flat(name: impl Into<String>, scores: [i8; AA_ALPHABET_LEN * AA_ALPHABET_LEN]) -> Self {
+    pub fn from_flat(
+        name: impl Into<String>,
+        scores: [i8; AA_ALPHABET_LEN * AA_ALPHABET_LEN],
+    ) -> Self {
         SubstitutionMatrix {
             name: name.into(),
             scores,

@@ -46,9 +46,9 @@ pub fn parse_ncbi_matrix(name: &str, text: &str) -> Result<SubstitutionMatrix, S
         let row = Aa::from_ascii(rb[0])
             .ok_or_else(|| format!("line {}: unknown residue {row_label:?}", lineno + 1))?;
         for (col_idx, field) in fields.enumerate() {
-            let col = *cols.get(col_idx).ok_or_else(|| {
-                format!("line {}: more scores than columns", lineno + 1)
-            })?;
+            let col = *cols
+                .get(col_idx)
+                .ok_or_else(|| format!("line {}: more scores than columns", lineno + 1))?;
             let v: i8 = field
                 .parse()
                 .map_err(|_| format!("line {}: bad score {field:?}", lineno + 1))?;

@@ -133,7 +133,9 @@ mod tests {
 
     #[test]
     fn from_iterator_collects() {
-        let b: Bank = (0..3).map(|i| Seq::protein(format!("s{i}"), b"MKV")).collect();
+        let b: Bank = (0..3)
+            .map(|i| Seq::protein(format!("s{i}"), b"MKV"))
+            .collect();
         assert_eq!(b.len(), 3);
         assert_eq!(b.total_residues(), 9);
     }

@@ -179,9 +179,12 @@ mod tests {
     fn lossy_vs_strict_residues() {
         let bank = parse(">a\nMK?V\n", SeqKind::Protein);
         assert_eq!(bank.get(0).to_ascii(), b"MKXV");
-        let err =
-            read_fasta_with(">a\nMK?V\n".as_bytes(), SeqKind::Protein, ResiduePolicy::Strict)
-                .unwrap_err();
+        let err = read_fasta_with(
+            ">a\nMK?V\n".as_bytes(),
+            SeqKind::Protein,
+            ResiduePolicy::Strict,
+        )
+        .unwrap_err();
         assert!(matches!(err, SeqError::InvalidResidue { byte: b'?', .. }));
     }
 

@@ -110,11 +110,7 @@ impl Seq {
 
 /// Reverse-complement encoded nucleotides.
 pub fn reverse_complement_codes(codes: &[u8]) -> Vec<u8> {
-    codes
-        .iter()
-        .rev()
-        .map(|&c| Nt(c).complement().0)
-        .collect()
+    codes.iter().rev().map(|&c| Nt(c).complement().0).collect()
 }
 
 #[cfg(test)]

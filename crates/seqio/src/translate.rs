@@ -97,11 +97,7 @@ impl TranslatedGenome {
     /// Map an amino-acid interval `[aa_start, aa_end)` of a frame back to
     /// the genomic nucleotide interval `[start, end)` on the forward
     /// strand. Returns `(start, end, is_forward_strand)`.
-    pub fn to_genome_interval(
-        &self,
-        coord: FrameCoord,
-        aa_len: usize,
-    ) -> (usize, usize, bool) {
+    pub fn to_genome_interval(&self, coord: FrameCoord, aa_len: usize) -> (usize, usize, bool) {
         let nt_span = aa_len * 3;
         match coord.frame {
             Frame::Plus(k) => {
@@ -140,7 +136,11 @@ pub fn translate_six_frames(genome: &Seq, code: &GeneticCode) -> TranslatedGenom
             );
             i += 3;
         }
-        Seq::from_codes(format!("{}|frame{}", genome.id, label), residues, SeqKind::Protein)
+        Seq::from_codes(
+            format!("{}|frame{}", genome.id, label),
+            residues,
+            SeqKind::Protein,
+        )
     };
 
     let frames = [

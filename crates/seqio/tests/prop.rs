@@ -3,14 +3,14 @@
 use proptest::prelude::*;
 use psc_seqio::alphabet::{decode_dna, decode_protein, encode_dna, encode_protein, AA_LETTERS};
 use psc_seqio::seq::reverse_complement_codes;
-use psc_seqio::{read_fasta, translate_six_frames, write_fasta, Bank, Frame, FrameCoord, GeneticCode, Seq, SeqKind};
+use psc_seqio::{
+    read_fasta, translate_six_frames, write_fasta, Bank, Frame, FrameCoord, GeneticCode, Seq,
+    SeqKind,
+};
 
 /// Arbitrary protein ASCII drawn from the full 24-letter alphabet.
 fn protein_ascii() -> impl Strategy<Value = Vec<u8>> {
-    proptest::collection::vec(
-        proptest::sample::select(AA_LETTERS.to_vec()),
-        0..200,
-    )
+    proptest::collection::vec(proptest::sample::select(AA_LETTERS.to_vec()), 0..200)
 }
 
 fn dna_ascii() -> impl Strategy<Value = Vec<u8>> {

@@ -72,7 +72,13 @@ fn main() {
 
     // A few familiar exchanges.
     println!("\nscore comparison (rebuilt vs canonical):");
-    for (a, b) in [(b'I', b'V'), (b'K', b'R'), (b'W', b'W'), (b'C', b'G'), (b'A', b'A')] {
+    for (a, b) in [
+        (b'I', b'V'),
+        (b'K', b'R'),
+        (b'W', b'W'),
+        (b'C', b'G'),
+        (b'A', b'A'),
+    ] {
         let (ca, cb) = (
             psc_seqio::Aa::from_ascii_lossy(a),
             psc_seqio::Aa::from_ascii_lossy(b),

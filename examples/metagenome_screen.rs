@@ -108,5 +108,8 @@ fn main() {
         true_pos * 10 >= total_coding * 9,
         "screen should recover ≥90% of coding contigs"
     );
-    assert_eq!(false_pos, 0, "random contigs must not be flagged at E ≤ 1e-3");
+    assert_eq!(
+        false_pos, 0,
+        "random contigs must not be flagged at E ≤ 1e-3"
+    );
 }

@@ -31,9 +31,18 @@ fn main() {
     let out = pipeline.run(&bank0, &bank1, blosum62());
 
     println!("pipeline profile:");
-    println!("  step 1 (indexing):            {:>9.4} s", out.profile.step1);
-    println!("  step 2 (ungapped extension):  {:>9.4} s", out.profile.step2_wall);
-    println!("  step 3 (gapped extension):    {:>9.4} s", out.profile.step3);
+    println!(
+        "  step 1 (indexing):            {:>9.4} s",
+        out.profile.step1
+    );
+    println!(
+        "  step 2 (ungapped extension):  {:>9.4} s",
+        out.profile.step2_wall
+    );
+    println!(
+        "  step 3 (gapped extension):    {:>9.4} s",
+        out.profile.step3
+    );
     println!(
         "  pairs scored: {}   candidates: {}   anchors: {}",
         out.stats.step2.pairs, out.stats.step2.candidates, out.stats.anchors

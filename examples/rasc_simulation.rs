@@ -9,9 +9,7 @@
 //! cargo run --release --example rasc_simulation
 //! ```
 
-use psc_rasc::{
-    FunctionalOperator, OperatorConfig, PscOperator, ResourceModel,
-};
+use psc_rasc::{FunctionalOperator, OperatorConfig, PscOperator, ResourceModel};
 use psc_score::blosum62;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};

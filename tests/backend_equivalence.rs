@@ -34,12 +34,7 @@ fn workload() -> (psc_seqio::Bank, psc_seqio::Seq) {
 #[test]
 fn rasc_backend_matches_software_at_all_array_sizes() {
     let (proteins, genome) = workload();
-    let software = search_genome(
-        &proteins,
-        &genome,
-        blosum62(),
-        PipelineConfig::default(),
-    );
+    let software = search_genome(&proteins, &genome, blosum62(), PipelineConfig::default());
     assert!(!software.output.hsps.is_empty());
     for pe_count in [64, 128, 192] {
         let rasc = search_genome(
@@ -116,7 +111,10 @@ fn more_pes_fewer_cycles() {
     let c128 = cycles_at(128);
     let c192 = cycles_at(192);
     assert!(c64 > c128, "64→128 PEs must reduce cycles: {c64} vs {c128}");
-    assert!(c128 > c192, "128→192 PEs must reduce cycles: {c128} vs {c192}");
+    assert!(
+        c128 > c192,
+        "128→192 PEs must reduce cycles: {c128} vs {c192}"
+    );
     // Sublinear: 3× the PEs cannot give 3× the speed.
     assert!(
         (c64 as f64 / c192 as f64) < 3.0,

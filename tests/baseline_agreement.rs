@@ -68,9 +68,9 @@ fn both_tools_recover_the_same_plants() {
                 && m.genome_start < plant.end
                 && plant.start < m.genome_end
         });
-        let blast_found = blast_intervals.iter().any(|&(q, s, e)| {
-            q == plant.protein_idx && s < plant.end && plant.start < e
-        });
+        let blast_found = blast_intervals
+            .iter()
+            .any(|&(q, s, e)| q == plant.protein_idx && s < plant.end && plant.start < e);
         assert!(pipe_found, "pipeline missed plant {plant:?}");
         assert!(blast_found, "baseline missed plant {plant:?}");
     }

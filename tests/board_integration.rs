@@ -80,7 +80,10 @@ fn dual_fpga_speedup_grows_with_workload() {
         small < large,
         "speedup must grow with workload: {small:.3} vs {large:.3}"
     );
-    assert!(large <= 2.0 + 1e-9, "cannot beat 2× with 2 FPGAs: {large:.3}");
+    assert!(
+        large <= 2.0 + 1e-9,
+        "cannot beat 2× with 2 FPGAs: {large:.3}"
+    );
     assert!(large > 1.2, "large workloads should profit: {large:.3}");
 }
 
