@@ -1,0 +1,656 @@
+//! Batched ungapped-extension engine — inter-pair vectorization of the
+//! paper's step-2 kernel.
+//!
+//! The PSC operator wins on the RASC-100 by keeping one `IL0` window
+//! resident per processing element and streaming every `IL1` window past
+//! it. The software analogue of that data flow is implemented here:
+//!
+//! * a **score profile** ([`ScoreProfile`]) turns one `IL0` window into a
+//!   per-position table of substitution scores indexed by residue code,
+//!   built once and amortized over the whole of `IL1` (the table plays
+//!   the role of the PE's substitution ROM preloaded with one row);
+//! * an **interleaved layout** ([`InterleavedWindows`]) transposes the
+//!   `IL1` windows so that position `p` of [`LANES`] consecutive windows
+//!   is one contiguous 16-byte load — the byte stream an input
+//!   controller would broadcast across the PE array;
+//! * [`score_lanes`] then scores [`LANES`] window pairs per recurrence
+//!   step in 16-bit SIMD lanes (AVX2 on x86-64, an autovectorizable
+//!   lane-array fallback elsewhere), and [`profile_score`] is the
+//!   profile-based scalar kernel used when the batch is too small or the
+//!   accumulator could overflow 16 bits.
+//!
+//! Every path returns max scores **bit-identical** to
+//! [`ungapped_score`](crate::ungapped_score) for both [`Kernel`]
+//! variants; the property tests in `tests/batch_prop.rs` pin that down.
+
+use psc_score::SubstitutionMatrix;
+use psc_seqio::alphabet::AA_ALPHABET_LEN;
+
+use crate::ungapped::Kernel;
+
+/// Window pairs scored per SIMD recurrence step.
+pub const LANES: usize = 16;
+
+/// Bytes per profile position: two 16-byte shuffle tables (codes 0–15
+/// and 16–23; the upper 8 slots of the second table stay zero).
+const PROFILE_STRIDE: usize = 2 * LANES;
+
+/// A concrete step-2 kernel implementation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KernelBackend {
+    /// Per-pair scalar `ungapped_score` (the original baseline).
+    Scalar,
+    /// Score-profile scalar kernel: one table build per `IL0` window,
+    /// then a single indexed load per residue pair.
+    Profile,
+    /// Batched SIMD kernel: score profiles plus 16 i16 lanes over the
+    /// interleaved `IL1` stream.
+    Simd,
+}
+
+impl KernelBackend {
+    /// Short stable name, for stats and profile output.
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelBackend::Scalar => "scalar",
+            KernelBackend::Profile => "profile",
+            KernelBackend::Simd => "simd",
+        }
+    }
+}
+
+/// User-facing kernel selection, resolved once per run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum KernelChoice {
+    /// Pick the fastest backend this host and window support.
+    #[default]
+    Auto,
+    Scalar,
+    Profile,
+    Simd,
+}
+
+impl KernelChoice {
+    /// Parse a CLI-style name.
+    pub fn parse(s: &str) -> Option<KernelChoice> {
+        Some(match s {
+            "auto" => KernelChoice::Auto,
+            "scalar" => KernelChoice::Scalar,
+            "profile" => KernelChoice::Profile,
+            "simd" => KernelChoice::Simd,
+            _ => return None,
+        })
+    }
+
+    /// Resolve to a concrete backend for windows of `window_len` scored
+    /// under `matrix`.
+    ///
+    /// The SIMD path accumulates in 16-bit lanes, so it is only selected
+    /// (or honoured when requested) while `window_len * max_score` fits
+    /// an `i16`; beyond that the profile kernel takes over. `Auto`
+    /// prefers SIMD wherever [`simd_available`] says the host has the
+    /// required instructions.
+    pub fn resolve(self, window_len: usize, matrix: &SubstitutionMatrix) -> KernelBackend {
+        let fits_i16 = simd_window_fits(window_len, matrix);
+        match self {
+            KernelChoice::Scalar => KernelBackend::Scalar,
+            KernelChoice::Profile => KernelBackend::Profile,
+            KernelChoice::Simd if fits_i16 => KernelBackend::Simd,
+            KernelChoice::Simd => KernelBackend::Profile,
+            KernelChoice::Auto if fits_i16 && simd_available() => KernelBackend::Simd,
+            KernelChoice::Auto => KernelBackend::Profile,
+        }
+    }
+}
+
+/// True when the i16 accumulator cannot overflow for this window/matrix
+/// combination (scores are clamped at 0 below, so only the positive side
+/// can grow).
+fn simd_window_fits(window_len: usize, matrix: &SubstitutionMatrix) -> bool {
+    let max = matrix.max_score().max(0) as i64;
+    (window_len as i64) * max <= i16::MAX as i64
+}
+
+/// Does this host have the SIMD instructions the fast path wants?
+///
+/// Without them [`score_lanes`] still works (the lane-array fallback is
+/// plain safe Rust the compiler autovectorizes), so this only steers
+/// `Auto` away from a path with no hardware win.
+pub fn simd_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx2")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Per-position substitution-score table for one `IL0` window.
+///
+/// Row `p` holds `matrix.score(window[p], c)` for every residue code
+/// `c`, laid out as two 16-byte halves so the SIMD path can use them as
+/// byte-shuffle tables directly. Building a profile costs one row copy
+/// per position and is amortized over every `IL1` window scored against
+/// it — the software analogue of loading a PE's substitution ROM once
+/// and streaming the bank past it.
+#[derive(Clone, Debug, Default)]
+pub struct ScoreProfile {
+    data: Vec<i8>,
+    len: usize,
+}
+
+impl ScoreProfile {
+    pub fn new() -> ScoreProfile {
+        ScoreProfile::default()
+    }
+
+    /// (Re)build the profile for `window`, reusing the allocation.
+    pub fn build(&mut self, matrix: &SubstitutionMatrix, window: &[u8]) {
+        self.len = window.len();
+        self.data.clear();
+        self.data.resize(window.len() * PROFILE_STRIDE, 0);
+        let flat = matrix.flat();
+        for (p, &a) in window.iter().enumerate() {
+            debug_assert!((a as usize) < AA_ALPHABET_LEN);
+            let row = &mut self.data[p * PROFILE_STRIDE..][..AA_ALPHABET_LEN];
+            row.copy_from_slice(&flat[a as usize * AA_ALPHABET_LEN..][..AA_ALPHABET_LEN]);
+        }
+    }
+
+    /// Window length this profile was built for.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Substitution score at window position `p` against residue `c`.
+    #[cfg(test)]
+    fn score(&self, p: usize, c: u8) -> i32 {
+        self.data[p * PROFILE_STRIDE + c as usize] as i32
+    }
+}
+
+/// Profile-based scalar kernel: bit-identical to
+/// [`ungapped_score`](crate::ungapped_score) on the window the profile
+/// was built from, one indexed byte load per residue pair.
+///
+/// The row walk keeps the whole lookup inside one 32-byte profile row
+/// (`chunks_exact` + a masked index, so the compiler drops every bounds
+/// check) and carries no dependence on the `IL0` residues — the two
+/// things that make it faster than the `matrix.score(a, b)` baseline.
+#[inline]
+pub fn profile_score(kernel: Kernel, profile: &ScoreProfile, w1: &[u8]) -> i32 {
+    debug_assert_eq!(profile.len(), w1.len());
+    let mut score = 0i32;
+    let mut max_score = 0i32;
+    let rows = profile.data.chunks_exact(PROFILE_STRIDE);
+    match kernel {
+        Kernel::ClampedSum => {
+            for (row, &b) in rows.zip(w1) {
+                // The mask keeps the index inside the 32-byte row
+                // (residue codes are < 24 by construction).
+                let sub = row[(b & 0x1f) as usize] as i32;
+                score = (score + sub).max(0);
+                max_score = max_score.max(score);
+            }
+        }
+        Kernel::PaperLiteral => {
+            for (row, &b) in rows.zip(w1) {
+                let sub = row[(b & 0x1f) as usize] as i32;
+                score = score.max(score + sub);
+                max_score = max_score.max(score);
+            }
+        }
+    }
+    max_score
+}
+
+/// Profile kernel over two windows at once.
+///
+/// The two recurrences are independent, so the CPU overlaps their
+/// latency chains — this is what makes the profile *backend* faster
+/// than the per-pair baseline even without SIMD, and it is the shape
+/// the batch scorer feeds when it falls back to scalar code.
+#[inline]
+pub fn profile_score2(
+    kernel: Kernel,
+    profile: &ScoreProfile,
+    w1a: &[u8],
+    w1b: &[u8],
+) -> (i32, i32) {
+    debug_assert_eq!(profile.len(), w1a.len());
+    debug_assert_eq!(profile.len(), w1b.len());
+    let mut sa = 0i32;
+    let mut ma = 0i32;
+    let mut sb = 0i32;
+    let mut mb = 0i32;
+    let rows = profile.data.chunks_exact(PROFILE_STRIDE);
+    match kernel {
+        Kernel::ClampedSum => {
+            for ((row, &a), &b) in rows.zip(w1a).zip(w1b) {
+                sa = (sa + row[(a & 0x1f) as usize] as i32).max(0);
+                sb = (sb + row[(b & 0x1f) as usize] as i32).max(0);
+                ma = ma.max(sa);
+                mb = mb.max(sb);
+            }
+        }
+        Kernel::PaperLiteral => {
+            for ((row, &a), &b) in rows.zip(w1a).zip(w1b) {
+                sa = sa.max(sa + row[(a & 0x1f) as usize] as i32);
+                sb = sb.max(sb + row[(b & 0x1f) as usize] as i32);
+                ma = ma.max(sa);
+                mb = mb.max(sb);
+            }
+        }
+    }
+    (ma, mb)
+}
+
+/// `IL1` windows transposed into position-major (interleaved) order.
+///
+/// `data[p * stride + j]` is residue `p` of window `j`; the lane stride
+/// is padded up to a multiple of [`LANES`] (pad windows read as residue
+/// 0 and their scores are simply never consumed). This is the transpose
+/// an input controller performs when it broadcasts the `IL1` byte stream
+/// across the PE array one residue per cycle.
+#[derive(Clone, Debug, Default)]
+pub struct InterleavedWindows {
+    data: Vec<u8>,
+    len: usize,
+    count: usize,
+    stride: usize,
+}
+
+impl InterleavedWindows {
+    pub fn new() -> InterleavedWindows {
+        InterleavedWindows::default()
+    }
+
+    /// (Re)fill from `count` row-major windows of length `len` packed
+    /// back to back in `windows` (the `gather_windows` layout).
+    pub fn build(&mut self, windows: &[u8], len: usize) {
+        let count = windows.len().checked_div(len).unwrap_or(0);
+        debug_assert_eq!(count * len, windows.len());
+        self.len = len;
+        self.count = count;
+        self.stride = count.div_ceil(LANES) * LANES;
+        self.data.clear();
+        self.data.resize(len * self.stride, 0);
+        if len == 0 {
+            return;
+        }
+        for (j, w) in windows.chunks_exact(len).enumerate() {
+            for (p, &c) in w.iter().enumerate() {
+                self.data[p * self.stride + j] = c;
+            }
+        }
+    }
+
+    /// Number of real (non-pad) windows.
+    #[inline]
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Window length.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Residues of lane block `j0..j0+LANES` at window position `p`.
+    /// Lane `j` holds window `j0 + j`'s residue (0 for pad lanes).
+    #[inline(always)]
+    pub fn lane_codes(&self, p: usize, j0: usize) -> &[u8] {
+        &self.data[p * self.stride + j0..][..LANES]
+    }
+}
+
+/// Score one lane block: windows `j0 .. j0+LANES` of `il1` against
+/// `profile`, writing [`LANES`] max scores into `out`.
+///
+/// `j0` must be a multiple of [`LANES`] and within the padded stride;
+/// scores of pad lanes are meaningless and must be ignored by the
+/// caller. Results are bit-identical to the scalar kernels as long as
+/// `profile.len() * matrix.max_score()` fits an `i16` (see
+/// [`KernelChoice::resolve`]).
+#[inline]
+pub fn score_lanes(
+    kernel: Kernel,
+    profile: &ScoreProfile,
+    il1: &InterleavedWindows,
+    j0: usize,
+    out: &mut [i32; LANES],
+) {
+    debug_assert_eq!(profile.len(), il1.len());
+    debug_assert_eq!(j0 % LANES, 0);
+    debug_assert!(j0 + LANES <= il1.stride);
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: AVX2 confirmed present at runtime.
+            unsafe { x86::score_lanes_avx2(kernel, profile, il1, j0, out) };
+            return;
+        }
+    }
+    score_lanes_fallback(kernel, profile, il1, j0, out);
+}
+
+/// Portable lane-array kernel: the same 16-lane recurrence written as
+/// plain array arithmetic for the compiler to autovectorize. Used when
+/// the host lacks AVX2 but a SIMD backend was requested explicitly.
+fn score_lanes_fallback(
+    kernel: Kernel,
+    profile: &ScoreProfile,
+    il1: &InterleavedWindows,
+    j0: usize,
+    out: &mut [i32; LANES],
+) {
+    let mut score = [0i16; LANES];
+    let mut max_score = [0i16; LANES];
+    for p in 0..profile.len() {
+        let codes = il1.lane_codes(p, j0);
+        let row = &profile.data[p * PROFILE_STRIDE..][..PROFILE_STRIDE];
+        match kernel {
+            Kernel::ClampedSum => {
+                for l in 0..LANES {
+                    let s = (score[l] + row[codes[l] as usize] as i16).max(0);
+                    score[l] = s;
+                    max_score[l] = max_score[l].max(s);
+                }
+            }
+            Kernel::PaperLiteral => {
+                // `score = max(score, score + sub)` only ever adds the
+                // positive part, so the running score is the maximum.
+                for l in 0..LANES {
+                    score[l] += (row[codes[l] as usize] as i16).max(0);
+                }
+            }
+        }
+    }
+    let final_v = match kernel {
+        Kernel::ClampedSum => max_score,
+        Kernel::PaperLiteral => score,
+    };
+    for l in 0..LANES {
+        out[l] = final_v[l] as i32;
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use super::*;
+    use core::arch::x86_64::*;
+
+    /// AVX2 16-lane kernel. One recurrence step is: a 16-byte load of
+    /// residue codes, a two-table byte shuffle against the profile row
+    /// (codes 0–15 from the low table, 16–23 from the high table), a
+    /// sign-extend to i16, then the add/max gates of the PE datapath —
+    /// for 16 window pairs at once.
+    ///
+    /// # Safety
+    /// Caller must ensure AVX2 is available.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn score_lanes_avx2(
+        kernel: Kernel,
+        profile: &ScoreProfile,
+        il1: &InterleavedWindows,
+        j0: usize,
+        out: &mut [i32; LANES],
+    ) {
+        let l = profile.len();
+        let stride = il1.stride;
+        let codes_base = il1.data.as_ptr().add(j0);
+        let prof_base = profile.data.as_ptr();
+        let zero = _mm256_setzero_si256();
+        let fifteen = _mm_set1_epi8(15);
+        let mut score = zero;
+        let mut max_score = zero;
+        for p in 0..l {
+            let codes = _mm_loadu_si128(codes_base.add(p * stride) as *const __m128i);
+            let row = prof_base.add(p * PROFILE_STRIDE);
+            let lo = _mm_loadu_si128(row as *const __m128i);
+            let hi = _mm_loadu_si128(row.add(LANES) as *const __m128i);
+            // pshufb indexes by the low 4 bits, which for codes 16..24
+            // is exactly `code - 16` — select the matching table.
+            let from_hi = _mm_cmpgt_epi8(codes, fifteen);
+            let sub8 = _mm_blendv_epi8(
+                _mm_shuffle_epi8(lo, codes),
+                _mm_shuffle_epi8(hi, codes),
+                from_hi,
+            );
+            let sub = _mm256_cvtepi8_epi16(sub8);
+            match kernel {
+                Kernel::ClampedSum => {
+                    score = _mm256_max_epi16(_mm256_add_epi16(score, sub), zero);
+                    max_score = _mm256_max_epi16(max_score, score);
+                }
+                Kernel::PaperLiteral => {
+                    score = _mm256_add_epi16(score, _mm256_max_epi16(sub, zero));
+                }
+            }
+        }
+        let final_v = match kernel {
+            Kernel::ClampedSum => max_score,
+            Kernel::PaperLiteral => score,
+        };
+        let lo32 = _mm256_cvtepi16_epi32(_mm256_castsi256_si128(final_v));
+        let hi32 = _mm256_cvtepi16_epi32(_mm256_extracti128_si256(final_v, 1));
+        _mm256_storeu_si256(out.as_mut_ptr() as *mut __m256i, lo32);
+        _mm256_storeu_si256(out.as_mut_ptr().add(8) as *mut __m256i, hi32);
+    }
+}
+
+/// Score every window of `il1` against `profile` under `backend`,
+/// appending one max score per window to `out` in window order.
+///
+/// This is the convenience entry point (tests, benches, small batches);
+/// the tiled step-2 loop drives [`score_lanes`] directly.
+#[allow(clippy::too_many_arguments)]
+pub fn score_batch(
+    backend: KernelBackend,
+    kernel: Kernel,
+    matrix: &SubstitutionMatrix,
+    w0: &[u8],
+    profile: &ScoreProfile,
+    il1_rowmajor: &[u8],
+    il1: &InterleavedWindows,
+    out: &mut Vec<i32>,
+) {
+    match backend {
+        KernelBackend::Scalar => {
+            let l = w0.len();
+            if l == 0 {
+                out.extend(std::iter::repeat_n(0, il1.count()));
+                return;
+            }
+            for w1 in il1_rowmajor.chunks_exact(l) {
+                out.push(crate::ungapped_score(kernel, matrix, w0, w1));
+            }
+        }
+        KernelBackend::Profile => {
+            let l = profile.len();
+            if l == 0 {
+                out.extend(std::iter::repeat_n(0, il1.count()));
+                return;
+            }
+            let mut pairs = il1_rowmajor.chunks_exact(2 * l);
+            for two in &mut pairs {
+                let (a, b) = profile_score2(kernel, profile, &two[..l], &two[l..]);
+                out.push(a);
+                out.push(b);
+            }
+            let rem = pairs.remainder();
+            if !rem.is_empty() {
+                out.push(profile_score(kernel, profile, rem));
+            }
+        }
+        KernelBackend::Simd => {
+            let mut lanes = [0i32; LANES];
+            let mut j = 0;
+            while j < il1.count() {
+                score_lanes(kernel, profile, il1, j, &mut lanes);
+                let take = LANES.min(il1.count() - j);
+                out.extend_from_slice(&lanes[..take]);
+                j += LANES;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ungapped_score;
+    use psc_score::blosum62;
+    use psc_score::matrix::match_mismatch;
+
+    fn windows(seed: u64, count: usize, len: usize) -> Vec<u8> {
+        // Simple deterministic LCG residue stream over the full alphabet.
+        let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15) | 1;
+        (0..count * len)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((state >> 33) % AA_ALPHABET_LEN as u64) as u8
+            })
+            .collect()
+    }
+
+    fn check_all_backends(w0: &[u8], il1_rows: &[u8], len: usize) {
+        let m = blosum62();
+        let mut profile = ScoreProfile::new();
+        profile.build(m, w0);
+        let mut il1 = InterleavedWindows::new();
+        il1.build(il1_rows, len);
+        for kernel in [Kernel::ClampedSum, Kernel::PaperLiteral] {
+            let expect: Vec<i32> = if len == 0 {
+                vec![0; il1.count()]
+            } else {
+                il1_rows
+                    .chunks_exact(len)
+                    .map(|w1| ungapped_score(kernel, m, w0, w1))
+                    .collect()
+            };
+            for backend in [
+                KernelBackend::Scalar,
+                KernelBackend::Profile,
+                KernelBackend::Simd,
+            ] {
+                let mut got = Vec::new();
+                score_batch(backend, kernel, m, w0, &profile, il1_rows, &il1, &mut got);
+                assert_eq!(got, expect, "{backend:?} {kernel:?} len={len}");
+            }
+        }
+    }
+
+    #[test]
+    fn backends_agree_across_shapes() {
+        for (seed, count, len) in [
+            (1, 1, 1),
+            (2, 16, 60),
+            (3, 17, 60), // one lane block + 1 tail window
+            (4, 5, 7),   // sub-lane batch, odd length
+            (5, 48, 33), // several blocks, non-lane-multiple length
+            (6, 3, 0),   // empty windows
+            (7, 0, 12),  // empty IL1
+        ] {
+            let w0 = windows(seed, 1, len);
+            let il1 = windows(seed ^ 0xff, count, len);
+            check_all_backends(&w0, &il1, len);
+        }
+    }
+
+    #[test]
+    fn profile_matches_matrix_rows() {
+        let m = blosum62();
+        let w0 = windows(11, 1, 24);
+        let mut p = ScoreProfile::new();
+        p.build(m, &w0);
+        for (pos, &a) in w0.iter().enumerate() {
+            for c in 0..AA_ALPHABET_LEN as u8 {
+                assert_eq!(p.score(pos, c), m.score(a, c));
+            }
+        }
+    }
+
+    #[test]
+    fn interleave_round_trips() {
+        let len = 9;
+        let rows = windows(21, 20, len);
+        let mut il = InterleavedWindows::new();
+        il.build(&rows, len);
+        assert_eq!(il.count(), 20);
+        assert_eq!(il.stride, 32);
+        for (j, w) in rows.chunks_exact(len).enumerate() {
+            for (p, &c) in w.iter().enumerate() {
+                assert_eq!(il.data[p * il.stride + j], c);
+            }
+        }
+        // Pad lanes read as residue 0.
+        assert_eq!(il.data[20], 0);
+    }
+
+    #[test]
+    fn resolve_honours_overflow_guard() {
+        let m = blosum62(); // max score 11
+        assert_eq!(KernelChoice::Simd.resolve(60, m), KernelBackend::Simd);
+        // 4000 * 11 > i16::MAX → profile fallback.
+        assert_eq!(KernelChoice::Simd.resolve(4000, m), KernelBackend::Profile);
+        assert_eq!(KernelChoice::Scalar.resolve(60, m), KernelBackend::Scalar);
+        let auto = KernelChoice::Auto.resolve(60, m);
+        assert_ne!(auto, KernelBackend::Scalar);
+        // A pathological matrix can force the fallback at any length.
+        let hot = match_mismatch("HOT", 127, -1);
+        assert_eq!(
+            KernelChoice::Simd.resolve(300, &hot),
+            KernelBackend::Profile
+        );
+    }
+
+    #[test]
+    fn extreme_matrix_scores_stay_exact() {
+        // ±127 scores stress the i8 tables and i16 accumulation paths.
+        let m = match_mismatch("MM", 127, -128);
+        let len = 40;
+        let w0 = windows(31, 1, len);
+        let rows = windows(32, 33, len);
+        let mut profile = ScoreProfile::new();
+        profile.build(&m, &w0);
+        let mut il1 = InterleavedWindows::new();
+        il1.build(&rows, len);
+        for kernel in [Kernel::ClampedSum, Kernel::PaperLiteral] {
+            let expect: Vec<i32> = rows
+                .chunks_exact(len)
+                .map(|w1| ungapped_score(kernel, &m, &w0, w1))
+                .collect();
+            for backend in [KernelBackend::Profile, KernelBackend::Simd] {
+                let mut got = Vec::new();
+                score_batch(backend, kernel, &m, &w0, &profile, &rows, &il1, &mut got);
+                assert_eq!(got, expect, "{backend:?} {kernel:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn choice_parses() {
+        assert_eq!(KernelChoice::parse("auto"), Some(KernelChoice::Auto));
+        assert_eq!(KernelChoice::parse("scalar"), Some(KernelChoice::Scalar));
+        assert_eq!(KernelChoice::parse("profile"), Some(KernelChoice::Profile));
+        assert_eq!(KernelChoice::parse("simd"), Some(KernelChoice::Simd));
+        assert_eq!(KernelChoice::parse("fpga"), None);
+    }
+}

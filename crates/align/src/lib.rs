@@ -6,16 +6,24 @@
 //!   (step 2 — the code the PSC operator implements in hardware), in the
 //!   two published variants, plus the X-drop ungapped extension NCBI
 //!   BLAST uses (for the baseline);
+//! * [`batch`]: the batched ungapped engine — score profiles,
+//!   interleaved window layout and 16-lane SIMD scoring of many window
+//!   pairs at once (the software analogue of the PE array's data flow);
 //! * [`gapped`]: gapped extension (step 3) — affine-gap X-drop extension
 //!   to find high-scoring ranges, banded global alignment for traceback;
 //! * [`hsp`]: high-scoring segment pair bookkeeping — scores, E-values,
 //!   deduplication and culling.
 
+pub mod batch;
 pub mod gapped;
 pub mod hsp;
 pub mod report;
 pub mod ungapped;
 
+pub use batch::{
+    profile_score, profile_score2, score_batch, score_lanes, simd_available, InterleavedWindows,
+    KernelBackend, KernelChoice, ScoreProfile, LANES,
+};
 pub use gapped::{banded_global, gapped_extend, AlignOp, Alignment, GapConfig, GappedHit};
 pub use hsp::{cull_hsps, Hsp};
 pub use report::{format_pairwise, AlignmentSummary};

@@ -1,0 +1,118 @@
+//! Property tests for the batched ungapped engine: every backend
+//! (profile scalar, interleaved SIMD) must be bit-identical to the
+//! reference `ungapped_score` kernel on arbitrary windows — including
+//! odd lengths, non-lane-multiple batch sizes and both kernel variants.
+
+use proptest::prelude::*;
+use psc_align::{
+    profile_score, score_batch, ungapped_score, InterleavedWindows, Kernel, KernelBackend,
+    KernelChoice, ScoreProfile, LANES,
+};
+use psc_score::blosum62;
+use psc_score::matrix::match_mismatch;
+use psc_seqio::alphabet::AA_ALPHABET_LEN;
+
+fn residues(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(0u8..AA_ALPHABET_LEN as u8, len)
+}
+
+/// A batch of `n` subject windows of length `len`, row-major.
+fn window_batch() -> impl Strategy<Value = (Vec<u8>, usize)> {
+    (1usize..40, 0usize..37).prop_flat_map(|(len, n)| {
+        proptest::collection::vec(0u8..AA_ALPHABET_LEN as u8, len * n).prop_map(move |v| (v, len))
+    })
+}
+
+proptest! {
+    /// The profile-based scalar kernel is bit-identical to
+    /// `ungapped_score` for both kernel variants.
+    #[test]
+    fn profile_matches_reference(s0 in residues(0..80), s1 in residues(0..80)) {
+        let n = s0.len().min(s1.len());
+        let (s0, s1) = (&s0[..n], &s1[..n]);
+        let m = blosum62();
+        let mut prof = ScoreProfile::default();
+        prof.build(m, s0);
+        for kernel in [Kernel::ClampedSum, Kernel::PaperLiteral] {
+            prop_assert_eq!(
+                profile_score(kernel, &prof, s1),
+                ungapped_score(kernel, m, s0, s1)
+            );
+        }
+    }
+
+    /// Every backend agrees with the reference on whole batches,
+    /// including batch sizes that are not multiples of the SIMD lane
+    /// count and windows of odd length.
+    #[test]
+    fn backends_match_reference_on_batches(
+        (il1, len) in window_batch(),
+        s0 in residues(1..40),
+        kernel in prop_oneof![Just(Kernel::ClampedSum), Just(Kernel::PaperLiteral)],
+    ) {
+        let m = blosum62();
+        let w0: Vec<u8> = s0.iter().cycle().take(len).copied().collect();
+        let mut prof = ScoreProfile::default();
+        prof.build(m, &w0);
+        let mut inter = InterleavedWindows::default();
+        inter.build(&il1, len);
+        prop_assert_eq!(inter.count(), il1.len() / len);
+
+        let expected: Vec<i32> = il1
+            .chunks_exact(len)
+            .map(|w1| ungapped_score(kernel, m, &w0, w1))
+            .collect();
+        for backend in [KernelBackend::Scalar, KernelBackend::Profile, KernelBackend::Simd] {
+            if backend == KernelBackend::Simd && !psc_align::simd_available() {
+                continue;
+            }
+            let mut out = Vec::new();
+            score_batch(backend, kernel, m, &w0, &prof, &il1, &inter, &mut out);
+            prop_assert_eq!(&out, &expected, "backend {:?}", backend);
+        }
+    }
+
+    /// Bit-identity also holds under a matrix with a wider dynamic range
+    /// than BLOSUM62 (large match/mismatch scores stress the i16 lanes'
+    /// overflow guard — `resolve` must refuse SIMD when it cannot hold).
+    #[test]
+    fn wide_scores_stay_exact(
+        (il1, len) in window_batch(),
+        s0 in residues(1..40),
+        mat in 1i8..=127,
+        mis in -128i8..=0,
+    ) {
+        let m = match_mismatch("wide", mat, mis);
+        let w0: Vec<u8> = s0.iter().cycle().take(len).copied().collect();
+        let mut prof = ScoreProfile::default();
+        prof.build(&m, &w0);
+        let mut inter = InterleavedWindows::default();
+        inter.build(&il1, len);
+
+        let backend = KernelChoice::Auto.resolve(len, &m);
+        let expected: Vec<i32> = il1
+            .chunks_exact(len)
+            .map(|w1| ungapped_score(Kernel::ClampedSum, &m, &w0, w1))
+            .collect();
+        let mut out = Vec::new();
+        score_batch(backend, Kernel::ClampedSum, &m, &w0, &prof, &il1, &inter, &mut out);
+        prop_assert_eq!(&out, &expected, "backend {:?}", backend);
+    }
+
+    /// The interleaved layout is a faithful transpose: lane j of block
+    /// `j0` at position `p` is window `j0+j`'s residue `p`.
+    #[test]
+    fn interleave_roundtrips((il1, len) in window_batch()) {
+        let mut inter = InterleavedWindows::default();
+        inter.build(&il1, len);
+        let n = inter.count();
+        for (j, w1) in il1.chunks_exact(len).enumerate() {
+            let block = j / LANES * LANES;
+            let lane = j % LANES;
+            for (p, &b) in w1.iter().enumerate() {
+                prop_assert_eq!(inter.lane_codes(p, block)[lane], b);
+            }
+        }
+        prop_assert_eq!(n, il1.len() / len.max(1));
+    }
+}

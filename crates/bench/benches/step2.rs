@@ -2,7 +2,7 @@
 //! Table 4, in miniature).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use psc_align::Kernel;
+use psc_align::{Kernel, KernelChoice};
 use psc_core::step2::{run_software, Step2Params};
 use psc_datagen::{random_bank, BankConfig};
 use psc_index::{subset_seed_span3, FlatBank, SeedIndex};
@@ -34,6 +34,7 @@ fn bench_step2(c: &mut Criterion) {
         span: 3,
         n_ctx: 28,
         threshold: 45,
+        kernel_backend: KernelChoice::Scalar,
     };
 
     let mut group = c.benchmark_group("step2_software");

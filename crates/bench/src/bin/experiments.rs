@@ -5,6 +5,7 @@
 //!   what ∈ table1 table2 table3 table4 table5 table6 table7
 //!          fig1 fig2 fig3
 //!          ablation-kernel ablation-seed ablation-twohit
+//!          step2-kernels   (writes BENCH_step2_kernels.json)
 //!          all
 //! ```
 
@@ -22,7 +23,7 @@ fn main() {
         .map(String::as_str)
         .collect();
     if wants.is_empty() {
-        eprintln!("usage: experiments [--quick] <table1..table7|fig1..fig3|ablation-*|extension-step3|all>");
+        eprintln!("usage: experiments [--quick] <table1..table7|fig1..fig3|ablation-*|step2-kernels|extension-step3|all>");
         std::process::exit(2);
     }
     let all = wants.contains(&"all");
@@ -47,8 +48,12 @@ fn main() {
     let comps = Components {
         baseline: want("table2") || want("table5"),
         scalar: want("table4") || want("table5"),
-        rasc: want("table2") || want("table3") || want("table4") || want("table5")
-            || want("table7") || want("fig3"),
+        rasc: want("table2")
+            || want("table3")
+            || want("table4")
+            || want("table5")
+            || want("table7")
+            || want("fig3"),
         dual: want("table3"),
     };
     let rows = if comps.baseline || comps.scalar || comps.rasc || comps.dual {
@@ -108,6 +113,9 @@ fn main() {
     }
     if want("ablation-masking") {
         exps::ablation_masking();
+    }
+    if want("step2-kernels") {
+        exps::step2_kernels(&workload);
     }
     if want("extension-step3") {
         exps::extension_step3(&workload);

@@ -21,12 +21,13 @@ use crate::report::{ratio, secs, Table};
 pub fn table1(workload: &Workload) {
     println!("## Table 1 — % time per step (sequential software, largest bank)");
     println!("   paper: step1 0.3%   step2 97%   step3 2.7%\n");
-    let r = search_genome(
-        &workload.banks[3],
-        &workload.genome.genome,
-        blosum62(),
-        experiment_config(),
-    );
+    // Pin the plain scalar kernel: this table is the paper's sequential
+    // software profile, which the SIMD batch engine would flatten.
+    let cfg = PipelineConfig {
+        step2_kernel: psc_core::KernelChoice::Scalar,
+        ..experiment_config()
+    };
+    let r = search_genome(&workload.banks[3], &workload.genome.genome, blosum62(), cfg);
     let (p1, p2, p3) = r.output.profile.percentages();
     let mut t = Table::new(&["", "step 1", "step 2", "step 3"]);
     t.row(vec![
@@ -51,11 +52,20 @@ pub fn table2(rows: &[LadderRow]) {
     println!("## Table 2 — overall performance, baseline vs RASC (seconds)");
     println!("   paper speedups: 1K 4.7–5.4×, 3K 8.1–11.2×, 10K 10.8–16.6×, 30K 11.8–19.3×\n");
     let mut t = Table::new(&[
-        "bank", "tblastn", "RASC 64 PE", "Speedup", "RASC 128 PE", "Speedup", "RASC 192 PE",
+        "bank",
+        "tblastn",
+        "RASC 64 PE",
+        "Speedup",
+        "RASC 128 PE",
+        "Speedup",
+        "RASC 192 PE",
         "Speedup",
     ]);
     for row in rows {
-        let base = row.baseline.expect("table2 needs the baseline").total_seconds;
+        let base = row
+            .baseline
+            .expect("table2 needs the baseline")
+            .total_seconds;
         let mut cells = vec![row.label.clone(), secs(base)];
         for run in &row.rasc {
             let total = run.profile.total();
@@ -105,7 +115,12 @@ pub fn table4(rows: &[LadderRow]) {
         "Speedup",
     ]);
     for row in rows {
-        let seq = row.scalar.as_ref().expect("table4 needs scalar run").0.step2_wall;
+        let seq = row
+            .scalar
+            .as_ref()
+            .expect("table4 needs scalar run")
+            .0
+            .step2_wall;
         let mut cells = vec![row.label.clone(), secs(seq)];
         for run in &row.rasc {
             let accel = run
@@ -140,7 +155,10 @@ pub fn table5(rows: &[LadderRow], workload: &Workload) {
     t.row(vec!["FLASH/FPGA (paper)".into(), "451".into()]);
     t.row(vec!["Systolic peak (paper)".into(), "863".into()]);
     t.row(vec!["1/2 RASC-100 (paper)".into(), "620".into()]);
-    t.row(vec!["1/2 RASC-100 (this reproduction)".into(), format!("{ours:.0}")]);
+    t.row(vec![
+        "1/2 RASC-100 (this reproduction)".into(),
+        format!("{ours:.0}"),
+    ]);
     t.print();
     println!("\n   (absolute throughput scales with workload size; the paper's point is the");
     println!("    ranking of the seed-based FPGA designs over sensitive/systolic ones)\n");
@@ -172,7 +190,10 @@ pub fn table6(quick: bool) {
         genome_slack: 3.0,
         seed: 0x6a11,
     });
-    eprintln!("[table6] benchmark: {families} families, genome {} nt", bench.genome.len());
+    eprintln!(
+        "[table6] benchmark: {families} families, genome {} nt",
+        bench.genome.len()
+    );
 
     // Pipeline (the "FPGA-RASC" row — identical results to the RASC
     // backend by the backend-equivalence tests; run on software for
@@ -640,7 +661,10 @@ pub fn ablation_masking() {
         "plants recovered",
         "step2 (s)",
     ]);
-    for (mask, label) in [(None, "off"), (Some(psc_seqio::MaskConfig::default()), "on")] {
+    for (mask, label) in [
+        (None, "off"),
+        (Some(psc_seqio::MaskConfig::default()), "on"),
+    ] {
         let cfg = PipelineConfig {
             mask,
             ..experiment_config()
@@ -707,4 +731,97 @@ pub fn ablation_twohit(workload: &Workload) {
     }
     t.print();
     println!();
+}
+
+/// Step-2 software kernel shoot-out — scalar vs profile vs SIMD on the
+/// same indexed workload, written to `BENCH_step2_kernels.json`.
+///
+/// The software analogue of the paper's Table 4 question ("how fast can
+/// step 2 go?"), answered on the host CPU instead of the PE array. All
+/// backends must produce identical candidate sets; this asserts it.
+pub fn step2_kernels(workload: &Workload) {
+    use psc_core::step2::{run_software, Step2Params};
+    use psc_core::KernelChoice;
+    use psc_index::{subset_seed_span3, FlatBank, SeedIndex};
+
+    println!("## Step-2 software kernels — pairs/second per backend");
+    let frames = translate_six_frames(&workload.genome.genome, GeneticCode::standard()).to_bank();
+    let f0 = FlatBank::from_bank(&workload.banks[1]);
+    let f1 = FlatBank::from_bank(&frames);
+    let model = subset_seed_span3();
+    let i0 = SeedIndex::build(&f0, &model, 1);
+    let i1 = SeedIndex::build(&f1, &model, 1);
+    let pairs = i0.pair_count(&i1);
+
+    let mut t = Table::new(&["backend", "seconds", "pairs/s", "vs scalar"]);
+    let mut json_rows: Vec<String> = Vec::new();
+    let mut scalar_secs = 0.0f64;
+    let mut baseline: Option<Vec<psc_core::step2::Candidate>> = None;
+    let mut seen: Vec<&str> = Vec::new();
+    let mut window_len = 0usize;
+    for choice in [
+        KernelChoice::Scalar,
+        KernelChoice::Profile,
+        KernelChoice::Simd,
+    ] {
+        let params = Step2Params {
+            matrix: blosum62(),
+            kernel: Kernel::ClampedSum,
+            span: 3,
+            n_ctx: 28,
+            threshold: 45,
+            kernel_backend: choice,
+        };
+        window_len = params.window_len();
+        let name = params.resolved_backend().name();
+        if seen.contains(&name) {
+            // Without AVX2 the Simd choice resolves to Profile.
+            continue;
+        }
+        seen.push(name);
+        // Warm-up pass (also the output-equality check), then best of 3.
+        let (cands, _) = run_software(&f0, &i0, &f1, &i1, &params, 1);
+        match &baseline {
+            None => baseline = Some(cands),
+            Some(b) => assert_eq!(
+                b, &cands,
+                "kernel backend {name} diverged from scalar candidates"
+            ),
+        }
+        let mut best = f64::INFINITY;
+        for _ in 0..3 {
+            let t0 = Instant::now();
+            let r = run_software(&f0, &i0, &f1, &i1, &params, 1);
+            best = best.min(t0.elapsed().as_secs_f64());
+            std::hint::black_box(r);
+        }
+        if choice == KernelChoice::Scalar {
+            scalar_secs = best;
+        }
+        let rate = pairs as f64 / best;
+        let speedup = scalar_secs / best;
+        t.row(vec![
+            name.into(),
+            secs(best),
+            format!("{:.2e}", rate),
+            ratio(speedup),
+        ]);
+        json_rows.push(format!(
+            "    {{\"backend\": \"{name}\", \"seconds\": {best:.6}, \
+             \"pairs_per_sec\": {rate:.1}, \"speedup_vs_scalar\": {speedup:.3}}}"
+        ));
+    }
+    t.print();
+    println!();
+
+    let json = format!(
+        "{{\n  \"experiment\": \"step2_kernels\",\n  \"window_len\": {window_len},\n  \
+         \"pairs\": {pairs},\n  \"threads\": 1,\n  \"backends\": [\n{}\n  ]\n}}\n",
+        json_rows.join(",\n")
+    );
+    let path = "BENCH_step2_kernels.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => eprintln!("[experiments] wrote {path}"),
+        Err(e) => eprintln!("[experiments] could not write {path}: {e}"),
+    }
 }

@@ -3,8 +3,8 @@
 //! RASC-100 at the published array sizes.
 
 use psc_blast::{tblastn, BlastConfig};
-use psc_core::{search_genome, PipelineConfig, SeedChoice, Step2Backend, StepProfile};
 use psc_core::pipeline::PipelineStats;
+use psc_core::{search_genome, PipelineConfig, SeedChoice, Step2Backend, StepProfile};
 use psc_index::subset_seed_span3;
 use psc_rasc::BoardReport;
 use psc_score::blosum62;
@@ -100,7 +100,12 @@ fn rasc_run(
         fpga_count,
         host_threads: 1,
     };
-    let r = search_genome(&workload.banks[bank], &workload.genome.genome, blosum62(), cfg);
+    let r = search_genome(
+        &workload.banks[bank],
+        &workload.genome.genome,
+        blosum62(),
+        cfg,
+    );
     RascRun {
         pe_count,
         fpga_count,
@@ -123,8 +128,7 @@ pub fn run_ladder(scale: &Scale, workload: &Workload, comps: Components) -> Vec<
 
         if comps.baseline {
             eprintln!("[ladder]   baseline tblastn…");
-            let translated =
-                translate_six_frames(&workload.genome.genome, GeneticCode::standard());
+            let translated = translate_six_frames(&workload.genome.genome, GeneticCode::standard());
             let rep = tblastn(
                 &workload.banks[bank],
                 &translated.to_bank(),
@@ -140,11 +144,18 @@ pub fn run_ladder(scale: &Scale, workload: &Workload, comps: Components) -> Vec<
 
         if comps.scalar {
             eprintln!("[ladder]   sequential pipeline…");
+            // Pin the plain scalar kernel: this row reproduces the
+            // paper's "Sequential" software numbers, which the SIMD
+            // batch engine would otherwise quietly accelerate.
+            let cfg = PipelineConfig {
+                step2_kernel: psc_core::KernelChoice::Scalar,
+                ..experiment_config()
+            };
             let r = search_genome(
                 &workload.banks[bank],
                 &workload.genome.genome,
                 blosum62(),
-                experiment_config(),
+                cfg,
             );
             row.scalar = Some((r.output.profile, r.output.stats));
         }

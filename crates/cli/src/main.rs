@@ -7,6 +7,7 @@
 //! psc search          --proteins bank.fasta --genome genome.fasta
 //!                     [--backend scalar|parallel|rasc] [--pes 192] [--fpgas 1]
 //!                     [--threads T] [--evalue 1e-3] [--seed-model subset4|subset3|exact4]
+//!                     [--step2-kernel auto|scalar|profile|simd]
 //! psc blast           --proteins bank.fasta --genome genome.fasta [--evalue 1e-3]
 //! psc resources       [--pes N] [--window W] [--slot S]
 //! psc matrix
@@ -73,6 +74,7 @@ commands:
   search          --proteins FILE --genome FILE [--backend scalar|parallel|rasc]
                   [--pes N] [--fpgas N] [--threads N] [--evalue E]
                   [--seed-model subset4|subset3|exact4] [--threshold T]
+                  [--step2-kernel auto|scalar|profile|simd]
                   [--format tab|pairwise|gff] [--mask on]
   blast           --proteins FILE --genome FILE [--evalue E] [--mask on]
   index           --genome FILE -o FILE [--seed-model ...]   (build + save)
@@ -110,7 +112,9 @@ impl Flags {
     fn parsed<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
         match self.get(key) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("bad value for --{key}: {v:?}")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("bad value for --{key}: {v:?}")),
         }
     }
 }
@@ -129,7 +133,11 @@ fn generate_bank(flags: &Flags) -> Result<(), String> {
     let out = flags.required("o")?;
     let file = std::fs::File::create(out).map_err(|e| format!("create {out}: {e}"))?;
     write_fasta(file, &bank).map_err(|e| e.to_string())?;
-    eprintln!("wrote {} proteins ({} aa) to {out}", bank.len(), bank.total_residues());
+    eprintln!(
+        "wrote {} proteins ({} aa) to {out}",
+        bank.len(),
+        bank.total_residues()
+    );
     Ok(())
 }
 
@@ -211,8 +219,8 @@ fn seed_choice(flags: &Flags) -> Result<SeedChoice, String> {
 }
 
 fn search(flags: &Flags) -> Result<(), String> {
-    let proteins =
-        read_fasta_path(flags.required("proteins")?, SeqKind::Protein).map_err(|e| e.to_string())?;
+    let proteins = read_fasta_path(flags.required("proteins")?, SeqKind::Protein)
+        .map_err(|e| e.to_string())?;
     let genome = load_genome(flags.required("genome")?)?;
     let threads = flags.parsed("threads", 1usize)?;
     let backend = match flags.get("backend").unwrap_or("scalar") {
@@ -225,9 +233,15 @@ fn search(flags: &Flags) -> Result<(), String> {
         },
         other => return Err(format!("unknown backend {other:?}")),
     };
+    let step2_kernel = match flags.get("step2-kernel") {
+        None => psc_core::KernelChoice::Auto,
+        Some(s) => psc_core::KernelChoice::parse(s)
+            .ok_or_else(|| format!("bad --step2-kernel value {s:?} (auto|scalar|profile|simd)"))?,
+    };
     let config = PipelineConfig {
         seed: seed_choice(flags)?,
         backend,
+        step2_kernel,
         max_evalue: flags.parsed("evalue", 1e-3f64)?,
         threshold: flags.parsed("threshold", 45i32)?,
         index_threads: threads,
@@ -243,7 +257,10 @@ fn search(flags: &Flags) -> Result<(), String> {
     match flags.get("format") {
         Some("pairwise") => return print_pairwise(&proteins, &genome, &result),
         Some("gff") => {
-            print!("{}", psc_core::to_gff3(&genome.id, "psc-rasc", &result.matches));
+            print!(
+                "{}",
+                psc_core::to_gff3(&genome.id, "psc-rasc", &result.matches)
+            );
             eprintln!("{} matches as GFF3", result.matches.len());
             return Ok(());
         }
@@ -253,8 +270,11 @@ fn search(flags: &Flags) -> Result<(), String> {
 
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
-    writeln!(out, "# protein\tframe\tgenome_start\tgenome_end\tstrand\traw\tbits\tevalue")
-        .map_err(|e| e.to_string())?;
+    writeln!(
+        out,
+        "# protein\tframe\tgenome_start\tgenome_end\tstrand\traw\tbits\tevalue"
+    )
+    .map_err(|e| e.to_string())?;
     for m in &result.matches {
         writeln!(
             out,
@@ -271,8 +291,12 @@ fn search(flags: &Flags) -> Result<(), String> {
         .map_err(|e| e.to_string())?;
     }
     let p = &result.output.profile;
+    let kernel = match p.step2_kernel {
+        Some(k) => k.name(),
+        None => "rasc",
+    };
     eprintln!(
-        "steps: {:.2}s index / {:.2}s ungapped / {:.2}s gapped; {} matches",
+        "steps: {:.2}s index / {:.2}s ungapped ({kernel}) / {:.2}s gapped; {} matches",
         p.step1,
         p.step2(),
         p.step3,
@@ -369,8 +393,8 @@ fn index_cmd(flags: &Flags) -> Result<(), String> {
 }
 
 fn blast(flags: &Flags) -> Result<(), String> {
-    let proteins =
-        read_fasta_path(flags.required("proteins")?, SeqKind::Protein).map_err(|e| e.to_string())?;
+    let proteins = read_fasta_path(flags.required("proteins")?, SeqKind::Protein)
+        .map_err(|e| e.to_string())?;
     let genome = load_genome(flags.required("genome")?)?;
     let translated = translate_six_frames(&genome, GeneticCode::standard());
     let config = BlastConfig {
@@ -385,8 +409,11 @@ fn blast(flags: &Flags) -> Result<(), String> {
 
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
-    writeln!(out, "# protein\tframe\tgenome_start\tgenome_end\traw\tbits\tevalue")
-        .map_err(|e| e.to_string())?;
+    writeln!(
+        out,
+        "# protein\tframe\tgenome_start\tgenome_end\traw\tbits\tevalue"
+    )
+    .map_err(|e| e.to_string())?;
     for h in &report.hsps {
         let frame = Frame::ALL[h.seq1 as usize];
         let (s, e, _) = translated.to_genome_interval(

@@ -1,6 +1,6 @@
 //! Pipeline configuration.
 
-use psc_align::{GapConfig, Kernel};
+use psc_align::{GapConfig, Kernel, KernelChoice};
 use psc_index::seed::{subset_seed_default, ExactSeed, SeedModel, SubsetSeed};
 use psc_rasc::{BoardConfig, OperatorConfig};
 
@@ -80,6 +80,10 @@ pub struct PipelineConfig {
     pub threshold: i32,
     /// Ungapped kernel variant.
     pub kernel: Kernel,
+    /// Kernel implementation for the software step-2 backends
+    /// (scalar / profile / simd; auto-detected by default). Ignored by
+    /// the RASC backend, which has its own datapath.
+    pub step2_kernel: KernelChoice,
     /// Step-2 backend.
     pub backend: Step2Backend,
     /// Step-3 backend.
@@ -116,6 +120,7 @@ impl Default for PipelineConfig {
             n_ctx: 28,
             threshold: 45,
             kernel: Kernel::ClampedSum,
+            step2_kernel: KernelChoice::Auto,
             backend: Step2Backend::SoftwareScalar,
             step3_backend: Step3Backend::default(),
             gap: GapConfig::default(),

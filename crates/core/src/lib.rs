@@ -35,3 +35,4 @@ pub use genome::{search_genome, GenomeMatch, GenomeSearchResult};
 pub use gff::to_gff3;
 pub use pipeline::{Pipeline, PipelineOutput, PipelineStats};
 pub use profile::StepProfile;
+pub use psc_align::{KernelBackend, KernelChoice};

@@ -96,6 +96,7 @@ impl Pipeline {
             span,
             n_ctx: cfg.n_ctx,
             threshold: cfg.threshold,
+            kernel_backend: cfg.step2_kernel,
         };
         let key_count = idx0.key_count() as u32;
         let (candidates, s2stats, board, step2_accel_override) = match &cfg.backend {
@@ -132,7 +133,10 @@ impl Pipeline {
                 cpu_threads,
                 fpga_share,
             } => {
-                assert!((0.0..=1.0).contains(fpga_share), "fpga_share must be in 0..=1");
+                assert!(
+                    (0.0..=1.0).contains(fpga_share),
+                    "fpga_share must be in 0..=1"
+                );
                 let cut = split_keys_by_pair_mass(&idx0, &idx1, *fpga_share);
                 let board = RascBoard::new(cfg.board_config(*pe_count, 1), matrix)
                     .expect("operator does not fit the FPGA");
@@ -173,13 +177,18 @@ impl Pipeline {
         let step2_wall = t1.elapsed().as_secs_f64();
         let step2_accelerated =
             step2_accel_override.or_else(|| board.as_ref().map(|r| r.accelerated_seconds));
+        // Which software kernel scored step 2 (the pure-board backend
+        // never touches the software kernels).
+        let step2_kernel = match &cfg.backend {
+            Step2Backend::Rasc { .. } => None,
+            _ => Some(params.resolved_backend()),
+        };
 
         // ---- Step 3: gapped extension ------------------------------
         let t2 = Instant::now();
         let ungapped_stats =
             ungapped_params(matrix, &ROBINSON_FREQS).expect("matrix must support local alignment");
-        let stats =
-            gapped_params(matrix, cfg.gap.open, cfg.gap.extend).unwrap_or(ungapped_stats);
+        let stats = gapped_params(matrix, cfg.gap.open, cfg.gap.extend).unwrap_or(ungapped_stats);
         let (m, n) = (bank0.total_residues(), bank1.total_residues());
 
         let anchors = dedup_anchors(candidates, &flat0, &flat1, cfg.min_anchor_sep);
@@ -206,7 +215,14 @@ impl Pipeline {
             let s0 = &bank0.get(a.seq0 as usize).residues;
             let s1 = &bank1.get(a.seq1 as usize).residues;
             let hit = match &gapped_op {
-                None => gapped_extend(matrix, s0, s1, a.local0 as usize, a.local1 as usize, &cfg.gap),
+                None => gapped_extend(
+                    matrix,
+                    s0,
+                    s1,
+                    a.local0 as usize,
+                    a.local1 as usize,
+                    &cfg.gap,
+                ),
                 Some(op) => {
                     let (hit, cycles, _overflow) =
                         op.extend(s0, s1, a.local0 as usize, a.local1 as usize);
@@ -245,6 +261,7 @@ impl Pipeline {
             profile: StepProfile {
                 step1,
                 step2_wall,
+                step2_kernel,
                 step2_accelerated,
                 step3,
                 step3_accelerated: gapped_op
@@ -305,7 +322,10 @@ fn dedup_anchors(
     for c in loc {
         match &mut group {
             Some((s0, s1, d, last1, best))
-                if *s0 == c.seq0 && *s1 == c.seq1 && *d == c.diag && c.local1 < *last1 + min_sep =>
+                if *s0 == c.seq0
+                    && *s1 == c.seq1
+                    && *d == c.diag
+                    && c.local1 < *last1 + min_sep =>
             {
                 // Same fold group: extend it, keep the best-scoring seed.
                 *last1 = c.local1;
@@ -495,6 +515,49 @@ mod tests {
         assert_eq!(scalar.stats.step2, rasc.stats.step2);
         assert!(rasc.board.is_some());
         assert!(rasc.profile.step2_accelerated.is_some());
+    }
+
+    #[test]
+    fn kernel_choices_agree_and_are_recorded() {
+        use psc_align::{KernelBackend, KernelChoice};
+        let seqs: Vec<Vec<u8>> = (0..10)
+            .map(|i| {
+                (0..140u32)
+                    .map(|j| (((i * 19 + j * 7) % 91) % 20) as u8)
+                    .collect()
+            })
+            .collect();
+        let b0: Bank = seqs
+            .iter()
+            .enumerate()
+            .map(|(i, s)| Seq::from_codes(format!("q{i}"), s.clone(), psc_seqio::SeqKind::Protein))
+            .collect();
+        let b1 = b0.clone();
+        let mk = |choice| {
+            let cfg = PipelineConfig {
+                step2_kernel: choice,
+                ..small_config()
+            };
+            Pipeline::new(cfg).run(&b0, &b1, blosum62())
+        };
+        let scalar = mk(KernelChoice::Scalar);
+        assert!(!scalar.hsps.is_empty());
+        assert_eq!(scalar.profile.step2_kernel, Some(KernelBackend::Scalar));
+        for choice in [
+            KernelChoice::Auto,
+            KernelChoice::Profile,
+            KernelChoice::Simd,
+        ] {
+            let out = mk(choice);
+            assert_eq!(scalar.hsps, out.hsps, "{choice:?}");
+            assert_eq!(scalar.stats.step2, out.stats.step2, "{choice:?}");
+            let recorded = out.profile.step2_kernel.expect("software kernel recorded");
+            assert_ne!(
+                recorded,
+                KernelBackend::Scalar,
+                "{choice:?} must not fall back to scalar"
+            );
+        }
     }
 
     #[test]

@@ -1,5 +1,7 @@
 //! Per-step timing, the data behind the paper's Tables 1 and 7.
 
+use psc_align::KernelBackend;
+
 /// Wall/simulated time spent in each pipeline step.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct StepProfile {
@@ -9,6 +11,9 @@ pub struct StepProfile {
     /// cost; for the RASC backend it is the *simulation's* wall cost and
     /// is excluded from the accelerated total.
     pub step2_wall: f64,
+    /// Which software kernel backend scored step 2 (None when step 2 ran
+    /// entirely on the simulated board).
+    pub step2_kernel: Option<KernelBackend>,
     /// Step 2 simulated accelerator seconds (hardware cycles + DMA +
     /// sync), present only for the RASC backend.
     pub step2_accelerated: Option<f64>,
@@ -69,9 +74,8 @@ mod tests {
         let p = StepProfile {
             step1: 1.0,
             step2_wall: 97.0,
-            step2_accelerated: None,
             step3: 2.0,
-            step3_accelerated: None,
+            ..StepProfile::default()
         };
         assert!((p.total() - 100.0).abs() < 1e-12);
         let (a, b, c) = p.percentages();
@@ -87,7 +91,7 @@ mod tests {
             step2_wall: 50.0, // simulation cost, ignored
             step2_accelerated: Some(0.5),
             step3: 2.0,
-            step3_accelerated: None,
+            ..StepProfile::default()
         };
         assert!((p.total() - 3.5).abs() < 1e-12);
         assert!((p.step2() - 0.5).abs() < 1e-12);

@@ -8,9 +8,20 @@
 //! parallel support"): gather the fixed-length windows per key, then a
 //! dense rectangular pair loop — exactly the data flow the PE array
 //! consumes.
+//!
+//! Three interchangeable kernel backends score that rectangle (selected
+//! by [`psc_align::KernelChoice`], auto-detected by default): the
+//! original per-pair `scalar` kernel, a score-`profile` kernel that
+//! builds one substitution table per `IL0` window, and a batched `simd`
+//! kernel that transposes `IL1` and scores [`psc_align::LANES`] window
+//! pairs per step through cache-sized tiles. All three emit bit-identical
+//! candidates in identical order.
 
 use crossbeam::thread;
-use psc_align::{ungapped_score, Kernel};
+use psc_align::{
+    profile_score, profile_score2, score_lanes, ungapped_score, InterleavedWindows, Kernel,
+    KernelBackend, KernelChoice, ScoreProfile, LANES,
+};
 use psc_index::{FlatBank, SeedIndex};
 use psc_score::SubstitutionMatrix;
 
@@ -53,6 +64,42 @@ pub struct Step2Params<'m> {
     pub span: usize,
     pub n_ctx: usize,
     pub threshold: i32,
+    /// Which kernel implementation scores the pair rectangle
+    /// (auto-detected by default; see [`Step2Params::resolved_backend`]).
+    pub kernel_backend: KernelChoice,
+}
+
+impl Step2Params<'_> {
+    /// Window length `W + 2N` of one extension window.
+    #[inline]
+    pub fn window_len(&self) -> usize {
+        self.span + 2 * self.n_ctx
+    }
+
+    /// The concrete kernel backend this run will use.
+    pub fn resolved_backend(&self) -> KernelBackend {
+        self.kernel_backend.resolve(self.window_len(), self.matrix)
+    }
+}
+
+/// `IL0` rows whose profiles are built together (one i-tile).
+const TILE_I: usize = 32;
+
+/// Target bytes of interleaved `IL1` stream per j-tile — sized so a
+/// tile stays cache-resident while every profile of the i-tile streams
+/// over it.
+const TILE_J_BYTES: usize = 32 << 10;
+
+/// Reusable scratch buffers for one worker's key range, so the per-key
+/// loop allocates nothing in steady state.
+#[derive(Default)]
+struct KeyScratch {
+    w0: Vec<u8>,
+    w1: Vec<u8>,
+    il1: InterleavedWindows,
+    profiles: Vec<ScoreProfile>,
+    /// `(i, j, score)` hits of the current key, tile order.
+    hits: Vec<(u32, u32, i32)>,
 }
 
 /// Run step 2 on one key range, appending candidates (key-major order).
@@ -63,13 +110,12 @@ fn run_key_range(
     flat1: &FlatBank,
     idx1: &SeedIndex,
     params: &Step2Params<'_>,
+    backend: KernelBackend,
     keys: std::ops::Range<u32>,
     out: &mut Vec<Candidate>,
     stats: &mut Step2Stats,
 ) {
-    let l = params.span + 2 * params.n_ctx;
-    let mut w0 = Vec::new();
-    let mut w1 = Vec::new();
+    let mut scratch = KeyScratch::default();
     for key in keys {
         let list0 = idx0.list(key);
         let list1 = idx1.list(key);
@@ -78,20 +124,147 @@ fn run_key_range(
         }
         stats.active_keys += 1;
         stats.pairs += list0.len() as u64 * list1.len() as u64;
-        gather_windows(flat0, list0, params.span, params.n_ctx, &mut w0);
-        gather_windows(flat1, list1, params.span, params.n_ctx, &mut w1);
-        for (i, &pos0) in list0.iter().enumerate() {
-            let win0 = &w0[i * l..(i + 1) * l];
-            for (j, &pos1) in list1.iter().enumerate() {
-                let win1 = &w1[j * l..(j + 1) * l];
-                let score = ungapped_score(params.kernel, params.matrix, win0, win1);
-                if score >= params.threshold {
-                    out.push(Candidate { pos0, pos1, score });
+        gather_windows(flat0, list0, params.span, params.n_ctx, &mut scratch.w0);
+        gather_windows(flat1, list1, params.span, params.n_ctx, &mut scratch.w1);
+        match backend {
+            KernelBackend::Scalar => {
+                scalar_rectangle(params, list0, list1, &scratch.w0, &scratch.w1, out)
+            }
+            KernelBackend::Profile => profile_rectangle(params, list0, list1, &mut scratch, out),
+            KernelBackend::Simd => simd_rectangle(params, list0, list1, &mut scratch, out),
+        }
+    }
+    stats.candidates = out.len() as u64;
+}
+
+/// The original per-pair loop (the paper's sequential kernel).
+fn scalar_rectangle(
+    params: &Step2Params<'_>,
+    list0: &[u32],
+    list1: &[u32],
+    w0: &[u8],
+    w1: &[u8],
+    out: &mut Vec<Candidate>,
+) {
+    let l = params.window_len();
+    for (i, &pos0) in list0.iter().enumerate() {
+        let win0 = &w0[i * l..(i + 1) * l];
+        for (j, &pos1) in list1.iter().enumerate() {
+            let win1 = &w1[j * l..(j + 1) * l];
+            let score = ungapped_score(params.kernel, params.matrix, win0, win1);
+            if score >= params.threshold {
+                out.push(Candidate { pos0, pos1, score });
+            }
+        }
+    }
+}
+
+/// Score-profile loop: one profile build per `IL0` window, then two
+/// independent `IL1` recurrences per iteration (the profile backend's
+/// instruction-level parallelism).
+fn profile_rectangle(
+    params: &Step2Params<'_>,
+    list0: &[u32],
+    list1: &[u32],
+    scratch: &mut KeyScratch,
+    out: &mut Vec<Candidate>,
+) {
+    let l = params.window_len();
+    if scratch.profiles.is_empty() {
+        scratch.profiles.push(ScoreProfile::new());
+    }
+    let prof = &mut scratch.profiles[0];
+    for (i, &pos0) in list0.iter().enumerate() {
+        prof.build(params.matrix, &scratch.w0[i * l..(i + 1) * l]);
+        let mut j = 0;
+        while j + 2 <= list1.len() {
+            let (a, b) = profile_score2(
+                params.kernel,
+                prof,
+                &scratch.w1[j * l..(j + 1) * l],
+                &scratch.w1[(j + 1) * l..(j + 2) * l],
+            );
+            if a >= params.threshold {
+                out.push(Candidate {
+                    pos0,
+                    pos1: list1[j],
+                    score: a,
+                });
+            }
+            if b >= params.threshold {
+                out.push(Candidate {
+                    pos0,
+                    pos1: list1[j + 1],
+                    score: b,
+                });
+            }
+            j += 2;
+        }
+        if j < list1.len() {
+            let score = profile_score(params.kernel, prof, &scratch.w1[j * l..(j + 1) * l]);
+            if score >= params.threshold {
+                out.push(Candidate {
+                    pos0,
+                    pos1: list1[j],
+                    score,
+                });
+            }
+        }
+    }
+}
+
+/// Batched SIMD loop: transpose `IL1` once per key, then walk the
+/// `|IL0|×|IL1|` rectangle in cache-sized tiles — profiles for an
+/// i-tile are built together, and each j-tile of the interleaved stream
+/// is reused by every profile of the i-tile before moving on (the PE
+/// array's broadcast, tiled for a cache hierarchy instead of wires).
+fn simd_rectangle(
+    params: &Step2Params<'_>,
+    list0: &[u32],
+    list1: &[u32],
+    scratch: &mut KeyScratch,
+    out: &mut Vec<Candidate>,
+) {
+    let l = params.window_len();
+    let (n0, n1) = (list0.len(), list1.len());
+    scratch.il1.build(&scratch.w1, l);
+    scratch.profiles.resize_with(TILE_I, ScoreProfile::new);
+    let tile_j = (TILE_J_BYTES / l.max(1)).clamp(LANES, 1 << 14) / LANES * LANES;
+    scratch.hits.clear();
+
+    let mut lanes = [0i32; LANES];
+    for i0 in (0..n0).step_by(TILE_I) {
+        let i_end = (i0 + TILE_I).min(n0);
+        for i in i0..i_end {
+            scratch.profiles[i - i0].build(params.matrix, &scratch.w0[i * l..(i + 1) * l]);
+        }
+        for j0 in (0..n1).step_by(tile_j) {
+            let j_end = (j0 + tile_j).min(n1);
+            for i in i0..i_end {
+                let prof = &scratch.profiles[i - i0];
+                let mut j = j0;
+                while j < j_end {
+                    score_lanes(params.kernel, prof, &scratch.il1, j, &mut lanes);
+                    let take = LANES.min(j_end - j);
+                    for (t, &score) in lanes[..take].iter().enumerate() {
+                        if score >= params.threshold {
+                            scratch.hits.push((i as u32, (j + t) as u32, score));
+                        }
+                    }
+                    j += LANES;
                 }
             }
         }
     }
-    stats.candidates = out.len() as u64;
+
+    // Tiles visit (i, j) out of order; restore the scalar loop's
+    // lexicographic candidate order.
+    scratch.hits.sort_unstable();
+    out.extend(scratch.hits.iter().map(|&(i, j, score)| Candidate {
+        pos0: list0[i as usize],
+        pos1: list1[j as usize],
+        score,
+    }));
 }
 
 /// Software step 2 over all keys with `threads` workers (1 = the
@@ -122,34 +295,50 @@ pub fn run_software_keys(
 ) -> (Vec<Candidate>, Step2Stats) {
     assert_eq!(idx0.key_count(), idx1.key_count(), "incompatible indexes");
     let threads = threads.max(1);
+    let backend = params.resolved_backend();
 
     if threads == 1 {
         let mut out = Vec::new();
         let mut stats = Step2Stats::default();
-        run_key_range(flat0, idx0, flat1, idx1, params, keys, &mut out, &mut stats);
+        run_key_range(
+            flat0, idx0, flat1, idx1, params, backend, keys, &mut out, &mut stats,
+        );
         return (out, stats);
     }
 
-    // Balance key ranges by pair mass.
+    // Balance key ranges by pair mass: one pass over the range collects
+    // the per-key masses, greedy cuts split them, and chunks carrying no
+    // pairs are dropped so no worker is spawned on a zero-pair range.
+    let masses: Vec<u64> = keys
+        .clone()
+        .map(|k| idx0.list(k).len() as u64 * idx1.list(k).len() as u64)
+        .collect();
+    let total_pairs: u64 = masses.iter().sum();
+    let per = (total_pairs / threads as u64).max(1);
     let mut cuts = vec![keys.start];
-    {
-        let total_pairs: u64 = keys
-            .clone()
-            .map(|k| idx0.list(k).len() as u64 * idx1.list(k).len() as u64)
-            .sum();
-        let per = (total_pairs / threads as u64).max(1);
-        let mut acc = 0u64;
-        for key in keys.clone() {
-            acc += idx0.list(key).len() as u64 * idx1.list(key).len() as u64;
-            if acc >= per && (cuts.len() as usize) < threads {
-                cuts.push(key + 1);
-                acc = 0;
-            }
+    let mut acc = 0u64;
+    for (off, &mass) in masses.iter().enumerate() {
+        acc += mass;
+        if acc >= per && cuts.len() < threads {
+            cuts.push(keys.start + off as u32 + 1);
+            acc = 0;
         }
     }
     cuts.push(keys.end);
 
-    let chunks: Vec<std::ops::Range<u32>> = cuts.windows(2).map(|w| w[0]..w[1]).collect();
+    let has_pairs = |r: &std::ops::Range<u32>| {
+        masses[(r.start - keys.start) as usize..(r.end - keys.start) as usize]
+            .iter()
+            .any(|&m| m > 0)
+    };
+    let chunks: Vec<std::ops::Range<u32>> = cuts
+        .windows(2)
+        .map(|w| w[0]..w[1])
+        .filter(has_pairs)
+        .collect();
+    if chunks.is_empty() {
+        return (Vec::new(), Step2Stats::default());
+    }
     let mut results: Vec<(Vec<Candidate>, Step2Stats)> = Vec::with_capacity(chunks.len());
     thread::scope(|s| {
         let handles: Vec<_> = chunks
@@ -158,7 +347,9 @@ pub fn run_software_keys(
                 s.spawn(move |_| {
                     let mut out = Vec::new();
                     let mut stats = Step2Stats::default();
-                    run_key_range(flat0, idx0, flat1, idx1, params, range, &mut out, &mut stats);
+                    run_key_range(
+                        flat0, idx0, flat1, idx1, params, backend, range, &mut out, &mut stats,
+                    );
                     (out, stats)
                 })
             })
@@ -213,6 +404,7 @@ mod tests {
             span: 4,
             n_ctx: 6,
             threshold,
+            kernel_backend: KernelChoice::Auto,
         }
     }
 
@@ -277,6 +469,59 @@ mod tests {
             assert_eq!(seq_s, par_s, "threads={threads}");
         }
         assert!(!seq_c.is_empty());
+    }
+
+    #[test]
+    fn kernel_backends_agree() {
+        // Candidates (values *and* order) must be identical across every
+        // kernel backend, both ungapped kernels, odd/even list lengths,
+        // and thread counts.
+        let seqs: Vec<Vec<u8>> = (0..25)
+            .map(|i| {
+                (0..130u32)
+                    .map(|j| (((i * 29 + j * 13) % 101) % 20) as u8)
+                    .collect()
+            })
+            .collect();
+        let mk = |seqs: &[Vec<u8>]| -> (FlatBank, SeedIndex) {
+            let bank: Bank = seqs
+                .iter()
+                .enumerate()
+                .map(|(i, s)| {
+                    Seq::from_codes(format!("s{i}"), s.clone(), psc_seqio::SeqKind::Protein)
+                })
+                .collect();
+            let flat = FlatBank::from_bank(&bank);
+            let idx = SeedIndex::build(&flat, &subset_seed_default(), 1);
+            (flat, idx)
+        };
+        let (f0, i0) = mk(&seqs[..25]);
+        let (f1, i1) = mk(&seqs[..23]);
+        let m = blosum62();
+        for kernel in [Kernel::ClampedSum, Kernel::PaperLiteral] {
+            let base = Step2Params {
+                kernel,
+                kernel_backend: KernelChoice::Scalar,
+                ..params(m, 18)
+            };
+            let (want_c, want_s) = run_software(&f0, &i0, &f1, &i1, &base, 1);
+            assert!(!want_c.is_empty());
+            for choice in [
+                KernelChoice::Auto,
+                KernelChoice::Profile,
+                KernelChoice::Simd,
+            ] {
+                for threads in [1, 3] {
+                    let p = Step2Params {
+                        kernel_backend: choice,
+                        ..base
+                    };
+                    let (c, s) = run_software(&f0, &i0, &f1, &i1, &p, threads);
+                    assert_eq!(want_c, c, "{kernel:?} {choice:?} threads={threads}");
+                    assert_eq!(want_s, s, "{kernel:?} {choice:?} threads={threads}");
+                }
+            }
+        }
     }
 
     #[test]
