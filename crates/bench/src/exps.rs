@@ -814,10 +814,74 @@ pub fn step2_kernels(workload: &Workload) {
     t.print();
     println!();
 
+    // Telemetry overhead — the same search once with the default (null)
+    // recorder and once fully instrumented. The null path must stay off
+    // the hot loop (acceptance: <2% on the step-2 kernel bench); the
+    // instrumented run's report goes next to the bench numbers.
+    let cfg = experiment_config();
+    let null_run = {
+        let mut best = f64::INFINITY;
+        let mut result = None;
+        for _ in 0..3 {
+            let t0 = Instant::now();
+            let r = search_genome(
+                &workload.banks[1],
+                &workload.genome.genome,
+                blosum62(),
+                cfg.clone(),
+            );
+            best = best.min(t0.elapsed().as_secs_f64());
+            result = Some(r);
+        }
+        (best, result.unwrap())
+    };
+    let (recorded_run, rec) = {
+        let mut best = f64::INFINITY;
+        let mut result = None;
+        let mut last_rec = None;
+        for _ in 0..3 {
+            // Fresh recorder per run so the committed report holds
+            // single-run counts, not a 3× accumulation.
+            let rec = psc_core::MemRecorder::new();
+            let t0 = Instant::now();
+            let r = psc_core::search_genome_recorded(
+                &workload.banks[1],
+                &workload.genome.genome,
+                blosum62(),
+                cfg.clone(),
+                &rec,
+            );
+            best = best.min(t0.elapsed().as_secs_f64());
+            result = Some(r);
+            last_rec = Some(rec);
+        }
+        ((best, result.unwrap()), last_rec.unwrap())
+    };
+    assert_eq!(
+        null_run.1.output.hsps, recorded_run.1.output.hsps,
+        "telemetry recording changed search output"
+    );
+    let overhead_pct = (recorded_run.0 / null_run.0 - 1.0) * 100.0;
+    println!(
+        "telemetry overhead: null {} vs recorded {} ({overhead_pct:+.2} %)\n",
+        secs(null_run.0),
+        secs(recorded_run.0)
+    );
+    let report_path = "BENCH_step2_report.json";
+    let report = psc_core::build_run_report(&recorded_run.1.output, &cfg, &rec.snapshot());
+    match std::fs::write(report_path, report.to_json_string()) {
+        Ok(()) => eprintln!("[experiments] wrote {report_path}"),
+        Err(e) => eprintln!("[experiments] could not write {report_path}: {e}"),
+    }
+
     let json = format!(
         "{{\n  \"experiment\": \"step2_kernels\",\n  \"window_len\": {window_len},\n  \
-         \"pairs\": {pairs},\n  \"threads\": 1,\n  \"backends\": [\n{}\n  ]\n}}\n",
-        json_rows.join(",\n")
+         \"pairs\": {pairs},\n  \"threads\": 1,\n  \"backends\": [\n{}\n  ],\n  \
+         \"telemetry\": {{\"null_seconds\": {:.6}, \"recorded_seconds\": {:.6}, \
+         \"overhead_pct\": {overhead_pct:.2}, \"report_path\": \"{report_path}\"}}\n}}\n",
+        json_rows.join(",\n"),
+        null_run.0,
+        recorded_run.0,
     );
     let path = "BENCH_step2_kernels.json";
     match std::fs::write(path, &json) {

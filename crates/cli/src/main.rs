@@ -8,6 +8,8 @@
 //!                     [--backend scalar|parallel|rasc] [--pes 192] [--fpgas 1]
 //!                     [--threads T] [--evalue 1e-3] [--seed-model subset4|subset3|exact4]
 //!                     [--step2-kernel auto|scalar|profile|simd]
+//!                     [--report-json report.json]
+//! psc report          report.json
 //! psc blast           --proteins bank.fasta --genome genome.fasta [--evalue 1e-3]
 //! psc resources       [--pes N] [--window W] [--slot S]
 //! psc matrix
@@ -33,6 +35,16 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::from(2);
     };
+    // `report` takes a positional path, not flag pairs.
+    if command == "report" {
+        return match report_cmd(args) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let flags = match Flags::parse(args) {
         Ok(f) => f,
         Err(e) => {
@@ -76,6 +88,9 @@ commands:
                   [--seed-model subset4|subset3|exact4] [--threshold T]
                   [--step2-kernel auto|scalar|profile|simd]
                   [--format tab|pairwise|gff] [--mask on]
+                  [--report-json FILE]   (write a telemetry run report)
+  report          FILE                   (render a run report: step breakdown,
+                                          PE utilization, pair histograms)
   blast           --proteins FILE --genome FILE [--evalue E] [--mask on]
   index           --genome FILE -o FILE [--seed-model ...]   (build + save)
   resources       [--pes N] [--window W] [--slot S]
@@ -252,7 +267,21 @@ fn search(flags: &Flags) -> Result<(), String> {
         },
         ..PipelineConfig::default()
     };
-    let result = search_genome(&proteins, &genome, blosum62(), config);
+    // Telemetry is recorded only when a report is requested; otherwise
+    // the NullRecorder path keeps instrumentation off the hot loops.
+    let report_path = flags.get("report-json");
+    let recorder = report_path.map(|_| psc_core::MemRecorder::new());
+    let result = match &recorder {
+        Some(rec) => {
+            psc_core::search_genome_recorded(&proteins, &genome, blosum62(), config.clone(), rec)
+        }
+        None => search_genome(&proteins, &genome, blosum62(), config.clone()),
+    };
+    if let (Some(path), Some(rec)) = (report_path, &recorder) {
+        let report = psc_core::build_run_report(&result.output, &config, &rec.snapshot());
+        std::fs::write(path, report.to_json_string()).map_err(|e| format!("write {path}: {e}"))?;
+        eprintln!("run report written to {path} (render with `psc report {path}`)");
+    }
 
     match flags.get("format") {
         Some("pairwise") => return print_pairwise(&proteins, &genome, &result),
@@ -316,6 +345,23 @@ fn search(flags: &Flags) -> Result<(), String> {
 
 fn config_pes(flags: &Flags) -> Result<usize, String> {
     flags.parsed("pes", 192usize)
+}
+
+/// Render a saved run report (`psc report FILE`): the paper-style step
+/// breakdown, per-FPGA PE utilization, counters and histograms.
+fn report_cmd(mut args: impl Iterator<Item = String>) -> Result<(), String> {
+    let Some(path) = args.next() else {
+        return Err("usage: psc report FILE".into());
+    };
+    if let Some(extra) = args.next() {
+        return Err(format!(
+            "unexpected argument {extra:?} (usage: psc report FILE)"
+        ));
+    }
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("read {path}: {e}"))?;
+    let report = psc_telemetry::RunReport::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    print!("{}", psc_telemetry::render::render_report(&report));
+    Ok(())
 }
 
 /// BLAST-style pairwise rendering of genome-search results.

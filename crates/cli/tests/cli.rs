@@ -163,3 +163,104 @@ fn search_rejects_multi_sequence_genome() {
     assert!(String::from_utf8_lossy(&out.stderr).contains("exactly one"));
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn report_json_round_trip_through_report_command() {
+    let dir = tmpdir("report");
+    let bank = dir.join("bank.fasta");
+    let genome = dir.join("genome.fasta");
+    let report = dir.join("run.json");
+
+    let out = psc()
+        .args(["generate-bank", "--count", "6", "--seed", "21"])
+        .args(["--min-len", "100", "--max-len", "200"])
+        .args(["-o", bank.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let out = psc()
+        .args([
+            "generate-genome",
+            "--len",
+            "12000",
+            "--genes",
+            "3",
+            "--seed",
+            "22",
+        ])
+        .args(["--bank", bank.to_str().unwrap()])
+        .args(["-o", genome.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+
+    // Search on the RASC backend, writing a run report.
+    let out = psc()
+        .args(["search", "--proteins", bank.to_str().unwrap()])
+        .args(["--genome", genome.to_str().unwrap()])
+        .args(["--backend", "rasc", "--pes", "64", "--fpgas", "2"])
+        .args(["--report-json", report.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stderr).contains("run report written"));
+
+    // The JSON carries the schema and the per-step / per-FPGA details.
+    let json = std::fs::read_to_string(&report).unwrap();
+    for needle in [
+        "\"schema_version\": 1",
+        "\"steps\"",
+        "\"counters\"",
+        "step2.pairs",
+        "\"board\"",
+        "\"fifo_peak\"",
+        "\"wire_in_seconds\"",
+        "step2.pairs_per_key",
+    ] {
+        assert!(json.contains(needle), "missing {needle} in report:\n{json}");
+    }
+
+    // `psc report` renders the paper-style views from the file.
+    let out = psc()
+        .args(["report", report.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    for needle in [
+        "Step time breakdown",
+        "Simulated RASC board",
+        "fifo_peak",
+        "step2.pairs_per_key",
+        "backend = rasc",
+    ] {
+        assert!(text.contains(needle), "missing {needle} in:\n{text}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn report_command_rejects_bad_input() {
+    let dir = tmpdir("badreport");
+    let path = dir.join("bad.json");
+    std::fs::write(&path, "{\"schema_version\": 999}").unwrap();
+    let out = psc()
+        .args(["report", path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unsupported schema_version"));
+
+    let out = psc().arg("report").output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage: psc report"));
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -55,6 +55,18 @@ pub enum Step2Backend {
     },
 }
 
+impl Step2Backend {
+    /// Stable name for run reports and logs.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Step2Backend::SoftwareScalar => "software-scalar",
+            Step2Backend::SoftwareParallel { .. } => "software-parallel",
+            Step2Backend::Rasc { .. } => "rasc",
+            Step2Backend::Hybrid { .. } => "hybrid",
+        }
+    }
+}
+
 /// Where step 3 (gapped extension) runs.
 #[derive(Clone, Debug, Default)]
 pub enum Step3Backend {
@@ -66,6 +78,16 @@ pub enum Step3Backend {
     /// `psc_rasc::gapped_op`). Results are identical to software;
     /// the profile additionally reports the simulated hardware time.
     RascGapped { band: usize },
+}
+
+impl Step3Backend {
+    /// Stable name for run reports and logs.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Step3Backend::Software => "software",
+            Step3Backend::RascGapped { .. } => "rasc-gapped",
+        }
+    }
 }
 
 /// Full pipeline configuration.

@@ -50,12 +50,30 @@ pub fn search_genome(
     matrix: &SubstitutionMatrix,
     config: PipelineConfig,
 ) -> GenomeSearchResult {
+    search_genome_recorded(
+        proteins,
+        genome,
+        matrix,
+        config,
+        &psc_telemetry::NullRecorder,
+    )
+}
+
+/// [`search_genome`] with telemetry recording (see
+/// [`Pipeline::run_recorded`]).
+pub fn search_genome_recorded(
+    proteins: &Bank,
+    genome: &Seq,
+    matrix: &SubstitutionMatrix,
+    config: PipelineConfig,
+    rec: &dyn psc_telemetry::Recorder,
+) -> GenomeSearchResult {
     let translated = translate_six_frames(genome, GeneticCode::standard());
     // NOTE: frame translation is genuinely part of step 1 in the paper's
     // accounting, but it is cheap (<1 % here); the pipeline times
     // indexing separately either way.
     let frames_bank = translated.to_bank();
-    let output = Pipeline::new(config).run(proteins, &frames_bank, matrix);
+    let output = Pipeline::new(config).run_recorded(proteins, &frames_bank, matrix, rec);
 
     let matches = output
         .hsps

@@ -28,11 +28,14 @@ pub mod genome;
 pub mod gff;
 pub mod pipeline;
 pub mod profile;
+pub mod report;
 pub mod step2;
 
 pub use config::{PipelineConfig, SeedChoice, Step2Backend};
-pub use genome::{search_genome, GenomeMatch, GenomeSearchResult};
+pub use genome::{search_genome, search_genome_recorded, GenomeMatch, GenomeSearchResult};
 pub use gff::to_gff3;
 pub use pipeline::{Pipeline, PipelineOutput, PipelineStats};
 pub use profile::StepProfile;
 pub use psc_align::{KernelBackend, KernelChoice};
+pub use psc_telemetry::{MemRecorder, NullRecorder, Recorder, RunReport};
+pub use report::build_run_report;

@@ -9,6 +9,8 @@ use psc_score::karlin::{gapped_params, ungapped_params};
 use psc_score::{SubstitutionMatrix, ROBINSON_FREQS};
 use psc_seqio::Bank;
 
+use psc_telemetry::{NullRecorder, Recorder, SpanGuard};
+
 use crate::config::{PipelineConfig, Step2Backend, Step3Backend};
 use crate::profile::StepProfile;
 use crate::step2::{self, Candidate, Step2Params, Step2Stats};
@@ -55,6 +57,23 @@ impl Pipeline {
 
     /// Compare two protein banks.
     pub fn run(&self, bank0: &Bank, bank1: &Bank, matrix: &SubstitutionMatrix) -> PipelineOutput {
+        self.run_recorded(bank0, bank1, matrix, &NullRecorder)
+    }
+
+    /// Compare two protein banks, recording telemetry into `rec`.
+    ///
+    /// With a [`NullRecorder`] this is exactly [`Pipeline::run`]: the
+    /// per-item instrumentation (per-key histograms, per-anchor
+    /// accounting) is gated on [`Recorder::enabled`] or computed outside
+    /// the step-2 hot loop, and candidate/HSP output is bit-identical
+    /// either way.
+    pub fn run_recorded(
+        &self,
+        bank0: &Bank,
+        bank1: &Bank,
+        matrix: &SubstitutionMatrix,
+        rec: &dyn Recorder,
+    ) -> PipelineOutput {
         let cfg = &self.config;
         let model = cfg.seed.model();
         let span = model.span();
@@ -84,9 +103,23 @@ impl Pipeline {
                 )
             }
         };
-        let idx0 = SeedIndex::build(&flat0, model.as_ref(), cfg.index_threads);
-        let idx1 = SeedIndex::build(&flat1, model.as_ref(), cfg.index_threads);
+        let idx0 = {
+            let _g = SpanGuard::enter(rec, "step1.index_bank0");
+            SeedIndex::build(&flat0, model.as_ref(), cfg.index_threads)
+        };
+        let idx1 = {
+            let _g = SpanGuard::enter(rec, "step1.index_bank1");
+            SeedIndex::build(&flat1, model.as_ref(), cfg.index_threads)
+        };
         let step1 = t0.elapsed().as_secs_f64();
+        rec.add(
+            "step1.positions_indexed.bank0",
+            idx0.total_positions() as u64,
+        );
+        rec.add(
+            "step1.positions_indexed.bank1",
+            idx1.total_positions() as u64,
+        );
 
         // ---- Step 2: ungapped extension ----------------------------
         let t1 = Instant::now();
@@ -184,6 +217,39 @@ impl Pipeline {
             _ => Some(params.resolved_backend()),
         };
 
+        // Step-2 telemetry, all computed off the hot loop: counters from
+        // the stats the run produced anyway, and an O(key-count) pass
+        // over the indexes for the per-key pair distribution and the
+        // SIMD tile count — never taken with a disabled recorder.
+        rec.add("step2.pairs", s2stats.pairs);
+        rec.add("step2.candidates_kept", s2stats.candidates);
+        rec.add(
+            "step2.candidates_culled",
+            s2stats.pairs - s2stats.candidates,
+        );
+        rec.add("step2.active_keys", s2stats.active_keys);
+        if rec.enabled() {
+            rec.set_meta("backend", cfg.backend.name());
+            rec.set_meta("step3.backend", cfg.step3_backend.name());
+            if let Some(k) = step2_kernel {
+                rec.set_meta("step2.kernel", &format!("{k:?}").to_lowercase());
+            }
+            rec.set_meta("window_len", &cfg.window_len().to_string());
+            rec.set_meta("threshold", &cfg.threshold.to_string());
+            let mut simd_tiles = 0u64;
+            for key in 0..key_count {
+                let (n0, n1) = (idx0.list(key).len(), idx1.list(key).len());
+                if n0 == 0 || n1 == 0 {
+                    continue;
+                }
+                rec.observe("step2.pairs_per_key", n0 as u64 * n1 as u64);
+                simd_tiles += step2::simd_tile_count(n0, n1, params.window_len());
+            }
+            if step2_kernel == Some(psc_align::KernelBackend::Simd) {
+                rec.add("step2.simd_tiles", simd_tiles);
+            }
+        }
+
         // ---- Step 3: gapped extension ------------------------------
         let t2 = Instant::now();
         let ungapped_stats =
@@ -211,6 +277,11 @@ impl Pipeline {
         };
         let mut step3_cycles = 0u64;
         let mut hsps = Vec::new();
+        // Step-3 accounting: an extension flank "X-drop terminated" when
+        // the DP gave up strictly inside both sequences (as opposed to
+        // running into a sequence end).
+        let mut xdrop_terminations = 0u64;
+        let mut evalue_rejected = 0u64;
         for a in &anchors {
             let s0 = &bank0.get(a.seq0 as usize).residues;
             let s1 = &bank1.get(a.seq1 as usize).residues;
@@ -230,7 +301,16 @@ impl Pipeline {
                     hit
                 }
             };
+            if hit.start0 > 0 && hit.start1 > 0 {
+                xdrop_terminations += 1;
+            }
+            if hit.end0 < s0.len() && hit.end1 < s1.len() {
+                xdrop_terminations += 1;
+            }
             let evalue = stats.evalue(hit.score, m, n);
+            if evalue > cfg.max_evalue {
+                evalue_rejected += 1;
+            }
             if evalue <= cfg.max_evalue {
                 hsps.push(Hsp {
                     seq0: a.seq0,
@@ -248,6 +328,14 @@ impl Pipeline {
         let mut hsps = cull_hsps(hsps, 0.9);
         hsps.sort_by(|a, b| a.evalue.total_cmp(&b.evalue));
         let step3 = t2.elapsed().as_secs_f64();
+
+        rec.add("step3.anchors", anchors.len() as u64);
+        rec.add("step3.xdrop_terminations", xdrop_terminations);
+        rec.add("step3.evalue_rejected", evalue_rejected);
+        rec.add("step3.hsps_reported", hsps.len() as u64);
+        rec.record_span("step1", step1);
+        rec.record_span("step2.wall", step2_wall);
+        rec.record_span("step3", step3);
 
         PipelineOutput {
             stats: PipelineStats {

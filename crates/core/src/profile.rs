@@ -50,6 +50,16 @@ impl StepProfile {
         self.step1 + self.step2().max(self.step3())
     }
 
+    /// The three steps as `(name, wall seconds, accelerated seconds)`
+    /// rows, the shape run reports serialize.
+    pub fn rows(&self) -> [(&'static str, f64, Option<f64>); 3] {
+        [
+            ("step1", self.step1, None),
+            ("step2", self.step2_wall, self.step2_accelerated),
+            ("step3", self.step3, self.step3_accelerated),
+        ]
+    }
+
     /// Percentage breakdown `(step1, step2, step3)` — the paper's
     /// Table 1 (software) and Table 7 (RASC) rows.
     pub fn percentages(&self) -> (f64, f64, f64) {

@@ -90,6 +90,18 @@ const TILE_I: usize = 32;
 /// over it.
 const TILE_J_BYTES: usize = 32 << 10;
 
+/// Number of cache tiles the SIMD kernel walks for one key's
+/// `n0 × n1` pair rectangle — the telemetry counterpart of the tiling
+/// in [`simd_rectangle`] (kept in lock-step with it), computed
+/// analytically so instrumentation never touches the hot loop.
+pub fn simd_tile_count(n0: usize, n1: usize, window_len: usize) -> u64 {
+    if n0 == 0 || n1 == 0 {
+        return 0;
+    }
+    let tile_j = (TILE_J_BYTES / window_len.max(1)).clamp(LANES, 1 << 14) / LANES * LANES;
+    n0.div_ceil(TILE_I) as u64 * n1.div_ceil(tile_j) as u64
+}
+
 /// Reusable scratch buffers for one worker's key range, so the per-key
 /// loop allocates nothing in steady state.
 #[derive(Default)]
@@ -522,6 +534,22 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn simd_tile_count_matches_tiling() {
+        assert_eq!(simd_tile_count(0, 100, 60), 0);
+        assert_eq!(simd_tile_count(100, 0, 60), 0);
+        // One tile covers small rectangles entirely.
+        assert_eq!(simd_tile_count(1, 1, 60), 1);
+        assert_eq!(simd_tile_count(TILE_I, 8, 60), 1);
+        // i splits every TILE_I rows.
+        assert_eq!(simd_tile_count(TILE_I + 1, 8, 60), 2);
+        // j splits every tile_j columns (the simd_rectangle formula).
+        let l = 60;
+        let tile_j = (TILE_J_BYTES / l).clamp(LANES, 1 << 14) / LANES * LANES;
+        assert_eq!(simd_tile_count(1, tile_j, l), 1);
+        assert_eq!(simd_tile_count(1, tile_j + 1, l), 2);
     }
 
     #[test]

@@ -19,7 +19,7 @@ use psc_score::SubstitutionMatrix;
 use crate::config::OperatorConfig;
 use crate::dma::DmaModel;
 use crate::functional::FunctionalOperator;
-use crate::operator::Hit;
+use crate::operator::{pe_utilization, Hit};
 use crate::resource::{ResourceError, ResourceModel};
 
 /// Board-level configuration.
@@ -63,9 +63,14 @@ pub struct BoardReport {
     pub stall_cycles: Vec<u64>,
     /// Busy PE·cycles per FPGA (utilization reporting).
     pub busy_pe_cycles: Vec<u64>,
+    /// Result-FIFO high-water mark per FPGA (max over entries).
+    pub fifo_peak: Vec<u64>,
     /// Bytes streamed to / from the board.
     pub bytes_in: u64,
     pub bytes_out: u64,
+    /// Pure NUMAlink wire time of the input / output byte streams.
+    pub wire_in_seconds: f64,
+    pub wire_out_seconds: f64,
     /// Entries dispatched.
     pub entries: u64,
     /// Total hits reported.
@@ -81,18 +86,13 @@ pub struct BoardReport {
 }
 
 impl BoardReport {
-    /// Utilization of the slowest FPGA's PE array.
+    /// Utilization of the best-utilized FPGA's PE array
+    /// (see [`crate::operator::pe_utilization`] for the formula).
     pub fn utilization(&self, pe_count: usize) -> f64 {
         self.fpga_cycles
             .iter()
             .zip(&self.busy_pe_cycles)
-            .map(|(&c, &b)| {
-                if c == 0 {
-                    0.0
-                } else {
-                    b as f64 / (c as f64 * pe_count as f64)
-                }
-            })
+            .map(|(&c, &b)| pe_utilization(b, c, pe_count))
             .fold(0.0, f64::max)
     }
 }
@@ -105,6 +105,8 @@ struct FpgaTally {
     busy: u64,
     bytes_in: u64,
     hits: u64,
+    /// Result-FIFO high-water mark (max over entries).
+    peak: u64,
 }
 
 /// A simulated RASC-100 board.
@@ -167,6 +169,7 @@ impl RascBoard {
             t.busy += r.busy_pe_cycles;
             t.bytes_in += (shard.len() + entry.il1.len()) as u64;
             t.hits += r.hits.len() as u64;
+            t.peak = t.peak.max(r.fifo_peak);
             for h in &mut r.hits {
                 h.i0 += lo as u32;
             }
@@ -251,6 +254,7 @@ impl RascBoard {
                     t.busy += l.busy;
                     t.bytes_in += l.bytes_in;
                     t.hits += l.hits;
+                    t.peak = t.peak.max(l.peak);
                 }
             }
         }
@@ -290,6 +294,7 @@ impl RascBoard {
             report.fpga_cycles.push(t.cycles);
             report.stall_cycles.push(t.stalls);
             report.busy_pe_cycles.push(t.busy);
+            report.fifo_peak.push(t.peak);
             report.bytes_in += t.bytes_in;
             total_hits += t.hits;
             let compute = t.cycles as f64 / clock;
@@ -297,13 +302,13 @@ impl RascBoard {
         }
         report.hit_count = total_hits;
         report.bytes_out = total_hits * std::mem::size_of::<(u32, u32)>() as u64;
+        report.wire_in_seconds = self.config.dma.wire_time(report.bytes_in);
+        report.wire_out_seconds = self.config.dma.wire_time(report.bytes_out);
         report.sync_seconds = self.config.sync_per_entry * n_entries as f64 * (nf as f64 - 1.0);
         report.setup_seconds =
             self.config.dma.bitstream_load + self.config.dma.dispatch_latency * n_entries as f64;
-        report.accelerated_seconds = worst_overlap
-            + self.config.dma.wire_time(report.bytes_out)
-            + report.sync_seconds
-            + report.setup_seconds;
+        report.accelerated_seconds =
+            worst_overlap + report.wire_out_seconds + report.sync_seconds + report.setup_seconds;
         report
     }
 }
@@ -404,6 +409,7 @@ mod tests {
         });
         assert_eq!(seq_hits, par_hits);
         assert_eq!(seq_rep.fpga_cycles, par_rep.fpga_cycles);
+        assert_eq!(seq_rep.fifo_peak, par_rep.fifo_peak);
         assert_eq!(seq_rep.bytes_in, par_rep.bytes_in);
         assert_eq!(seq_rep.bytes_out, par_rep.bytes_out);
         assert_eq!(seq_rep.hit_count, par_rep.hit_count);
@@ -455,6 +461,23 @@ mod tests {
         assert!(r.accelerated_seconds > 0.0);
         assert_eq!(r.entries, 2);
         assert!(r.utilization(8) > 0.0);
+        // The wire-time split follows the byte counts through the DMA
+        // model, and hits were reported so the FIFOs saw occupancy.
+        let cfg = test_config(1);
+        assert!((r.wire_in_seconds - cfg.dma.wire_time(r.bytes_in)).abs() < 1e-15);
+        assert!((r.wire_out_seconds - cfg.dma.wire_time(r.bytes_out)).abs() < 1e-15);
+        assert_eq!(r.fifo_peak.len(), 1);
+        assert!(r.fifo_peak[0] > 0);
+    }
+
+    #[test]
+    fn utilization_is_zero_on_empty_report() {
+        let r = BoardReport::default();
+        assert_eq!(r.utilization(192), 0.0);
+        let mut r = BoardReport::default();
+        r.fpga_cycles = vec![0, 0];
+        r.busy_pe_cycles = vec![0, 0];
+        assert_eq!(r.utilization(192), 0.0);
     }
 
     #[test]

@@ -76,6 +76,10 @@ impl FunctionalOperator {
                         pending += 1;
                     }
                 }
+                // FIFO high-water: pushes land on top of the carried
+                // occupancy; a stalled push drains one first, so the
+                // instantaneous maximum is clamped at capacity.
+                out.fifo_peak = out.fifo_peak.max(pending.min(cap) as u64);
                 if pending > cap {
                     let stall = (pending - cap) as u64;
                     out.cycles += stall;

@@ -45,5 +45,5 @@ pub use functional::FunctionalOperator;
 pub use gapped_op::{
     systolic_banded_sw, GappedOperator, GappedOperatorConfig, GappedOperatorResult,
 };
-pub use operator::{EntryResult, Hit, PscOperator};
+pub use operator::{pe_utilization, EntryResult, Hit, PscOperator};
 pub use resource::{ResourceError, ResourceModel, Utilization};

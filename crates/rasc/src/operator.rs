@@ -30,7 +30,20 @@ use psc_score::SubstitutionMatrix;
 use psc_seqio::alphabet::AA_ALPHABET_LEN;
 
 use crate::config::OperatorConfig;
+use crate::fifo::Fifo;
 use crate::pe::Pe;
+
+/// PE array utilization: busy PE·cycles over `pe_count × cycles`.
+///
+/// The single definition behind [`EntryResult::utilization`] and
+/// [`crate::board::BoardReport::utilization`]; `0.0` when no cycles ran.
+pub fn pe_utilization(busy_pe_cycles: u64, cycles: u64, pe_count: usize) -> f64 {
+    if cycles == 0 || pe_count == 0 {
+        0.0
+    } else {
+        busy_pe_cycles as f64 / (cycles as f64 * pe_count as f64)
+    }
+}
 
 /// One reported pair: indices into the entry's IL0/IL1 window arrays and
 /// the windowed score.
@@ -52,6 +65,8 @@ pub struct EntryResult {
     pub stall_cycles: u64,
     /// PE·cycles actually scoring (for utilization reporting).
     pub busy_pe_cycles: u64,
+    /// High-water occupancy of the cascaded result FIFOs.
+    pub fifo_peak: u64,
 }
 
 impl EntryResult {
@@ -61,14 +76,13 @@ impl EntryResult {
         self.cycles += other.cycles;
         self.stall_cycles += other.stall_cycles;
         self.busy_pe_cycles += other.busy_pe_cycles;
+        // A high-water mark, not a flow: max-merge.
+        self.fifo_peak = self.fifo_peak.max(other.fifo_peak);
     }
 
-    /// PE array utilization: busy PE·cycles over `pe_count × cycles`.
+    /// PE array utilization (see [`pe_utilization`]).
     pub fn utilization(&self, pe_count: usize) -> f64 {
-        if self.cycles == 0 {
-            return 0.0;
-        }
-        self.busy_pe_cycles as f64 / (self.cycles as f64 * pe_count as f64)
+        pe_utilization(self.busy_pe_cycles, self.cycles, pe_count)
     }
 }
 
@@ -113,7 +127,12 @@ impl PscOperator {
 
         let p = self.config.pe_count;
         let slots = self.config.num_slots();
-        let cap = self.config.fifo_capacity;
+
+        // The cascaded result FIFOs, modelled as one bounded queue of
+        // their aggregate capacity. It is drained empty at every batch
+        // end, so a single instance serves the whole entry and its
+        // high-water mark covers all batches.
+        let mut fifo: Fifo<Hit> = Fifo::new(self.config.fifo_capacity);
 
         let mut batch_start = 0usize;
         while batch_start < k0 {
@@ -137,7 +156,6 @@ impl PscOperator {
             out.cycles += slots as u64 - 1;
 
             // Compute waves.
-            let mut pending = 0usize; // occupancy of the cascaded FIFOs
             for wave in 0..k1 {
                 let w1 = &il1[wave * l..(wave + 1) * l];
                 for pe in self.pes.iter_mut().take(pb) {
@@ -149,37 +167,44 @@ impl PscOperator {
                     }
                     out.cycles += 1;
                     // Output controller drains one result per clock.
-                    pending = pending.saturating_sub(1);
+                    if let Some(hit) = fifo.pop() {
+                        out.hits.push(hit);
+                    }
                 }
                 out.busy_pe_cycles += (pb * l) as u64;
 
                 // Wave boundary: result-management modules scan their
-                // slots in PE order.
+                // slots in PE order and push into the cascaded FIFOs.
                 for (idx, pe) in self.pes.iter().take(pb).enumerate() {
                     debug_assert!(pe.is_active());
                     let score = pe.wave_score();
                     if score >= self.config.threshold {
-                        out.hits.push(Hit {
+                        let hit = Hit {
                             i0: (batch_start + idx) as u32,
                             i1: wave as u32,
                             score,
-                        });
-                        pending += 1;
+                        };
+                        if let Err(hit) = fifo.push(hit) {
+                            // Backpressure: the array stalls one cycle,
+                            // during which the output controller drains
+                            // one slot, making room for the push.
+                            out.cycles += 1;
+                            out.stall_cycles += 1;
+                            out.hits.push(fifo.pop().expect("full FIFO drains"));
+                            fifo.push(hit).expect("slot just freed");
+                        }
                     }
-                }
-                // Backpressure: stall one cycle per result over capacity.
-                if pending > cap {
-                    let stall = (pending - cap) as u64;
-                    out.cycles += stall;
-                    out.stall_cycles += stall;
-                    pending = cap;
                 }
             }
 
             // Batch end: drain what's left, flush the cascade.
-            out.cycles += pending as u64 + slots as u64;
+            out.cycles += fifo.len() as u64 + slots as u64;
+            while let Some(hit) = fifo.pop() {
+                out.hits.push(hit);
+            }
             batch_start += pb;
         }
+        out.fifo_peak = fifo.peak() as u64;
         out
     }
 }
@@ -344,6 +369,7 @@ mod tests {
             cycles: 10,
             stall_cycles: 1,
             busy_pe_cycles: 4,
+            fifo_peak: 3,
         };
         a.absorb(EntryResult {
             hits: vec![Hit {
@@ -354,10 +380,48 @@ mod tests {
             cycles: 20,
             stall_cycles: 2,
             busy_pe_cycles: 8,
+            fifo_peak: 2,
         });
         assert_eq!(a.hits.len(), 2);
         assert_eq!(a.cycles, 30);
         assert_eq!(a.stall_cycles, 3);
         assert_eq!(a.busy_pe_cycles, 12);
+        // High-water mark, not a flow: max, not sum.
+        assert_eq!(a.fifo_peak, 3);
+    }
+
+    #[test]
+    fn utilization_zero_cycles_is_zero() {
+        let r = EntryResult::default();
+        assert_eq!(r.utilization(192), 0.0);
+        assert_eq!(pe_utilization(0, 0, 192), 0.0);
+        assert_eq!(pe_utilization(10, 0, 192), 0.0);
+        assert_eq!(pe_utilization(10, 10, 0), 0.0);
+        assert!((pe_utilization(96, 100, 8) - 0.12).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fifo_peak_saturates_at_capacity_under_flood() {
+        let mut cfg = small_config(8, 4, 1);
+        cfg.fifo_capacity = 2;
+        cfg.slot_size = 4;
+        let mut op = PscOperator::new(cfg, blosum62()).unwrap();
+        let w: Vec<&[u8]> = vec![b"MKVL"; 8];
+        let il0 = windows(&w);
+        let il1 = windows(&w);
+        let r = op.run_entry(&il0, &il1);
+        assert!(r.stall_cycles > 0);
+        assert_eq!(r.fifo_peak, 2, "a stalled FIFO peaked at capacity");
+    }
+
+    #[test]
+    fn fifo_peak_zero_without_hits() {
+        let cfg = small_config(4, 6, 10_000);
+        let mut op = PscOperator::new(cfg, blosum62()).unwrap();
+        let il0 = windows(&[b"MKVLAW"]);
+        let il1 = windows(&[b"GGGGGG"]);
+        let r = op.run_entry(&il0, &il1);
+        assert!(r.hits.is_empty());
+        assert_eq!(r.fifo_peak, 0);
     }
 }

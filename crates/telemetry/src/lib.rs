@@ -1,0 +1,33 @@
+//! # psc-telemetry — observability substrate for the pipeline
+//!
+//! Every headline number in the reproduced paper is an observability
+//! artifact: Tables 1 and 7 are per-step time breakdowns, Table 4 is
+//! step-2 throughput, and the PE-array discussion hinges on utilization
+//! and FIFO backpressure. This crate turns those signals into durable,
+//! diffable run reports:
+//!
+//! * [`Recorder`] — the instrumentation trait: span timing (monotonic
+//!   clocks), named `u64` counters, log2-bucketed [`Histogram`]s, and
+//!   free-form metadata. [`NullRecorder`] compiles to no-ops (guarded by
+//!   [`Recorder::enabled`]) so the disabled path stays off the step-2
+//!   hot loop; [`MemRecorder`] accumulates everything in memory.
+//! * [`RunReport`] — a schema-versioned aggregate of everything a run
+//!   produced, serialized with the hand-rolled [`json`] module (the
+//!   build container is offline, so no external JSON dependency).
+//! * [`render`] — paper-style text views of a report: the Table 1/7
+//!   percentage breakdown, Table 5-style PE utilization, and counter /
+//!   histogram listings.
+//!
+//! The crate is std-only and dependency-free by design; it sits below
+//! `psc-core` in the workspace graph so any crate can record into it.
+
+pub mod json;
+pub mod recorder;
+pub mod render;
+pub mod report;
+
+pub use json::{Json, JsonError};
+pub use recorder::{Histogram, MemRecorder, NullRecorder, Recorder, Snapshot, SpanGuard, SpanStat};
+pub use report::{
+    BoardTelemetry, FpgaTelemetry, RunReport, SpanReport, StepReport, SCHEMA_VERSION,
+};

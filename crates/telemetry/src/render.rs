@@ -1,0 +1,282 @@
+//! Paper-style text renderings of a [`RunReport`].
+//!
+//! * [`render_breakdown`] — the Table 1/7 per-step percentage table;
+//! * [`render_utilization`] — the Table 5-style per-FPGA PE utilization
+//!   view, extended with stall share and FIFO high-water marks;
+//! * [`render_histogram`] — ASCII-bar log2 histograms (per-key pair
+//!   counts);
+//! * [`render_report`] — all sections combined, as `psc report` prints.
+
+use crate::recorder::Histogram;
+use crate::report::RunReport;
+
+/// Seconds with sensible precision across the ns..s range.
+fn fmt_seconds(s: f64) -> String {
+    if s == 0.0 {
+        "0".to_string()
+    } else if s.abs() < 1e-3 {
+        format!("{:.3e}", s)
+    } else if s.abs() < 1.0 {
+        format!("{:.4}", s)
+    } else {
+        format!("{:.3}", s)
+    }
+}
+
+/// Table 1/7-style breakdown: effective seconds and percent per step.
+pub fn render_breakdown(report: &RunReport) -> String {
+    let mut out = String::new();
+    out.push_str("Step time breakdown (paper Table 1/7 accounting)\n");
+    out.push_str(&format!(
+        "  {:<10} {:>12} {:>8}   {}\n",
+        "step", "seconds", "%", "notes"
+    ));
+    for step in &report.steps {
+        let secs = step.effective_seconds();
+        let total = report.total_seconds();
+        let pct = if total > 0.0 {
+            secs / total * 100.0
+        } else {
+            0.0
+        };
+        let note = if step.accelerated_seconds.is_some() {
+            format!("accelerated (host wall {})", fmt_seconds(step.wall_seconds))
+        } else {
+            String::new()
+        };
+        out.push_str(&format!(
+            "  {:<10} {:>12} {:>7.2}%   {}\n",
+            step.name,
+            fmt_seconds(secs),
+            pct,
+            note
+        ));
+    }
+    out.push_str(&format!(
+        "  {:<10} {:>12} {:>7.2}%\n",
+        "total",
+        fmt_seconds(report.total_seconds()),
+        100.0
+    ));
+    out
+}
+
+/// Table 5-style per-FPGA utilization, plus stall share, FIFO peaks,
+/// and the DMA/sync/setup split from the board model.
+pub fn render_utilization(report: &RunReport) -> String {
+    let Some(board) = &report.board else {
+        return "No board telemetry (software backend run).\n".to_string();
+    };
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Simulated RASC board ({} PEs per FPGA, {} entries, {} hits)\n",
+        board.pe_count, board.entries, board.hit_count
+    ));
+    out.push_str(&format!(
+        "  {:<6} {:>14} {:>12} {:>8} {:>12} {:>10}\n",
+        "fpga", "cycles", "stalls", "stall%", "util%", "fifo_peak"
+    ));
+    for (i, f) in board.fpga.iter().enumerate() {
+        let stall_pct = if f.cycles > 0 {
+            f.stall_cycles as f64 / f.cycles as f64 * 100.0
+        } else {
+            0.0
+        };
+        out.push_str(&format!(
+            "  {:<6} {:>14} {:>12} {:>7.2}% {:>11.2}% {:>10}\n",
+            i,
+            f.cycles,
+            f.stall_cycles,
+            stall_pct,
+            f.utilization * 100.0,
+            f.fifo_peak
+        ));
+    }
+    out.push_str(&format!(
+        "  DMA: {} B in ({} s wire), {} B out ({} s wire)\n",
+        board.bytes_in,
+        fmt_seconds(board.wire_in_seconds),
+        board.bytes_out,
+        fmt_seconds(board.wire_out_seconds)
+    ));
+    out.push_str(&format!(
+        "  sync {} s, setup {} s, accelerated total {} s\n",
+        fmt_seconds(board.sync_seconds),
+        fmt_seconds(board.setup_seconds),
+        fmt_seconds(board.accelerated_seconds)
+    ));
+    out
+}
+
+/// One log2 histogram with ASCII bars scaled to `width` columns.
+pub fn render_histogram(name: &str, h: &Histogram, width: usize) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{name}: n={} mean={:.1} min={} max={}\n",
+        h.count,
+        h.mean(),
+        h.min,
+        h.max
+    ));
+    if h.count == 0 {
+        return out;
+    }
+    let tallest = h.buckets.iter().copied().max().unwrap_or(0).max(1);
+    for (b, &c) in h.buckets.iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        let bar_len = ((c as f64 / tallest as f64) * width as f64).ceil() as usize;
+        out.push_str(&format!(
+            "  {:>21} {:>10} {}\n",
+            Histogram::bucket_label(b),
+            c,
+            "#".repeat(bar_len)
+        ));
+    }
+    out
+}
+
+/// The full `psc report` output: metadata, breakdown, board view,
+/// counters, spans, and histograms.
+pub fn render_report(report: &RunReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("Run report (schema v{})\n", report.schema_version));
+    if !report.meta.is_empty() {
+        for (k, v) in &report.meta {
+            out.push_str(&format!("  {k} = {v}\n"));
+        }
+    }
+    out.push('\n');
+    out.push_str(&render_breakdown(report));
+    out.push('\n');
+    out.push_str(&render_utilization(report));
+    if !report.counters.is_empty() {
+        out.push_str("\nCounters\n");
+        for (k, v) in &report.counters {
+            out.push_str(&format!("  {:<36} {:>14}\n", k, v));
+        }
+    }
+    if !report.spans.is_empty() {
+        out.push_str("\nSpans\n");
+        for s in &report.spans {
+            out.push_str(&format!(
+                "  {:<36} {:>12} s  ×{}\n",
+                s.name,
+                fmt_seconds(s.seconds),
+                s.count
+            ));
+        }
+    }
+    for (name, h) in &report.histograms {
+        out.push('\n');
+        out.push_str(&render_histogram(name, h, 40));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::{BoardTelemetry, FpgaTelemetry, StepReport};
+
+    fn report_with_board() -> RunReport {
+        let mut r = RunReport::new();
+        r.meta.push(("backend".into(), "rasc".into()));
+        r.steps = vec![
+            StepReport {
+                name: "step1".into(),
+                wall_seconds: 1.0,
+                accelerated_seconds: None,
+            },
+            StepReport {
+                name: "step2".into(),
+                wall_seconds: 8.0,
+                accelerated_seconds: Some(1.0),
+            },
+        ];
+        r.counters.push(("step2.pairs".into(), 1000));
+        let mut h = Histogram::default();
+        for v in [1, 2, 2, 9] {
+            h.observe(v);
+        }
+        r.histograms.push(("step2.pairs_per_key".into(), h));
+        r.board = Some(BoardTelemetry {
+            pe_count: 192,
+            fpga: vec![FpgaTelemetry {
+                cycles: 1000,
+                stall_cycles: 100,
+                busy_pe_cycles: 96_000,
+                fifo_peak: 17,
+                utilization: 0.5,
+            }],
+            bytes_in: 4096,
+            bytes_out: 64,
+            wire_in_seconds: 1.28e-6,
+            wire_out_seconds: 2.0e-8,
+            sync_seconds: 1e-4,
+            setup_seconds: 0.8,
+            accelerated_seconds: 1.0,
+            entries: 10,
+            hit_count: 8,
+        });
+        r
+    }
+
+    #[test]
+    fn breakdown_shows_percentages() {
+        let text = render_breakdown(&report_with_board());
+        assert!(text.contains("step1"), "{text}");
+        assert!(text.contains("50.00%"), "{text}");
+        assert!(text.contains("accelerated"), "{text}");
+        assert!(text.contains("total"), "{text}");
+    }
+
+    #[test]
+    fn utilization_table_covers_fpgas() {
+        let text = render_utilization(&report_with_board());
+        assert!(text.contains("fifo_peak"), "{text}");
+        assert!(text.contains("17"), "{text}");
+        assert!(text.contains("10.00%"), "{text}"); // stall share
+        assert!(text.contains("50.00%"), "{text}"); // utilization
+        assert!(text.contains("4096 B in"), "{text}");
+    }
+
+    #[test]
+    fn software_run_has_no_board_section() {
+        let mut r = report_with_board();
+        r.board = None;
+        let text = render_utilization(&r);
+        assert!(text.contains("software backend"), "{text}");
+    }
+
+    #[test]
+    fn histogram_bars_scale() {
+        let mut h = Histogram::default();
+        for _ in 0..40 {
+            h.observe(3);
+        }
+        h.observe(100);
+        let text = render_histogram("pairs", &h, 40);
+        assert!(text.contains("2-3"), "{text}");
+        assert!(text.contains("64-127"), "{text}");
+        // Tallest bucket gets the full width, the singleton a short bar.
+        assert!(text.contains(&"#".repeat(40)), "{text}");
+        assert!(!text.contains(&"#".repeat(41)), "{text}");
+    }
+
+    #[test]
+    fn full_report_renders_all_sections() {
+        let text = render_report(&report_with_board());
+        for needle in [
+            "schema v1",
+            "backend = rasc",
+            "Step time breakdown",
+            "Simulated RASC board",
+            "Counters",
+            "step2.pairs_per_key",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+    }
+}

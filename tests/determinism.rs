@@ -3,7 +3,7 @@
 //! thread counts. This is what makes the simulated-hardware numbers in
 //! EXPERIMENTS.md reproducible statements rather than measurements.
 
-use psc_core::{search_genome, PipelineConfig, Step2Backend};
+use psc_core::{search_genome, search_genome_recorded, MemRecorder, PipelineConfig, Step2Backend};
 use psc_datagen::{generate_genome, random_bank, BankConfig, GenomeConfig};
 use psc_score::blosum62;
 
@@ -36,6 +36,39 @@ fn repeated_runs_identical() {
     assert_eq!(a.output.hsps, b.output.hsps);
     assert_eq!(a.output.stats.step2, b.output.stats.step2);
     assert_eq!(a.matches.len(), b.matches.len());
+}
+
+#[test]
+fn telemetry_recording_does_not_change_results() {
+    // An instrumented run (in-memory recorder) must be bit-identical to
+    // the default run (null recorder): recording only observes.
+    let (proteins, genome) = workload();
+    let cfg = || PipelineConfig {
+        backend: Step2Backend::Rasc {
+            pe_count: 64,
+            fpga_count: 2,
+            host_threads: 2,
+        },
+        ..PipelineConfig::default()
+    };
+    let plain = search_genome(&proteins, &genome, blosum62(), cfg());
+    let rec = MemRecorder::new();
+    let recorded = search_genome_recorded(&proteins, &genome, blosum62(), cfg(), &rec);
+    assert_eq!(plain.output.hsps, recorded.output.hsps);
+    assert_eq!(plain.output.stats.step2, recorded.output.stats.step2);
+    assert_eq!(plain.output.stats.anchors, recorded.output.stats.anchors);
+    assert_eq!(plain.matches.len(), recorded.matches.len());
+    let (pb, rb) = (plain.output.board.unwrap(), recorded.output.board.unwrap());
+    assert_eq!(pb.fpga_cycles, rb.fpga_cycles);
+    assert_eq!(pb.stall_cycles, rb.stall_cycles);
+    assert_eq!(pb.fifo_peak, rb.fifo_peak);
+    // And the recorder actually saw the run.
+    let snap = rec.snapshot();
+    assert_eq!(
+        snap.counters.get("step2.pairs").copied(),
+        Some(recorded.output.stats.step2.pairs)
+    );
+    assert!(snap.spans.contains_key("step2.wall"));
 }
 
 #[test]
