@@ -1,0 +1,182 @@
+//! Hand-rolled parser for `analyzer.toml`.
+//!
+//! The build container is offline, so no TOML crate: this reads exactly
+//! the subset the checked-in config uses — `[section]` headers, string
+//! scalars, and (possibly multi-line) string arrays, with `#` comments.
+//! Unknown sections and keys are errors: a typoed lint name must not
+//! silently disable a gate.
+
+use std::collections::BTreeMap;
+
+/// Parsed configuration: every value is a list of strings (a scalar is
+/// a one-element list).
+#[derive(Clone, Debug, Default)]
+pub struct Config {
+    sections: BTreeMap<String, BTreeMap<String, Vec<String>>>,
+}
+
+/// Section/key names the analyzer understands, used to reject typos.
+const KNOWN: &[(&str, &[&str])] = &[
+    ("workspace", &["crate_dirs"]),
+    ("lint.unsafe-scope", &["allow_unsafe_crates"]),
+    ("lint.hot-path-no-panic", &["hot_modules"]),
+    (
+        "lint.determinism",
+        &["time_allowed_crates", "ordered_modules"],
+    ),
+    ("lint.recorder-off-hot-loop", &["kernel_modules"]),
+];
+
+impl Config {
+    pub fn parse(text: &str) -> Result<Config, String> {
+        let mut cfg = Config::default();
+        let mut section = String::new();
+        let mut lines = text.lines().enumerate().peekable();
+        while let Some((i, raw)) = lines.next() {
+            let line = strip_comment(raw).trim().to_string();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(name) = line.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
+                section = name.trim().to_string();
+                if !KNOWN.iter().any(|(s, _)| *s == section) {
+                    return Err(format!("line {}: unknown section [{section}]", i + 1));
+                }
+                cfg.sections.entry(section.clone()).or_default();
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(format!(
+                    "line {}: expected `key = value`, got {raw:?}",
+                    i + 1
+                ));
+            };
+            let key = key.trim().to_string();
+            let known_keys = KNOWN
+                .iter()
+                .find(|(s, _)| *s == section)
+                .map(|(_, keys)| *keys)
+                .ok_or_else(|| format!("line {}: key outside any section", i + 1))?;
+            if !known_keys.contains(&key.as_str()) {
+                return Err(format!(
+                    "line {}: unknown key {key:?} in [{section}]",
+                    i + 1
+                ));
+            }
+            // Gather a multi-line array until the closing bracket.
+            let mut value = value.trim().to_string();
+            if value.starts_with('[') {
+                while !value.ends_with(']') {
+                    let Some((_, next)) = lines.next() else {
+                        return Err(format!("line {}: unterminated array for {key}", i + 1));
+                    };
+                    value.push(' ');
+                    value.push_str(strip_comment(next).trim());
+                }
+            }
+            let items = parse_value(&value)
+                .map_err(|e| format!("line {}: bad value for {key}: {e}", i + 1))?;
+            cfg.sections
+                .entry(section.clone())
+                .or_default()
+                .insert(key, items);
+        }
+        Ok(cfg)
+    }
+
+    /// The list under `[section] key`, empty if absent.
+    pub fn list(&self, section: &str, key: &str) -> &[String] {
+        self.sections
+            .get(section)
+            .and_then(|s| s.get(key))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+}
+
+/// Drop a `#` comment, respecting double-quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// A quoted scalar or an array of quoted scalars.
+fn parse_value(value: &str) -> Result<Vec<String>, String> {
+    let value = value.trim();
+    if let Some(inner) = value.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
+        let mut items = Vec::new();
+        for part in inner.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            items.push(unquote(part)?);
+        }
+        return Ok(items);
+    }
+    Ok(vec![unquote(value)?])
+}
+
+fn unquote(s: &str) -> Result<String, String> {
+    s.strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+        .map(str::to_string)
+        .ok_or_else(|| format!("expected a quoted string, got {s:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_sections_scalars_and_arrays() {
+        let cfg = Config::parse(
+            r#"
+# comment
+[lint.unsafe-scope]
+allow_unsafe_crates = ["align", "index"] # trailing comment
+
+[lint.hot-path-no-panic]
+hot_modules = [
+    "crates/core/src/step2.rs",
+    "crates/align/src/batch.rs",
+]
+"#,
+        )
+        .unwrap();
+        assert_eq!(
+            cfg.list("lint.unsafe-scope", "allow_unsafe_crates"),
+            ["align", "index"]
+        );
+        assert_eq!(
+            cfg.list("lint.hot-path-no-panic", "hot_modules"),
+            ["crates/core/src/step2.rs", "crates/align/src/batch.rs"]
+        );
+        assert!(cfg.list("lint.determinism", "ordered_modules").is_empty());
+    }
+
+    #[test]
+    fn rejects_unknown_sections_and_keys() {
+        assert!(Config::parse("[lint.nonsense]\n").is_err());
+        assert!(Config::parse("[lint.determinism]\ntypo = [\"x\"]\n").is_err());
+        assert!(Config::parse("orphan = \"x\"\n").is_err());
+    }
+
+    #[test]
+    fn rejects_unquoted_values() {
+        assert!(Config::parse("[workspace]\ncrate_dirs = crates\n").is_err());
+    }
+
+    #[test]
+    fn hash_inside_string_is_not_a_comment() {
+        let cfg = Config::parse("[workspace]\ncrate_dirs = \"cra#tes\"\n").unwrap();
+        assert_eq!(cfg.list("workspace", "crate_dirs"), ["cra#tes"]);
+    }
+}

@@ -1,0 +1,34 @@
+//! Diagnostics: what a lint reports and how it is printed.
+
+use std::fmt;
+
+/// One finding, anchored to a workspace-relative `file:line`.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Diagnostic {
+    pub file: String,
+    pub line: u32,
+    /// Lint slug (`hot-path-no-panic`, …) — the name a waiver uses.
+    pub lint: &'static str,
+    pub message: String,
+}
+
+impl Diagnostic {
+    pub fn new(file: &str, line: u32, lint: &'static str, message: impl Into<String>) -> Self {
+        Diagnostic {
+            file: file.to_string(),
+            line,
+            lint,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.lint, self.message
+        )
+    }
+}

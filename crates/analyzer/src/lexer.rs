@@ -1,0 +1,372 @@
+//! A small hand-rolled Rust tokenizer.
+//!
+//! The lints only need a faithful separation of *code* from *comments
+//! and literals* — `unsafe` inside a string must not trip the
+//! safety-comment lint, a `// SAFETY:` inside a string must not satisfy
+//! it. So the lexer handles exactly the lexical features that matter
+//! for that separation: line and (nested) block comments, string /
+//! raw-string / byte-string / char literals, lifetimes vs char
+//! literals, identifiers and single-character punctuation. Everything
+//! else (numeric literal forms, multi-character operators) degrades to
+//! a benign token stream without affecting any lint.
+
+/// What a token is. Comment *text* is kept — the safety-comment lint
+/// and the waiver scanner read it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident(String),
+    /// One punctuation character (`.`, `!`, `(`, `{`, …).
+    Punct(char),
+    /// `// …` comment, text without the slashes (doc comments too).
+    LineComment(String),
+    /// `/* … */` comment, text without the delimiters.
+    BlockComment(String),
+    /// Any string/char/byte literal (content discarded).
+    Literal,
+    /// A lifetime such as `'a`.
+    Lifetime,
+    /// Numeric literal (content discarded).
+    Number,
+}
+
+/// One token with the 1-based line it starts on.
+#[derive(Clone, Debug)]
+pub struct Tok {
+    pub line: u32,
+    pub kind: TokKind,
+}
+
+impl Tok {
+    /// The identifier text, if this token is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokKind::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// True when the token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct(c)
+    }
+
+    /// The comment text, if this token is a comment of either flavor.
+    pub fn comment(&self) -> Option<&str> {
+        match &self.kind {
+            TokKind::LineComment(s) | TokKind::BlockComment(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Tokenize `src`. Unterminated constructs consume to end of input
+/// rather than erroring: the analyzer lints plausible Rust that `rustc`
+/// already accepted, so recovery beats rejection.
+pub fn lex(src: &str) -> Vec<Tok> {
+    Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Vec<Tok>,
+}
+
+impl Lexer {
+    fn run(mut self) -> Vec<Tok> {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(line),
+                '/' if self.peek(1) == Some('*') => self.block_comment(line),
+                '"' => self.string(line),
+                'r' if self.raw_string_ahead(1) => {
+                    self.bump();
+                    self.raw_string(line);
+                }
+                'b' => match (self.peek(1), self.peek(2)) {
+                    (Some('"'), _) => {
+                        self.bump();
+                        self.string(line);
+                    }
+                    (Some('\''), _) => {
+                        self.bump();
+                        self.char_literal(line);
+                    }
+                    (Some('r'), _) if self.raw_string_ahead(2) => {
+                        self.bump();
+                        self.bump();
+                        self.raw_string(line);
+                    }
+                    _ => self.ident(line),
+                },
+                '\'' => self.quote(line),
+                c if c.is_ascii_digit() => self.number(line),
+                c if c == '_' || c.is_alphanumeric() => self.ident(line),
+                c => {
+                    self.bump();
+                    self.push(line, TokKind::Punct(c));
+                }
+            }
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(c) = c {
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    fn push(&mut self, line: u32, kind: TokKind) {
+        self.out.push(Tok { line, kind });
+    }
+
+    /// Is `r`/`br` at offset `from` the start of a raw string, i.e.
+    /// followed by zero or more `#` then `"`?
+    fn raw_string_ahead(&self, from: usize) -> bool {
+        let mut i = from;
+        while self.peek(i) == Some('#') {
+            i += 1;
+        }
+        self.peek(i) == Some('"')
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        self.bump();
+        self.bump();
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.push(line, TokKind::LineComment(text));
+    }
+
+    fn block_comment(&mut self, line: u32) {
+        self.bump();
+        self.bump();
+        let mut depth = 1usize;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                self.bump();
+                self.bump();
+                text.push_str("/*");
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+                text.push_str("*/");
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        self.push(line, TokKind::BlockComment(text));
+    }
+
+    /// A `"…"` string (the opening quote is at the cursor).
+    fn string(&mut self, line: u32) {
+        self.bump();
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+        self.push(line, TokKind::Literal);
+    }
+
+    /// A raw string `#…#"…"#…#` (cursor on the first `#` or the quote;
+    /// the `r`/`br` prefix is already consumed).
+    fn raw_string(&mut self, line: u32) {
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            hashes += 1;
+            self.bump();
+        }
+        self.bump(); // opening quote
+        'outer: while let Some(c) = self.bump() {
+            if c == '"' {
+                for i in 0..hashes {
+                    if self.peek(i) != Some('#') {
+                        continue 'outer;
+                    }
+                }
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                break;
+            }
+        }
+        self.push(line, TokKind::Literal);
+    }
+
+    /// `'` — either a char literal or a lifetime.
+    fn quote(&mut self, line: u32) {
+        // Lifetime: 'ident not followed by a closing quote.
+        let mut i = 1;
+        let mut saw_ident = false;
+        while let Some(c) = self.peek(i) {
+            if c == '_' || c.is_alphanumeric() {
+                saw_ident = true;
+                i += 1;
+            } else {
+                break;
+            }
+        }
+        if saw_ident && self.peek(i) != Some('\'') {
+            for _ in 0..i {
+                self.bump();
+            }
+            self.push(line, TokKind::Lifetime);
+            return;
+        }
+        self.char_literal(line);
+    }
+
+    /// A char/byte literal (cursor on the opening quote).
+    fn char_literal(&mut self, line: u32) {
+        self.bump();
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '\'' => break,
+                _ => {}
+            }
+        }
+        self.push(line, TokKind::Literal);
+    }
+
+    fn number(&mut self, line: u32) {
+        // Consume the alphanumeric run (covers 0x…, 1e3, 1_000u64); a
+        // trailing `.` digit sequence is folded in so `1.5` is one token.
+        while let Some(c) = self.peek(0) {
+            let continues = c == '_'
+                || c.is_alphanumeric()
+                || (c == '.' && self.peek(1).is_some_and(|d| d.is_ascii_digit()));
+            if !continues {
+                break;
+            }
+            self.bump();
+        }
+        self.push(line, TokKind::Number);
+    }
+
+    fn ident(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '_' || c.is_alphanumeric() {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(line, TokKind::Ident(text));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokKind> {
+        lex(src).into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let toks = lex("fn f() { x.unwrap() }");
+        let idents: Vec<&str> = toks.iter().filter_map(|t| t.ident()).collect();
+        assert_eq!(idents, ["fn", "f", "x", "unwrap"]);
+        assert!(toks.iter().any(|t| t.is_punct('.')));
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let toks = kinds(r#"let s = "unsafe { panic!() }";"#);
+        assert!(!toks
+            .iter()
+            .any(|k| matches!(k, TokKind::Ident(s) if s == "unsafe" || s == "panic")));
+        assert!(toks.contains(&TokKind::Literal));
+    }
+
+    #[test]
+    fn raw_and_byte_strings() {
+        let toks = kinds(r##"let s = r#"an "unsafe" quote"#; let b = b"unwrap"; let c = br"x";"##);
+        assert!(!toks
+            .iter()
+            .any(|k| matches!(k, TokKind::Ident(s) if s == "unsafe" || s == "unwrap")));
+        assert_eq!(
+            toks.iter().filter(|k| **k == TokKind::Literal).count(),
+            3,
+            "{toks:?}"
+        );
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        assert_eq!(toks.iter().filter(|k| **k == TokKind::Lifetime).count(), 2);
+        assert_eq!(toks.iter().filter(|k| **k == TokKind::Literal).count(), 2);
+    }
+
+    #[test]
+    fn comments_keep_text_and_lines() {
+        let toks = lex("// SAFETY: fine\nlet x = 1; /* outer /* nested */ still */\n");
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[0].comment(), Some(" SAFETY: fine"));
+        let block = toks.iter().find(|t| t.comment().is_some() && t.line == 2);
+        assert!(block.is_some());
+        assert!(block
+            .and_then(|t| t.comment())
+            .is_some_and(|c| c.contains("nested")));
+    }
+
+    #[test]
+    fn line_numbers_advance_through_literals() {
+        let toks = lex("let a = \"multi\nline\";\nfoo();");
+        let foo = toks.iter().find(|t| t.ident() == Some("foo")).unwrap();
+        assert_eq!(foo.line, 3);
+    }
+
+    #[test]
+    fn comment_inside_string_is_not_a_comment() {
+        let toks = lex(r#"let s = "// SAFETY: not a comment";"#);
+        assert!(toks.iter().all(|t| t.comment().is_none()));
+    }
+}

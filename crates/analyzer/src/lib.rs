@@ -1,0 +1,189 @@
+//! # psc-analyzer — the workspace's own lint pass
+//!
+//! The correctness story of this reproduction rests on invariants
+//! `rustc` cannot see: the step-2 kernels must stay panic-free and
+//! telemetry-free (they are the 97 %-of-runtime critical section the
+//! paper offloads), the simulator must stay deterministic so Table 2/4
+//! comparisons are reproducible, and every `unsafe` block must carry a
+//! written justification. This crate lexes the workspace's `.rs`
+//! sources with a hand-rolled tokenizer ([`lexer`]) and enforces those
+//! house rules ([`lints`]), configured by a checked-in `analyzer.toml`
+//! ([`config`]) with inline `// analyzer: allow(<lint>) -- reason`
+//! waivers ([`source`]).
+//!
+//! It is deliberately **std-only**: the build container is offline, so
+//! the gate cannot depend on Dylint, Miri, or any crates.io proc-macro
+//! stack — and a zero-dependency binary keeps the gate itself out of
+//! the supply chain being gated.
+
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod diag;
+pub mod lexer;
+pub mod lints;
+pub mod source;
+
+use std::path::{Path, PathBuf};
+
+pub use config::Config;
+pub use diag::Diagnostic;
+pub use lints::LintSelection;
+use source::SourceFile;
+
+/// Outcome of a workspace pass.
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    pub diagnostics: Vec<Diagnostic>,
+    pub files_checked: usize,
+}
+
+impl Report {
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+}
+
+/// Lint one source text under an explicit selection (the unit the
+/// fixture tests drive directly).
+pub fn analyze_source(
+    path: &str,
+    crate_name: &str,
+    is_crate_root: bool,
+    text: &str,
+    sel: &LintSelection,
+) -> Vec<Diagnostic> {
+    let file = SourceFile::new(path, crate_name, is_crate_root, text);
+    lints::check_file(&file, sel)
+}
+
+/// Lint every `.rs` source under the workspace's crate directories.
+pub fn analyze_workspace(root: &Path, config: &Config) -> Result<Report, String> {
+    let mut report = Report::default();
+    let crate_dirs = match config.list("workspace", "crate_dirs") {
+        [] => vec!["crates".to_string()],
+        dirs => dirs.to_vec(),
+    };
+    for dir in crate_dirs {
+        let dir_path = root.join(&dir);
+        for krate in sorted_dir(&dir_path)? {
+            if !krate.join("Cargo.toml").is_file() {
+                continue;
+            }
+            let crate_name = file_name(&krate);
+            let src = krate.join("src");
+            if !src.is_dir() {
+                continue;
+            }
+            let mut files = Vec::new();
+            walk_rs(&src, &mut files)?;
+            for path in files {
+                let rel = relative(&path, root);
+                let text = std::fs::read_to_string(&path)
+                    .map_err(|e| format!("read {}: {e}", path.display()))?;
+                let sel = selection_for(config, &crate_name, &rel);
+                let is_root = is_crate_root(&rel);
+                let file = SourceFile::new(&rel, &crate_name, is_root, &text);
+                report.diagnostics.extend(lints::check_file(&file, &sel));
+                report.files_checked += 1;
+            }
+        }
+    }
+    report.diagnostics.sort();
+    Ok(report)
+}
+
+/// Derive which lints apply to `rel` (workspace-relative path with
+/// forward slashes) from the config.
+pub fn selection_for(config: &Config, crate_name: &str, rel: &str) -> LintSelection {
+    let in_list = |section: &str, key: &str| {
+        config
+            .list(section, key)
+            .iter()
+            .any(|m| rel == m || rel.starts_with(&format!("{m}/")))
+    };
+    LintSelection {
+        allow_unsafe: config
+            .list("lint.unsafe-scope", "allow_unsafe_crates")
+            .iter()
+            .any(|c| c == crate_name),
+        hot_module: in_list("lint.hot-path-no-panic", "hot_modules"),
+        ban_wall_clock: !config
+            .list("lint.determinism", "time_allowed_crates")
+            .iter()
+            .any(|c| c == crate_name),
+        ordered_module: in_list("lint.determinism", "ordered_modules"),
+        kernel_module: in_list("lint.recorder-off-hot-loop", "kernel_modules"),
+    }
+}
+
+/// `src/lib.rs`, `src/main.rs` and `src/bin/*.rs` are crate roots for
+/// the `unsafe-scope` lint.
+fn is_crate_root(rel: &str) -> bool {
+    rel.ends_with("/src/lib.rs")
+        || rel.ends_with("/src/main.rs")
+        || (rel.contains("/src/bin/") && rel.ends_with(".rs"))
+}
+
+fn sorted_dir(dir: &Path) -> Result<Vec<PathBuf>, String> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| format!("read dir {}: {e}", dir.display()))?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    Ok(entries)
+}
+
+fn walk_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    for entry in sorted_dir(dir)? {
+        if entry.is_dir() {
+            walk_rs(&entry, out)?;
+        } else if entry.extension().is_some_and(|e| e == "rs") {
+            out.push(entry);
+        }
+    }
+    Ok(())
+}
+
+fn file_name(p: &Path) -> String {
+    p.file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_default()
+}
+
+/// Workspace-relative path with forward slashes (diagnostics must be
+/// byte-identical across platforms).
+fn relative(path: &Path, root: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crate_root_detection() {
+        assert!(is_crate_root("crates/core/src/lib.rs"));
+        assert!(is_crate_root("crates/cli/src/main.rs"));
+        assert!(is_crate_root("crates/bench/src/bin/experiments.rs"));
+        assert!(!is_crate_root("crates/core/src/step2.rs"));
+        assert!(!is_crate_root("crates/core/src/bin.rs"));
+    }
+
+    #[test]
+    fn selection_prefix_matches_directories() {
+        let cfg = Config::parse(
+            "[lint.determinism]\nordered_modules = [\"crates/telemetry/src\", \"crates/cli/src/main.rs\"]\ntime_allowed_crates = [\"cli\"]\n",
+        )
+        .unwrap();
+        assert!(selection_for(&cfg, "telemetry", "crates/telemetry/src/json.rs").ordered_module);
+        assert!(selection_for(&cfg, "cli", "crates/cli/src/main.rs").ordered_module);
+        assert!(!selection_for(&cfg, "core", "crates/core/src/step2.rs").ordered_module);
+        assert!(!selection_for(&cfg, "cli", "crates/cli/src/main.rs").ban_wall_clock);
+        assert!(selection_for(&cfg, "core", "crates/core/src/pipeline.rs").ban_wall_clock);
+    }
+}

@@ -1,0 +1,341 @@
+//! The lint suite. Each lint walks the token stream of one
+//! [`SourceFile`] and reports [`Diagnostic`]s; inline waivers
+//! (`// analyzer: allow(<lint>) -- reason`) and `#[cfg(test)]` regions
+//! are honored where documented.
+
+use crate::diag::Diagnostic;
+use crate::source::{LineKind, SourceFile};
+
+pub const SAFETY_COMMENT: &str = "safety-comment";
+pub const UNSAFE_SCOPE: &str = "unsafe-scope";
+pub const HOT_PATH_NO_PANIC: &str = "hot-path-no-panic";
+pub const DETERMINISM: &str = "determinism";
+pub const RECORDER_OFF_HOT_LOOP: &str = "recorder-off-hot-loop";
+
+/// Which lints apply to the file being checked, derived from
+/// `analyzer.toml` by the driver (or built directly by fixture tests).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LintSelection {
+    /// `unsafe-scope`: this crate may use `unsafe` (skips the
+    /// `#![forbid(unsafe_code)]` requirement on its roots).
+    pub allow_unsafe: bool,
+    /// `hot-path-no-panic` applies (file is a designated hot module).
+    pub hot_module: bool,
+    /// `determinism` clock ban applies (crate is not telemetry/bench/cli).
+    pub ban_wall_clock: bool,
+    /// `determinism` HashMap ban applies (file produces reports/JSON).
+    pub ordered_module: bool,
+    /// `recorder-off-hot-loop` applies (file is a kernel module).
+    pub kernel_module: bool,
+}
+
+/// Run every applicable lint over `file`.
+pub fn check_file(file: &SourceFile, sel: &LintSelection) -> Vec<Diagnostic> {
+    let mut out = file.waiver_problems();
+    out.extend(safety_comment(file));
+    if !sel.allow_unsafe && file.is_crate_root {
+        out.extend(unsafe_scope(file));
+    }
+    if sel.hot_module {
+        out.extend(hot_path_no_panic(file));
+    }
+    out.extend(determinism(file, sel));
+    if sel.kernel_module {
+        out.extend(recorder_off_hot_loop(file));
+    }
+    out.sort();
+    out
+}
+
+/// `safety-comment`: every `unsafe` keyword must be justified by a
+/// `// SAFETY:` comment on the same line or in the contiguous
+/// comment/attribute block directly above (a `# Safety` doc section
+/// also counts, matching rustdoc convention for `unsafe fn`).
+fn safety_comment(file: &SourceFile) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for t in &file.toks {
+        if t.ident() != Some("unsafe") {
+            continue;
+        }
+        if file.waived(SAFETY_COMMENT, t.line) {
+            continue;
+        }
+        if has_safety_comment(file, t.line) {
+            continue;
+        }
+        out.push(Diagnostic::new(
+            &file.path,
+            t.line,
+            SAFETY_COMMENT,
+            "`unsafe` without a `// SAFETY:` comment directly above",
+        ));
+    }
+    out
+}
+
+fn is_safety_text(text: &str) -> bool {
+    text.contains("SAFETY:") || text.contains("# Safety")
+}
+
+fn has_safety_comment(file: &SourceFile, line: u32) -> bool {
+    if file.comments_on(line).iter().any(|c| is_safety_text(c)) {
+        return true;
+    }
+    let mut l = line.saturating_sub(1);
+    while l >= 1 {
+        match file.line_kind(l) {
+            LineKind::CommentOnly | LineKind::Attr => {
+                if file.comments_on(l).iter().any(|c| is_safety_text(c)) {
+                    return true;
+                }
+                l -= 1;
+            }
+            _ => break,
+        }
+    }
+    false
+}
+
+/// `unsafe-scope`: crate roots outside the unsafe allow-list must
+/// declare `#![forbid(unsafe_code)]`.
+fn unsafe_scope(file: &SourceFile) -> Vec<Diagnostic> {
+    let toks = &file.toks;
+    let mut i = 0;
+    while i + 7 < toks.len() {
+        if toks[i].is_punct('#')
+            && toks[i + 1].is_punct('!')
+            && toks[i + 2].is_punct('[')
+            && toks[i + 3].ident() == Some("forbid")
+            && toks[i + 4].is_punct('(')
+            && toks[i + 5].ident() == Some("unsafe_code")
+            && toks[i + 6].is_punct(')')
+            && toks[i + 7].is_punct(']')
+        {
+            return Vec::new();
+        }
+        i += 1;
+    }
+    vec![Diagnostic::new(
+        &file.path,
+        1,
+        UNSAFE_SCOPE,
+        "crate root must declare #![forbid(unsafe_code)] (crate is not on the unsafe allow-list)",
+    )]
+}
+
+/// `hot-path-no-panic`: `.unwrap()`, `.expect(`, `panic!`, `todo!`,
+/// `unimplemented!` are banned in hot modules outside `#[cfg(test)]`.
+fn hot_path_no_panic(file: &SourceFile) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let toks = &file.toks;
+    for (i, t) in toks.iter().enumerate() {
+        let Some(name) = t.ident() else { continue };
+        let call = match name {
+            "unwrap" | "expect" => {
+                let method = i > 0
+                    && toks[i - 1].is_punct('.')
+                    && toks.get(i + 1).is_some_and(|n| n.is_punct('('));
+                if !method {
+                    continue;
+                }
+                format!(".{name}()")
+            }
+            "panic" | "todo" | "unimplemented" => {
+                if !toks.get(i + 1).is_some_and(|n| n.is_punct('!')) {
+                    continue;
+                }
+                format!("{name}!")
+            }
+            _ => continue,
+        };
+        if file.in_test_code(t.line) || file.waived(HOT_PATH_NO_PANIC, t.line) {
+            continue;
+        }
+        out.push(Diagnostic::new(
+            &file.path,
+            t.line,
+            HOT_PATH_NO_PANIC,
+            format!(
+                "{call} in a hot module (return a Result or add a waiver with a justification)"
+            ),
+        ));
+    }
+    out
+}
+
+/// `determinism`: wall-clock reads outside the crates whose job is
+/// timing, and `HashMap`/`HashSet` (unstable iteration order) in
+/// modules that produce reports or JSON.
+fn determinism(file: &SourceFile, sel: &LintSelection) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let toks = &file.toks;
+    for (i, t) in toks.iter().enumerate() {
+        match t.ident() {
+            Some(ty @ ("Instant" | "SystemTime")) if sel.ban_wall_clock => {
+                let is_now = toks.get(i + 1).is_some_and(|a| a.is_punct(':'))
+                    && toks.get(i + 2).is_some_and(|a| a.is_punct(':'))
+                    && toks.get(i + 3).and_then(|a| a.ident()) == Some("now");
+                if !is_now || file.in_test_code(t.line) || file.waived(DETERMINISM, t.line) {
+                    continue;
+                }
+                out.push(Diagnostic::new(
+                    &file.path,
+                    t.line,
+                    DETERMINISM,
+                    format!("{ty}::now() outside the timing crates (telemetry/bench/cli)"),
+                ));
+            }
+            Some(map @ ("HashMap" | "HashSet")) if sel.ordered_module => {
+                if file.in_test_code(t.line) || file.waived(DETERMINISM, t.line) {
+                    continue;
+                }
+                out.push(Diagnostic::new(
+                    &file.path,
+                    t.line,
+                    DETERMINISM,
+                    format!(
+                        "{map} in a report/JSON-producing module (use BTreeMap/BTreeSet for stable order)"
+                    ),
+                ));
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Identifiers that mean telemetry crossed into a kernel module.
+const RECORDER_IDENTS: &[&str] = &[
+    "Recorder",
+    "SpanGuard",
+    "MemRecorder",
+    "NullRecorder",
+    "psc_telemetry",
+];
+/// Recorder method names, flagged when invoked as methods.
+const RECORDER_METHODS: &[&str] = &["record_span", "set_meta", "observe"];
+
+/// `recorder-off-hot-loop`: kernel modules must not touch the telemetry
+/// surface at all — PR 2's zero-overhead promise, mechanized. No
+/// waivers: instrumentation belongs in the drivers around the kernels.
+fn recorder_off_hot_loop(file: &SourceFile) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let toks = &file.toks;
+    for (i, t) in toks.iter().enumerate() {
+        let Some(name) = t.ident() else { continue };
+        let hit = RECORDER_IDENTS.contains(&name)
+            || (RECORDER_METHODS.contains(&name)
+                && i > 0
+                && toks[i - 1].is_punct('.')
+                && toks.get(i + 1).is_some_and(|n| n.is_punct('(')));
+        if !hit || file.in_test_code(t.line) {
+            continue;
+        }
+        out.push(Diagnostic::new(
+            &file.path,
+            t.line,
+            RECORDER_OFF_HOT_LOOP,
+            format!("`{name}` inside a kernel module — telemetry must stay off the hot loop"),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(src: &str) -> SourceFile {
+        SourceFile::new("crates/x/src/lib.rs", "x", true, src)
+    }
+
+    fn lints(d: &[Diagnostic]) -> Vec<&str> {
+        d.iter().map(|d| d.lint).collect()
+    }
+
+    #[test]
+    fn safety_comment_accepts_preceding_and_doc_forms() {
+        let ok = file(
+            "// SAFETY: pointer is valid\nlet x = unsafe { *p };\n\n/// # Safety\n/// Caller checks AVX2.\n#[target_feature(enable = \"avx2\")]\npub unsafe fn k() {}\n",
+        );
+        assert!(safety_comment(&ok).is_empty());
+        let bad = file("let x = unsafe { *p };\n");
+        assert_eq!(lints(&safety_comment(&bad)), [SAFETY_COMMENT]);
+    }
+
+    #[test]
+    fn safety_comment_not_satisfied_across_code() {
+        let f = file("// SAFETY: stale comment\nlet y = 1;\nlet x = unsafe { *p };\n");
+        assert_eq!(safety_comment(&f).len(), 1);
+    }
+
+    #[test]
+    fn unsafe_scope_requires_forbid() {
+        let missing = file("//! docs\npub fn f() {}\n");
+        assert_eq!(
+            lints(&check_file(&missing, &LintSelection::default())),
+            [UNSAFE_SCOPE]
+        );
+        let ok = file("//! docs\n#![forbid(unsafe_code)]\npub fn f() {}\n");
+        assert!(check_file(&ok, &LintSelection::default()).is_empty());
+        let allowed = LintSelection {
+            allow_unsafe: true,
+            ..LintSelection::default()
+        };
+        assert!(check_file(&missing, &allowed).is_empty());
+    }
+
+    #[test]
+    fn hot_path_flags_panics_outside_tests() {
+        let f = file(
+            "fn hot() {\n    x.unwrap();\n    y.expect(\"m\");\n    panic!(\"no\");\n    todo!();\n    unimplemented!();\n}\n#[cfg(test)]\nmod tests {\n    fn t() { z.unwrap(); }\n}\n",
+        );
+        assert_eq!(hot_path_no_panic(&f).len(), 5);
+    }
+
+    #[test]
+    fn hot_path_ignores_non_method_unwrap_idents() {
+        // A fn *named* unwrap, or unwrap_or, must not trip the lint.
+        let f = file("fn unwrap() {}\nfn g() { x.unwrap_or(0); h.unwrap_or_default(); }\n");
+        assert!(hot_path_no_panic(&f).is_empty());
+    }
+
+    #[test]
+    fn hot_path_waiver_with_reason() {
+        let f = file(
+            "fn hot() {\n    // analyzer: allow(hot-path-no-panic) -- full FIFO implies pop succeeds\n    fifo.pop().unwrap();\n}\n",
+        );
+        assert!(hot_path_no_panic(&f).is_empty());
+        assert!(f.waiver_problems().is_empty());
+    }
+
+    #[test]
+    fn determinism_clock_and_hashmap() {
+        let sel = LintSelection {
+            ban_wall_clock: true,
+            ordered_module: true,
+            ..LintSelection::default()
+        };
+        let f = file(
+            "use std::collections::HashMap;\nfn f() -> std::time::Instant { std::time::Instant::now() }\n",
+        );
+        let found = determinism(&f, &sel);
+        assert_eq!(lints(&found), [DETERMINISM, DETERMINISM]);
+        // `Instant` alone (no ::now) is fine: storing one is harmless.
+        let store = file("struct S { t0: std::time::Instant }\n");
+        assert!(determinism(&store, &sel).is_empty());
+    }
+
+    #[test]
+    fn recorder_banned_in_kernel_modules() {
+        let f =
+            file("use psc_telemetry::Recorder;\nfn k(r: &dyn Recorder) { r.observe(\"x\", 1); }\n");
+        let found = recorder_off_hot_loop(&f);
+        assert!(found.len() >= 3, "{found:?}");
+        // And it has no waiver escape hatch.
+        let waived = file(
+            "// analyzer: allow(recorder-off-hot-loop) -- please\nuse psc_telemetry::Recorder;\n",
+        );
+        assert!(!recorder_off_hot_loop(&waived).is_empty());
+    }
+}

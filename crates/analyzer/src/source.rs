@@ -1,0 +1,323 @@
+//! Per-file source model shared by every lint: the token stream, a
+//! per-line classification, `#[cfg(test)]` region tracking, and inline
+//! waivers.
+
+use std::collections::BTreeMap;
+
+use crate::diag::Diagnostic;
+use crate::lexer::{lex, Tok, TokKind};
+
+/// How a line reads to someone scanning upward for a justification.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LineKind {
+    Blank,
+    /// Only comments (line or block) on this line.
+    CommentOnly,
+    /// First code token is `#` — an attribute such as `#[inline]`.
+    Attr,
+    Code,
+}
+
+/// An inline waiver: `// analyzer: allow(<lint>) -- <reason>`.
+#[derive(Clone, Debug)]
+pub struct Waiver {
+    pub lint: String,
+    pub reason: String,
+}
+
+/// A lexed source file plus everything the lints ask about it.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path with forward slashes.
+    pub path: String,
+    /// Crate directory name under `crates/` (e.g. `core`).
+    pub crate_name: String,
+    /// True for `src/lib.rs`, `src/main.rs`, and `src/bin/*.rs`.
+    pub is_crate_root: bool,
+    pub toks: Vec<Tok>,
+    line_kinds: Vec<LineKind>,
+    /// Comment texts per line (a line can hold several).
+    comments: BTreeMap<u32, Vec<String>>,
+    /// Lines covered by a `#[cfg(test)]` / `#[test]` item.
+    test_lines: Vec<bool>,
+    waivers: BTreeMap<u32, Vec<Waiver>>,
+}
+
+impl SourceFile {
+    pub fn new(path: &str, crate_name: &str, is_crate_root: bool, src: &str) -> SourceFile {
+        let toks = lex(src);
+        let n_lines = src.lines().count().max(1);
+        let line_kinds = classify_lines(&toks, n_lines);
+        let mut comments: BTreeMap<u32, Vec<String>> = BTreeMap::new();
+        for t in &toks {
+            if let Some(c) = t.comment() {
+                comments.entry(t.line).or_default().push(c.to_string());
+            }
+        }
+        let test_lines = mark_test_regions(&toks, n_lines);
+        let waivers = collect_waivers(&comments);
+        SourceFile {
+            path: path.to_string(),
+            crate_name: crate_name.to_string(),
+            is_crate_root,
+            toks,
+            line_kinds,
+            comments,
+            test_lines,
+            waivers,
+        }
+    }
+
+    pub fn line_kind(&self, line: u32) -> LineKind {
+        self.line_kinds
+            .get(line.saturating_sub(1) as usize)
+            .copied()
+            .unwrap_or(LineKind::Blank)
+    }
+
+    /// Comments sitting on `line`.
+    pub fn comments_on(&self, line: u32) -> &[String] {
+        self.comments.get(&line).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Is `line` inside a `#[cfg(test)]`-gated item or `#[test]` fn?
+    pub fn in_test_code(&self, line: u32) -> bool {
+        self.test_lines
+            .get(line.saturating_sub(1) as usize)
+            .copied()
+            .unwrap_or(false)
+    }
+
+    /// Does a waiver for `lint` cover `line`? A waiver covers its own
+    /// line and the line directly below it, so it works both trailing
+    /// (`stmt; // analyzer: allow(…) -- why`) and preceding (its own
+    /// comment line above the statement).
+    pub fn waived(&self, lint: &str, line: u32) -> bool {
+        [line.saturating_sub(1), line]
+            .iter()
+            .filter(|&&l| l > 0)
+            .flat_map(|l| self.waivers.get(l).into_iter().flatten())
+            .any(|w| w.lint == lint)
+    }
+
+    /// Malformed waivers (missing `-- reason`) are themselves findings:
+    /// an unjustified exemption is exactly what the lints exist to stop.
+    pub fn waiver_problems(&self) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        for (&line, ws) in &self.waivers {
+            for w in ws {
+                if w.reason.is_empty() {
+                    out.push(Diagnostic::new(
+                        &self.path,
+                        line,
+                        "bad-waiver",
+                        format!("waiver for `{}` lacks a `-- reason`", w.lint),
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+fn classify_lines(toks: &[Tok], n_lines: usize) -> Vec<LineKind> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Seen {
+        Nothing,
+        Comment,
+        AttrFirst,
+        Code,
+    }
+    let mut seen = vec![Seen::Nothing; n_lines];
+    for t in toks {
+        let i = (t.line as usize - 1).min(n_lines - 1);
+        match &t.kind {
+            TokKind::LineComment(_) | TokKind::BlockComment(_) => {
+                if seen[i] == Seen::Nothing {
+                    seen[i] = Seen::Comment;
+                }
+            }
+            TokKind::Punct('#') if matches!(seen[i], Seen::Nothing | Seen::Comment) => {
+                seen[i] = Seen::AttrFirst;
+            }
+            _ => {
+                if matches!(seen[i], Seen::Nothing | Seen::Comment) {
+                    seen[i] = Seen::Code;
+                }
+            }
+        }
+    }
+    seen.into_iter()
+        .map(|s| match s {
+            Seen::Nothing => LineKind::Blank,
+            Seen::Comment => LineKind::CommentOnly,
+            Seen::AttrFirst => LineKind::Attr,
+            Seen::Code => LineKind::Code,
+        })
+        .collect()
+}
+
+/// Mark every line covered by an item annotated `#[cfg(test)]` (any
+/// `cfg` whose argument mentions `test`) or `#[test]`: from the
+/// attribute itself to the closing brace of the item (or its `;`).
+fn mark_test_regions(toks: &[Tok], n_lines: usize) -> Vec<bool> {
+    let mut test = vec![false; n_lines];
+    let mut i = 0;
+    while i < toks.len() {
+        if !toks[i].is_punct('#') || !matches!(toks.get(i + 1), Some(t) if t.is_punct('[')) {
+            i += 1;
+            continue;
+        }
+        // Bracket-match the attribute, remembering the idents inside.
+        let attr_start_line = toks[i].line;
+        let mut j = i + 1;
+        let mut depth = 0usize;
+        let mut idents: Vec<&str> = Vec::new();
+        while j < toks.len() {
+            match &toks[j].kind {
+                TokKind::Punct('[') => depth += 1,
+                TokKind::Punct(']') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                TokKind::Ident(s) => idents.push(s),
+                _ => {}
+            }
+            j += 1;
+        }
+        let is_test_attr = idents
+            .first()
+            .is_some_and(|&first| first == "test" || (first == "cfg" && idents.contains(&"test")));
+        if !is_test_attr {
+            i = j + 1;
+            continue;
+        }
+        // Skip to the item body: the first `{` (or a `;` for an
+        // extern/use-like item) past any further attributes.
+        let mut k = j + 1;
+        let mut paren = 0i32;
+        let end_line = loop {
+            match toks.get(k).map(|t| &t.kind) {
+                None => break toks.last().map(|t| t.line).unwrap_or(attr_start_line),
+                Some(TokKind::Punct('(')) => paren += 1,
+                Some(TokKind::Punct(')')) => paren -= 1,
+                Some(TokKind::Punct(';')) if paren == 0 => break toks[k].line,
+                Some(TokKind::Punct('{')) if paren == 0 => {
+                    // Brace-match the body.
+                    let mut bdepth = 0usize;
+                    while k < toks.len() {
+                        match &toks[k].kind {
+                            TokKind::Punct('{') => bdepth += 1,
+                            TokKind::Punct('}') => {
+                                bdepth -= 1;
+                                if bdepth == 0 {
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        k += 1;
+                    }
+                    break toks.get(k).map(|t| t.line).unwrap_or(attr_start_line);
+                }
+                Some(_) => {}
+            }
+            k += 1;
+        };
+        for line in attr_start_line..=end_line {
+            if let Some(slot) = test.get_mut(line as usize - 1) {
+                *slot = true;
+            }
+        }
+        i = k + 1;
+    }
+    test
+}
+
+fn collect_waivers(comments: &BTreeMap<u32, Vec<String>>) -> BTreeMap<u32, Vec<Waiver>> {
+    let mut out: BTreeMap<u32, Vec<Waiver>> = BTreeMap::new();
+    for (&line, texts) in comments {
+        for text in texts {
+            let Some(rest) = text.trim().strip_prefix("analyzer: allow(") else {
+                continue;
+            };
+            let Some((lint, tail)) = rest.split_once(')') else {
+                continue;
+            };
+            let reason = tail
+                .trim()
+                .strip_prefix("--")
+                .map(|r| r.trim().to_string())
+                .unwrap_or_default();
+            out.entry(line).or_default().push(Waiver {
+                lint: lint.trim().to_string(),
+                reason,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(src: &str) -> SourceFile {
+        SourceFile::new("crates/x/src/lib.rs", "x", true, src)
+    }
+
+    #[test]
+    fn line_classification() {
+        let f = file("// only a comment\n#[inline]\nfn f() {}\n\n");
+        assert_eq!(f.line_kind(1), LineKind::CommentOnly);
+        assert_eq!(f.line_kind(2), LineKind::Attr);
+        assert_eq!(f.line_kind(3), LineKind::Code);
+        assert_eq!(f.line_kind(4), LineKind::Blank);
+    }
+
+    #[test]
+    fn cfg_test_region_covers_module() {
+        let src = "fn real() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n    fn t() { y.unwrap(); }\n}\nfn after() {}\n";
+        let f = file(src);
+        assert!(!f.in_test_code(1));
+        assert!(f.in_test_code(2));
+        assert!(f.in_test_code(4));
+        assert!(f.in_test_code(5));
+        assert!(!f.in_test_code(6));
+    }
+
+    #[test]
+    fn test_attr_on_fn() {
+        let src = "#[test]\nfn t() {\n    panic!();\n}\nfn real() {}\n";
+        let f = file(src);
+        assert!(f.in_test_code(3));
+        assert!(!f.in_test_code(5));
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_a_test_region() {
+        let f = file("#[cfg(target_arch = \"x86_64\")]\nmod x86 {\n    fn f() {}\n}\n");
+        assert!(!f.in_test_code(3));
+    }
+
+    #[test]
+    fn waivers_cover_their_line_and_the_next() {
+        let src = "// analyzer: allow(hot-path-no-panic) -- join only fails on a panicked worker\nh.join().unwrap();\nh2.join().unwrap();\n";
+        let f = file(src);
+        assert!(f.waived("hot-path-no-panic", 1));
+        assert!(f.waived("hot-path-no-panic", 2));
+        assert!(!f.waived("hot-path-no-panic", 3));
+        assert!(!f.waived("determinism", 2));
+        assert!(f.waiver_problems().is_empty());
+    }
+
+    #[test]
+    fn waiver_without_reason_is_flagged() {
+        let f = file("x(); // analyzer: allow(determinism)\n");
+        let problems = f.waiver_problems();
+        assert_eq!(problems.len(), 1);
+        assert_eq!(problems[0].lint, "bad-waiver");
+    }
+}

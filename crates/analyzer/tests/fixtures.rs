@@ -1,0 +1,125 @@
+//! Fixture-driven lint tests: every lint has a violating, a clean, and
+//! (where waivers are allowed) a waived fixture under
+//! `tests/fixtures/`, exercised through the public [`analyze_source`]
+//! entry point exactly as the workspace driver uses it.
+
+use psc_analyzer::{analyze_source, Diagnostic, LintSelection};
+
+fn fixture(name: &str) -> String {
+    let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"))
+}
+
+fn check(name: &str, is_crate_root: bool, sel: &LintSelection) -> Vec<Diagnostic> {
+    analyze_source(
+        &format!("crates/fix/src/{name}"),
+        "fix",
+        is_crate_root,
+        &fixture(name),
+        sel,
+    )
+}
+
+/// Non-root module file: unsafe-scope does not apply.
+fn module_sel(sel: LintSelection) -> LintSelection {
+    LintSelection {
+        allow_unsafe: true,
+        ..sel
+    }
+}
+
+#[test]
+fn safety_comment_fixtures() {
+    let sel = module_sel(LintSelection::default());
+    let bad = check("safety_comment_bad.rs", false, &sel);
+    assert_eq!(bad.len(), 3, "{bad:?}");
+    assert!(bad.iter().all(|d| d.lint == "safety-comment"));
+    // Diagnostics carry the file:line anchors of the unsafe tokens.
+    assert_eq!(
+        bad.iter().map(|d| d.line).collect::<Vec<_>>(),
+        [4, 7, 12],
+        "{bad:?}"
+    );
+    assert!(check("safety_comment_ok.rs", false, &sel).is_empty());
+    assert!(check("safety_comment_waived.rs", false, &sel).is_empty());
+}
+
+#[test]
+fn unsafe_scope_fixtures() {
+    let sel = LintSelection::default();
+    let bad = check("unsafe_scope_bad.rs", true, &sel);
+    assert_eq!(bad.len(), 1, "{bad:?}");
+    assert_eq!(bad[0].lint, "unsafe-scope");
+    assert!(check("unsafe_scope_ok.rs", true, &sel).is_empty());
+    // The same file as a non-root module needs no declaration.
+    assert!(check("unsafe_scope_bad.rs", false, &sel).is_empty());
+    // Crates on the unsafe allow-list are exempt.
+    let allowed = LintSelection {
+        allow_unsafe: true,
+        ..LintSelection::default()
+    };
+    assert!(check("unsafe_scope_bad.rs", true, &allowed).is_empty());
+}
+
+#[test]
+fn hot_path_fixtures() {
+    let sel = module_sel(LintSelection {
+        hot_module: true,
+        ..LintSelection::default()
+    });
+    let bad = check("hot_path_bad.rs", false, &sel);
+    assert_eq!(bad.len(), 5, "{bad:?}");
+    assert!(bad.iter().all(|d| d.lint == "hot-path-no-panic"));
+    assert!(check("hot_path_ok.rs", false, &sel).is_empty());
+    assert!(check("hot_path_waived.rs", false, &sel).is_empty());
+    // Outside a hot module the same source is clean.
+    let cold = module_sel(LintSelection::default());
+    assert!(check("hot_path_bad.rs", false, &cold).is_empty());
+}
+
+#[test]
+fn determinism_fixtures() {
+    let sel = module_sel(LintSelection {
+        ban_wall_clock: true,
+        ordered_module: true,
+        ..LintSelection::default()
+    });
+    let bad = check("determinism_bad.rs", false, &sel);
+    // Instant::now once; HashMap named three times (use + two sites).
+    assert_eq!(bad.len(), 4, "{bad:?}");
+    assert!(bad.iter().all(|d| d.lint == "determinism"));
+    assert!(check("determinism_ok.rs", false, &sel).is_empty());
+    assert!(check("determinism_waived.rs", false, &sel).is_empty());
+    // The timing crates may read the clock.
+    let timing = module_sel(LintSelection {
+        ordered_module: true,
+        ..LintSelection::default()
+    });
+    assert_eq!(check("determinism_bad.rs", false, &timing).len(), 3);
+}
+
+#[test]
+fn recorder_fixtures() {
+    let sel = module_sel(LintSelection {
+        kernel_module: true,
+        ..LintSelection::default()
+    });
+    let bad = check("recorder_bad.rs", false, &sel);
+    assert!(!bad.is_empty());
+    assert!(bad.iter().all(|d| d.lint == "recorder-off-hot-loop"));
+    assert!(check("recorder_ok.rs", false, &sel).is_empty());
+}
+
+#[test]
+fn diagnostics_render_file_line_format() {
+    let sel = module_sel(LintSelection {
+        hot_module: true,
+        ..LintSelection::default()
+    });
+    let bad = check("hot_path_bad.rs", false, &sel);
+    let rendered = bad[0].to_string();
+    assert!(
+        rendered.starts_with("crates/fix/src/hot_path_bad.rs:4: [hot-path-no-panic]"),
+        "{rendered}"
+    );
+}

@@ -1,0 +1,14 @@
+// Violates determinism: a wall-clock read in a simulator crate and a
+// HashMap in a report-producing module.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub fn simulate() -> f64 {
+    let t0 = Instant::now();
+    t0.elapsed().as_secs_f64()
+}
+
+pub fn report() -> HashMap<String, u64> {
+    HashMap::new()
+}

@@ -1,0 +1,11 @@
+// Clean under determinism: cycle-derived time, ordered maps.
+
+use std::collections::BTreeMap;
+
+pub fn simulate(cycles: u64, clock_hz: u64) -> f64 {
+    cycles as f64 / clock_hz as f64
+}
+
+pub fn report() -> BTreeMap<String, u64> {
+    BTreeMap::new()
+}

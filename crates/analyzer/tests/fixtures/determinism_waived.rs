@@ -1,0 +1,9 @@
+// Waived: the step profile is allowed to read the wall clock.
+
+use std::time::Instant;
+
+pub fn profile() -> f64 {
+    // analyzer: allow(determinism) -- step profile is wall-clock by definition
+    let t0 = Instant::now();
+    t0.elapsed().as_secs_f64()
+}

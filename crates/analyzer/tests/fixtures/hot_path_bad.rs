@@ -1,0 +1,14 @@
+// Violates hot-path-no-panic: five banned calls outside tests.
+
+pub fn kernel(xs: &[i32]) -> i32 {
+    let first = xs.first().unwrap();
+    let last = xs.last().expect("non-empty");
+    if *first > *last {
+        panic!("unsorted");
+    }
+    match xs.len() {
+        0 => todo!(),
+        1 => unimplemented!(),
+        _ => first + last,
+    }
+}

@@ -1,0 +1,9 @@
+// Violates recorder-off-hot-loop: telemetry named inside a kernel.
+
+use psc_telemetry::Recorder;
+
+pub fn kernel(rec: &dyn Recorder, pairs: &[u64]) {
+    for &p in pairs {
+        rec.observe("step2.pairs_per_key", p);
+    }
+}

@@ -1,0 +1,12 @@
+// Violates safety-comment: three unsafe sites, none justified.
+
+pub fn deref(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+
+pub unsafe fn no_docs(p: *const u8) -> u8 {
+    *p
+}
+
+struct W(*mut u8);
+unsafe impl Send for W {}

@@ -1,0 +1,19 @@
+// Clean under safety-comment: every unsafe site is justified.
+
+pub fn deref(p: *const u8) -> u8 {
+    // SAFETY: caller handed us a valid, aligned pointer.
+    unsafe { *p }
+}
+
+/// Reads one byte.
+///
+/// # Safety
+/// `p` must be valid for reads.
+#[inline]
+pub unsafe fn documented(p: *const u8) -> u8 {
+    *p
+}
+
+struct W(*mut u8);
+// SAFETY: W's pointer is only dereferenced on the owning thread.
+unsafe impl Send for W {}

@@ -1,0 +1,6 @@
+// Waived: the unsafe block is exempted with a justified waiver.
+
+pub fn deref(p: *const u8) -> u8 {
+    // analyzer: allow(safety-comment) -- justification lives on the caller
+    unsafe { *p }
+}

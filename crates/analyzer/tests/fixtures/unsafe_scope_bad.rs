@@ -1,0 +1,5 @@
+//! A crate root missing `#![forbid(unsafe_code)]`.
+
+pub fn f() -> u32 {
+    7
+}

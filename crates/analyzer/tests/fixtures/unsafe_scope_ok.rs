@@ -1,0 +1,7 @@
+//! A compliant crate root.
+
+#![forbid(unsafe_code)]
+
+pub fn f() -> u32 {
+    7
+}

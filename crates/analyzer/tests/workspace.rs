@@ -1,0 +1,76 @@
+//! End-to-end driver tests: a synthetic mini-workspace on disk, and
+//! the self-test asserting the real workspace is clean under the real
+//! checked-in `analyzer.toml`.
+
+use std::path::{Path, PathBuf};
+
+use psc_analyzer::{analyze_workspace, Config};
+
+fn write(path: &Path, text: &str) {
+    std::fs::create_dir_all(path.parent().expect("parent")).expect("mkdir");
+    std::fs::write(path, text).expect("write fixture workspace");
+}
+
+#[test]
+fn synthetic_workspace_reports_expected_diagnostics() {
+    let root = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("mini-ws");
+    let _ = std::fs::remove_dir_all(&root);
+    write(
+        &root.join("crates/good/Cargo.toml"),
+        "[package]\nname = \"good\"\n",
+    );
+    write(
+        &root.join("crates/good/src/lib.rs"),
+        "#![forbid(unsafe_code)]\npub fn ok() {}\n",
+    );
+    write(
+        &root.join("crates/evil/Cargo.toml"),
+        "[package]\nname = \"evil\"\n",
+    );
+    write(
+        &root.join("crates/evil/src/lib.rs"),
+        "pub mod hot;\npub fn f(p: *const u8) -> u8 {\n    unsafe { *p }\n}\n",
+    );
+    write(
+        &root.join("crates/evil/src/hot.rs"),
+        "pub fn k(xs: &[i32]) -> i32 {\n    *xs.first().unwrap()\n}\n",
+    );
+    let config =
+        Config::parse("[lint.hot-path-no-panic]\nhot_modules = [\"crates/evil/src/hot.rs\"]\n")
+            .expect("config");
+
+    let report = analyze_workspace(&root, &config).expect("analyze");
+    assert_eq!(report.files_checked, 3);
+    let rendered: Vec<String> = report.diagnostics.iter().map(|d| d.to_string()).collect();
+    assert_eq!(rendered.len(), 3, "{rendered:?}");
+    // Sorted by file, then line; paths are workspace-relative.
+    assert!(rendered[0].starts_with("crates/evil/src/hot.rs:2: [hot-path-no-panic]"));
+    assert!(rendered[1].starts_with("crates/evil/src/lib.rs:1: [unsafe-scope]"));
+    assert!(rendered[2].starts_with("crates/evil/src/lib.rs:3: [safety-comment]"));
+}
+
+/// The analyzer must run clean on the workspace that ships it — the
+/// same invocation CI gates on (`cargo run -p psc-analyzer`).
+#[test]
+fn real_workspace_is_clean() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root")
+        .to_path_buf();
+    let config_text =
+        std::fs::read_to_string(root.join("analyzer.toml")).expect("read analyzer.toml");
+    let config = Config::parse(&config_text).expect("parse analyzer.toml");
+    let report = analyze_workspace(&root, &config).expect("analyze workspace");
+    assert!(report.files_checked > 50, "found {}", report.files_checked);
+    assert!(
+        report.is_clean(),
+        "workspace violations:\n{}",
+        report
+            .diagnostics
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

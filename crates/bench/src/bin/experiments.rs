@@ -9,6 +9,8 @@
 //!          all
 //! ```
 
+#![forbid(unsafe_code)]
+
 use psc_bench::data::build_workload;
 use psc_bench::exps;
 use psc_bench::ladder::{run_ladder, Components};

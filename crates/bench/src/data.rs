@@ -9,6 +9,7 @@ use crate::scale::Scale;
 
 /// The full workload: four nested banks and one genome with planted
 /// homology.
+#[derive(Debug)]
 pub struct Workload {
     /// Banks in ascending size (nested prefixes of one draw).
     pub banks: [Bank; 4],

@@ -1,6 +1,7 @@
 //! Minimal fixed-width table rendering for experiment output.
 
 /// A simple column-aligned text table.
+#[derive(Debug)]
 pub struct Table {
     header: Vec<String>,
     rows: Vec<Vec<String>>,

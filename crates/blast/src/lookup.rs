@@ -20,6 +20,7 @@ pub struct WordSite {
 }
 
 /// The scan-side lookup table.
+#[derive(Debug)]
 pub struct QueryLookup {
     word_len: usize,
     offsets: Vec<u32>,

@@ -38,6 +38,7 @@ const STALE: DiagState = DiagState {
 
 /// Two-hit tracker for a scan of subject sequences against a
 /// concatenated query space of `query_total` residues.
+#[derive(Debug)]
 pub struct TwoHitTracker {
     window: i32,
     word_len: i32,

@@ -15,12 +15,14 @@
 //! psc matrix
 //! ```
 
-use std::collections::HashMap;
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeMap;
 use std::io::Write;
 use std::process::ExitCode;
 
 use psc_blast::{tblastn, BlastConfig};
-use psc_core::{search_genome, PipelineConfig, SeedChoice, Step2Backend};
+use psc_core::{try_search_genome, PipelineConfig, SeedChoice, Step2Backend};
 use psc_datagen::{generate_genome, random_bank, BankConfig, GenomeConfig};
 use psc_index::subset_seed_span3;
 use psc_rasc::{OperatorConfig, ResourceModel};
@@ -97,11 +99,11 @@ commands:
   matrix";
 
 /// Trivial `--flag value` parser.
-struct Flags(HashMap<String, String>);
+struct Flags(BTreeMap<String, String>);
 
 impl Flags {
     fn parse(args: impl Iterator<Item = String>) -> Result<Flags, String> {
-        let mut map = HashMap::new();
+        let mut map = BTreeMap::new();
         let mut args = args.peekable();
         while let Some(a) = args.next() {
             let key = a
@@ -272,11 +274,16 @@ fn search(flags: &Flags) -> Result<(), String> {
     let report_path = flags.get("report-json");
     let recorder = report_path.map(|_| psc_core::MemRecorder::new());
     let result = match &recorder {
-        Some(rec) => {
-            psc_core::search_genome_recorded(&proteins, &genome, blosum62(), config.clone(), rec)
-        }
-        None => search_genome(&proteins, &genome, blosum62(), config.clone()),
-    };
+        Some(rec) => psc_core::try_search_genome_recorded(
+            &proteins,
+            &genome,
+            blosum62(),
+            config.clone(),
+            rec,
+        ),
+        None => try_search_genome(&proteins, &genome, blosum62(), config.clone()),
+    }
+    .map_err(|e| e.to_string())?;
     if let (Some(path), Some(rec)) = (report_path, &recorder) {
         let report = psc_core::build_run_report(&result.output, &config, &rec.snapshot());
         std::fs::write(path, report.to_json_string()).map_err(|e| format!("write {path}: {e}"))?;

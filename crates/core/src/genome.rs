@@ -8,7 +8,7 @@ use psc_score::SubstitutionMatrix;
 use psc_seqio::{translate_six_frames, Bank, Frame, FrameCoord, GeneticCode, Seq};
 
 use crate::config::PipelineConfig;
-use crate::pipeline::{Pipeline, PipelineOutput};
+use crate::pipeline::{Pipeline, PipelineError, PipelineOutput};
 
 /// One reported protein-to-genome match.
 #[derive(Clone, Debug)]
@@ -44,6 +44,9 @@ pub struct GenomeSearchResult {
 
 /// Compare a protein bank against a genome (the paper's tblastn-style
 /// workload), reporting genomic coordinates.
+///
+/// Panics on configuration errors; use [`try_search_genome`] to handle
+/// them.
 pub fn search_genome(
     proteins: &Bank,
     genome: &Seq,
@@ -59,8 +62,27 @@ pub fn search_genome(
     )
 }
 
+/// [`search_genome`], surfacing configuration errors.
+pub fn try_search_genome(
+    proteins: &Bank,
+    genome: &Seq,
+    matrix: &SubstitutionMatrix,
+    config: PipelineConfig,
+) -> Result<GenomeSearchResult, PipelineError> {
+    try_search_genome_recorded(
+        proteins,
+        genome,
+        matrix,
+        config,
+        &psc_telemetry::NullRecorder,
+    )
+}
+
 /// [`search_genome`] with telemetry recording (see
 /// [`Pipeline::run_recorded`]).
+///
+/// Panics on configuration errors; use
+/// [`try_search_genome_recorded`] to handle them.
 pub fn search_genome_recorded(
     proteins: &Bank,
     genome: &Seq,
@@ -68,12 +90,24 @@ pub fn search_genome_recorded(
     config: PipelineConfig,
     rec: &dyn psc_telemetry::Recorder,
 ) -> GenomeSearchResult {
+    try_search_genome_recorded(proteins, genome, matrix, config, rec)
+        .unwrap_or_else(|e| panic!("pipeline configuration error: {e}"))
+}
+
+/// [`search_genome_recorded`], surfacing configuration errors.
+pub fn try_search_genome_recorded(
+    proteins: &Bank,
+    genome: &Seq,
+    matrix: &SubstitutionMatrix,
+    config: PipelineConfig,
+    rec: &dyn psc_telemetry::Recorder,
+) -> Result<GenomeSearchResult, PipelineError> {
     let translated = translate_six_frames(genome, GeneticCode::standard());
     // NOTE: frame translation is genuinely part of step 1 in the paper's
     // accounting, but it is cheap (<1 % here); the pipeline times
     // indexing separately either way.
     let frames_bank = translated.to_bank();
-    let output = Pipeline::new(config).run_recorded(proteins, &frames_bank, matrix, rec);
+    let output = Pipeline::new(config).try_run_recorded(proteins, &frames_bank, matrix, rec)?;
 
     let matches = output
         .hsps
@@ -104,7 +138,7 @@ pub fn search_genome_recorded(
         })
         .collect();
 
-    GenomeSearchResult { matches, output }
+    Ok(GenomeSearchResult { matches, output })
 }
 
 #[cfg(test)]

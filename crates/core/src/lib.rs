@@ -23,6 +23,8 @@
 //! a protein bank against the six-frame translation of a genome, with
 //! results mapped back to genomic coordinates.
 
+#![forbid(unsafe_code)]
+
 pub mod config;
 pub mod genome;
 pub mod gff;
@@ -32,9 +34,12 @@ pub mod report;
 pub mod step2;
 
 pub use config::{PipelineConfig, SeedChoice, Step2Backend};
-pub use genome::{search_genome, search_genome_recorded, GenomeMatch, GenomeSearchResult};
+pub use genome::{
+    search_genome, search_genome_recorded, try_search_genome, try_search_genome_recorded,
+    GenomeMatch, GenomeSearchResult,
+};
 pub use gff::to_gff3;
-pub use pipeline::{Pipeline, PipelineOutput, PipelineStats};
+pub use pipeline::{Pipeline, PipelineError, PipelineOutput, PipelineStats};
 pub use profile::StepProfile;
 pub use psc_align::{KernelBackend, KernelChoice};
 pub use psc_telemetry::{MemRecorder, NullRecorder, Recorder, RunReport};

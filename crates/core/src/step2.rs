@@ -57,7 +57,7 @@ pub fn gather_windows(flat: &FlatBank, list: &[u32], span: usize, n_ctx: usize, 
 }
 
 /// Scoring parameters threaded through the software backends.
-#[derive(Clone, Copy)]
+#[derive(Clone, Copy, Debug)]
 pub struct Step2Params<'m> {
     pub matrix: &'m SubstitutionMatrix,
     pub kernel: Kernel,
@@ -367,9 +367,11 @@ pub fn run_software_keys(
             })
             .collect();
         for h in handles {
+            // analyzer: allow(hot-path-no-panic) -- join only fails if a worker already panicked
             results.push(h.join().expect("step-2 worker panicked"));
         }
     })
+    // analyzer: allow(hot-path-no-panic) -- scope only fails if a worker already panicked
     .expect("step-2 scope");
 
     let mut out = Vec::new();

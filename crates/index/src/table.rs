@@ -280,9 +280,14 @@ fn scatter_chunk(
 /// Shared mutable pointer for the disjoint pass-2 scatter.
 #[derive(Clone, Copy)]
 struct DisjointWriter(*mut u32);
-// SAFETY: all concurrent writers target disjoint index ranges (per-chunk
-// cursor ranges computed in pass 1); no element is written twice.
+// SAFETY: the wrapped pointer is only dereferenced through the disjoint
+// pass-2 scatter, where each worker writes its own index range (per-chunk
+// cursor ranges computed in pass 1); moving the wrapper across threads
+// cannot create overlapping writes.
 unsafe impl Send for DisjointWriter {}
+// SAFETY: shared references to the wrapper only ever write disjoint
+// elements (see `Send` above); no element is written twice and none is
+// read until the scatter's thread scope has joined.
 unsafe impl Sync for DisjointWriter {}
 
 #[cfg(test)]

@@ -41,6 +41,7 @@ pub struct PlantLabel {
 }
 
 /// The generated benchmark.
+#[derive(Debug)]
 pub struct Benchmark {
     pub families: Vec<Family>,
     /// The query bank (one representative per family, in family order).

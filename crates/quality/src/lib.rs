@@ -12,6 +12,8 @@
 //! * [`benchmark`]: benchmark construction and the tool-agnostic
 //!   evaluation driver.
 
+#![forbid(unsafe_code)]
+
 pub mod benchmark;
 pub mod metrics;
 

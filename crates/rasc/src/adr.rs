@@ -60,6 +60,7 @@ pub enum Status {
 pub const ALGORITHM_ID: u64 = 0x5053_4331; // "PSC1"
 
 /// The register-mapped device.
+#[derive(Debug)]
 pub struct AdrDevice {
     op: FunctionalOperator,
     /// The substitution ROM baked into the bitstream.
@@ -147,7 +148,16 @@ impl AdrDevice {
         let mut cfg = self.op.config().clone();
         cfg.threshold = self.threshold;
         if cfg.threshold != self.op.config().threshold {
-            self.op = FunctionalOperator::new(cfg, &self.matrix).expect("valid config");
+            match FunctionalOperator::new(cfg, &self.matrix) {
+                Ok(op) => self.op = op,
+                Err(_) => {
+                    // A threshold the operator rejects is a protocol
+                    // fault, not a host panic — mirror the hardware's
+                    // error register.
+                    self.status = Status::Fault;
+                    return;
+                }
+            }
         }
         let r = self.op.run_entry(&self.il0, &self.il1);
         self.cycles = r.cycles;

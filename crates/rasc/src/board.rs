@@ -110,6 +110,7 @@ struct FpgaTally {
 }
 
 /// A simulated RASC-100 board.
+#[derive(Debug)]
 pub struct RascBoard {
     config: BoardConfig,
     matrix: SubstitutionMatrix,
@@ -474,9 +475,11 @@ mod tests {
     fn utilization_is_zero_on_empty_report() {
         let r = BoardReport::default();
         assert_eq!(r.utilization(192), 0.0);
-        let mut r = BoardReport::default();
-        r.fpga_cycles = vec![0, 0];
-        r.busy_pe_cycles = vec![0, 0];
+        let r = BoardReport {
+            fpga_cycles: vec![0, 0],
+            busy_pe_cycles: vec![0, 0],
+            ..BoardReport::default()
+        };
         assert_eq!(r.utilization(192), 0.0);
     }
 

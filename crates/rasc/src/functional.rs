@@ -14,6 +14,7 @@ use crate::config::OperatorConfig;
 use crate::operator::{EntryResult, Hit};
 
 /// Functional PSC operator: same contract as the cycle-accurate one.
+#[derive(Debug)]
 pub struct FunctionalOperator {
     config: OperatorConfig,
     matrix: SubstitutionMatrix,

@@ -90,6 +90,7 @@ impl GappedOperatorResult {
 }
 
 /// The simulated gapped-extension operator.
+#[derive(Debug)]
 pub struct GappedOperator {
     config: GappedOperatorConfig,
     matrix: SubstitutionMatrix,

@@ -10,6 +10,8 @@
 //! works on the compact `u8` residue codes defined by [`alphabet`]; ASCII
 //! only appears at the I/O boundary.
 
+#![forbid(unsafe_code)]
+
 pub mod alphabet;
 pub mod bank;
 pub mod codon;

@@ -21,6 +21,8 @@
 //! The crate is std-only and dependency-free by design; it sits below
 //! `psc-core` in the workspace graph so any crate can record into it.
 
+#![forbid(unsafe_code)]
+
 pub mod json;
 pub mod recorder;
 pub mod render;

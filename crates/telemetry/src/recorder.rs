@@ -158,6 +158,14 @@ impl Drop for SpanGuard<'_> {
     }
 }
 
+impl std::fmt::Debug for SpanGuard<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpanGuard")
+            .field("span", &self.active.as_ref().map(|(_, name, _)| *name))
+            .finish()
+    }
+}
+
 /// An in-memory accumulating recorder.
 #[derive(Debug, Default)]
 pub struct MemRecorder {

@@ -147,6 +147,21 @@ impl RunReport {
             .map(|(_, h)| h)
     }
 
+    /// Zero every wall-clock-derived duration, leaving only data that
+    /// is a pure function of the run's inputs: counters, histograms,
+    /// metadata, and the *simulated* board/accelerator seconds (which
+    /// are cycle-derived). Two runs of the same workload serialize to
+    /// byte-identical JSON after stripping — the property the
+    /// determinism suite asserts.
+    pub fn strip_wall_clock(&mut self) {
+        for s in &mut self.steps {
+            s.wall_seconds = 0.0;
+        }
+        for s in &mut self.spans {
+            s.seconds = 0.0;
+        }
+    }
+
     /// Total effective seconds across steps (the paper's accounting).
     pub fn total_seconds(&self) -> f64 {
         self.steps.iter().map(StepReport::effective_seconds).sum()

@@ -78,8 +78,10 @@ fn both_tools_recover_the_same_plants() {
 
 #[test]
 fn baseline_profile_is_scan_heavy() {
-    // The baseline spends its time scanning + extending, mirroring why
-    // the paper could not just accelerate BLAST as-is.
+    // The baseline spends its effort scanning + extending, mirroring
+    // why the paper could not just accelerate BLAST as-is. Asserted on
+    // the deterministic work counters, not wall-clock splits (which are
+    // noisy under CI load).
     let proteins = random_bank(&BankConfig {
         count: 10,
         min_len: 100,
@@ -102,10 +104,16 @@ fn baseline_profile_is_scan_heavy() {
         blosum62(),
         &BlastConfig::default(),
     );
-    assert!(report.word_hits > 0);
+    // The scan examines far more word hits than the lookup has entries
+    // to build: dictionary construction is O(query residues), the scan
+    // is O(subject residues × hit density). >10 hits per query residue
+    // pins the scan-heavy shape without touching the clock.
+    let query_residues: u64 = report.search_space.0 as u64;
+    assert!(report.word_hits > 10 * query_residues);
+    // And the extension funnel narrows: word hits ⊇ ungapped ⊇ gapped.
+    assert!(report.word_hits >= report.ungapped_extensions);
+    assert!(report.ungapped_extensions >= report.gapped_extensions);
+    assert!(report.gapped_extensions > 0);
+    // Wall clock is still recorded, just not compared.
     assert!(report.scan_seconds > 0.0);
-    assert!(
-        report.scan_seconds > report.build_seconds,
-        "scan should outweigh lookup construction"
-    );
 }

@@ -102,6 +102,35 @@ fn board_numbers_independent_of_host_threads() {
 }
 
 #[test]
+fn stripped_run_reports_are_byte_identical() {
+    // The full telemetry artifact — counters, histograms, per-key
+    // distributions, simulated board seconds, metadata — must serialize
+    // to byte-identical JSON across runs once the wall-clock fields
+    // (the only honest nondeterminism) are zeroed. This pins the report
+    // pipeline end to end: recorder → snapshot → RunReport → JSON.
+    let (proteins, genome) = workload();
+    let run = || {
+        let cfg = PipelineConfig {
+            backend: Step2Backend::Rasc {
+                pe_count: 64,
+                fpga_count: 2,
+                host_threads: 2,
+            },
+            ..PipelineConfig::default()
+        };
+        let rec = MemRecorder::new();
+        let result = search_genome_recorded(&proteins, &genome, blosum62(), cfg.clone(), &rec);
+        let mut report = psc_core::build_run_report(&result.output, &cfg, &rec.snapshot());
+        report.strip_wall_clock();
+        report.to_json_string()
+    };
+    let a = run();
+    let b = run();
+    assert!(a.contains("step2.pairs"), "report lost its counters");
+    assert_eq!(a, b, "stripped run reports must be byte-identical");
+}
+
+#[test]
 fn masking_is_deterministic_and_recall_preserving() {
     let (proteins, genome) = workload();
     let masked_cfg = || PipelineConfig {

