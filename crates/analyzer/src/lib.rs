@@ -60,6 +60,7 @@ pub fn analyze_source(
 /// Lint every `.rs` source under the workspace's crate directories.
 pub fn analyze_workspace(root: &Path, config: &Config) -> Result<Report, String> {
     let mut report = Report::default();
+    check_manifest_file(&root.join("Cargo.toml"), root, &mut report)?;
     let crate_dirs = match config.list("workspace", "crate_dirs") {
         [] => vec!["crates".to_string()],
         dirs => dirs.to_vec(),
@@ -70,6 +71,7 @@ pub fn analyze_workspace(root: &Path, config: &Config) -> Result<Report, String>
             if !krate.join("Cargo.toml").is_file() {
                 continue;
             }
+            check_manifest_file(&krate.join("Cargo.toml"), root, &mut report)?;
             let crate_name = file_name(&krate);
             let src = krate.join("src");
             if !src.is_dir() {
@@ -91,6 +93,23 @@ pub fn analyze_workspace(root: &Path, config: &Config) -> Result<Report, String>
     }
     report.diagnostics.sort();
     Ok(report)
+}
+
+/// Lint one Cargo manifest (the `placeholder-url` check), counting it
+/// toward `files_checked`. A missing manifest (e.g. no workspace-root
+/// `Cargo.toml` in a test fixture) is skipped, not an error.
+fn check_manifest_file(path: &Path, root: &Path, report: &mut Report) -> Result<(), String> {
+    if !path.is_file() {
+        return Ok(());
+    }
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    let rel = relative(path, root);
+    report
+        .diagnostics
+        .extend(lints::check_manifest(&rel, &text));
+    report.files_checked += 1;
+    Ok(())
 }
 
 /// Derive which lints apply to `rel` (workspace-relative path with

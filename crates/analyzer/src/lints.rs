@@ -11,6 +11,7 @@ pub const UNSAFE_SCOPE: &str = "unsafe-scope";
 pub const HOT_PATH_NO_PANIC: &str = "hot-path-no-panic";
 pub const DETERMINISM: &str = "determinism";
 pub const RECORDER_OFF_HOT_LOOP: &str = "recorder-off-hot-loop";
+pub const PLACEHOLDER_URL: &str = "placeholder-url";
 
 /// Which lints apply to the file being checked, derived from
 /// `analyzer.toml` by the driver (or built directly by fixture tests).
@@ -204,6 +205,28 @@ fn determinism(file: &SourceFile, sel: &LintSelection) -> Vec<Diagnostic> {
     out
 }
 
+/// Hosts that mark a manifest URL as an unedited template leftover.
+const PLACEHOLDER_HOSTS: &[&str] = &["example.org", "example.com", "example.net"];
+
+/// `placeholder-url`: Cargo manifests must not ship RFC 2606 example
+/// hosts — a `repository`/`homepage` pointing at `example.org` is a
+/// template leftover, not a value. Checked line-by-line on the raw
+/// manifest text (no waivers; fix the URL instead).
+pub fn check_manifest(rel: &str, text: &str) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if let Some(host) = PLACEHOLDER_HOSTS.iter().find(|h| line.contains(*h)) {
+            out.push(Diagnostic::new(
+                rel,
+                i as u32 + 1,
+                PLACEHOLDER_URL,
+                format!("placeholder host `{host}` in a Cargo manifest"),
+            ));
+        }
+    }
+    out
+}
+
 /// Identifiers that mean telemetry crossed into a kernel module.
 const RECORDER_IDENTS: &[&str] = &[
     "Recorder",
@@ -324,6 +347,16 @@ mod tests {
         // `Instant` alone (no ::now) is fine: storing one is harmless.
         let store = file("struct S { t0: std::time::Instant }\n");
         assert!(determinism(&store, &sel).is_empty());
+    }
+
+    #[test]
+    fn manifest_placeholder_hosts_flagged() {
+        let bad = "[package]\nname = \"x\"\nrepository = \"https://example.org/x\"\n";
+        let found = check_manifest("crates/x/Cargo.toml", bad);
+        assert_eq!(lints(&found), [PLACEHOLDER_URL]);
+        assert_eq!(found[0].line, 3);
+        let ok = "[package]\nname = \"x\"\nrepository = \"https://github.com/org/x\"\n";
+        assert!(check_manifest("crates/x/Cargo.toml", ok).is_empty());
     }
 
     #[test]

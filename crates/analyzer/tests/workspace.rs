@@ -25,7 +25,7 @@ fn synthetic_workspace_reports_expected_diagnostics() {
     );
     write(
         &root.join("crates/evil/Cargo.toml"),
-        "[package]\nname = \"evil\"\n",
+        "[package]\nname = \"evil\"\nrepository = \"https://example.org/evil\"\n",
     );
     write(
         &root.join("crates/evil/src/lib.rs"),
@@ -40,13 +40,16 @@ fn synthetic_workspace_reports_expected_diagnostics() {
             .expect("config");
 
     let report = analyze_workspace(&root, &config).expect("analyze");
-    assert_eq!(report.files_checked, 3);
+    // Three .rs sources plus the two crate manifests (there is no
+    // workspace-root Cargo.toml in this fixture).
+    assert_eq!(report.files_checked, 5);
     let rendered: Vec<String> = report.diagnostics.iter().map(|d| d.to_string()).collect();
-    assert_eq!(rendered.len(), 3, "{rendered:?}");
+    assert_eq!(rendered.len(), 4, "{rendered:?}");
     // Sorted by file, then line; paths are workspace-relative.
-    assert!(rendered[0].starts_with("crates/evil/src/hot.rs:2: [hot-path-no-panic]"));
-    assert!(rendered[1].starts_with("crates/evil/src/lib.rs:1: [unsafe-scope]"));
-    assert!(rendered[2].starts_with("crates/evil/src/lib.rs:3: [safety-comment]"));
+    assert!(rendered[0].starts_with("crates/evil/Cargo.toml:3: [placeholder-url]"));
+    assert!(rendered[1].starts_with("crates/evil/src/hot.rs:2: [hot-path-no-panic]"));
+    assert!(rendered[2].starts_with("crates/evil/src/lib.rs:1: [unsafe-scope]"));
+    assert!(rendered[3].starts_with("crates/evil/src/lib.rs:3: [safety-comment]"));
 }
 
 /// The analyzer must run clean on the workspace that ships it — the

@@ -90,6 +90,9 @@ commands:
                   [--seed-model subset4|subset3|exact4] [--threshold T]
                   [--step2-kernel auto|scalar|profile|simd]
                   [--format tab|pairwise|gff] [--mask on]
+                  [--fault-seed S] [--fault-rate PPM]   (seeded fault injection)
+                  [--fault-plan ENTRY:KIND[:ATTEMPTS][@FPGA],...]
+                  [--fault-retries N] [--fault-degrade on|off]
                   [--report-json FILE]   (write a telemetry run report)
   report          FILE                   (render a run report: step breakdown,
                                           PE utilization, pair histograms)
@@ -267,6 +270,8 @@ fn search(flags: &Flags) -> Result<(), String> {
             Some("off") | None => None,
             Some(other) => return Err(format!("bad --mask value {other:?}")),
         },
+        fault_plan: fault_plan(flags)?,
+        recovery: recovery_policy(flags)?,
         ..PipelineConfig::default()
     };
     // Telemetry is recorded only when a report is requested; otherwise
@@ -352,6 +357,49 @@ fn search(flags: &Flags) -> Result<(), String> {
 
 fn config_pes(flags: &Flags) -> Result<usize, String> {
     flags.parsed("pes", 192usize)
+}
+
+/// Fault plan from `--fault-plan` (scripted) or `--fault-seed`
+/// (seeded, rate adjustable with `--fault-rate` in ppm). The two are
+/// mutually exclusive; neither means a fault-free run.
+fn fault_plan(flags: &Flags) -> Result<Option<psc_rasc::FaultPlan>, String> {
+    match (flags.get("fault-plan"), flags.get("fault-seed")) {
+        (Some(_), Some(_)) => Err("--fault-plan and --fault-seed are mutually exclusive".into()),
+        (Some(spec), None) => {
+            if flags.get("fault-rate").is_some() {
+                return Err("--fault-rate only applies to --fault-seed plans".into());
+            }
+            psc_rasc::FaultPlan::parse(spec).map(Some)
+        }
+        (None, Some(_)) => {
+            let seed = flags.parsed("fault-seed", 0u64)?;
+            let rate_ppm = flags.parsed("fault-rate", psc_rasc::DEFAULT_FAULT_RATE_PPM)?;
+            if rate_ppm > 1_000_000 {
+                return Err(format!("--fault-rate {rate_ppm} exceeds 1000000 ppm"));
+            }
+            Ok(Some(psc_rasc::FaultPlan::Seeded { seed, rate_ppm }))
+        }
+        (None, None) => {
+            if flags.get("fault-rate").is_some() {
+                return Err("--fault-rate needs --fault-seed".into());
+            }
+            Ok(None)
+        }
+    }
+}
+
+/// Recovery policy overrides (`--fault-retries`, `--fault-degrade`).
+fn recovery_policy(flags: &Flags) -> Result<psc_rasc::RecoveryPolicy, String> {
+    let default = psc_rasc::RecoveryPolicy::default();
+    Ok(psc_rasc::RecoveryPolicy {
+        max_retries: flags.parsed("fault-retries", default.max_retries)?,
+        degrade: match flags.get("fault-degrade") {
+            Some("on") | None => true,
+            Some("off") => false,
+            Some(other) => return Err(format!("bad --fault-degrade value {other:?} (on|off)")),
+        },
+        ..default
+    })
 }
 
 /// Render a saved run report (`psc report FILE`): the paper-style step

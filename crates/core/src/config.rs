@@ -133,6 +133,13 @@ pub struct PipelineConfig {
     /// RASC-100 defaults; scaled-down experiments scale the one-time
     /// setup cost along with the workload (see psc-bench).
     pub dma_override: Option<psc_rasc::DmaModel>,
+    /// Deterministic fault plan for the RASC/Hybrid backends; `None`
+    /// (the default) runs fault-free. Candidates are bit-identical
+    /// either way — recovery restores every faulted entry.
+    pub fault_plan: Option<psc_rasc::FaultPlan>,
+    /// Retry / degradation policy the board applies when a dispatch
+    /// faults.
+    pub recovery: psc_rasc::RecoveryPolicy,
 }
 
 impl Default for PipelineConfig {
@@ -153,6 +160,8 @@ impl Default for PipelineConfig {
             slot_size: 16,
             mask: None,
             dma_override: None,
+            fault_plan: None,
+            recovery: psc_rasc::RecoveryPolicy::default(),
         }
     }
 }
@@ -180,6 +189,8 @@ impl PipelineConfig {
         if let Some(dma) = self.dma_override {
             cfg.dma = dma;
         }
+        cfg.fault_plan = self.fault_plan.clone();
+        cfg.recovery = self.recovery;
         cfg
     }
 }
@@ -217,5 +228,25 @@ mod tests {
         let b = c.board_config(64, 2);
         assert_eq!(b.fpga_count, 2);
         assert_eq!(b.operator.pe_count, 64);
+    }
+
+    #[test]
+    fn board_config_carries_fault_plan_and_recovery() {
+        let c = PipelineConfig {
+            fault_plan: Some(psc_rasc::FaultPlan::seeded(9)),
+            recovery: psc_rasc::RecoveryPolicy {
+                max_retries: 7,
+                ..psc_rasc::RecoveryPolicy::default()
+            },
+            ..PipelineConfig::default()
+        };
+        let b = c.board_config(64, 1);
+        assert_eq!(b.fault_plan, Some(psc_rasc::FaultPlan::seeded(9)));
+        assert_eq!(b.recovery.max_retries, 7);
+        // The default stays fault-free.
+        assert!(PipelineConfig::default()
+            .board_config(64, 1)
+            .fault_plan
+            .is_none());
     }
 }

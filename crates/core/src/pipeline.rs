@@ -41,8 +41,11 @@ pub struct PipelineOutput {
     pub board: Option<BoardReport>,
 }
 
-/// Why a pipeline run could not start: every variant is a
-/// configuration problem detectable before any sequence is touched.
+/// Why a pipeline run could not start or complete. All variants but
+/// [`PipelineError::BoardFault`] are configuration problems detectable
+/// before any sequence is touched; `BoardFault` is the one runtime
+/// failure, surfaced only after the board's own retry/degradation
+/// recovery is exhausted.
 #[derive(Clone, Debug, PartialEq)]
 pub enum PipelineError {
     /// The PSC operator (step 2) exceeds the FPGA resource budget.
@@ -55,6 +58,9 @@ pub enum PipelineError {
     /// (its expected score is non-negative, so local alignment
     /// statistics are undefined).
     UnsupportedMatrix,
+    /// A board entry kept faulting past the retry budget with
+    /// degradation disabled (see [`psc_rasc::RecoveryPolicy`]).
+    BoardFault(psc_rasc::BoardFault),
 }
 
 impl std::fmt::Display for PipelineError {
@@ -71,6 +77,9 @@ impl std::fmt::Display for PipelineError {
             }
             PipelineError::UnsupportedMatrix => {
                 write!(f, "matrix does not support local alignment statistics")
+            }
+            PipelineError::BoardFault(e) => {
+                write!(f, "step-2 board fault exhausted recovery: {e}")
             }
         }
     }
@@ -226,7 +235,7 @@ impl Pipeline {
                     cfg.n_ctx,
                     *host_threads,
                     0..key_count,
-                );
+                )?;
                 (c, s, Some(r), None)
             }
             Step2Backend::Hybrid {
@@ -251,7 +260,7 @@ impl Pipeline {
                     cfg.n_ctx,
                     1,
                     0..cut,
-                );
+                )?;
                 // analyzer: allow(determinism) -- wall-clock step profile is the audited exception
                 let t_cpu = Instant::now();
                 let (c2, s2) = step2::run_software_keys(
@@ -296,6 +305,11 @@ impl Pipeline {
             s2stats.pairs - s2stats.candidates,
         );
         rec.add("step2.active_keys", s2stats.active_keys);
+        if let Some(b) = board.as_ref().filter(|b| b.faults.any()) {
+            rec.add("step2.faults_detected", b.faults.faults_detected);
+            rec.add("step2.fault_retries", b.faults.retries);
+            rec.add("step2.entries_degraded", b.faults.entries_degraded);
+        }
         if rec.enabled() {
             rec.set_meta("backend", cfg.backend.name());
             rec.set_meta("step3.backend", cfg.step3_backend.name());
@@ -530,7 +544,8 @@ fn split_keys_by_pair_mass(idx0: &SeedIndex, idx1: &SeedIndex, share: f64) -> u3
 }
 
 /// Step 2 on the simulated board: stream one entry per active key in
-/// `keys`.
+/// `keys`. Errors only when an entry exhausts the board's fault
+/// recovery with degradation disabled.
 #[allow(clippy::too_many_arguments)]
 fn run_rasc_step2(
     board: &RascBoard,
@@ -542,7 +557,7 @@ fn run_rasc_step2(
     n_ctx: usize,
     host_threads: usize,
     keys: std::ops::Range<u32>,
-) -> (Vec<Candidate>, Step2Stats, BoardReport) {
+) -> Result<(Vec<Candidate>, Step2Stats, BoardReport), PipelineError> {
     // Keys with work on both sides, in key order.
     let active: Vec<u32> = keys
         .filter(|&k| !idx0.list(k).is_empty() && !idx1.list(k).is_empty())
@@ -565,22 +580,25 @@ fn run_rasc_step2(
     });
 
     let mut candidates: Vec<Candidate> = Vec::new();
-    let report = board.run_stream(entries, host_threads, |entry_idx, hits| {
-        let key = active[entry_idx as usize];
-        let list0 = idx0.list(key);
-        let list1 = idx1.list(key);
-        for h in hits {
-            candidates.push(Candidate {
-                pos0: list0[h.i0 as usize],
-                pos1: list1[h.i1 as usize],
-                score: h.score,
-            });
-        }
-    });
-    // Entry completion order depends on host threading; normalize.
+    let report = board
+        .run_stream(entries, host_threads, |entry_idx, hits| {
+            let key = active[entry_idx as usize];
+            let list0 = idx0.list(key);
+            let list1 = idx1.list(key);
+            for h in hits {
+                candidates.push(Candidate {
+                    pos0: list0[h.i0 as usize],
+                    pos1: list1[h.i1 as usize],
+                    score: h.score,
+                });
+            }
+        })
+        .map_err(PipelineError::BoardFault)?;
+    // Entry completion order depends on host threading (and, under a
+    // fault plan, degraded entries report in software order); normalize.
     candidates.sort_unstable_by_key(|c| (c.pos0, c.pos1));
     stats.candidates = candidates.len() as u64;
-    (candidates, stats, report)
+    Ok((candidates, stats, report))
 }
 
 #[cfg(test)]

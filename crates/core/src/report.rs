@@ -7,7 +7,9 @@
 //! the RASC board report (with utilization precomputed through the
 //! shared [`psc_rasc::pe_utilization`] helper).
 
-use psc_telemetry::{BoardTelemetry, FpgaTelemetry, RunReport, Snapshot, StepReport};
+use psc_telemetry::{
+    BoardTelemetry, FaultTelemetry, FpgaTelemetry, RunReport, Snapshot, StepReport,
+};
 
 use crate::config::{PipelineConfig, Step2Backend};
 use crate::pipeline::PipelineOutput;
@@ -72,6 +74,16 @@ pub fn build_run_report(
             accelerated_seconds: board.accelerated_seconds,
             entries: board.entries,
             hit_count: board.hit_count,
+            faults: FaultTelemetry {
+                faults_injected: board.faults.faults_injected,
+                faults_detected: board.faults.faults_detected,
+                checksum_mismatches: board.faults.checksum_mismatches,
+                watchdog_trips: board.faults.watchdog_trips,
+                protocol_faults: board.faults.protocol_faults,
+                retries: board.faults.retries,
+                entries_degraded: board.faults.entries_degraded,
+                backoff_cycles: board.faults.backoff_cycles,
+            },
         });
     }
     report

@@ -90,16 +90,41 @@ const TILE_I: usize = 32;
 /// over it.
 const TILE_J_BYTES: usize = 32 << 10;
 
+/// j-tile width (in windows) for a given window length — the one
+/// formula both the hot loop and the analytic tile count derive from.
+fn simd_tile_j(window_len: usize) -> usize {
+    (TILE_J_BYTES / window_len.max(1)).clamp(LANES, 1 << 14) / LANES * LANES
+}
+
+/// The exact `(i, j)` tile sequence [`simd_rectangle`] walks for one
+/// key's `n0 × n1` pair rectangle — i-tiles outer, j-tiles inner. The
+/// hot loop iterates this directly, and tests pin [`simd_tile_count`]'s
+/// closed form to `simd_tile_walk(..).count()`, so the telemetry number
+/// cannot drift from the real walk.
+#[doc(hidden)]
+pub fn simd_tile_walk(
+    n0: usize,
+    n1: usize,
+    window_len: usize,
+) -> impl Iterator<Item = (std::ops::Range<usize>, std::ops::Range<usize>)> {
+    let tile_j = simd_tile_j(window_len);
+    (0..n0).step_by(TILE_I).flat_map(move |i0| {
+        let i_end = (i0 + TILE_I).min(n0);
+        (0..n1)
+            .step_by(tile_j)
+            .map(move |j0| (i0..i_end, j0..(j0 + tile_j).min(n1)))
+    })
+}
+
 /// Number of cache tiles the SIMD kernel walks for one key's
-/// `n0 × n1` pair rectangle — the telemetry counterpart of the tiling
-/// in [`simd_rectangle`] (kept in lock-step with it), computed
-/// analytically so instrumentation never touches the hot loop.
+/// `n0 × n1` pair rectangle — the telemetry counterpart of
+/// [`simd_tile_walk`], computed analytically so instrumentation never
+/// touches the hot loop.
 pub fn simd_tile_count(n0: usize, n1: usize, window_len: usize) -> u64 {
     if n0 == 0 || n1 == 0 {
         return 0;
     }
-    let tile_j = (TILE_J_BYTES / window_len.max(1)).clamp(LANES, 1 << 14) / LANES * LANES;
-    n0.div_ceil(TILE_I) as u64 * n1.div_ceil(tile_j) as u64
+    n0.div_ceil(TILE_I) as u64 * n1.div_ceil(simd_tile_j(window_len)) as u64
 }
 
 /// Reusable scratch buffers for one worker's key range, so the per-key
@@ -241,30 +266,29 @@ fn simd_rectangle(
     let (n0, n1) = (list0.len(), list1.len());
     scratch.il1.build(&scratch.w1, l);
     scratch.profiles.resize_with(TILE_I, ScoreProfile::new);
-    let tile_j = (TILE_J_BYTES / l.max(1)).clamp(LANES, 1 << 14) / LANES * LANES;
     scratch.hits.clear();
 
     let mut lanes = [0i32; LANES];
-    for i0 in (0..n0).step_by(TILE_I) {
-        let i_end = (i0 + TILE_I).min(n0);
-        for i in i0..i_end {
-            scratch.profiles[i - i0].build(params.matrix, &scratch.w0[i * l..(i + 1) * l]);
+    for (ti, tj) in simd_tile_walk(n0, n1, l) {
+        // First j-tile of an i-tile: (re)build that i-tile's profiles.
+        if tj.start == 0 {
+            for i in ti.clone() {
+                scratch.profiles[i - ti.start]
+                    .build(params.matrix, &scratch.w0[i * l..(i + 1) * l]);
+            }
         }
-        for j0 in (0..n1).step_by(tile_j) {
-            let j_end = (j0 + tile_j).min(n1);
-            for i in i0..i_end {
-                let prof = &scratch.profiles[i - i0];
-                let mut j = j0;
-                while j < j_end {
-                    score_lanes(params.kernel, prof, &scratch.il1, j, &mut lanes);
-                    let take = LANES.min(j_end - j);
-                    for (t, &score) in lanes[..take].iter().enumerate() {
-                        if score >= params.threshold {
-                            scratch.hits.push((i as u32, (j + t) as u32, score));
-                        }
+        for i in ti.clone() {
+            let prof = &scratch.profiles[i - ti.start];
+            let mut j = tj.start;
+            while j < tj.end {
+                score_lanes(params.kernel, prof, &scratch.il1, j, &mut lanes);
+                let take = LANES.min(tj.end - j);
+                for (t, &score) in lanes[..take].iter().enumerate() {
+                    if score >= params.threshold {
+                        scratch.hits.push((i as u32, (j + t) as u32, score));
                     }
-                    j += LANES;
                 }
+                j += LANES;
             }
         }
     }
@@ -549,9 +573,37 @@ mod tests {
         assert_eq!(simd_tile_count(TILE_I + 1, 8, 60), 2);
         // j splits every tile_j columns (the simd_rectangle formula).
         let l = 60;
-        let tile_j = (TILE_J_BYTES / l).clamp(LANES, 1 << 14) / LANES * LANES;
+        let tile_j = simd_tile_j(l);
         assert_eq!(simd_tile_count(1, tile_j, l), 1);
         assert_eq!(simd_tile_count(1, tile_j + 1, l), 2);
+    }
+
+    #[test]
+    fn simd_tile_count_equals_walk_length() {
+        // The closed form must agree with the tile sequence the hot
+        // loop actually iterates, across boundary-straddling shapes and
+        // window lengths (including extremes that hit both clamps).
+        let tile_j_60 = simd_tile_j(60);
+        for l in [1, 4, 16, 60, 200, TILE_J_BYTES, TILE_J_BYTES * 2] {
+            for n0 in [0, 1, TILE_I - 1, TILE_I, TILE_I + 1, 3 * TILE_I + 5] {
+                for n1 in [0, 1, tile_j_60 - 1, tile_j_60, tile_j_60 + 1, 70_000] {
+                    let walked = simd_tile_walk(n0, n1, l).count() as u64;
+                    assert_eq!(simd_tile_count(n0, n1, l), walked, "n0={n0} n1={n1} l={l}");
+                }
+            }
+        }
+        // Walked tiles cover the rectangle exactly once, in order.
+        let (n0, n1, l) = (TILE_I + 3, tile_j_60 + 9, 60);
+        let mut covered = vec![false; n0 * n1];
+        for (ti, tj) in simd_tile_walk(n0, n1, l) {
+            for i in ti {
+                for j in tj.clone() {
+                    assert!(!covered[i * n1 + j], "tile overlap at ({i},{j})");
+                    covered[i * n1 + j] = true;
+                }
+            }
+        }
+        assert!(covered.iter().all(|&c| c), "walk left cells uncovered");
     }
 
     #[test]

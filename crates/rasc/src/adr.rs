@@ -166,18 +166,45 @@ impl AdrDevice {
     }
 }
 
+/// A latched device fault observed during the ADR handshake.
+///
+/// This is recoverable data, not a host panic: the driver resets the
+/// device before returning, so the caller may restage and retry (the
+/// board's recovery loop does exactly that).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AdrError {
+    /// The raw status register value observed (always
+    /// [`Status::Fault`] today; kept raw to mirror the bus).
+    pub status: u64,
+}
+
+impl std::fmt::Display for AdrError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ADR device faulted (status register {})", self.status)
+    }
+}
+
+impl std::error::Error for AdrError {}
+
 /// Convenience driver: the full handshake a host application performs.
-pub fn run_via_adr(device: &mut AdrDevice, il0: &[u8], il1: &[u8]) -> (Vec<Hit>, u64) {
+///
+/// A latched [`Status::Fault`] comes back as [`AdrError`] with the
+/// device already reset, ready for redispatch.
+pub fn run_via_adr(
+    device: &mut AdrDevice,
+    il0: &[u8],
+    il1: &[u8],
+) -> Result<(Vec<Hit>, u64), AdrError> {
     let l = device.op.config().window_len as u64;
     device.stage(il0, il1);
     device.write(Reg::Il0Count, il0.len() as u64 / l);
     device.write(Reg::Il1Count, il1.len() as u64 / l);
     device.write(Reg::Command, Cmd::Start as u64);
-    assert_eq!(
-        device.read(Reg::Status),
-        Status::Done as u64,
-        "device faulted"
-    );
+    let status = device.read(Reg::Status);
+    if status != Status::Done as u64 {
+        device.write(Reg::Command, Cmd::Reset as u64);
+        return Err(AdrError { status });
+    }
     let n = device.read(Reg::ResultCount);
     let mut hits = Vec::with_capacity(n as usize);
     for _ in 0..n {
@@ -193,7 +220,7 @@ pub fn run_via_adr(device: &mut AdrDevice, il0: &[u8], il1: &[u8]) -> (Vec<Hit>,
     }
     let cycles = device.read(Reg::CycleCount);
     device.write(Reg::Command, Cmd::Reset as u64);
-    (hits, cycles)
+    Ok((hits, cycles))
 }
 
 #[cfg(test)]
@@ -225,7 +252,7 @@ mod tests {
         let mut d = device();
         let il0 = windows(&[b"MKVLAW", b"PPPPPP", b"MKVLAV"]);
         let il1 = windows(&[b"MKVLAW", b"GGGGGG"]);
-        let (hits, cycles) = run_via_adr(&mut d, &il0, &il1);
+        let (hits, cycles) = run_via_adr(&mut d, &il0, &il1).unwrap();
 
         let direct = FunctionalOperator::new(
             {
@@ -275,10 +302,26 @@ mod tests {
         let il0 = windows(&[b"MKVLAW"]);
         let il1 = windows(&[b"MKVLAW"]);
         d.write(Reg::Threshold, 1000);
-        let (hits, _) = run_via_adr(&mut d, &il0, &il1);
+        let (hits, _) = run_via_adr(&mut d, &il0, &il1).unwrap();
         assert!(hits.is_empty(), "threshold 1000 must suppress results");
         d.write(Reg::Threshold, 10);
-        let (hits, _) = run_via_adr(&mut d, &il0, &il1);
+        let (hits, _) = run_via_adr(&mut d, &il0, &il1).unwrap();
+        assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn faulted_handshake_is_an_error_not_a_panic() {
+        let mut d = device();
+        // A window length that is not a whole number of windows makes
+        // the count registers disagree with the staged SRAM contents.
+        let il0 = windows(&[b"MKVLAW"]);
+        let il1 = encode_protein(b"MKV"); // 3 residues: not a window
+        let err = run_via_adr(&mut d, &il0, &il1).unwrap_err();
+        assert_eq!(err.status, Status::Fault as u64);
+        assert!(err.to_string().contains("faulted"), "{err}");
+        // The driver reset the device: a valid redispatch succeeds.
+        let il1 = windows(&[b"MKVLAW"]);
+        let (hits, _) = run_via_adr(&mut d, &il0, &il1).unwrap();
         assert_eq!(hits.len(), 1);
     }
 

@@ -11,6 +11,22 @@
 //! model); the number of host threads used to crunch the simulation only
 //! affects how fast the simulation itself runs, never the reported
 //! numbers.
+//!
+//! ## Fault handling
+//!
+//! When a [`FaultPlan`] is installed, each per-FPGA dispatch may fault
+//! (see [`crate::fault`] for the kinds and their detection points). The
+//! board then retries the dispatch under the configured
+//! [`RecoveryPolicy`] — charging the wasted attempt plus an escalating
+//! simulated backoff to that FPGA's cycle account — and, once retries
+//! are exhausted, either recomputes the shard with the host software
+//! kernel (degraded mode) or fails the run with [`BoardFault`]. Every
+//! decision is a pure function of `(plan, entry, fpga, attempt)`, so
+//! results *and* the report are deterministic regardless of
+//! `host_threads`, and recovered output is bit-identical to the
+//! fault-free run.
+
+use std::sync::atomic::{AtomicBool, Ordering};
 
 use crossbeam::channel;
 use crossbeam::thread;
@@ -18,9 +34,16 @@ use psc_score::SubstitutionMatrix;
 
 use crate::config::OperatorConfig;
 use crate::dma::DmaModel;
+use crate::fault::{
+    self, BoardFault, FaultInjector, FaultKind, FaultPlan, FaultSummary, RecoveryPolicy,
+};
 use crate::functional::FunctionalOperator;
 use crate::operator::{pe_utilization, Hit};
 use crate::resource::{ResourceError, ResourceModel};
+
+/// Simulated cycles an ADR dispatch handshake burns before the
+/// protocol check rejects it.
+const ADR_HANDSHAKE_CYCLES: u64 = 8;
 
 /// Board-level configuration.
 #[derive(Clone, Debug)]
@@ -32,6 +55,10 @@ pub struct BoardConfig {
     /// Host-side synchronisation cost per dispatched entry *per extra
     /// FPGA* (pthread coordination, paper §4.1), seconds.
     pub sync_per_entry: f64,
+    /// Fault injection plan; `None` (the default) runs fault-free.
+    pub fault_plan: Option<FaultPlan>,
+    /// Retry / degradation policy applied when a dispatch faults.
+    pub recovery: RecoveryPolicy,
 }
 
 impl BoardConfig {
@@ -41,6 +68,8 @@ impl BoardConfig {
             fpga_count,
             dma: DmaModel::default(),
             sync_per_entry: 1.5e-6,
+            fault_plan: None,
+            recovery: RecoveryPolicy::default(),
         }
     }
 }
@@ -61,11 +90,14 @@ pub struct BoardReport {
     pub fpga_cycles: Vec<u64>,
     /// Stall cycles per FPGA (result-path backpressure).
     pub stall_cycles: Vec<u64>,
-    /// Busy PE·cycles per FPGA (utilization reporting).
+    /// Busy PE·cycles per FPGA (utilization reporting). Only useful
+    /// work counts: cycles burned by faulted attempts and backoff
+    /// depress utilization, as they would on real hardware.
     pub busy_pe_cycles: Vec<u64>,
     /// Result-FIFO high-water mark per FPGA (max over entries).
     pub fifo_peak: Vec<u64>,
-    /// Bytes streamed to / from the board.
+    /// Bytes streamed to / from the board (every retry re-streams its
+    /// entry over NUMAlink).
     pub bytes_in: u64,
     pub bytes_out: u64,
     /// Pure NUMAlink wire time of the input / output byte streams.
@@ -73,7 +105,8 @@ pub struct BoardReport {
     pub wire_out_seconds: f64,
     /// Entries dispatched.
     pub entries: u64,
-    /// Total hits reported.
+    /// Hits delivered over the board's result link (degraded entries
+    /// are recomputed host-side and do not cross it).
     pub hit_count: u64,
     /// Simulated wall time of the accelerated section: slowest FPGA's
     /// compute/input overlap, plus the shared result link, plus host
@@ -83,6 +116,8 @@ pub struct BoardReport {
     pub sync_seconds: f64,
     /// Of which: one-time setup and dispatch handshakes.
     pub setup_seconds: f64,
+    /// Fault injection / recovery counters for the run.
+    pub faults: FaultSummary,
 }
 
 impl BoardReport {
@@ -145,17 +180,23 @@ impl RascBoard {
         ((f * per).min(k0), ((f + 1) * per).min(k0))
     }
 
-    /// Process one entry on all FPGAs (used by the streaming workers).
-    /// Returns the merged hit list (FPGA 0's hits first, `i0` rebased to
-    /// the full entry) and updates the tallies.
+    /// Process one entry on all FPGAs (used by the streaming workers),
+    /// retrying and degrading per the recovery policy. Returns the
+    /// merged hit list (FPGA 0's hits first, `i0` rebased to the full
+    /// entry) and updates the tallies and fault counters.
     fn process_entry(
         &self,
         ops: &[FunctionalOperator],
+        entry_idx: u64,
         entry: &Entry,
         tallies: &mut [FpgaTally],
-    ) -> Vec<Hit> {
+        injector: Option<&FaultInjector>,
+        faults: &mut FaultSummary,
+    ) -> Result<Vec<Hit>, BoardFault> {
         let l = self.config.operator.window_len;
         let k0 = entry.il0.len() / l;
+        let k1 = entry.il1.len() / l;
+        let policy = self.config.recovery;
         let mut merged = Vec::new();
         for (f, op) in ops.iter().enumerate() {
             let (lo, hi) = self.shard(k0, f);
@@ -163,52 +204,196 @@ impl RascBoard {
                 continue;
             }
             let shard = &entry.il0[lo * l..hi * l];
-            let mut r = op.run_entry(shard, &entry.il1);
-            let t = &mut tallies[f];
+            let budget =
+                policy.watchdog_budget(op.cycles_lower_bound(hi - lo, k1), ((hi - lo) * k1) as u64);
+            let mut attempt = 0u32;
+            let mut hits = loop {
+                let fault = injector.and_then(|i| i.fire(entry_idx, f, attempt));
+                let ctx = (entry_idx, f, attempt);
+                match self.run_attempt(
+                    op,
+                    shard,
+                    &entry.il1,
+                    fault,
+                    injector,
+                    ctx,
+                    budget,
+                    &mut tallies[f],
+                    faults,
+                ) {
+                    Ok(hits) => break hits,
+                    Err(kind) => {
+                        if attempt >= policy.max_retries {
+                            if policy.degrade {
+                                faults.entries_degraded += 1;
+                                break fault::score_entry_software(
+                                    &self.matrix,
+                                    &self.config.operator,
+                                    shard,
+                                    &entry.il1,
+                                );
+                            }
+                            return Err(BoardFault {
+                                entry: entry_idx,
+                                fpga: f,
+                                kind,
+                                attempts: attempt + 1,
+                            });
+                        }
+                        faults.retries += 1;
+                        let backoff = policy.backoff(attempt);
+                        tallies[f].cycles += backoff;
+                        faults.backoff_cycles += backoff;
+                        attempt += 1;
+                    }
+                }
+            };
+            for h in &mut hits {
+                h.i0 += lo as u32;
+            }
+            merged.extend(hits);
+        }
+        Ok(merged)
+    }
+
+    /// One dispatch attempt of one shard, with `fault` injected.
+    /// `Ok(hits)` charges the successful run to the tally; `Err(kind)`
+    /// charges whatever the failure burned before its detection point.
+    #[allow(clippy::too_many_arguments)]
+    fn run_attempt(
+        &self,
+        op: &FunctionalOperator,
+        shard: &[u8],
+        il1: &[u8],
+        fault: Option<FaultKind>,
+        injector: Option<&FaultInjector>,
+        ctx: (u64, usize, u32),
+        budget: u64,
+        t: &mut FpgaTally,
+        fs: &mut FaultSummary,
+    ) -> Result<Vec<Hit>, FaultKind> {
+        // Every dispatch (re-)streams the entry over NUMAlink.
+        t.bytes_in += (shard.len() + il1.len()) as u64;
+        let Some(kind) = fault else {
+            let r = op.run_entry(shard, il1);
             t.cycles += r.cycles;
             t.stalls += r.stall_cycles;
             t.busy += r.busy_pe_cycles;
-            t.bytes_in += (shard.len() + entry.il1.len()) as u64;
             t.hits += r.hits.len() as u64;
             t.peak = t.peak.max(r.fifo_peak);
-            for h in &mut r.hits {
-                h.i0 += lo as u32;
+            return Ok(r.hits);
+        };
+        fs.faults_injected += 1;
+        match kind {
+            FaultKind::DmaCorrupt => {
+                // The board checksums the input stream before raising
+                // "data ready": a wire flip is caught after the
+                // stream-in cycles, before any PE turns over.
+                let sent = fault::stream_checksum(&[shard, il1]);
+                let bit = injector.map_or(0, |i| i.roll(ctx.0, ctx.1, ctx.2, 32)) as u32;
+                let received = sent ^ (1u64 << bit);
+                debug_assert_ne!(sent, received);
+                t.cycles += (shard.len() + il1.len()) as u64;
+                fs.checksum_mismatches += 1;
+                fs.faults_detected += 1;
+                Err(kind)
             }
-            merged.append(&mut r.hits);
+            FaultKind::DmaTruncate | FaultKind::AdrFault => {
+                // The ADR count registers disagree with what arrived,
+                // or the command FSM latched `Status::Fault`: caught at
+                // the dispatch handshake before any data streams.
+                t.cycles += ADR_HANDSHAKE_CYCLES;
+                fs.protocol_faults += 1;
+                fs.faults_detected += 1;
+                Err(kind)
+            }
+            FaultKind::FifoStall => {
+                // The output controller wedges mid-entry; the host
+                // watchdog kills the dispatch when its budget expires.
+                t.cycles += budget + 1;
+                fs.watchdog_trips += 1;
+                fs.faults_detected += 1;
+                Err(kind)
+            }
+            FaultKind::FifoOverflow | FaultKind::PeFlip => {
+                // Compute completes; the corruption rides the result
+                // stream and the host checks the received results
+                // against the checksum the operator committed.
+                let r = op.run_entry(shard, il1);
+                t.cycles += r.cycles;
+                t.stalls += r.stall_cycles;
+                t.peak = t.peak.max(r.fifo_peak);
+                let committed = fault::hits_checksum(&r.hits);
+                let mut received = r.hits;
+                if kind == FaultKind::FifoOverflow {
+                    // Overflow sheds the freshest (tail) results.
+                    let keep = received.len() - received.len().min(1 + received.len() / 8);
+                    received.truncate(keep);
+                } else if let (Some(i), false) = (injector, received.is_empty()) {
+                    let idx = i.roll(ctx.0, ctx.1, ctx.2, received.len() as u64) as usize;
+                    received[idx].score ^= 1 << 4;
+                }
+                if fault::hits_checksum(&received) == committed {
+                    // Nothing to damage (empty result set): the fault
+                    // was harmless and the attempt stands.
+                    t.busy += r.busy_pe_cycles;
+                    t.hits += received.len() as u64;
+                    return Ok(received);
+                }
+                fs.checksum_mismatches += 1;
+                fs.faults_detected += 1;
+                Err(kind)
+            }
         }
-        merged
     }
 
     /// Run a streamed workload with `host_threads` simulation workers.
     ///
     /// `sink` receives `(entry_index, hits)` — possibly out of entry
     /// order when `host_threads > 1`. The returned report is
-    /// deterministic regardless of thread count.
+    /// deterministic regardless of thread count, and so is the error:
+    /// when recovery is exhausted with degradation disabled, the fault
+    /// of the earliest failing entry is returned (the sink may already
+    /// have seen other entries by then).
     pub fn run_stream<I>(
         &self,
         entries: I,
         host_threads: usize,
         mut sink: impl FnMut(u64, Vec<Hit>),
-    ) -> BoardReport
+    ) -> Result<BoardReport, BoardFault>
     where
         I: Iterator<Item = Entry> + Send,
     {
         let nf = self.config.fpga_count;
         let host_threads = host_threads.max(1);
+        let injector = self.config.fault_plan.clone().map(FaultInjector::new);
+        let injector = injector.as_ref();
         let mut tallies = vec![FpgaTally::default(); nf];
+        let mut faults = FaultSummary::default();
         let mut n_entries = 0u64;
 
         if host_threads == 1 {
             let ops = self.make_operators();
             for entry in entries {
-                let hits = self.process_entry(&ops, &entry, &mut tallies);
+                let hits = self.process_entry(
+                    &ops,
+                    n_entries,
+                    &entry,
+                    &mut tallies,
+                    injector,
+                    &mut faults,
+                )?;
                 sink(n_entries, hits);
                 n_entries += 1;
             }
         } else {
             let (entry_tx, entry_rx) = channel::bounded::<(u64, Entry)>(host_threads * 2);
-            let (res_tx, res_rx) = channel::bounded::<(u64, Vec<Hit>)>(host_threads * 2);
-            let worker_tallies: Vec<Vec<FpgaTally>> = thread::scope(|s| {
+            let (res_tx, res_rx) =
+                channel::bounded::<Result<(u64, Vec<Hit>), BoardFault>>(host_threads * 2);
+            let abort = AtomicBool::new(false);
+            let mut first_err: Option<BoardFault> = None;
+            let worker_out: Vec<(Vec<FpgaTally>, FaultSummary)> = thread::scope(|s| {
+                let abort = &abort;
                 let handles: Vec<_> = (0..host_threads)
                     .map(|_| {
                         let rx = entry_rx.clone();
@@ -216,11 +401,19 @@ impl RascBoard {
                         s.spawn(move |_| {
                             let ops = self.make_operators();
                             let mut local = vec![FpgaTally::default(); nf];
+                            let mut lf = FaultSummary::default();
                             for (idx, entry) in rx.iter() {
-                                let hits = self.process_entry(&ops, &entry, &mut local);
-                                tx.send((idx, hits)).expect("collector alive");
+                                let out = self
+                                    .process_entry(&ops, idx, &entry, &mut local, injector, &mut lf)
+                                    .map(|hits| (idx, hits));
+                                if out.is_err() {
+                                    abort.store(true, Ordering::Relaxed);
+                                }
+                                if tx.send(out).is_err() {
+                                    break;
+                                }
                             }
-                            local
+                            (local, lf)
                         })
                     })
                     .collect();
@@ -228,18 +421,40 @@ impl RascBoard {
                 drop(res_tx);
 
                 // Feed from a dedicated thread so the main thread can
-                // drain results without deadlocking on the bounded queue.
+                // drain results without deadlocking on the bounded
+                // queue. The feeder must bail — not block or panic —
+                // when the workers are gone (a worker panic drops every
+                // `entry_rx` clone, turning `send` into an `Err`) or a
+                // fault aborted the run.
                 let feeder = s.spawn(move |_| {
                     let mut count = 0u64;
                     for entry in entries {
-                        entry_tx.send((count, entry)).expect("workers alive");
+                        if abort.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        if entry_tx.send((count, entry)).is_err() {
+                            break;
+                        }
                         count += 1;
                     }
                     count
                 });
 
-                for (idx, hits) in res_rx.iter() {
-                    sink(idx, hits);
+                for res in res_rx.iter() {
+                    match res {
+                        Ok((idx, hits)) => sink(idx, hits),
+                        // Keep the earliest failing entry. The feeder
+                        // dispatches in index order and workers drain
+                        // everything dispatched, so the globally
+                        // earliest failure is always among the errors
+                        // collected here — whichever thread won the
+                        // race to the abort flag.
+                        Err(e) => {
+                            if first_err.is_none_or(|p| e.entry < p.entry) {
+                                first_err = Some(e);
+                            }
+                        }
+                    }
                 }
                 n_entries = feeder.join().expect("feeder panicked");
                 handles
@@ -248,7 +463,11 @@ impl RascBoard {
                     .collect()
             })
             .expect("board scope");
-            for local in worker_tallies {
+            if let Some(e) = first_err {
+                return Err(e);
+            }
+            for (local, lf) in worker_out {
+                faults.merge(&lf);
                 for (t, l) in tallies.iter_mut().zip(local) {
                     t.cycles += l.cycles;
                     t.stalls += l.stalls;
@@ -260,17 +479,20 @@ impl RascBoard {
             }
         }
 
-        self.report_from(&tallies, n_entries)
+        Ok(self.report_from(&tallies, n_entries, faults))
     }
 
     /// Run a workload held in memory; returns per-entry hits in entry
     /// order plus the report.
-    pub fn run_workload(&self, entries: &[Entry]) -> (Vec<Vec<Hit>>, BoardReport) {
+    pub fn run_workload(
+        &self,
+        entries: &[Entry],
+    ) -> Result<(Vec<Vec<Hit>>, BoardReport), BoardFault> {
         let mut hits: Vec<Vec<Hit>> = vec![Vec::new(); entries.len()];
         let report = self.run_stream(entries.iter().cloned(), 1, |idx, h| {
             hits[idx as usize] = h;
-        });
-        (hits, report)
+        })?;
+        Ok((hits, report))
     }
 
     fn make_operators(&self) -> Vec<FunctionalOperator> {
@@ -282,11 +504,17 @@ impl RascBoard {
             .collect()
     }
 
-    fn report_from(&self, tallies: &[FpgaTally], n_entries: u64) -> BoardReport {
+    fn report_from(
+        &self,
+        tallies: &[FpgaTally],
+        n_entries: u64,
+        faults: FaultSummary,
+    ) -> BoardReport {
         let clock = self.config.operator.clock_hz as f64;
         let nf = self.config.fpga_count;
         let mut report = BoardReport {
             entries: n_entries,
+            faults,
             ..BoardReport::default()
         };
         let mut worst_overlap = 0.0f64;
@@ -353,8 +581,8 @@ mod tests {
         let m = blosum62();
         let b1 = RascBoard::new(test_config(1), m).unwrap();
         let b2 = RascBoard::new(test_config(2), m).unwrap();
-        let (h1, _) = b1.run_workload(&entries());
-        let (h2, _) = b2.run_workload(&entries());
+        let (h1, _) = b1.run_workload(&entries()).unwrap();
+        let (h2, _) = b2.run_workload(&entries()).unwrap();
         for (a, b) in h1.iter().zip(&h2) {
             let mut a = a.clone();
             let mut b = b.clone();
@@ -371,10 +599,12 @@ mod tests {
         let m = blosum62();
         let (_, r1) = RascBoard::new(test_config(1), m)
             .unwrap()
-            .run_workload(&entries());
+            .run_workload(&entries())
+            .unwrap();
         let (_, r2) = RascBoard::new(test_config(2), m)
             .unwrap()
-            .run_workload(&entries());
+            .run_workload(&entries())
+            .unwrap();
         assert_eq!(r1.fpga_cycles.len(), 1);
         assert_eq!(r2.fpga_cycles.len(), 2);
         let worst2 = *r2.fpga_cycles.iter().max().unwrap();
@@ -403,17 +633,20 @@ mod tests {
                 }
             })
             .collect();
-        let (seq_hits, seq_rep) = board.run_workload(&work);
+        let (seq_hits, seq_rep) = board.run_workload(&work).unwrap();
         let mut par_hits: Vec<Vec<Hit>> = vec![Vec::new(); work.len()];
-        let par_rep = board.run_stream(work.iter().cloned(), 4, |idx, h| {
-            par_hits[idx as usize] = h;
-        });
+        let par_rep = board
+            .run_stream(work.iter().cloned(), 4, |idx, h| {
+                par_hits[idx as usize] = h;
+            })
+            .unwrap();
         assert_eq!(seq_hits, par_hits);
         assert_eq!(seq_rep.fpga_cycles, par_rep.fpga_cycles);
         assert_eq!(seq_rep.fifo_peak, par_rep.fifo_peak);
         assert_eq!(seq_rep.bytes_in, par_rep.bytes_in);
         assert_eq!(seq_rep.bytes_out, par_rep.bytes_out);
         assert_eq!(seq_rep.hit_count, par_rep.hit_count);
+        assert_eq!(seq_rep.faults, par_rep.faults);
         assert!((seq_rep.accelerated_seconds - par_rep.accelerated_seconds).abs() < 1e-12);
     }
 
@@ -422,10 +655,12 @@ mod tests {
         let m = blosum62();
         let (_, r1) = RascBoard::new(test_config(1), m)
             .unwrap()
-            .run_workload(&entries());
+            .run_workload(&entries())
+            .unwrap();
         let (_, r2) = RascBoard::new(test_config(2), m)
             .unwrap()
-            .run_workload(&entries());
+            .run_workload(&entries())
+            .unwrap();
         assert_eq!(r1.sync_seconds, 0.0);
         assert!(r2.sync_seconds > 0.0);
     }
@@ -449,7 +684,8 @@ mod tests {
         let m = blosum62();
         let (hits, r) = RascBoard::new(test_config(1), m)
             .unwrap()
-            .run_workload(&entries());
+            .run_workload(&entries())
+            .unwrap();
         let total_hits: usize = hits.iter().map(Vec::len).sum();
         assert_eq!(r.bytes_out, (total_hits * 8) as u64);
         assert_eq!(r.hit_count, total_hits as u64);
@@ -462,6 +698,8 @@ mod tests {
         assert!(r.accelerated_seconds > 0.0);
         assert_eq!(r.entries, 2);
         assert!(r.utilization(8) > 0.0);
+        // A fault-free run reports no fault activity.
+        assert!(!r.faults.any());
         // The wire-time split follows the byte counts through the DMA
         // model, and hits were reported so the FIFOs saw occupancy.
         let cfg = test_config(1);
@@ -486,7 +724,10 @@ mod tests {
     #[test]
     fn empty_workload() {
         let m = blosum62();
-        let (hits, r) = RascBoard::new(test_config(2), m).unwrap().run_workload(&[]);
+        let (hits, r) = RascBoard::new(test_config(2), m)
+            .unwrap()
+            .run_workload(&[])
+            .unwrap();
         assert!(hits.is_empty());
         assert_eq!(r.bytes_in, 0);
         assert_eq!(r.sync_seconds, 0.0);

@@ -32,6 +32,7 @@ pub mod adr;
 pub mod board;
 pub mod config;
 pub mod dma;
+pub mod fault;
 pub mod fifo;
 pub mod functional;
 pub mod gapped_op;
@@ -39,10 +40,14 @@ pub mod operator;
 pub mod pe;
 pub mod resource;
 
-pub use adr::{run_via_adr, AdrDevice};
+pub use adr::{run_via_adr, AdrDevice, AdrError};
 pub use board::{BoardConfig, BoardReport, Entry, RascBoard};
 pub use config::{OperatorConfig, DEFAULT_CLOCK_HZ};
 pub use dma::{DmaModel, NUMALINK_BANDWIDTH};
+pub use fault::{
+    BoardFault, FaultInjector, FaultKind, FaultPlan, FaultSpec, FaultSummary, RecoveryPolicy,
+    DEFAULT_FAULT_RATE_PPM,
+};
 pub use functional::FunctionalOperator;
 pub use gapped_op::{
     systolic_banded_sw, GappedOperator, GappedOperatorConfig, GappedOperatorResult,

@@ -1,0 +1,278 @@
+//! Integration tests of the board's fault-injection and recovery path.
+//!
+//! The tentpole invariant: under *any* fault plan, the hit sets the
+//! board delivers are bit-identical to the fault-free run — faults cost
+//! simulated cycles and bytes, never results. Reports (including the
+//! fault counters) must also be independent of `host_threads`.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use psc_rasc::fault::ALL_FAULT_KINDS;
+use psc_rasc::{
+    BoardConfig, Entry, FaultKind, FaultPlan, FaultSpec, Hit, OperatorConfig, RascBoard,
+    RecoveryPolicy,
+};
+use psc_score::blosum62;
+use psc_seqio::alphabet::encode_protein;
+
+fn windows(words: &[&[u8]]) -> Vec<u8> {
+    let mut v = Vec::new();
+    for w in words {
+        v.extend_from_slice(&encode_protein(w));
+    }
+    v
+}
+
+fn test_config(fpgas: usize) -> BoardConfig {
+    let mut op = OperatorConfig::new(8);
+    op.window_len = 6;
+    op.threshold = 20;
+    op.slot_size = 4;
+    BoardConfig::new(op, fpgas)
+}
+
+/// Entries whose IL0 shards produce hits on *both* FPGAs of a 2-FPGA
+/// board (so result-path faults always have something to damage), plus
+/// some per-entry variation.
+fn workload(n: usize) -> Vec<Entry> {
+    (0..n)
+        .map(|i| {
+            let spice: Vec<u8> = (0..6u8).map(|r| (r * 3 + i as u8) % 20).collect();
+            Entry {
+                il0: [
+                    windows(&[b"MKVLAW", b"RNDCQE", b"MKVLAW", b"RNDCQE"]),
+                    spice.clone(),
+                ]
+                .concat(),
+                il1: [windows(&[b"MKVLAW", b"RNDCQE"]), spice].concat(),
+            }
+        })
+        .collect()
+}
+
+fn sorted(mut hits: Vec<Vec<Hit>>) -> Vec<Vec<Hit>> {
+    for h in &mut hits {
+        h.sort_by_key(|h| (h.i0, h.i1, h.score));
+    }
+    hits
+}
+
+#[test]
+fn every_fault_kind_recovers_bit_identical() {
+    let m = blosum62();
+    let work = workload(6);
+    let (base_hits, base_rep) = RascBoard::new(test_config(2), m)
+        .unwrap()
+        .run_workload(&work)
+        .unwrap();
+    let base_hits = sorted(base_hits);
+    for kind in ALL_FAULT_KINDS {
+        let mut cfg = test_config(2);
+        cfg.fault_plan = Some(FaultPlan::Scripted(vec![FaultSpec {
+            entry: 1,
+            fpga: None,
+            kind,
+            attempts: 2,
+        }]));
+        let (hits, rep) = RascBoard::new(cfg, m).unwrap().run_workload(&work).unwrap();
+        assert_eq!(sorted(hits), base_hits, "{kind}: results must not change");
+        // Two FPGAs, two failing attempts each.
+        assert_eq!(rep.faults.faults_injected, 4, "{kind}");
+        assert_eq!(rep.faults.faults_detected, 4, "{kind}");
+        assert_eq!(rep.faults.retries, 4, "{kind}");
+        assert_eq!(rep.faults.entries_degraded, 0, "{kind}");
+        match kind {
+            FaultKind::DmaCorrupt | FaultKind::FifoOverflow | FaultKind::PeFlip => {
+                assert_eq!(rep.faults.checksum_mismatches, 4, "{kind}")
+            }
+            FaultKind::DmaTruncate | FaultKind::AdrFault => {
+                assert_eq!(rep.faults.protocol_faults, 4, "{kind}")
+            }
+            FaultKind::FifoStall => assert_eq!(rep.faults.watchdog_trips, 4, "{kind}"),
+        }
+        // Every retry re-streams the entry and burns cycles.
+        assert!(rep.bytes_in > base_rep.bytes_in, "{kind}");
+        let cycles: u64 = rep.fpga_cycles.iter().sum();
+        let base_cycles: u64 = base_rep.fpga_cycles.iter().sum();
+        assert!(cycles > base_cycles, "{kind}");
+        // Faulted attempts never count as useful PE work.
+        assert_eq!(rep.busy_pe_cycles, base_rep.busy_pe_cycles, "{kind}");
+        assert_eq!(rep.hit_count, base_rep.hit_count, "{kind}");
+    }
+}
+
+#[test]
+fn backoff_escalates_deterministically() {
+    let m = blosum62();
+    let work = workload(4);
+    let mut cfg = test_config(2);
+    cfg.fault_plan = Some(FaultPlan::Scripted(vec![FaultSpec {
+        entry: 2,
+        fpga: None,
+        kind: FaultKind::AdrFault,
+        attempts: 3,
+    }]));
+    let (_, rep) = RascBoard::new(cfg, m).unwrap().run_workload(&work).unwrap();
+    // Three retries per FPGA: 256 + 512 + 1024 cycles of backoff each.
+    assert_eq!(rep.faults.retries, 6);
+    assert_eq!(rep.faults.backoff_cycles, 2 * (256 + 512 + 1024));
+}
+
+#[test]
+fn watchdog_trip_costs_simulated_time() {
+    let m = blosum62();
+    let work = workload(4);
+    let (_, base) = RascBoard::new(test_config(1), m)
+        .unwrap()
+        .run_workload(&work)
+        .unwrap();
+    let mut cfg = test_config(1);
+    cfg.fault_plan = Some(FaultPlan::Scripted(vec![FaultSpec {
+        entry: 0,
+        fpga: Some(0),
+        kind: FaultKind::FifoStall,
+        attempts: 1,
+    }]));
+    let (_, rep) = RascBoard::new(cfg, m).unwrap().run_workload(&work).unwrap();
+    assert_eq!(rep.faults.watchdog_trips, 1);
+    // The wedged dispatch burned its whole watchdog budget, so the
+    // simulated accelerated section is strictly longer.
+    assert!(rep.fpga_cycles[0] > base.fpga_cycles[0]);
+    assert!(rep.accelerated_seconds > base.accelerated_seconds);
+}
+
+#[test]
+fn persistent_fault_degrades_to_software_with_identical_results() {
+    let m = blosum62();
+    let work = workload(6);
+    let (base_hits, _) = RascBoard::new(test_config(2), m)
+        .unwrap()
+        .run_workload(&work)
+        .unwrap();
+    let mut cfg = test_config(2);
+    // Outlasts the default 3-retry budget on FPGA 1 only.
+    cfg.fault_plan = Some(FaultPlan::Scripted(vec![FaultSpec {
+        entry: 4,
+        fpga: Some(1),
+        kind: FaultKind::PeFlip,
+        attempts: 100,
+    }]));
+    let (hits, rep) = RascBoard::new(cfg, m).unwrap().run_workload(&work).unwrap();
+    assert_eq!(sorted(hits), sorted(base_hits));
+    assert_eq!(rep.faults.entries_degraded, 1);
+    assert_eq!(rep.faults.retries, 3);
+    assert_eq!(rep.faults.faults_injected, 4);
+}
+
+#[test]
+fn exhausted_recovery_without_degradation_is_an_error() {
+    let m = blosum62();
+    let work = workload(8);
+    let mut cfg = test_config(2);
+    cfg.recovery = RecoveryPolicy {
+        degrade: false,
+        ..RecoveryPolicy::default()
+    };
+    // Two persistently failing entries; the earliest must be reported.
+    cfg.fault_plan = Some(FaultPlan::Scripted(vec![
+        FaultSpec {
+            entry: 5,
+            fpga: None,
+            kind: FaultKind::DmaCorrupt,
+            attempts: 100,
+        },
+        FaultSpec {
+            entry: 3,
+            fpga: Some(1),
+            kind: FaultKind::AdrFault,
+            attempts: 100,
+        },
+    ]));
+    let board = RascBoard::new(cfg, m).unwrap();
+    for threads in [1, 4] {
+        let err = board
+            .run_stream(work.iter().cloned(), threads, |_, _| {})
+            .unwrap_err();
+        assert_eq!(err.entry, 3, "threads={threads}");
+        assert_eq!(err.fpga, 1, "threads={threads}");
+        assert_eq!(err.kind, FaultKind::AdrFault, "threads={threads}");
+        assert_eq!(err.attempts, 4, "threads={threads}");
+        assert!(err.to_string().contains("entry 3"), "{err}");
+    }
+}
+
+#[test]
+fn seeded_plan_is_thread_count_invariant_and_lossless() {
+    let m = blosum62();
+    let work = workload(20);
+    let (base_hits, _) = RascBoard::new(test_config(2), m)
+        .unwrap()
+        .run_workload(&work)
+        .unwrap();
+    let mut cfg = test_config(2);
+    cfg.fault_plan = Some(FaultPlan::seeded(42));
+    let board = RascBoard::new(cfg, m).unwrap();
+    let (seq_hits, seq_rep) = board.run_workload(&work).unwrap();
+    // The seeded plan actually does something on this workload…
+    assert!(seq_rep.faults.faults_injected > 0);
+    assert!(seq_rep.faults.retries > 0);
+    // …and costs nothing in results.
+    assert_eq!(sorted(seq_hits.clone()), sorted(base_hits));
+    for threads in [2, 4] {
+        let mut par_hits: Vec<Vec<Hit>> = vec![Vec::new(); work.len()];
+        let par_rep = board
+            .run_stream(work.iter().cloned(), threads, |idx, h| {
+                par_hits[idx as usize] = h;
+            })
+            .unwrap();
+        assert_eq!(seq_hits, par_hits, "threads={threads}");
+        assert_eq!(seq_rep.faults, par_rep.faults, "threads={threads}");
+        assert_eq!(
+            seq_rep.fpga_cycles, par_rep.fpga_cycles,
+            "threads={threads}"
+        );
+        assert_eq!(seq_rep.bytes_in, par_rep.bytes_in, "threads={threads}");
+        assert_eq!(seq_rep.hit_count, par_rep.hit_count, "threads={threads}");
+    }
+}
+
+#[test]
+fn seeded_plan_exercises_degradation() {
+    let m = blosum62();
+    let work = workload(40);
+    let (base_hits, _) = RascBoard::new(test_config(2), m)
+        .unwrap()
+        .run_workload(&work)
+        .unwrap();
+    let mut cfg = test_config(2);
+    cfg.fault_plan = Some(FaultPlan::seeded(7));
+    let (hits, rep) = RascBoard::new(cfg, m).unwrap().run_workload(&work).unwrap();
+    // Seeded persistence spans 1–6 attempts, so a 40-entry run sees
+    // both recovered retries and software-degraded shards.
+    assert!(rep.faults.entries_degraded > 0);
+    assert!(rep.faults.retries > rep.faults.entries_degraded * 3);
+    assert_eq!(sorted(hits), sorted(base_hits));
+}
+
+/// Regression for the feeder-thread deadlock: a worker that panics
+/// mid-workload (here: entries whose streams are not whole windows trip
+/// the operator's input assertion) used to leave the feeder blocked
+/// forever on the bounded entry channel once every worker was gone.
+/// The feeder must bail on channel disconnect so the panic propagates.
+#[test]
+fn worker_panic_propagates_instead_of_deadlocking() {
+    let m = blosum62();
+    // Every entry is malformed (IL1 is not a whole number of windows),
+    // so every worker dies on its first item.
+    let work: Vec<Entry> = (0..64)
+        .map(|_| Entry {
+            il0: vec![0u8; 6],
+            il1: vec![0u8; 7],
+        })
+        .collect();
+    let board = RascBoard::new(test_config(1), m).unwrap();
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        board.run_stream(work.iter().cloned(), 2, |_, _| {})
+    }));
+    assert!(result.is_err(), "worker panic must surface, not hang");
+}

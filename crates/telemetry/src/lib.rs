@@ -31,5 +31,6 @@ pub mod report;
 pub use json::{Json, JsonError};
 pub use recorder::{Histogram, MemRecorder, NullRecorder, Recorder, Snapshot, SpanGuard, SpanStat};
 pub use report::{
-    BoardTelemetry, FpgaTelemetry, RunReport, SpanReport, StepReport, SCHEMA_VERSION,
+    BoardTelemetry, FaultTelemetry, FpgaTelemetry, RunReport, SpanReport, StepReport,
+    SCHEMA_VERSION,
 };

@@ -62,7 +62,8 @@ pub fn render_breakdown(report: &RunReport) -> String {
 }
 
 /// Table 5-style per-FPGA utilization, plus stall share, FIFO peaks,
-/// and the DMA/sync/setup split from the board model.
+/// the DMA/sync/setup split from the board model, and — when the run
+/// saw any — the fault/recovery counters.
 pub fn render_utilization(report: &RunReport) -> String {
     let Some(board) = &report.board else {
         return "No board telemetry (software backend run).\n".to_string();
@@ -105,6 +106,21 @@ pub fn render_utilization(report: &RunReport) -> String {
         fmt_seconds(board.setup_seconds),
         fmt_seconds(board.accelerated_seconds)
     ));
+    let f = &board.faults;
+    if f.any() {
+        out.push_str(&format!(
+            "  Faults: {} injected, {} detected ({} checksum, {} watchdog, {} protocol)\n",
+            f.faults_injected,
+            f.faults_detected,
+            f.checksum_mismatches,
+            f.watchdog_trips,
+            f.protocol_faults
+        ));
+        out.push_str(&format!(
+            "  Recovery: {} retries ({} backoff cycles), {} entries degraded to software\n",
+            f.retries, f.backoff_cycles, f.entries_degraded
+        ));
+    }
     out
 }
 
@@ -178,7 +194,7 @@ pub fn render_report(report: &RunReport) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::report::{BoardTelemetry, FpgaTelemetry, StepReport};
+    use crate::report::{BoardTelemetry, FaultTelemetry, FpgaTelemetry, StepReport};
 
     fn report_with_board() -> RunReport {
         let mut r = RunReport::new();
@@ -219,6 +235,7 @@ mod tests {
             accelerated_seconds: 1.0,
             entries: 10,
             hit_count: 8,
+            faults: FaultTelemetry::default(),
         });
         r
     }
@@ -240,6 +257,32 @@ mod tests {
         assert!(text.contains("10.00%"), "{text}"); // stall share
         assert!(text.contains("50.00%"), "{text}"); // utilization
         assert!(text.contains("4096 B in"), "{text}");
+    }
+
+    #[test]
+    fn fault_lines_render_only_when_faults_occurred() {
+        let clean = render_utilization(&report_with_board());
+        assert!(!clean.contains("Faults:"), "{clean}");
+        let mut r = report_with_board();
+        r.board.as_mut().unwrap().faults = FaultTelemetry {
+            faults_injected: 5,
+            faults_detected: 4,
+            checksum_mismatches: 2,
+            watchdog_trips: 1,
+            protocol_faults: 1,
+            retries: 3,
+            entries_degraded: 1,
+            backoff_cycles: 1792,
+        };
+        let text = render_utilization(&r);
+        assert!(
+            text.contains("Faults: 5 injected, 4 detected (2 checksum, 1 watchdog, 1 protocol)"),
+            "{text}"
+        );
+        assert!(
+            text.contains("Recovery: 3 retries (1792 backoff cycles), 1 entries degraded"),
+            "{text}"
+        );
     }
 
     #[test]

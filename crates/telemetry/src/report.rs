@@ -60,6 +60,28 @@ pub struct FpgaTelemetry {
     pub utilization: f64,
 }
 
+/// Fault injection / recovery counters from the simulated board. All
+/// zeros on a fault-free run; a missing `faults` object in older
+/// schema-v1 reports parses to zeros.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultTelemetry {
+    pub faults_injected: u64,
+    pub faults_detected: u64,
+    pub checksum_mismatches: u64,
+    pub watchdog_trips: u64,
+    pub protocol_faults: u64,
+    pub retries: u64,
+    pub entries_degraded: u64,
+    pub backoff_cycles: u64,
+}
+
+impl FaultTelemetry {
+    /// Anything to report?
+    pub fn any(&self) -> bool {
+        *self != FaultTelemetry::default()
+    }
+}
+
 /// Board-level accounting from the simulated RASC backend.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct BoardTelemetry {
@@ -77,6 +99,8 @@ pub struct BoardTelemetry {
     pub accelerated_seconds: f64,
     pub entries: u64,
     pub hit_count: u64,
+    /// Fault injection / recovery counters.
+    pub faults: FaultTelemetry,
 }
 
 /// A complete, schema-versioned run report.
@@ -432,7 +456,59 @@ fn board_to_json(b: &BoardTelemetry) -> Json {
         ),
         ("entries".into(), Json::Num(b.entries as f64)),
         ("hit_count".into(), Json::Num(b.hit_count as f64)),
+        (
+            "faults".into(),
+            Json::Obj(vec![
+                (
+                    "faults_injected".into(),
+                    Json::Num(b.faults.faults_injected as f64),
+                ),
+                (
+                    "faults_detected".into(),
+                    Json::Num(b.faults.faults_detected as f64),
+                ),
+                (
+                    "checksum_mismatches".into(),
+                    Json::Num(b.faults.checksum_mismatches as f64),
+                ),
+                (
+                    "watchdog_trips".into(),
+                    Json::Num(b.faults.watchdog_trips as f64),
+                ),
+                (
+                    "protocol_faults".into(),
+                    Json::Num(b.faults.protocol_faults as f64),
+                ),
+                ("retries".into(), Json::Num(b.faults.retries as f64)),
+                (
+                    "entries_degraded".into(),
+                    Json::Num(b.faults.entries_degraded as f64),
+                ),
+                (
+                    "backoff_cycles".into(),
+                    Json::Num(b.faults.backoff_cycles as f64),
+                ),
+            ]),
+        ),
     ])
+}
+
+fn faults_from_json(json: &Json) -> Result<FaultTelemetry, String> {
+    // Absent in reports written before the fault model existed: that is
+    // a fault-free run, not a schema error.
+    let Some(f) = json.get("faults") else {
+        return Ok(FaultTelemetry::default());
+    };
+    Ok(FaultTelemetry {
+        faults_injected: u64_field(f, "faults_injected")?,
+        faults_detected: u64_field(f, "faults_detected")?,
+        checksum_mismatches: u64_field(f, "checksum_mismatches")?,
+        watchdog_trips: u64_field(f, "watchdog_trips")?,
+        protocol_faults: u64_field(f, "protocol_faults")?,
+        retries: u64_field(f, "retries")?,
+        entries_degraded: u64_field(f, "entries_degraded")?,
+        backoff_cycles: u64_field(f, "backoff_cycles")?,
+    })
 }
 
 fn board_from_json(json: &Json) -> Result<BoardTelemetry, String> {
@@ -461,6 +537,7 @@ fn board_from_json(json: &Json) -> Result<BoardTelemetry, String> {
         accelerated_seconds: num_field(json, "accelerated_seconds")?,
         entries: u64_field(json, "entries")?,
         hit_count: u64_field(json, "hit_count")?,
+        faults: faults_from_json(json)?,
     })
 }
 
@@ -526,6 +603,16 @@ mod tests {
             accelerated_seconds: 0.75,
             entries: 42,
             hit_count: 99,
+            faults: FaultTelemetry {
+                faults_injected: 7,
+                faults_detected: 6,
+                checksum_mismatches: 3,
+                watchdog_trips: 1,
+                protocol_faults: 2,
+                retries: 5,
+                entries_degraded: 1,
+                backoff_cycles: 3840,
+            },
         });
         report
     }
@@ -560,6 +647,27 @@ mod tests {
             let err = RunReport::from_json(&pruned).unwrap_err();
             assert!(err.contains(field), "{field}: {err}");
         }
+    }
+
+    #[test]
+    fn report_without_faults_object_parses_to_zeros() {
+        // Reports written before the fault model existed lack the
+        // board's "faults" object; they must still parse (same schema
+        // version) with all counters at zero.
+        let report = sample_report();
+        let Json::Obj(mut members) = report.to_json() else {
+            unreachable!()
+        };
+        for (k, v) in &mut members {
+            if k == "board" {
+                let Json::Obj(board) = v else { unreachable!() };
+                board.retain(|(k, _)| k != "faults");
+            }
+        }
+        let back = RunReport::from_json(&Json::Obj(members)).unwrap();
+        let faults = back.board.as_ref().unwrap().faults;
+        assert!(!faults.any());
+        assert_eq!(faults, FaultTelemetry::default());
     }
 
     #[test]

@@ -1,0 +1,188 @@
+//! Pipeline-level fault-recovery guarantees: any fault plan the board
+//! can express must leave the pipeline's final output bit-identical to
+//! the fault-free run (recovery restores every faulted entry), fault
+//! activity must surface in the run report, and exhausted recovery must
+//! surface as [`PipelineError::BoardFault`] — never a panic or hang.
+
+use std::sync::LazyLock;
+
+use proptest::prelude::*;
+use psc_core::{
+    build_run_report, MemRecorder, Pipeline, PipelineConfig, PipelineError, PipelineOutput,
+    Step2Backend,
+};
+use psc_datagen::{random_bank, BankConfig};
+use psc_rasc::{FaultKind, FaultPlan, FaultSpec, RecoveryPolicy};
+use psc_score::blosum62;
+use psc_seqio::Bank;
+
+fn banks() -> (Bank, Bank) {
+    let b0 = random_bank(&BankConfig {
+        count: 10,
+        min_len: 80,
+        max_len: 150,
+        seed: 1101,
+    });
+    let b1 = random_bank(&BankConfig {
+        count: 8,
+        min_len: 80,
+        max_len: 150,
+        seed: 1102,
+    });
+    (b0, b1)
+}
+
+fn rasc_config(host_threads: usize) -> PipelineConfig {
+    PipelineConfig {
+        backend: Step2Backend::Rasc {
+            pe_count: 64,
+            fpga_count: 2,
+            host_threads,
+        },
+        n_ctx: 8,
+        threshold: 22,
+        max_evalue: 10.0,
+        ..PipelineConfig::default()
+    }
+}
+
+fn hybrid_config() -> PipelineConfig {
+    PipelineConfig {
+        backend: Step2Backend::Hybrid {
+            pe_count: 64,
+            cpu_threads: 2,
+            fpga_share: 0.5,
+        },
+        n_ctx: 8,
+        threshold: 22,
+        max_evalue: 10.0,
+        ..PipelineConfig::default()
+    }
+}
+
+/// The fault-free RASC reference everything is compared against.
+static BASELINE: LazyLock<PipelineOutput> = LazyLock::new(|| {
+    let (b0, b1) = banks();
+    Pipeline::new(rasc_config(1)).run(&b0, &b1, blosum62())
+});
+
+#[test]
+fn baseline_has_work_to_corrupt() {
+    let board = BASELINE.board.as_ref().expect("rasc run has a board");
+    assert!(board.entries > 0);
+    assert!(board.hit_count > 0);
+    assert!(!BASELINE.hsps.is_empty());
+}
+
+#[test]
+fn degraded_run_is_bit_identical_and_reported() {
+    let (b0, b1) = banks();
+    let cfg = PipelineConfig {
+        // Entry 1 never recovers on FPGA 0: 3 retries, then software.
+        // DmaCorrupt is caught on every attempt regardless of how many
+        // hits the shard produces.
+        fault_plan: Some(FaultPlan::Scripted(vec![FaultSpec {
+            entry: 1,
+            fpga: Some(0),
+            kind: FaultKind::DmaCorrupt,
+            attempts: u32::MAX,
+        }])),
+        ..rasc_config(2)
+    };
+    let rec = MemRecorder::new();
+    let out = Pipeline::new(cfg.clone())
+        .try_run_recorded(&b0, &b1, blosum62(), &rec)
+        .unwrap();
+    assert_eq!(out.hsps, BASELINE.hsps);
+    assert_eq!(out.stats.step2, BASELINE.stats.step2);
+    let board = out.board.as_ref().unwrap();
+    assert_eq!(board.faults.entries_degraded, 1);
+    assert_eq!(board.faults.retries, 3);
+    // The counters flow through the run report and survive JSON.
+    let report = build_run_report(&out, &cfg, &rec.snapshot());
+    assert_eq!(report.counter("step2.entries_degraded"), Some(1));
+    assert_eq!(report.counter("step2.fault_retries"), Some(3));
+    assert!(report.counter("step2.faults_detected").unwrap() >= 4);
+    let back = psc_core::RunReport::parse(&report.to_json_string()).unwrap();
+    assert_eq!(report, back);
+    assert_eq!(back.board.unwrap().faults.entries_degraded, 1);
+}
+
+#[test]
+fn exhausted_recovery_surfaces_as_pipeline_error() {
+    let (b0, b1) = banks();
+    for host_threads in [1, 2] {
+        let cfg = PipelineConfig {
+            fault_plan: Some(FaultPlan::Scripted(vec![FaultSpec {
+                entry: 0,
+                fpga: None,
+                kind: FaultKind::DmaCorrupt,
+                attempts: u32::MAX,
+            }])),
+            recovery: RecoveryPolicy {
+                degrade: false,
+                ..RecoveryPolicy::default()
+            },
+            ..rasc_config(host_threads)
+        };
+        let err = Pipeline::new(cfg)
+            .try_run(&b0, &b1, blosum62())
+            .unwrap_err();
+        match err {
+            PipelineError::BoardFault(bf) => {
+                assert_eq!(bf.entry, 0, "host_threads={host_threads}");
+                assert_eq!(bf.kind, FaultKind::DmaCorrupt);
+                assert_eq!(bf.attempts, 4, "default budget is 3 retries");
+            }
+            other => panic!("expected BoardFault, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn hybrid_backend_recovers_losslessly_too() {
+    let (b0, b1) = banks();
+    let clean = Pipeline::new(hybrid_config()).run(&b0, &b1, blosum62());
+    let faulty = Pipeline::new(PipelineConfig {
+        fault_plan: Some(FaultPlan::seeded(5)),
+        ..hybrid_config()
+    })
+    .run(&b0, &b1, blosum62());
+    assert_eq!(clean.hsps, faulty.hsps);
+    assert_eq!(clean.stats.step2, faulty.stats.step2);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Any seeded plan, at any rate up to "every dispatch faults",
+    /// yields bit-identical pipeline output (candidates, HSPs, stats).
+    #[test]
+    fn any_seeded_plan_is_lossless(seed in any::<u64>(), rate_ppm in 0u32..=1_000_000) {
+        let (b0, b1) = banks();
+        let out = Pipeline::new(PipelineConfig {
+            fault_plan: Some(FaultPlan::Seeded { seed, rate_ppm }),
+            ..rasc_config(2)
+        })
+        .run(&b0, &b1, blosum62());
+        prop_assert_eq!(&out.hsps, &BASELINE.hsps);
+        prop_assert_eq!(out.stats.step2, BASELINE.stats.step2);
+        let (board, base) = (out.board.unwrap(), BASELINE.board.as_ref().unwrap());
+        prop_assert_eq!(board.entries, base.entries);
+        // Degraded entries bypass the result link, everything else
+        // matches the fault-free hit traffic.
+        prop_assert!(board.hit_count <= base.hit_count);
+    }
+
+    /// The step-2 SIMD tile telemetry's closed form equals the length
+    /// of the tile walk the hot loop actually performs.
+    #[test]
+    fn simd_tile_count_matches_walk(
+        n0 in 0usize..3000,
+        n1 in 0usize..30_000,
+        l in 1usize..4096,
+    ) {
+        let walked = psc_core::step2::simd_tile_walk(n0, n1, l).count() as u64;
+        prop_assert_eq!(psc_core::step2::simd_tile_count(n0, n1, l), walked);
+    }
+}
