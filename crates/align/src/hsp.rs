@@ -58,7 +58,22 @@ impl Hsp {
 /// HSP. This is the duplicate suppression BLAST applies when many seeds
 /// land inside one alignment.
 pub fn cull_hsps(mut hsps: Vec<Hsp>, max_overlap: f64) -> Vec<Hsp> {
-    hsps.sort_by_key(|h| (h.seq0, h.seq1, Reverse(h.score)));
+    // The sort key is a *total* order over the fields the cull reads:
+    // equal-score HSPs used to keep their input order, which made the
+    // kept set depend on how the caller happened to order its input.
+    // Overlapped/parallel step 3 feeds this in merge order, so the
+    // coordinate tie-break is what makes the result order-invariant.
+    hsps.sort_by_key(|h| {
+        (
+            h.seq0,
+            h.seq1,
+            Reverse(h.score),
+            h.start0,
+            h.end0,
+            h.start1,
+            h.end1,
+        )
+    });
     let mut kept: Vec<Hsp> = Vec::with_capacity(hsps.len());
     let mut group_start = 0usize;
     for h in hsps {
@@ -150,6 +165,38 @@ mod tests {
     #[test]
     fn cull_empty() {
         assert!(cull_hsps(Vec::new(), 0.5).is_empty());
+    }
+
+    #[test]
+    fn cull_is_invariant_under_input_permutation() {
+        // A deliberately nasty set: equal-score ties inside one
+        // (seq0, seq1) group, partial overlaps on both axes, and
+        // several groups. Every permutation must keep the same set.
+        let base = vec![
+            hsp(0, 0, 0, 100, 0, 100, 80),
+            hsp(0, 0, 10, 90, 10, 90, 80),   // same score, nested range
+            hsp(0, 0, 60, 160, 60, 160, 80), // same score, 40% covered
+            hsp(0, 0, 0, 50, 500, 550, 70),
+            hsp(0, 1, 0, 100, 0, 100, 50),
+            hsp(1, 0, 0, 40, 0, 40, 50),
+            hsp(1, 0, 5, 45, 5, 45, 50),
+        ];
+        let reference = cull_hsps(base.clone(), 0.5);
+        // Walk a deterministic set of permutations: rotations plus
+        // LCG-driven Fisher–Yates shuffles.
+        let mut state = 0x9e37_79b9u64;
+        for trial in 0..32 {
+            let mut v = base.clone();
+            let shift = trial % v.len();
+            v.rotate_left(shift);
+            for i in (1..v.len()).rev() {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                v.swap(i, (state >> 33) as usize % (i + 1));
+            }
+            assert_eq!(cull_hsps(v, 0.5), reference, "trial {trial}");
+        }
     }
 
     #[test]

@@ -12,6 +12,7 @@ pub const HOT_PATH_NO_PANIC: &str = "hot-path-no-panic";
 pub const DETERMINISM: &str = "determinism";
 pub const RECORDER_OFF_HOT_LOOP: &str = "recorder-off-hot-loop";
 pub const PLACEHOLDER_URL: &str = "placeholder-url";
+pub const MANIFEST_STUB: &str = "manifest-stub";
 
 /// Which lints apply to the file being checked, derived from
 /// `analyzer.toml` by the driver (or built directly by fixture tests).
@@ -208,10 +209,12 @@ fn determinism(file: &SourceFile, sel: &LintSelection) -> Vec<Diagnostic> {
 /// Hosts that mark a manifest URL as an unedited template leftover.
 const PLACEHOLDER_HOSTS: &[&str] = &["example.org", "example.com", "example.net"];
 
-/// `placeholder-url`: Cargo manifests must not ship RFC 2606 example
-/// hosts — a `repository`/`homepage` pointing at `example.org` is a
-/// template leftover, not a value. Checked line-by-line on the raw
-/// manifest text (no waivers; fix the URL instead).
+/// `placeholder-url` / `manifest-stub`: Cargo manifests must not ship
+/// template leftovers. RFC 2606 example hosts in a `repository`/
+/// `homepage` URL, a `version = "0.0.0"` never bumped off the stub
+/// value, and an empty `description = ""` all mean the field was
+/// scaffolded and forgotten. Checked line-by-line on the raw manifest
+/// text (no waivers; fill in the field instead).
 pub fn check_manifest(rel: &str, text: &str) -> Vec<Diagnostic> {
     let mut out = Vec::new();
     for (i, line) in text.lines().enumerate() {
@@ -221,6 +224,30 @@ pub fn check_manifest(rel: &str, text: &str) -> Vec<Diagnostic> {
                 i as u32 + 1,
                 PLACEHOLDER_URL,
                 format!("placeholder host `{host}` in a Cargo manifest"),
+            ));
+        }
+        let trimmed = line.trim();
+        let value_is = |key: &str, value: &str| -> bool {
+            trimmed
+                .strip_prefix(key)
+                .map(str::trim_start)
+                .and_then(|rest| rest.strip_prefix('='))
+                .is_some_and(|rest| rest.trim() == value)
+        };
+        if value_is("version", "\"0.0.0\"") {
+            out.push(Diagnostic::new(
+                rel,
+                i as u32 + 1,
+                MANIFEST_STUB,
+                "stub version `0.0.0` in a Cargo manifest".to_string(),
+            ));
+        }
+        if value_is("description", "\"\"") {
+            out.push(Diagnostic::new(
+                rel,
+                i as u32 + 1,
+                MANIFEST_STUB,
+                "empty `description` in a Cargo manifest".to_string(),
             ));
         }
     }
@@ -357,6 +384,34 @@ mod tests {
         assert_eq!(found[0].line, 3);
         let ok = "[package]\nname = \"x\"\nrepository = \"https://github.com/org/x\"\n";
         assert!(check_manifest("crates/x/Cargo.toml", ok).is_empty());
+    }
+
+    #[test]
+    fn manifest_stub_fields_flagged() {
+        let bad = "[package]\nname = \"x\"\nversion = \"0.0.0\"\ndescription = \"\"\n";
+        let found = check_manifest("crates/x/Cargo.toml", bad);
+        assert_eq!(lints(&found), [MANIFEST_STUB, MANIFEST_STUB]);
+        assert_eq!(found[0].line, 3);
+        assert!(found[0].message.contains("0.0.0"));
+        assert_eq!(found[1].line, 4);
+        assert!(found[1].message.contains("description"));
+        // Real values, workspace inheritance, spacing variants, and
+        // unrelated keys that merely end in the watched names all pass.
+        for ok in [
+            "version = \"0.1.0\"\ndescription = \"a crate\"\n",
+            "version.workspace = true\n",
+            "version=\"0.0.0-alpha\"\n",
+            "api-version = \"0.0.0\"\n",
+            "# version = \"0.0.0\"\n",
+        ] {
+            assert!(check_manifest("crates/x/Cargo.toml", ok).is_empty(), "{ok}");
+        }
+        // Spacing does not dodge the lint.
+        let spaced = "version   =   \"0.0.0\"\n";
+        assert_eq!(
+            lints(&check_manifest("c/Cargo.toml", spaced)),
+            [MANIFEST_STUB]
+        );
     }
 
     #[test]

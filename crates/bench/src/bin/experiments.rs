@@ -6,6 +6,7 @@
 //!          fig1 fig2 fig3
 //!          ablation-kernel ablation-seed ablation-twohit
 //!          step2-kernels   (writes BENCH_step2_kernels.json)
+//!          step3-overlap   (writes BENCH_step3_overlap.json)
 //!          all
 //! ```
 
@@ -25,7 +26,7 @@ fn main() {
         .map(String::as_str)
         .collect();
     if wants.is_empty() {
-        eprintln!("usage: experiments [--quick] <table1..table7|fig1..fig3|ablation-*|step2-kernels|extension-step3|all>");
+        eprintln!("usage: experiments [--quick] <table1..table7|fig1..fig3|ablation-*|step2-kernels|step3-overlap|extension-step3|all>");
         std::process::exit(2);
     }
     let all = wants.contains(&"all");
@@ -121,5 +122,8 @@ fn main() {
     }
     if want("extension-step3") {
         exps::extension_step3(&workload);
+    }
+    if want("step3-overlap") {
+        exps::step3_overlap(&workload);
     }
 }

@@ -400,6 +400,8 @@ pub fn fig3(rows: &[LadderRow]) {
         "compute (s)",
         "input wire (s)",
         "output wire (s)",
+        "overlapped (s)",
+        "occupancy",
         "sync (s)",
         "setup (s)",
         "total (s)",
@@ -421,6 +423,8 @@ pub fn fig3(rows: &[LadderRow]) {
             secs(compute),
             format!("{wire_in:.4}"),
             format!("{wire_out:.4}"),
+            format!("{:.4}", b.overlap_seconds),
+            format!("{:.1} %", b.overlap_occupancy * 100.0),
             format!("{:.4}", b.sync_seconds),
             format!("{:.3}", b.setup_seconds),
             secs(b.accelerated_seconds),
@@ -428,7 +432,8 @@ pub fn fig3(rows: &[LadderRow]) {
         ]);
     }
     t.print();
-    println!();
+    println!("   (overlapped = DMA-in of entry k+1 hidden under compute of entry k by the");
+    println!("    double-buffered dispatch; occupancy = overlapped share of the busy span)\n");
 }
 
 /// Ablation — the two readings of the paper's ungapped pseudocode.
@@ -577,6 +582,149 @@ pub fn extension_step3(workload: &Workload) {
         p.step3_accelerated.unwrap_or(0.0),
         r.output.stats.anchors
     );
+}
+
+/// Extension — the overlapped streaming pipeline: step-2 shard
+/// completion feeding incremental anchor dedup through a bounded
+/// channel, plus sharded parallel step-3 gapped extension. Run under a
+/// heavy-tailed fault plan (the hardest case for determinism), software
+/// step 3 against the proposed gapped operator, written to
+/// `BENCH_step3_overlap.json`.
+pub fn step3_overlap(workload: &Workload) {
+    use psc_core::config::Step3Backend;
+    println!("## Extension — overlapped streaming + parallel step-3 (10× bank, 192 PEs)");
+    println!("   (threshold lowered by 8 as in extension-step3 to land in the paper's");
+    println!("    Table 7 regime where step 3 dominates; seeded heavy-tail faults on)\n");
+    let make_cfg = |step3_backend: Step3Backend, overlap: bool, step3_threads: usize| {
+        let mut cfg = experiment_config();
+        cfg.threshold -= 8;
+        cfg.backend = Step2Backend::Rasc {
+            pe_count: 192,
+            fpga_count: 1,
+            host_threads: 1,
+        };
+        cfg.fault_plan = Some(psc_rasc::FaultPlan::SeededHeavyTail {
+            seed: 7,
+            rate_ppm: psc_rasc::DEFAULT_FAULT_RATE_PPM,
+        });
+        cfg.step3_backend = step3_backend;
+        cfg.overlap = overlap;
+        cfg.step3_threads = step3_threads;
+        cfg
+    };
+    let mut t = Table::new(&[
+        "step-3 engine",
+        "mode",
+        "threads",
+        "step3 (s)",
+        "modeled N-core (s)",
+        "modeled speedup",
+        "step2+3 wall (s)",
+        "DMA overlap",
+    ]);
+    let mut json_rows: Vec<String> = Vec::new();
+    for (engine, label) in [
+        (Step3Backend::Software, "software"),
+        (Step3Backend::RascGapped { band: 128 }, "gapped-op"),
+    ] {
+        let mut baseline_hsps: Option<Vec<psc_align::Hsp>> = None;
+        let mut seq_extension = 0.0f64;
+        let mut seq_modeled_p4 = 0.0f64;
+        for (overlap, threads) in [(false, 1usize), (false, 4), (true, 1), (true, 4)] {
+            let cfg = make_cfg(engine.clone(), overlap, threads);
+            let mut best_step3 = f64::INFINITY;
+            let mut best_wall = f64::INFINITY;
+            let mut best_extension = f64::INFINITY;
+            let mut best_modeled_p4 = f64::INFINITY;
+            let mut last = None;
+            for _ in 0..3 {
+                let rec = psc_core::MemRecorder::new();
+                let r = psc_core::search_genome_recorded(
+                    &workload.banks[2],
+                    &workload.genome.genome,
+                    blosum62(),
+                    cfg.clone(),
+                    &rec,
+                );
+                let spans = rec.snapshot().spans;
+                best_step3 = best_step3.min(r.output.profile.step3);
+                best_wall = best_wall.min(r.output.profile.step2_wall + r.output.profile.step3);
+                best_extension = best_extension.min(spans["step3.extension"].seconds);
+                best_modeled_p4 = best_modeled_p4.min(spans["step3.modeled_p4"].seconds);
+                last = Some(r);
+            }
+            let r = last.unwrap();
+            // The streamed/parallel modes are optimisations only: any
+            // divergence from the sequential barrier run is a bug.
+            match &baseline_hsps {
+                None => {
+                    baseline_hsps = Some(r.output.hsps.clone());
+                    // Shard costs from this sequential, uncontended run
+                    // drive the modeled columns for every row: a
+                    // contended run's shard walls include descheduling,
+                    // so replaying *its* costs would double-count the
+                    // host's core shortage.
+                    seq_extension = best_extension;
+                    seq_modeled_p4 = best_modeled_p4;
+                }
+                Some(base) => assert_eq!(
+                    base, &r.output.hsps,
+                    "overlap={overlap} threads={threads} diverged from the barrier run"
+                ),
+            }
+            let board = r.output.board.as_ref().expect("RASC run has a board");
+            // Measured wall speedup saturates at the host's free-core
+            // count; the modeled column replays the sequential run's
+            // per-shard costs through the worker pull schedule on
+            // `threads` free cores, which is what the speedup claim is
+            // pinned on.
+            let best_modeled = if threads == 1 {
+                seq_extension
+            } else {
+                seq_modeled_p4
+            };
+            let modeled_speedup = seq_extension / best_modeled;
+            t.row(vec![
+                label.into(),
+                if overlap { "overlap" } else { "barrier" }.into(),
+                threads.to_string(),
+                secs(best_step3),
+                secs(best_modeled),
+                ratio(modeled_speedup),
+                secs(best_wall),
+                format!("{:.1} %", board.overlap_occupancy * 100.0),
+            ]);
+            json_rows.push(format!(
+                "    {{\"step3_backend\": \"{label}\", \"overlap\": {overlap}, \
+                 \"step3_threads\": {threads}, \"step3_seconds\": {best_step3:.6}, \
+                 \"step3_extension_seconds\": {best_extension:.6}, \
+                 \"step3_modeled_parallel_seconds\": {best_modeled:.6}, \
+                 \"step3_modeled_speedup\": {modeled_speedup:.3}, \
+                 \"step2_plus_step3_seconds\": {best_wall:.6}, \
+                 \"overlap_seconds\": {:.6}, \"overlap_occupancy\": {:.4}, \
+                 \"anchors\": {}, \"hsps\": {}}}",
+                board.overlap_seconds,
+                board.overlap_occupancy,
+                r.output.stats.anchors,
+                r.output.hsps.len(),
+            ));
+        }
+    }
+    t.print();
+    println!("\n   (modeled = the sequential barrier run's measured per-shard costs");
+    println!("    replayed through the worker pull schedule on N free cores; speedup is");
+    println!("    vs that run's extension. Outputs are asserted bit-identical across");
+    println!("    modes; wall columns saturate at this host's free-core count.)\n");
+    let json = format!(
+        "{{\n  \"experiment\": \"step3_overlap\",\n  \
+         \"fault_plan\": \"heavy-tail seed 7\",\n  \"runs\": [\n{}\n  ]\n}}\n",
+        json_rows.join(",\n")
+    );
+    let path = "BENCH_step3_overlap.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => eprintln!("[experiments] wrote {path}"),
+        Err(e) => eprintln!("[experiments] could not write {path}: {e}"),
+    }
 }
 
 /// Ablation — hybrid CPU+FPGA dispatch (the paper's closing question:

@@ -89,8 +89,11 @@ commands:
                   [--pes N] [--fpgas N] [--threads N] [--evalue E]
                   [--seed-model subset4|subset3|exact4] [--threshold T]
                   [--step2-kernel auto|scalar|profile|simd]
+                  [--step3-threads N]    (parallel gapped extension workers)
+                  [--overlap on|off]     (stream step-3 during step-2 shard completion)
                   [--format tab|pairwise|gff] [--mask on]
                   [--fault-seed S] [--fault-rate PPM]   (seeded fault injection)
+                  [--fault-tail uniform|heavy]   (stuck-board persistence model)
                   [--fault-plan ENTRY:KIND[:ATTEMPTS][@FPGA],...]
                   [--fault-retries N] [--fault-degrade on|off]
                   [--report-json FILE]   (write a telemetry run report)
@@ -270,6 +273,12 @@ fn search(flags: &Flags) -> Result<(), String> {
             Some("off") | None => None,
             Some(other) => return Err(format!("bad --mask value {other:?}")),
         },
+        step3_threads: flags.parsed("step3-threads", 1usize)?.max(1),
+        overlap: match flags.get("overlap") {
+            Some("on") => true,
+            Some("off") | None => false,
+            Some(other) => return Err(format!("bad --overlap value {other:?} (on|off)")),
+        },
         fault_plan: fault_plan(flags)?,
         recovery: recovery_policy(flags)?,
         ..PipelineConfig::default()
@@ -360,14 +369,18 @@ fn config_pes(flags: &Flags) -> Result<usize, String> {
 }
 
 /// Fault plan from `--fault-plan` (scripted) or `--fault-seed`
-/// (seeded, rate adjustable with `--fault-rate` in ppm). The two are
-/// mutually exclusive; neither means a fault-free run.
+/// (seeded, rate adjustable with `--fault-rate` in ppm, persistence
+/// distribution selectable with `--fault-tail`). The two are mutually
+/// exclusive; neither means a fault-free run.
 fn fault_plan(flags: &Flags) -> Result<Option<psc_rasc::FaultPlan>, String> {
     match (flags.get("fault-plan"), flags.get("fault-seed")) {
         (Some(_), Some(_)) => Err("--fault-plan and --fault-seed are mutually exclusive".into()),
         (Some(spec), None) => {
             if flags.get("fault-rate").is_some() {
                 return Err("--fault-rate only applies to --fault-seed plans".into());
+            }
+            if flags.get("fault-tail").is_some() {
+                return Err("--fault-tail only applies to --fault-seed plans".into());
             }
             psc_rasc::FaultPlan::parse(spec).map(Some)
         }
@@ -377,11 +390,18 @@ fn fault_plan(flags: &Flags) -> Result<Option<psc_rasc::FaultPlan>, String> {
             if rate_ppm > 1_000_000 {
                 return Err(format!("--fault-rate {rate_ppm} exceeds 1000000 ppm"));
             }
-            Ok(Some(psc_rasc::FaultPlan::Seeded { seed, rate_ppm }))
+            Ok(Some(match flags.get("fault-tail").unwrap_or("uniform") {
+                "uniform" => psc_rasc::FaultPlan::Seeded { seed, rate_ppm },
+                "heavy" => psc_rasc::FaultPlan::SeededHeavyTail { seed, rate_ppm },
+                other => return Err(format!("bad --fault-tail value {other:?} (uniform|heavy)")),
+            }))
         }
         (None, None) => {
             if flags.get("fault-rate").is_some() {
                 return Err("--fault-rate needs --fault-seed".into());
+            }
+            if flags.get("fault-tail").is_some() {
+                return Err("--fault-tail needs --fault-seed".into());
             }
             Ok(None)
         }

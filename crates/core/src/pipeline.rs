@@ -1,8 +1,11 @@
 //! The three-step pipeline driver.
 
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
-use psc_align::{cull_hsps, gapped_extend, Hsp};
+use crossbeam::{channel, thread};
+use psc_align::{cull_hsps, gapped_extend, GapConfig, GappedHit, Hsp};
 use psc_index::{FlatBank, SeedIndex};
 use psc_rasc::{BoardReport, Entry, RascBoard};
 use psc_score::karlin::{gapped_params, ungapped_params};
@@ -16,7 +19,7 @@ use crate::profile::StepProfile;
 use crate::step2::{self, Candidate, Step2Params, Step2Stats};
 
 /// Instrumentation of a pipeline run.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct PipelineStats {
     /// Positions indexed in each bank.
     pub indexed0: usize,
@@ -209,81 +212,23 @@ impl Pipeline {
             kernel_backend: cfg.step2_kernel,
         };
         let key_count = idx0.key_count() as u32;
-        let (candidates, s2stats, board, step2_accel_override) = match &cfg.backend {
-            Step2Backend::SoftwareScalar => {
-                let (c, s) = step2::run_software(&flat0, &idx0, &flat1, &idx1, &params, 1);
-                (c, s, None, None)
+        let mut dedup = AnchorDedup::new(&flat0, &flat1, cfg.min_anchor_sep);
+        let (mut s2stats, board, step2_accel_override) = if cfg.overlap {
+            run_step2_overlapped(
+                cfg, &params, &flat0, &idx0, &flat1, &idx1, span, key_count, matrix, &mut dedup,
+            )?
+        } else {
+            let (candidates, s2stats, board, step2_accel_override) = run_step2_barrier(
+                cfg, &params, &flat0, &idx0, &flat1, &idx1, span, key_count, matrix,
+            )?;
+            for c in &candidates {
+                dedup.push(c);
             }
-            Step2Backend::SoftwareParallel { threads } => {
-                let (c, s) = step2::run_software(&flat0, &idx0, &flat1, &idx1, &params, *threads);
-                (c, s, None, None)
-            }
-            Step2Backend::Rasc {
-                pe_count,
-                fpga_count,
-                host_threads,
-            } => {
-                let board = RascBoard::new(cfg.board_config(*pe_count, *fpga_count), matrix)
-                    .map_err(PipelineError::OperatorDoesNotFit)?;
-                let (c, s, r) = run_rasc_step2(
-                    &board,
-                    &flat0,
-                    &idx0,
-                    &flat1,
-                    &idx1,
-                    span,
-                    cfg.n_ctx,
-                    *host_threads,
-                    0..key_count,
-                )?;
-                (c, s, Some(r), None)
-            }
-            Step2Backend::Hybrid {
-                pe_count,
-                cpu_threads,
-                fpga_share,
-            } => {
-                if !(0.0..=1.0).contains(fpga_share) {
-                    return Err(PipelineError::InvalidFpgaShare(*fpga_share));
-                }
-                let cut = split_keys_by_pair_mass(&idx0, &idx1, *fpga_share);
-                let board = RascBoard::new(cfg.board_config(*pe_count, 1), matrix)
-                    .map_err(PipelineError::OperatorDoesNotFit)?;
-                // FPGA takes the dense low keys; CPU workers the rest.
-                let (mut c, mut s, r) = run_rasc_step2(
-                    &board,
-                    &flat0,
-                    &idx0,
-                    &flat1,
-                    &idx1,
-                    span,
-                    cfg.n_ctx,
-                    1,
-                    0..cut,
-                )?;
-                // analyzer: allow(determinism) -- wall-clock step profile is the audited exception
-                let t_cpu = Instant::now();
-                let (c2, s2) = step2::run_software_keys(
-                    &flat0,
-                    &idx0,
-                    &flat1,
-                    &idx1,
-                    &params,
-                    cut..key_count,
-                    *cpu_threads,
-                );
-                let cpu_wall = t_cpu.elapsed().as_secs_f64();
-                c.extend(c2);
-                c.sort_unstable_by_key(|x| (x.pos0, x.pos1));
-                s.pairs += s2.pairs;
-                s.active_keys += s2.active_keys;
-                s.candidates = c.len() as u64;
-                // CPU and FPGA run concurrently: the slower side bounds
-                // the effective step-2 time.
-                let effective = r.accelerated_seconds.max(cpu_wall);
-                (c, s, Some(r), Some(effective))
-            }
+            (s2stats, board, step2_accel_override)
         };
+        // Both modes push the same candidate multiset; the pushed count
+        // is the one `candidates` counter.
+        s2stats.candidates = dedup.pushed();
         let step2_wall = t1.elapsed().as_secs_f64();
         let step2_accelerated =
             step2_accel_override.or_else(|| board.as_ref().map(|r| r.accelerated_seconds));
@@ -340,7 +285,7 @@ impl Pipeline {
         let stats = gapped_params(matrix, cfg.gap.open, cfg.gap.extend).unwrap_or(ungapped_stats);
         let (m, n) = (bank0.total_residues(), bank1.total_residues());
 
-        let anchors = dedup_anchors(candidates, &flat0, &flat1, cfg.min_anchor_sep);
+        let anchors = dedup.finish();
         // Optional step-3 accelerator (the paper's proposed second-FPGA
         // gapped operator). Results are identical either way; the
         // operator additionally accounts simulated cycles.
@@ -358,6 +303,27 @@ impl Pipeline {
                 )
             }
         };
+        // Extension runs on `step3_threads` workers over fixed-size
+        // shards; the merge below walks anchors in order, so counters
+        // and HSP output cannot depend on the thread count.
+        let (extensions, shard_seconds) = extend_anchors(
+            matrix,
+            bank0,
+            bank1,
+            &cfg.gap,
+            gapped_op.as_ref(),
+            &anchors,
+            cfg.step3_threads,
+        );
+        // Machine-independent view of the shard schedule: the sum of
+        // per-shard costs is the sequential extension time, and the
+        // greedy critical path over `step3_threads` workers is what a
+        // host with that many free cores would observe. Both are wall
+        // clock and stripped with the other spans.
+        let extension_seconds: f64 = shard_seconds.iter().sum();
+        let modeled_parallel = shard_critical_path(&shard_seconds, cfg.step3_threads);
+        // analyzer: allow(determinism) -- wall-clock step profile is the audited exception
+        let t_merge = Instant::now();
         let mut step3_cycles = 0u64;
         let mut hsps = Vec::new();
         // Step-3 accounting: an extension flank "X-drop terminated" when
@@ -365,25 +331,10 @@ impl Pipeline {
         // running into a sequence end).
         let mut xdrop_terminations = 0u64;
         let mut evalue_rejected = 0u64;
-        for a in &anchors {
+        for (a, &(hit, cycles)) in anchors.iter().zip(&extensions) {
             let s0 = &bank0.get(a.seq0 as usize).residues;
             let s1 = &bank1.get(a.seq1 as usize).residues;
-            let hit = match &gapped_op {
-                None => gapped_extend(
-                    matrix,
-                    s0,
-                    s1,
-                    a.local0 as usize,
-                    a.local1 as usize,
-                    &cfg.gap,
-                ),
-                Some(op) => {
-                    let (hit, cycles, _overflow) =
-                        op.extend(s0, s1, a.local0 as usize, a.local1 as usize);
-                    step3_cycles += cycles;
-                    hit
-                }
-            };
+            step3_cycles += cycles;
             if hit.start0 > 0 && hit.start1 > 0 {
                 xdrop_terminations += 1;
             }
@@ -408,17 +359,31 @@ impl Pipeline {
                 });
             }
         }
+        let merge_wait = t_merge.elapsed().as_secs_f64();
         let mut hsps = cull_hsps(hsps, 0.9);
         hsps.sort_by(|a, b| a.evalue.total_cmp(&b.evalue));
         let step3 = t2.elapsed().as_secs_f64();
 
         rec.add("step3.anchors", anchors.len() as u64);
+        rec.add("step3.shards", anchors.len().div_ceil(STEP3_SHARD) as u64);
         rec.add("step3.xdrop_terminations", xdrop_terminations);
         rec.add("step3.evalue_rejected", evalue_rejected);
         rec.add("step3.hsps_reported", hsps.len() as u64);
         rec.record_span("step1", step1);
         rec.record_span("step2.wall", step2_wall);
         rec.record_span("step3", step3);
+        rec.record_span("step3.extension", extension_seconds);
+        rec.record_span("step3.modeled_parallel", modeled_parallel);
+        // Fixed ladder so an uncontended run reports what wider hosts
+        // would see; only meaningful when this run was sequential (a
+        // contended run's shard costs already include descheduling).
+        for workers in [2usize, 4, 8] {
+            rec.record_span(
+                &format!("step3.modeled_p{workers}"),
+                shard_critical_path(&shard_seconds, workers),
+            );
+        }
+        rec.record_span("step3.merge_wait", merge_wait);
 
         Ok(PipelineOutput {
             stats: PipelineStats {
@@ -445,7 +410,7 @@ impl Pipeline {
 }
 
 /// An anchor for gapped extension, in sequence-local coordinates.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 struct Anchor {
     seq0: u32,
     seq1: u32,
@@ -453,79 +418,436 @@ struct Anchor {
     local1: u32,
 }
 
-/// Localize candidates and fold near-duplicates: one anchor per
-/// `(seq0, seq1, diagonal)` line every `min_sep` subject residues,
-/// keeping the best-scoring candidate of each fold group.
-fn dedup_anchors(
-    candidates: Vec<Candidate>,
-    flat0: &FlatBank,
-    flat1: &FlatBank,
+/// A localized step-2 candidate, the bucket payload of [`AnchorDedup`].
+#[derive(Clone, Copy)]
+struct Localized {
+    local0: u32,
+    local1: u32,
+    score: i32,
+}
+
+/// Incremental, order-invariant anchor deduplication.
+///
+/// Candidates are bucketed by `(seq0, seq1, diagonal)` as they arrive —
+/// in *any* order, because overlapped step 2 delivers them in entry
+/// completion order rather than position order. [`AnchorDedup::finish`]
+/// sorts each bucket by `local1` and folds runs closer than `min_sep`
+/// subject residues, keeping the best-scoring member of each fold
+/// group. `(seq0, seq1, diag, local1)` uniquely identifies a candidate
+/// (the diagonal fixes `local0`, the flat position fixes the score), so
+/// the per-bucket sort is a total order and the output is identical to
+/// the historical sort-everything-then-fold pass no matter how pushes
+/// interleave — the property the overlap-equivalence tests pin.
+struct AnchorDedup<'a> {
+    flat0: &'a FlatBank,
+    flat1: &'a FlatBank,
     min_sep: u32,
-) -> Vec<Anchor> {
-    #[derive(Clone, Copy)]
-    struct Localized {
-        seq0: u32,
-        seq1: u32,
-        diag: i64,
-        local0: u32,
-        local1: u32,
-        score: i32,
+    pushed: u64,
+    buckets: BTreeMap<(u32, u32, i64), Vec<Localized>>,
+}
+
+impl<'a> AnchorDedup<'a> {
+    fn new(flat0: &'a FlatBank, flat1: &'a FlatBank, min_sep: u32) -> AnchorDedup<'a> {
+        AnchorDedup {
+            flat0,
+            flat1,
+            min_sep,
+            pushed: 0,
+            buckets: BTreeMap::new(),
+        }
     }
-    let mut loc: Vec<Localized> = candidates
-        .into_iter()
-        .map(|c| {
-            let (s0, l0) = flat0.locate(c.pos0);
-            let (s1, l1) = flat1.locate(c.pos1);
-            Localized {
-                seq0: s0 as u32,
-                seq1: s1 as u32,
-                diag: l1 as i64 - l0 as i64,
+
+    /// Localize one candidate and file it under its diagonal line.
+    fn push(&mut self, c: &Candidate) {
+        let (s0, l0) = self.flat0.locate(c.pos0);
+        let (s1, l1) = self.flat1.locate(c.pos1);
+        self.pushed += 1;
+        self.buckets
+            .entry((s0 as u32, s1 as u32, l1 as i64 - l0 as i64))
+            .or_default()
+            .push(Localized {
                 local0: l0 as u32,
                 local1: l1 as u32,
                 score: c.score,
-            }
-        })
-        .collect();
-    loc.sort_by_key(|c| (c.seq0, c.seq1, c.diag, c.local1));
+            });
+    }
 
-    let mut anchors: Vec<Anchor> = Vec::new();
-    let mut group: Option<(u32, u32, i64, u32, Localized)> = None; // key + best
-    for c in loc {
-        match &mut group {
-            Some((s0, s1, d, last1, best))
-                if *s0 == c.seq0
-                    && *s1 == c.seq1
-                    && *d == c.diag
-                    && c.local1 < *last1 + min_sep =>
-            {
-                // Same fold group: extend it, keep the best-scoring seed.
-                *last1 = c.local1;
-                if c.score > best.score {
-                    *best = c;
-                }
-            }
-            _ => {
-                if let Some((_, _, _, _, best)) = group.take() {
+    /// Number of candidates pushed so far.
+    fn pushed(&self) -> u64 {
+        self.pushed
+    }
+
+    /// Fold every bucket into anchors, in `(seq0, seq1, diag, local1)`
+    /// order.
+    fn finish(self) -> Vec<Anchor> {
+        let mut anchors: Vec<Anchor> = Vec::new();
+        for ((seq0, seq1, _diag), mut bucket) in self.buckets {
+            bucket.sort_unstable_by_key(|c| c.local1);
+            let mut members = bucket.into_iter();
+            let Some(first) = members.next() else {
+                continue;
+            };
+            // The fold window chains: each member extends the group when
+            // it lands within `min_sep` of the *previous* member.
+            let mut last1 = first.local1;
+            let mut best = first;
+            for c in members {
+                if c.local1 < last1 + self.min_sep {
+                    last1 = c.local1;
+                    if c.score > best.score {
+                        best = c;
+                    }
+                } else {
                     anchors.push(Anchor {
-                        seq0: best.seq0,
-                        seq1: best.seq1,
+                        seq0,
+                        seq1,
                         local0: best.local0,
                         local1: best.local1,
                     });
+                    last1 = c.local1;
+                    best = c;
                 }
-                group = Some((c.seq0, c.seq1, c.diag, c.local1, c));
+            }
+            anchors.push(Anchor {
+                seq0,
+                seq1,
+                local0: best.local0,
+                local1: best.local1,
+            });
+        }
+        anchors
+    }
+}
+
+/// Anchors per step-3 work shard. Fixed (not derived from the thread
+/// count) so shard boundaries — and the `step3.shards` telemetry — are
+/// identical no matter how many workers run.
+const STEP3_SHARD: usize = 64;
+
+/// Extend every anchor, in anchor order. With `threads > 1` the anchors
+/// are cut into [`STEP3_SHARD`]-sized shards pulled by workers off a
+/// shared counter; results are reassembled by shard index, so the
+/// returned `(hit, simulated_cycles)` vector is bit-identical to the
+/// sequential loop at any thread count. The gapped operator has no
+/// interior mutability, so one instance serves all workers and the
+/// per-anchor cycle counts sum to the same total in any order.
+///
+/// The second return value is the wall seconds each shard spent in
+/// extension, indexed by shard. It feeds the `step3.extension` /
+/// `step3.modeled_parallel` spans; results never depend on it.
+fn extend_anchors(
+    matrix: &SubstitutionMatrix,
+    bank0: &Bank,
+    bank1: &Bank,
+    gap: &GapConfig,
+    gapped_op: Option<&psc_rasc::GappedOperator>,
+    anchors: &[Anchor],
+    threads: usize,
+) -> (Vec<(GappedHit, u64)>, Vec<f64>) {
+    let extend_one = |a: &Anchor| -> (GappedHit, u64) {
+        let s0 = &bank0.get(a.seq0 as usize).residues;
+        let s1 = &bank1.get(a.seq1 as usize).residues;
+        match gapped_op {
+            None => (
+                gapped_extend(matrix, s0, s1, a.local0 as usize, a.local1 as usize, gap),
+                0,
+            ),
+            Some(op) => {
+                let (hit, cycles, _overflow) =
+                    op.extend(s0, s1, a.local0 as usize, a.local1 as usize);
+                (hit, cycles)
             }
         }
+    };
+    let shard_count = anchors.len().div_ceil(STEP3_SHARD);
+    let threads = threads.max(1);
+    if threads == 1 || anchors.len() <= STEP3_SHARD {
+        let mut out = Vec::with_capacity(anchors.len());
+        let mut shard_seconds = Vec::with_capacity(shard_count);
+        for shard in anchors.chunks(STEP3_SHARD) {
+            // analyzer: allow(determinism) -- span telemetry only, never results
+            let t0 = Instant::now();
+            out.extend(shard.iter().map(extend_one));
+            shard_seconds.push(t0.elapsed().as_secs_f64());
+        }
+        return (out, shard_seconds);
     }
-    if let Some((_, _, _, _, best)) = group.take() {
-        anchors.push(Anchor {
-            seq0: best.seq0,
-            seq1: best.seq1,
-            local0: best.local0,
-            local1: best.local1,
+    // (shard index, extended hits, shard wall seconds) from one worker.
+    type ShardResult = (usize, Vec<(GappedHit, u64)>, f64);
+    let next = AtomicUsize::new(0);
+    let mut sharded: Vec<ShardResult> = Vec::with_capacity(shard_count);
+    thread::scope(|s| {
+        let handles: Vec<_> = (0..threads.min(shard_count))
+            .map(|_| {
+                s.spawn(|_| {
+                    let mut local: Vec<ShardResult> = Vec::new();
+                    loop {
+                        let shard = next.fetch_add(1, Ordering::Relaxed);
+                        if shard >= shard_count {
+                            break;
+                        }
+                        let lo = shard * STEP3_SHARD;
+                        let hi = (lo + STEP3_SHARD).min(anchors.len());
+                        // analyzer: allow(determinism) -- span telemetry only, never results
+                        let t0 = Instant::now();
+                        let hits: Vec<_> = anchors[lo..hi].iter().map(extend_one).collect();
+                        local.push((shard, hits, t0.elapsed().as_secs_f64()));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            sharded.extend(h.join().expect("step-3 worker panicked"));
+        }
+    })
+    .expect("step-3 scope");
+    sharded.sort_unstable_by_key(|&(shard, _, _)| shard);
+    let shard_seconds = sharded.iter().map(|&(_, _, s)| s).collect();
+    (
+        sharded.into_iter().flat_map(|(_, v, _)| v).collect(),
+        shard_seconds,
+    )
+}
+
+/// Finish time of the shard-pull schedule on `workers` free cores: each
+/// worker takes the next shard the moment it goes idle — exactly the
+/// atomic-counter discipline [`extend_anchors`] runs. With measured
+/// per-shard costs this models the step-3 extension wall a host with
+/// that many cores would see, independent of how many this host has.
+fn shard_critical_path(shard_seconds: &[f64], workers: usize) -> f64 {
+    let workers = workers.max(1);
+    if workers == 1 || shard_seconds.len() <= 1 {
+        return shard_seconds.iter().sum();
+    }
+    let mut finish = vec![0.0f64; workers.min(shard_seconds.len())];
+    for &cost in shard_seconds {
+        let idlest = (0..finish.len())
+            .min_by(|&a, &b| finish[a].total_cmp(&finish[b]))
+            .expect("at least one worker");
+        finish[idlest] += cost;
+    }
+    finish.iter().fold(0.0f64, |acc, &t| acc.max(t))
+}
+
+/// Batches in flight between step-2 producers and the anchor builder in
+/// overlapped mode. Bounded so a slow consumer back-pressures the
+/// producers instead of buffering the whole candidate set.
+const OVERLAP_CHANNEL_DEPTH: usize = 32;
+
+/// The historical barrier step 2: run the configured backend to
+/// completion and hand back the full candidate vector.
+#[allow(clippy::too_many_arguments)]
+#[allow(clippy::type_complexity)]
+fn run_step2_barrier(
+    cfg: &PipelineConfig,
+    params: &Step2Params<'_>,
+    flat0: &FlatBank,
+    idx0: &SeedIndex,
+    flat1: &FlatBank,
+    idx1: &SeedIndex,
+    span: usize,
+    key_count: u32,
+    matrix: &SubstitutionMatrix,
+) -> Result<(Vec<Candidate>, Step2Stats, Option<BoardReport>, Option<f64>), PipelineError> {
+    Ok(match &cfg.backend {
+        Step2Backend::SoftwareScalar => {
+            let (c, s) = step2::run_software(flat0, idx0, flat1, idx1, params, 1);
+            (c, s, None, None)
+        }
+        Step2Backend::SoftwareParallel { threads } => {
+            let (c, s) = step2::run_software(flat0, idx0, flat1, idx1, params, *threads);
+            (c, s, None, None)
+        }
+        Step2Backend::Rasc {
+            pe_count,
+            fpga_count,
+            host_threads,
+        } => {
+            let board = RascBoard::new(cfg.board_config(*pe_count, *fpga_count), matrix)
+                .map_err(PipelineError::OperatorDoesNotFit)?;
+            let (c, s, r) = run_rasc_step2(
+                &board,
+                flat0,
+                idx0,
+                flat1,
+                idx1,
+                span,
+                cfg.n_ctx,
+                *host_threads,
+                0..key_count,
+            )?;
+            (c, s, Some(r), None)
+        }
+        Step2Backend::Hybrid {
+            pe_count,
+            cpu_threads,
+            fpga_share,
+        } => {
+            if !(0.0..=1.0).contains(fpga_share) {
+                return Err(PipelineError::InvalidFpgaShare(*fpga_share));
+            }
+            let cut = split_keys_by_pair_mass(idx0, idx1, *fpga_share);
+            let board = RascBoard::new(cfg.board_config(*pe_count, 1), matrix)
+                .map_err(PipelineError::OperatorDoesNotFit)?;
+            // FPGA takes the dense low keys; CPU workers the rest.
+            let (mut c, mut s, r) =
+                run_rasc_step2(&board, flat0, idx0, flat1, idx1, span, cfg.n_ctx, 1, 0..cut)?;
+            // analyzer: allow(determinism) -- wall-clock step profile is the audited exception
+            let t_cpu = Instant::now();
+            let (c2, s2) = step2::run_software_keys(
+                flat0,
+                idx0,
+                flat1,
+                idx1,
+                params,
+                cut..key_count,
+                *cpu_threads,
+            );
+            let cpu_wall = t_cpu.elapsed().as_secs_f64();
+            c.extend(c2);
+            c.sort_unstable_by_key(|x| (x.pos0, x.pos1));
+            s.pairs += s2.pairs;
+            s.active_keys += s2.active_keys;
+            s.candidates = c.len() as u64;
+            // CPU and FPGA run concurrently: the slower side bounds
+            // the effective step-2 time.
+            let effective = r.accelerated_seconds.max(cpu_wall);
+            (c, s, Some(r), Some(effective))
+        }
+    })
+}
+
+/// Streamed step 2: candidate batches flow through a bounded channel
+/// into `dedup` as each board entry (or software chunk) completes,
+/// instead of waiting for the full candidate vector. Because the anchor
+/// dedup is order-invariant, the anchors — and everything downstream —
+/// are bit-identical to [`run_step2_barrier`]; only wall clock changes.
+/// `stats.candidates` is left for the caller to fill from
+/// [`AnchorDedup::pushed`].
+#[allow(clippy::too_many_arguments)]
+fn run_step2_overlapped(
+    cfg: &PipelineConfig,
+    params: &Step2Params<'_>,
+    flat0: &FlatBank,
+    idx0: &SeedIndex,
+    flat1: &FlatBank,
+    idx1: &SeedIndex,
+    span: usize,
+    key_count: u32,
+    matrix: &SubstitutionMatrix,
+    dedup: &mut AnchorDedup<'_>,
+) -> Result<(Step2Stats, Option<BoardReport>, Option<f64>), PipelineError> {
+    let (tx, rx) = channel::bounded::<Vec<Candidate>>(OVERLAP_CHANNEL_DEPTH);
+    thread::scope(|s| {
+        let consumer = s.spawn(move |_| {
+            for batch in rx.iter() {
+                for c in &batch {
+                    dedup.push(c);
+                }
+            }
         });
-    }
-    anchors
+        let result = (|| {
+            Ok(match &cfg.backend {
+                Step2Backend::SoftwareScalar => {
+                    let stats = step2::run_software_stream(
+                        flat0,
+                        idx0,
+                        flat1,
+                        idx1,
+                        params,
+                        0..key_count,
+                        1,
+                        &tx,
+                    );
+                    (stats, None, None)
+                }
+                Step2Backend::SoftwareParallel { threads } => {
+                    let stats = step2::run_software_stream(
+                        flat0,
+                        idx0,
+                        flat1,
+                        idx1,
+                        params,
+                        0..key_count,
+                        *threads,
+                        &tx,
+                    );
+                    (stats, None, None)
+                }
+                Step2Backend::Rasc {
+                    pe_count,
+                    fpga_count,
+                    host_threads,
+                } => {
+                    let board = RascBoard::new(cfg.board_config(*pe_count, *fpga_count), matrix)
+                        .map_err(PipelineError::OperatorDoesNotFit)?;
+                    let (stats, report) = run_rasc_step2_stream(
+                        &board,
+                        flat0,
+                        idx0,
+                        flat1,
+                        idx1,
+                        span,
+                        cfg.n_ctx,
+                        *host_threads,
+                        0..key_count,
+                        |batch| {
+                            let _ = tx.send(batch);
+                        },
+                    )?;
+                    (stats, Some(report), None)
+                }
+                Step2Backend::Hybrid {
+                    pe_count,
+                    cpu_threads,
+                    fpga_share,
+                } => {
+                    if !(0.0..=1.0).contains(fpga_share) {
+                        return Err(PipelineError::InvalidFpgaShare(*fpga_share));
+                    }
+                    let cut = split_keys_by_pair_mass(idx0, idx1, *fpga_share);
+                    let board = RascBoard::new(cfg.board_config(*pe_count, 1), matrix)
+                        .map_err(PipelineError::OperatorDoesNotFit)?;
+                    let (mut stats, report) = run_rasc_step2_stream(
+                        &board,
+                        flat0,
+                        idx0,
+                        flat1,
+                        idx1,
+                        span,
+                        cfg.n_ctx,
+                        1,
+                        0..cut,
+                        |batch| {
+                            let _ = tx.send(batch);
+                        },
+                    )?;
+                    // analyzer: allow(determinism) -- wall-clock step profile is the audited exception
+                    let t_cpu = Instant::now();
+                    let s2 = step2::run_software_stream(
+                        flat0,
+                        idx0,
+                        flat1,
+                        idx1,
+                        params,
+                        cut..key_count,
+                        *cpu_threads,
+                        &tx,
+                    );
+                    let cpu_wall = t_cpu.elapsed().as_secs_f64();
+                    stats.pairs += s2.pairs;
+                    stats.active_keys += s2.active_keys;
+                    let effective = report.accelerated_seconds.max(cpu_wall);
+                    (stats, Some(report), Some(effective))
+                }
+            })
+        })();
+        drop(tx);
+        consumer.join().expect("overlap consumer panicked");
+        result
+    })
+    .expect("overlap scope")
 }
 
 /// Prefix key cut such that keys `0..cut` carry ≈ `share` of the total
@@ -544,10 +866,13 @@ fn split_keys_by_pair_mass(idx0: &SeedIndex, idx1: &SeedIndex, share: f64) -> u3
 }
 
 /// Step 2 on the simulated board: stream one entry per active key in
-/// `keys`. Errors only when an entry exhausts the board's fault
-/// recovery with degradation disabled.
+/// `keys`, handing each entry's surviving candidates to `emit` as the
+/// entry completes (entry *completion* order — position order only
+/// within one batch). Errors only when an entry exhausts the board's
+/// fault recovery with degradation disabled. The returned stats leave
+/// `candidates` at zero for the consumer to count.
 #[allow(clippy::too_many_arguments)]
-fn run_rasc_step2(
+fn run_rasc_step2_stream(
     board: &RascBoard,
     flat0: &FlatBank,
     idx0: &SeedIndex,
@@ -557,7 +882,8 @@ fn run_rasc_step2(
     n_ctx: usize,
     host_threads: usize,
     keys: std::ops::Range<u32>,
-) -> Result<(Vec<Candidate>, Step2Stats, BoardReport), PipelineError> {
+    mut emit: impl FnMut(Vec<Candidate>),
+) -> Result<(Step2Stats, BoardReport), PipelineError> {
     // Keys with work on both sides, in key order.
     let active: Vec<u32> = keys
         .filter(|&k| !idx0.list(k).is_empty() && !idx1.list(k).is_empty())
@@ -579,23 +905,56 @@ fn run_rasc_step2(
         Entry { il0, il1 }
     });
 
-    let mut candidates: Vec<Candidate> = Vec::new();
     let report = board
         .run_stream(entries, host_threads, |entry_idx, hits| {
             let key = active[entry_idx as usize];
             let list0 = idx0.list(key);
             let list1 = idx1.list(key);
+            let mut batch = Vec::with_capacity(hits.len());
             for h in hits {
-                candidates.push(Candidate {
+                batch.push(Candidate {
                     pos0: list0[h.i0 as usize],
                     pos1: list1[h.i1 as usize],
                     score: h.score,
                 });
             }
+            if !batch.is_empty() {
+                emit(batch);
+            }
         })
         .map_err(PipelineError::BoardFault)?;
-    // Entry completion order depends on host threading (and, under a
-    // fault plan, degraded entries report in software order); normalize.
+    Ok((stats, report))
+}
+
+/// Barrier wrapper over [`run_rasc_step2_stream`]: collect every batch,
+/// then normalize to position order (entry completion order depends on
+/// host threading, and under a fault plan degraded entries report in
+/// software order).
+#[allow(clippy::too_many_arguments)]
+fn run_rasc_step2(
+    board: &RascBoard,
+    flat0: &FlatBank,
+    idx0: &SeedIndex,
+    flat1: &FlatBank,
+    idx1: &SeedIndex,
+    span: usize,
+    n_ctx: usize,
+    host_threads: usize,
+    keys: std::ops::Range<u32>,
+) -> Result<(Vec<Candidate>, Step2Stats, BoardReport), PipelineError> {
+    let mut candidates: Vec<Candidate> = Vec::new();
+    let (mut stats, report) = run_rasc_step2_stream(
+        board,
+        flat0,
+        idx0,
+        flat1,
+        idx1,
+        span,
+        n_ctx,
+        host_threads,
+        keys,
+        |batch| candidates.extend(batch),
+    )?;
     candidates.sort_unstable_by_key(|c| (c.pos0, c.pos1));
     stats.candidates = candidates.len() as u64;
     Ok((candidates, stats, report))
@@ -826,6 +1185,131 @@ mod tests {
         assert!(accel > 0.0);
         // total_concurrent never exceeds the sequential total.
         assert!(hw.profile.total_concurrent() <= hw.profile.total() + 1e-12);
+    }
+
+    #[test]
+    fn shard_critical_path_models_the_pull_schedule() {
+        // One worker: plain sum.
+        let costs = [3.0, 1.0, 1.0, 1.0];
+        assert_eq!(shard_critical_path(&costs, 1), 6.0);
+        // Two workers: A takes shard 0 (3s); B takes 1, 2, 3 (3s) — the
+        // greedy pull balances around the long head shard.
+        assert_eq!(shard_critical_path(&costs, 2), 3.0);
+        // More workers than shards changes nothing past one-per-worker.
+        assert_eq!(shard_critical_path(&costs, 8), 3.0);
+        assert_eq!(shard_critical_path(&costs, 4), 3.0);
+        // Uniform shards split evenly.
+        let uniform = [1.0f64; 8];
+        assert!((shard_critical_path(&uniform, 4) - 2.0).abs() < 1e-12);
+        // Degenerate inputs.
+        assert_eq!(shard_critical_path(&[], 4), 0.0);
+        assert_eq!(shard_critical_path(&[2.5], 4), 2.5);
+    }
+
+    #[test]
+    fn anchor_dedup_is_push_order_invariant() {
+        // Two 32-residue sequences per bank → flat positions 0..64 with
+        // a sequence break at 32. The candidate set exercises chained
+        // fold windows, an exact score tie inside one group (strict `>`
+        // must keep the lower-local1 member regardless of push order),
+        // a window break, and several (seq0, seq1, diag) buckets.
+        let s = b"MKVLAWRNDCQEHFYWMKVLAWRNDCQEHFYW".as_slice();
+        let b0 = bank(&[s, s]);
+        let b1 = bank(&[s, s]);
+        let f0 = FlatBank::from_bank(&b0);
+        let f1 = FlatBank::from_bank(&b1);
+        let cand = |pos0: u32, pos1: u32, score: i32| Candidate { pos0, pos1, score };
+        let base = vec![
+            cand(0, 0, 10),
+            cand(4, 4, 12), // ties with the next; first-in-position-order wins
+            cand(9, 9, 12),
+            cand(20, 20, 5), // past the fold window: its own anchor
+            cand(0, 4, 7),
+            cand(2, 6, 9),
+            cand(33, 1, 15),  // seq 1 vs seq 0
+            cand(5, 40, 6),   // seq 0 vs seq 1
+            cand(40, 45, 6),  // seq 1 vs seq 1
+            cand(44, 49, 20), // same diagonal, inside the window
+        ];
+        let run = |cands: &[Candidate]| {
+            let mut d = AnchorDedup::new(&f0, &f1, 8);
+            for c in cands {
+                d.push(c);
+            }
+            assert_eq!(d.pushed(), cands.len() as u64);
+            d.finish()
+        };
+        let reference = run(&base);
+        assert!(reference.len() >= 5, "want several buckets: {reference:?}");
+        let mut state = 0x243f_6a88u64;
+        for trial in 0..32 {
+            let mut v = base.clone();
+            let shift = trial % v.len();
+            v.rotate_left(shift);
+            for i in (1..v.len()).rev() {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                v.swap(i, (state >> 33) as usize % (i + 1));
+            }
+            assert_eq!(run(&v), reference, "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn overlap_and_parallel_step3_match_barrier() {
+        let seqs: Vec<Vec<u8>> = (0..12)
+            .map(|i| {
+                (0..150u32)
+                    .map(|j| (((i * 13 + j * 11) % 89) % 20) as u8)
+                    .collect()
+            })
+            .collect();
+        let b0: Bank = seqs[..6]
+            .iter()
+            .enumerate()
+            .map(|(i, s)| Seq::from_codes(format!("q{i}"), s.clone(), psc_seqio::SeqKind::Protein))
+            .collect();
+        let b1: Bank = seqs[4..]
+            .iter()
+            .enumerate()
+            .map(|(i, s)| Seq::from_codes(format!("t{i}"), s.clone(), psc_seqio::SeqKind::Protein))
+            .collect();
+        let backends = [
+            Step2Backend::SoftwareScalar,
+            Step2Backend::SoftwareParallel { threads: 4 },
+            Step2Backend::Rasc {
+                pe_count: 64,
+                fpga_count: 2,
+                host_threads: 2,
+            },
+            Step2Backend::Hybrid {
+                pe_count: 64,
+                cpu_threads: 2,
+                fpga_share: 0.5,
+            },
+        ];
+        for backend in backends {
+            let barrier = Pipeline::new(PipelineConfig {
+                backend: backend.clone(),
+                ..small_config()
+            })
+            .run(&b0, &b1, blosum62());
+            assert!(!barrier.hsps.is_empty());
+            for (overlap, step3_threads) in [(false, 4), (true, 1), (true, 4)] {
+                let cfg = PipelineConfig {
+                    backend: backend.clone(),
+                    overlap,
+                    step3_threads,
+                    ..small_config()
+                };
+                let out = Pipeline::new(cfg).run(&b0, &b1, blosum62());
+                let tag = format!("{} overlap={overlap} t3={step3_threads}", backend.name());
+                assert_eq!(barrier.hsps, out.hsps, "{tag}");
+                assert_eq!(barrier.stats.step2, out.stats.step2, "{tag}");
+                assert_eq!(barrier.stats.anchors, out.stats.anchors, "{tag}");
+            }
+        }
     }
 
     #[test]

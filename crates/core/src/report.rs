@@ -72,6 +72,8 @@ pub fn build_run_report(
             sync_seconds: board.sync_seconds,
             setup_seconds: board.setup_seconds,
             accelerated_seconds: board.accelerated_seconds,
+            overlap_seconds: board.overlap_seconds,
+            overlap_occupancy: board.overlap_occupancy,
             entries: board.entries,
             hit_count: board.hit_count,
             faults: FaultTelemetry {
@@ -169,6 +171,8 @@ mod tests {
         assert!(board.fpga[0].utilization > 0.0);
         assert!(board.bytes_in > 0);
         assert!(board.wire_in_seconds > 0.0);
+        assert!(board.overlap_seconds > 0.0);
+        assert!(board.overlap_occupancy > 0.0 && board.overlap_occupancy <= 1.0);
         assert_eq!(report.meta_value("backend"), Some("rasc"));
         assert_eq!(
             report.step("step2").unwrap().accelerated_seconds,

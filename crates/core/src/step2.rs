@@ -17,7 +17,7 @@
 //! pairs per step through cache-sized tiles. All three emit bit-identical
 //! candidates in identical order.
 
-use crossbeam::thread;
+use crossbeam::{channel, thread};
 use psc_align::{
     profile_score, profile_score2, score_lanes, ungapped_score, InterleavedWindows, Kernel,
     KernelBackend, KernelChoice, ScoreProfile, LANES,
@@ -342,36 +342,7 @@ pub fn run_software_keys(
         return (out, stats);
     }
 
-    // Balance key ranges by pair mass: one pass over the range collects
-    // the per-key masses, greedy cuts split them, and chunks carrying no
-    // pairs are dropped so no worker is spawned on a zero-pair range.
-    let masses: Vec<u64> = keys
-        .clone()
-        .map(|k| idx0.list(k).len() as u64 * idx1.list(k).len() as u64)
-        .collect();
-    let total_pairs: u64 = masses.iter().sum();
-    let per = (total_pairs / threads as u64).max(1);
-    let mut cuts = vec![keys.start];
-    let mut acc = 0u64;
-    for (off, &mass) in masses.iter().enumerate() {
-        acc += mass;
-        if acc >= per && cuts.len() < threads {
-            cuts.push(keys.start + off as u32 + 1);
-            acc = 0;
-        }
-    }
-    cuts.push(keys.end);
-
-    let has_pairs = |r: &std::ops::Range<u32>| {
-        masses[(r.start - keys.start) as usize..(r.end - keys.start) as usize]
-            .iter()
-            .any(|&m| m > 0)
-    };
-    let chunks: Vec<std::ops::Range<u32>> = cuts
-        .windows(2)
-        .map(|w| w[0]..w[1])
-        .filter(has_pairs)
-        .collect();
+    let chunks = balanced_chunks(idx0, idx1, keys, threads);
     if chunks.is_empty() {
         return (Vec::new(), Step2Stats::default());
     }
@@ -407,6 +378,112 @@ pub fn run_software_keys(
     }
     stats.candidates = out.len() as u64;
     (out, stats)
+}
+
+/// Cut `keys` into at most `threads` ranges of roughly equal pair mass
+/// (greedy prefix cuts over the per-key masses), dropping ranges that
+/// carry no pairs so no worker is spawned on a zero-pair range.
+fn balanced_chunks(
+    idx0: &SeedIndex,
+    idx1: &SeedIndex,
+    keys: std::ops::Range<u32>,
+    threads: usize,
+) -> Vec<std::ops::Range<u32>> {
+    let masses: Vec<u64> = keys
+        .clone()
+        .map(|k| idx0.list(k).len() as u64 * idx1.list(k).len() as u64)
+        .collect();
+    let total_pairs: u64 = masses.iter().sum();
+    let per = (total_pairs / threads as u64).max(1);
+    let mut cuts = vec![keys.start];
+    let mut acc = 0u64;
+    for (off, &mass) in masses.iter().enumerate() {
+        acc += mass;
+        if acc >= per && cuts.len() < threads {
+            cuts.push(keys.start + off as u32 + 1);
+            acc = 0;
+        }
+    }
+    cuts.push(keys.end);
+
+    let has_pairs = |r: &std::ops::Range<u32>| {
+        masses[(r.start - keys.start) as usize..(r.end - keys.start) as usize]
+            .iter()
+            .any(|&m| m > 0)
+    };
+    cuts.windows(2)
+        .map(|w| w[0]..w[1])
+        .filter(has_pairs)
+        .collect()
+}
+
+/// Streaming software step 2: each worker ships its finished candidate
+/// block through `out_tx` as soon as its key range completes, instead
+/// of waiting for the final key-major merge. Blocks arrive in chunk
+/// *completion* order (key-major within a block), so the consumer must
+/// be order-invariant — the pipeline's anchor dedup is. The returned
+/// stats count candidates sent.
+#[allow(clippy::too_many_arguments)]
+pub fn run_software_stream(
+    flat0: &FlatBank,
+    idx0: &SeedIndex,
+    flat1: &FlatBank,
+    idx1: &SeedIndex,
+    params: &Step2Params<'_>,
+    keys: std::ops::Range<u32>,
+    threads: usize,
+    out_tx: &channel::Sender<Vec<Candidate>>,
+) -> Step2Stats {
+    assert_eq!(idx0.key_count(), idx1.key_count(), "incompatible indexes");
+    let threads = threads.max(1);
+    let backend = params.resolved_backend();
+
+    if threads == 1 {
+        let mut out = Vec::new();
+        let mut stats = Step2Stats::default();
+        run_key_range(
+            flat0, idx0, flat1, idx1, params, backend, keys, &mut out, &mut stats,
+        );
+        if !out.is_empty() {
+            let _ = out_tx.send(out);
+        }
+        return stats;
+    }
+
+    let chunks = balanced_chunks(idx0, idx1, keys, threads);
+    if chunks.is_empty() {
+        return Step2Stats::default();
+    }
+    let mut stats = Step2Stats::default();
+    thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|range| {
+                let tx = out_tx.clone();
+                s.spawn(move |_| {
+                    let mut out = Vec::new();
+                    let mut st = Step2Stats::default();
+                    run_key_range(
+                        flat0, idx0, flat1, idx1, params, backend, range, &mut out, &mut st,
+                    );
+                    if !out.is_empty() {
+                        let _ = tx.send(out);
+                    }
+                    st
+                })
+            })
+            .collect();
+        for h in handles {
+            // analyzer: allow(hot-path-no-panic) -- join only fails if a worker already panicked
+            let st = h.join().expect("step-2 worker panicked");
+            stats.pairs += st.pairs;
+            stats.active_keys += st.active_keys;
+            stats.candidates += st.candidates;
+        }
+    })
+    // analyzer: allow(hot-path-no-panic) -- scope only fails if a worker already panicked
+    .expect("step-2 scope");
+    stats
 }
 
 #[cfg(test)]

@@ -108,10 +108,19 @@ pub struct BoardReport {
     /// Hits delivered over the board's result link (degraded entries
     /// are recomputed host-side and do not cross it).
     pub hit_count: u64,
-    /// Simulated wall time of the accelerated section: slowest FPGA's
-    /// compute/input overlap, plus the shared result link, plus host
-    /// synchronisation and the one-time bitstream load.
+    /// Simulated wall time of the accelerated section: the slowest
+    /// FPGA's double-buffered DMA/compute timeline (input streaming of
+    /// entry *k+1* overlaps compute of entry *k*), plus the shared
+    /// result link, plus host synchronisation and the one-time
+    /// bitstream load.
     pub accelerated_seconds: f64,
+    /// Seconds of the slowest FPGA's timeline during which its DMA
+    /// engine and its PE array were busy *simultaneously* (the
+    /// double-buffer payoff).
+    pub overlap_seconds: f64,
+    /// `overlap_seconds` as a fraction of that FPGA's total timeline
+    /// (0 when the board did no work).
+    pub overlap_occupancy: f64,
     /// Of which: host synchronisation overhead.
     pub sync_seconds: f64,
     /// Of which: one-time setup and dispatch handshakes.
@@ -142,6 +151,19 @@ struct FpgaTally {
     hits: u64,
     /// Result-FIFO high-water mark (max over entries).
     peak: u64,
+}
+
+/// What one entry cost one FPGA (cycles across all attempts plus every
+/// byte re-streamed) — the input of the double-buffered timeline in
+/// [`RascBoard::report_from`]. Collected per worker and merged in
+/// `(entry, fpga)` order, so the timeline fold is independent of
+/// `host_threads`.
+#[derive(Clone, Copy, Debug)]
+struct EntryCost {
+    entry: u64,
+    fpga: usize,
+    cycles: u64,
+    bytes_in: u64,
 }
 
 /// A simulated RASC-100 board.
@@ -184,6 +206,7 @@ impl RascBoard {
     /// retrying and degrading per the recovery policy. Returns the
     /// merged hit list (FPGA 0's hits first, `i0` rebased to the full
     /// entry) and updates the tallies and fault counters.
+    #[allow(clippy::too_many_arguments)]
     fn process_entry(
         &self,
         ops: &[FunctionalOperator],
@@ -192,6 +215,7 @@ impl RascBoard {
         tallies: &mut [FpgaTally],
         injector: Option<&FaultInjector>,
         faults: &mut FaultSummary,
+        costs: &mut Vec<EntryCost>,
     ) -> Result<Vec<Hit>, BoardFault> {
         let l = self.config.operator.window_len;
         let k0 = entry.il0.len() / l;
@@ -203,6 +227,10 @@ impl RascBoard {
             if lo >= hi {
                 continue;
             }
+            // Snapshot the tally so everything this entry charges the
+            // FPGA (all attempts, backoff, re-streamed bytes) lands in
+            // one timeline record.
+            let (cycles_before, bytes_before) = (tallies[f].cycles, tallies[f].bytes_in);
             let shard = &entry.il0[lo * l..hi * l];
             let budget =
                 policy.watchdog_budget(op.cycles_lower_bound(hi - lo, k1), ((hi - lo) * k1) as u64);
@@ -252,6 +280,12 @@ impl RascBoard {
                 h.i0 += lo as u32;
             }
             merged.extend(hits);
+            costs.push(EntryCost {
+                entry: entry_idx,
+                fpga: f,
+                cycles: tallies[f].cycles - cycles_before,
+                bytes_in: tallies[f].bytes_in - bytes_before,
+            });
         }
         Ok(merged)
     }
@@ -370,6 +404,7 @@ impl RascBoard {
         let injector = injector.as_ref();
         let mut tallies = vec![FpgaTally::default(); nf];
         let mut faults = FaultSummary::default();
+        let mut costs: Vec<EntryCost> = Vec::new();
         let mut n_entries = 0u64;
 
         if host_threads == 1 {
@@ -382,6 +417,7 @@ impl RascBoard {
                     &mut tallies,
                     injector,
                     &mut faults,
+                    &mut costs,
                 )?;
                 sink(n_entries, hits);
                 n_entries += 1;
@@ -392,82 +428,88 @@ impl RascBoard {
                 channel::bounded::<Result<(u64, Vec<Hit>), BoardFault>>(host_threads * 2);
             let abort = AtomicBool::new(false);
             let mut first_err: Option<BoardFault> = None;
-            let worker_out: Vec<(Vec<FpgaTally>, FaultSummary)> = thread::scope(|s| {
-                let abort = &abort;
-                let handles: Vec<_> = (0..host_threads)
-                    .map(|_| {
-                        let rx = entry_rx.clone();
-                        let tx = res_tx.clone();
-                        s.spawn(move |_| {
-                            let ops = self.make_operators();
-                            let mut local = vec![FpgaTally::default(); nf];
-                            let mut lf = FaultSummary::default();
-                            for (idx, entry) in rx.iter() {
-                                let out = self
-                                    .process_entry(&ops, idx, &entry, &mut local, injector, &mut lf)
-                                    .map(|hits| (idx, hits));
-                                if out.is_err() {
-                                    abort.store(true, Ordering::Relaxed);
+            let worker_out: Vec<(Vec<FpgaTally>, FaultSummary, Vec<EntryCost>)> =
+                thread::scope(|s| {
+                    let abort = &abort;
+                    let handles: Vec<_> = (0..host_threads)
+                        .map(|_| {
+                            let rx = entry_rx.clone();
+                            let tx = res_tx.clone();
+                            s.spawn(move |_| {
+                                let ops = self.make_operators();
+                                let mut local = vec![FpgaTally::default(); nf];
+                                let mut lf = FaultSummary::default();
+                                let mut lc: Vec<EntryCost> = Vec::new();
+                                for (idx, entry) in rx.iter() {
+                                    let out = self
+                                        .process_entry(
+                                            &ops, idx, &entry, &mut local, injector, &mut lf,
+                                            &mut lc,
+                                        )
+                                        .map(|hits| (idx, hits));
+                                    if out.is_err() {
+                                        abort.store(true, Ordering::Relaxed);
+                                    }
+                                    if tx.send(out).is_err() {
+                                        break;
+                                    }
                                 }
-                                if tx.send(out).is_err() {
-                                    break;
-                                }
-                            }
-                            (local, lf)
+                                (local, lf, lc)
+                            })
                         })
-                    })
-                    .collect();
-                drop(entry_rx);
-                drop(res_tx);
+                        .collect();
+                    drop(entry_rx);
+                    drop(res_tx);
 
-                // Feed from a dedicated thread so the main thread can
-                // drain results without deadlocking on the bounded
-                // queue. The feeder must bail — not block or panic —
-                // when the workers are gone (a worker panic drops every
-                // `entry_rx` clone, turning `send` into an `Err`) or a
-                // fault aborted the run.
-                let feeder = s.spawn(move |_| {
-                    let mut count = 0u64;
-                    for entry in entries {
-                        if abort.load(Ordering::Relaxed) {
-                            break;
+                    // Feed from a dedicated thread so the main thread can
+                    // drain results without deadlocking on the bounded
+                    // queue. The feeder must bail — not block or panic —
+                    // when the workers are gone (a worker panic drops every
+                    // `entry_rx` clone, turning `send` into an `Err`) or a
+                    // fault aborted the run.
+                    let feeder = s.spawn(move |_| {
+                        let mut count = 0u64;
+                        for entry in entries {
+                            if abort.load(Ordering::Relaxed) {
+                                break;
+                            }
+                            if entry_tx.send((count, entry)).is_err() {
+                                break;
+                            }
+                            count += 1;
                         }
-                        if entry_tx.send((count, entry)).is_err() {
-                            break;
-                        }
-                        count += 1;
-                    }
-                    count
-                });
+                        count
+                    });
 
-                for res in res_rx.iter() {
-                    match res {
-                        Ok((idx, hits)) => sink(idx, hits),
-                        // Keep the earliest failing entry. The feeder
-                        // dispatches in index order and workers drain
-                        // everything dispatched, so the globally
-                        // earliest failure is always among the errors
-                        // collected here — whichever thread won the
-                        // race to the abort flag.
-                        Err(e) => {
-                            if first_err.is_none_or(|p| e.entry < p.entry) {
-                                first_err = Some(e);
+                    for res in res_rx.iter() {
+                        match res {
+                            Ok((idx, hits)) => sink(idx, hits),
+                            // Keep the earliest failing entry. The feeder
+                            // dispatches in index order and workers drain
+                            // everything dispatched, so the globally
+                            // earliest failure is always among the errors
+                            // collected here — whichever thread won the
+                            // race to the abort flag.
+                            Err(e) => {
+                                if first_err.is_none_or(|p| e.entry < p.entry) {
+                                    first_err = Some(e);
+                                }
                             }
                         }
                     }
-                }
-                n_entries = feeder.join().expect("feeder panicked");
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("worker panicked"))
-                    .collect()
-            })
-            .expect("board scope");
+                    n_entries = feeder.join().expect("feeder panicked");
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("worker panicked"))
+                        .collect()
+                })
+                .expect("board scope");
             if let Some(e) = first_err {
                 return Err(e);
             }
-            for (local, lf) in worker_out {
+            for (local, lf, lc) in worker_out {
                 faults.merge(&lf);
+                costs.extend(lc);
                 for (t, l) in tallies.iter_mut().zip(local) {
                     t.cycles += l.cycles;
                     t.stalls += l.stalls;
@@ -477,9 +519,12 @@ impl RascBoard {
                     t.peak = t.peak.max(l.peak);
                 }
             }
+            // Workers interleave entries; the timeline fold must see
+            // them in dispatch order to stay thread-count invariant.
+            costs.sort_unstable_by_key(|c| (c.entry, c.fpga));
         }
 
-        Ok(self.report_from(&tallies, n_entries, faults))
+        Ok(self.report_from(&tallies, n_entries, faults, &costs))
     }
 
     /// Run a workload held in memory; returns per-entry hits in entry
@@ -509,6 +554,7 @@ impl RascBoard {
         tallies: &[FpgaTally],
         n_entries: u64,
         faults: FaultSummary,
+        costs: &[EntryCost],
     ) -> BoardReport {
         let clock = self.config.operator.clock_hz as f64;
         let nf = self.config.fpga_count;
@@ -517,7 +563,6 @@ impl RascBoard {
             faults,
             ..BoardReport::default()
         };
-        let mut worst_overlap = 0.0f64;
         let mut total_hits = 0u64;
         for t in tallies {
             report.fpga_cycles.push(t.cycles);
@@ -526,8 +571,38 @@ impl RascBoard {
             report.fifo_peak.push(t.peak);
             report.bytes_in += t.bytes_in;
             total_hits += t.hits;
-            let compute = t.cycles as f64 / clock;
-            worst_overlap = worst_overlap.max(compute.max(self.config.dma.wire_time(t.bytes_in)));
+        }
+        // Double-buffered dispatch timeline, per FPGA: the DMA engine
+        // streams entry k+1 into the idle half of the entry buffer while
+        // the PEs chew on entry k. DMA of record k may start once the
+        // engine is free *and* the buffer half last filled two records
+        // ago has been consumed; compute follows its own DMA completion
+        // and the previous compute. `costs` arrives in (entry, fpga)
+        // order, so this f64 fold is identical for every host thread
+        // count.
+        let mut worst_span = 0.0f64;
+        for f in 0..nf {
+            let mut dma_end = 0.0f64;
+            let mut compute_end = 0.0f64;
+            let mut compute_end_prev = 0.0f64; // two records back
+            let mut dma_busy: Vec<(f64, f64)> = Vec::new();
+            let mut compute_busy: Vec<(f64, f64)> = Vec::new();
+            for r in costs.iter().filter(|r| r.fpga == f) {
+                let d = self.config.dma.wire_time(r.bytes_in);
+                let c = r.cycles as f64 / clock;
+                let dma_start = dma_end.max(compute_end_prev);
+                dma_end = dma_start + d;
+                let compute_start = dma_end.max(compute_end);
+                compute_end_prev = compute_end;
+                compute_end = compute_start + c;
+                dma_busy.push((dma_start, dma_end));
+                compute_busy.push((compute_start, compute_end));
+            }
+            if compute_end > worst_span {
+                worst_span = compute_end;
+                report.overlap_seconds = busy_intersection(&dma_busy, &compute_busy);
+                report.overlap_occupancy = report.overlap_seconds / compute_end;
+            }
         }
         report.hit_count = total_hits;
         report.bytes_out = total_hits * std::mem::size_of::<(u32, u32)>() as u64;
@@ -537,9 +612,29 @@ impl RascBoard {
         report.setup_seconds =
             self.config.dma.bitstream_load + self.config.dma.dispatch_latency * n_entries as f64;
         report.accelerated_seconds =
-            worst_overlap + report.wire_out_seconds + report.sync_seconds + report.setup_seconds;
+            worst_span + report.wire_out_seconds + report.sync_seconds + report.setup_seconds;
         report
     }
+}
+
+/// Total time two sets of busy intervals are active simultaneously.
+/// Both sets are ascending and internally disjoint (each engine is
+/// serial), so a two-pointer sweep suffices.
+fn busy_intersection(a: &[(f64, f64)], b: &[(f64, f64)]) -> f64 {
+    let (mut i, mut j, mut total) = (0usize, 0usize, 0.0f64);
+    while i < a.len() && j < b.len() {
+        let lo = a[i].0.max(b[j].0);
+        let hi = a[i].1.min(b[j].1);
+        if hi > lo {
+            total += hi - lo;
+        }
+        if a[i].1 <= b[j].1 {
+            i += 1;
+        } else {
+            j += 1;
+        }
+    }
+    total
 }
 
 #[cfg(test)]
@@ -648,6 +743,46 @@ mod tests {
         assert_eq!(seq_rep.hit_count, par_rep.hit_count);
         assert_eq!(seq_rep.faults, par_rep.faults);
         assert!((seq_rep.accelerated_seconds - par_rep.accelerated_seconds).abs() < 1e-12);
+        // The timeline fold sees the same record order either way, so
+        // the double-buffer numbers are bit-identical, not just close.
+        assert_eq!(seq_rep.overlap_seconds, par_rep.overlap_seconds);
+        assert_eq!(seq_rep.overlap_occupancy, par_rep.overlap_occupancy);
+    }
+
+    #[test]
+    fn double_buffer_overlaps_dma_with_compute() {
+        let m = blosum62();
+        // Many same-shaped entries: in steady state the DMA-in of entry
+        // k+1 hides entirely under compute of entry k.
+        let work: Vec<Entry> = (0..30)
+            .map(|i| Entry {
+                il0: (0..20 * 6u32).map(|r| ((r + i) % 20) as u8).collect(),
+                il1: (0..16 * 6u32).map(|r| ((r * 3 + i) % 20) as u8).collect(),
+            })
+            .collect();
+        let (_, r) = RascBoard::new(test_config(1), m)
+            .unwrap()
+            .run_workload(&work)
+            .unwrap();
+        assert!(r.overlap_seconds > 0.0, "{r:?}");
+        assert!(
+            r.overlap_occupancy > 0.0 && r.overlap_occupancy <= 1.0,
+            "{r:?}"
+        );
+        // The overlapped span can never beat pure compute time or pure
+        // wire time, and never exceeds their sum.
+        let clock = test_config(1).operator.clock_hz as f64;
+        let compute = r.fpga_cycles[0] as f64 / clock;
+        let span = r.accelerated_seconds - r.wire_out_seconds - r.sync_seconds - r.setup_seconds;
+        assert!(span >= compute.max(r.wire_in_seconds) - 1e-15, "{r:?}");
+        assert!(span <= compute + r.wire_in_seconds + 1e-15, "{r:?}");
+        // A single entry has nothing to overlap with.
+        let (_, one) = RascBoard::new(test_config(1), m)
+            .unwrap()
+            .run_workload(&work[..1])
+            .unwrap();
+        assert_eq!(one.overlap_seconds, 0.0);
+        assert_eq!(one.overlap_occupancy, 0.0);
     }
 
     #[test]

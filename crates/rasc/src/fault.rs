@@ -118,15 +118,34 @@ pub enum FaultPlan {
     /// faults with probability `rate_ppm / 1e6`, with a persistence of
     /// 1–6 attempts drawn from the same hash (CLI `--fault-seed`).
     Seeded { seed: u64, rate_ppm: u32 },
+    /// Like [`FaultPlan::Seeded`] but with heavy-tailed (Pareto-ish)
+    /// persistence: `P(persistence ≥ 2^k) = 2^-k`, capped at
+    /// [`MAX_STUCK_ATTEMPTS`]. Most faults clear within a retry or two,
+    /// while a seeded few outlast any sane retry budget — the "stuck
+    /// board" regime field deployments see (CLI `--fault-tail heavy`).
+    SeededHeavyTail { seed: u64, rate_ppm: u32 },
 }
 
 /// Default fault probability of seeded plans, parts per million.
 pub const DEFAULT_FAULT_RATE_PPM: u32 = 250_000;
 
+/// Persistence ceiling of the heavy-tailed mode: a stuck `(entry,
+/// fpga)` pair fails at most this many consecutive attempts
+/// (`2^6`; drawn with probability `2^-6` among faulty pairs).
+pub const MAX_STUCK_ATTEMPTS: u32 = 64;
+
 impl FaultPlan {
     /// A seeded plan at the default rate.
     pub fn seeded(seed: u64) -> FaultPlan {
         FaultPlan::Seeded {
+            seed,
+            rate_ppm: DEFAULT_FAULT_RATE_PPM,
+        }
+    }
+
+    /// A heavy-tailed seeded plan at the default rate.
+    pub fn seeded_heavy(seed: u64) -> FaultPlan {
+        FaultPlan::SeededHeavyTail {
             seed,
             rate_ppm: DEFAULT_FAULT_RATE_PPM,
         }
@@ -215,15 +234,26 @@ impl FaultInjector {
                     s.entry == entry && s.fpga.is_none_or(|f| f == fpga) && attempt < s.attempts
                 })
                 .map(|s| s.kind),
-            FaultPlan::Seeded { seed, rate_ppm } => {
+            FaultPlan::Seeded { seed, rate_ppm }
+            | FaultPlan::SeededHeavyTail { seed, rate_ppm } => {
+                let heavy = matches!(&self.plan, FaultPlan::SeededHeavyTail { .. });
                 let faulty = mix4(*seed, entry, fpga as u64, 1) % 1_000_000 < *rate_ppm as u64;
                 if !faulty {
                     return None;
                 }
-                // Persistence of 1–6 attempts: short faults exercise the
-                // retry path, long ones the degrade path (the default
-                // retry budget is 3).
-                let persistence = 1 + (mix4(*seed, entry, fpga as u64, 3) % 6) as u32;
+                let draw = mix4(*seed, entry, fpga as u64, 3);
+                let persistence = if heavy {
+                    // Pareto-ish: the number of trailing zero bits of a
+                    // uniform word is geometric, so `2^tz` has
+                    // `P(persistence ≥ 2^k) = 2^-k` — a power-law tail
+                    // whose rare long draws are the "stuck" boards.
+                    1u32 << draw.trailing_zeros().min(MAX_STUCK_ATTEMPTS.ilog2())
+                } else {
+                    // Uniform 1–6 attempts: short faults exercise the
+                    // retry path, long ones the degrade path (the
+                    // default retry budget is 3).
+                    1 + (draw % 6) as u32
+                };
                 if attempt >= persistence {
                     return None;
                 }
@@ -239,7 +269,7 @@ impl FaultInjector {
     pub fn roll(&self, entry: u64, fpga: usize, attempt: u32, bound: u64) -> u64 {
         let seed = match &self.plan {
             FaultPlan::Scripted(_) => 0,
-            FaultPlan::Seeded { seed, .. } => *seed,
+            FaultPlan::Seeded { seed, .. } | FaultPlan::SeededHeavyTail { seed, .. } => *seed,
         };
         mix4(seed, entry, fpga as u64, 100 + attempt as u64) % bound.max(1)
     }
@@ -517,6 +547,44 @@ mod tests {
         }
         assert!(cleared > 0);
         assert!(persistent > 0);
+    }
+
+    #[test]
+    fn heavy_tail_persistence_is_pareto_ish_and_capped() {
+        let inj = FaultInjector::new(FaultPlan::seeded_heavy(11));
+        // Probe each faulty pair's persistence: the smallest attempt
+        // index that no longer fires.
+        let probe = |entry: u64| -> Option<u32> {
+            inj.fire(entry, 0, 0)?;
+            let mut p = 1u32;
+            while p < 2 * MAX_STUCK_ATTEMPTS && inj.fire(entry, 0, p).is_some() {
+                p += 1;
+            }
+            Some(p)
+        };
+        let (mut faulty, mut ge2, mut ge8, mut stuck) = (0u64, 0u64, 0u64, 0u64);
+        for entry in 0..4000u64 {
+            let Some(p) = probe(entry) else { continue };
+            faulty += 1;
+            assert!(p.is_power_of_two(), "persistence {p} not a power of two");
+            assert!(p <= MAX_STUCK_ATTEMPTS, "persistence {p} above the cap");
+            ge2 += (p >= 2) as u64;
+            ge8 += (p >= 8) as u64;
+            stuck += (p == MAX_STUCK_ATTEMPTS) as u64;
+        }
+        // ~25% nominal fault rate over 4000 entries.
+        assert!((400..1600).contains(&faulty), "faulty {faulty}");
+        // Power-law shape: each tail is a strict subset, and the
+        // MAX_STUCK_ATTEMPTS bucket (P = 2^-6 of faults) is occupied.
+        assert!(ge2 < faulty, "some faults must clear after one attempt");
+        assert!(ge8 < ge2, "ge8 {ge8} vs ge2 {ge2}");
+        assert!(stuck > 0, "no stuck boards drawn");
+        assert!(stuck < ge8, "stuck {stuck} vs ge8 {ge8}");
+        // The uniform mode never draws past 6 attempts; the heavy tail
+        // must (that is the point).
+        let uniform = FaultInjector::new(FaultPlan::seeded(11));
+        assert!((0..4000u64).all(|e| uniform.fire(e, 0, 6).is_none()));
+        assert!((0..4000u64).any(|e| inj.fire(e, 0, 6).is_some()));
     }
 
     #[test]

@@ -254,6 +254,65 @@ fn seeded_plan_exercises_degradation() {
     assert_eq!(sorted(hits), sorted(base_hits));
 }
 
+#[test]
+fn heavy_tail_plan_counts_match_injector_and_stay_lossless() {
+    let m = blosum62();
+    let work = workload(40);
+    let (base_hits, _) = RascBoard::new(test_config(2), m)
+        .unwrap()
+        .run_workload(&work)
+        .unwrap();
+    let mut cfg = test_config(2);
+    cfg.fault_plan = Some(FaultPlan::seeded_heavy(42));
+    let board = RascBoard::new(cfg, m).unwrap();
+    let (hits, rep) = board.run_workload(&work).unwrap();
+    // Lossless under stuck boards too.
+    assert_eq!(sorted(hits.clone()), sorted(base_hits));
+
+    // The exact counters are derivable from the plan alone: every entry
+    // dispatches one shard per FPGA, this workload damages something on
+    // every fired fault, and a shard degrades after the initial attempt
+    // plus 3 retries all fail.
+    let inj = psc_rasc::FaultInjector::new(FaultPlan::seeded_heavy(42));
+    let (mut injected, mut retries, mut degraded) = (0u64, 0u64, 0u64);
+    for entry in 0..work.len() as u64 {
+        for fpga in 0..2usize {
+            let mut failed = 0u32;
+            while failed < 4 && inj.fire(entry, fpga, failed).is_some() {
+                failed += 1;
+            }
+            injected += failed as u64;
+            retries += failed.min(3) as u64;
+            degraded += (failed == 4) as u64;
+        }
+    }
+    assert!(injected > 0, "seed 42 must fault this workload");
+    assert!(degraded > 0, "heavy tail must outlast the retry budget");
+    assert_eq!(rep.faults.faults_injected, injected);
+    assert_eq!(rep.faults.faults_detected, injected);
+    assert_eq!(rep.faults.retries, retries);
+    assert_eq!(rep.faults.entries_degraded, degraded);
+    // Persistence above the uniform mode's 1–6 ceiling is drawn — the
+    // regime this plan exists for.
+    assert!(
+        (0..work.len() as u64).any(|e| (0..2).any(|f| inj.fire(e, f, 6).is_some())),
+        "no stuck pair drawn for seed 42"
+    );
+
+    // And the whole thing is host-thread invariant.
+    for threads in [2, 4] {
+        let mut par_hits: Vec<Vec<Hit>> = vec![Vec::new(); work.len()];
+        let par_rep = board
+            .run_stream(work.iter().cloned(), threads, |idx, h| {
+                par_hits[idx as usize] = h;
+            })
+            .unwrap();
+        assert_eq!(hits, par_hits, "threads={threads}");
+        assert_eq!(rep.faults, par_rep.faults, "threads={threads}");
+        assert_eq!(rep.fpga_cycles, par_rep.fpga_cycles, "threads={threads}");
+    }
+}
+
 /// Regression for the feeder-thread deadlock: a worker that panics
 /// mid-workload (here: entries whose streams are not whole windows trip
 /// the operator's input assertion) used to leave the feeder blocked

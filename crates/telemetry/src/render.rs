@@ -106,6 +106,11 @@ pub fn render_utilization(report: &RunReport) -> String {
         fmt_seconds(board.setup_seconds),
         fmt_seconds(board.accelerated_seconds)
     ));
+    out.push_str(&format!(
+        "  DMA/compute overlap: {} s ({:.2}% occupancy, double-buffered dispatch)\n",
+        fmt_seconds(board.overlap_seconds),
+        board.overlap_occupancy * 100.0
+    ));
     let f = &board.faults;
     if f.any() {
         out.push_str(&format!(
@@ -233,6 +238,8 @@ mod tests {
             sync_seconds: 1e-4,
             setup_seconds: 0.8,
             accelerated_seconds: 1.0,
+            overlap_seconds: 0.25,
+            overlap_occupancy: 0.625,
             entries: 10,
             hit_count: 8,
             faults: FaultTelemetry::default(),
@@ -257,6 +264,7 @@ mod tests {
         assert!(text.contains("10.00%"), "{text}"); // stall share
         assert!(text.contains("50.00%"), "{text}"); // utilization
         assert!(text.contains("4096 B in"), "{text}");
+        assert!(text.contains("62.50% occupancy"), "{text}");
     }
 
     #[test]

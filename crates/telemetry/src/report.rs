@@ -97,6 +97,12 @@ pub struct BoardTelemetry {
     pub setup_seconds: f64,
     /// Simulated wall time of the whole accelerated section.
     pub accelerated_seconds: f64,
+    /// Seconds the slowest FPGA spent with DMA-in and compute busy at
+    /// the same time (double-buffered entry dispatch). Zero in reports
+    /// written before overlap accounting existed.
+    pub overlap_seconds: f64,
+    /// `overlap_seconds` over that FPGA's busy span (0..=1).
+    pub overlap_occupancy: f64,
     pub entries: u64,
     pub hit_count: u64,
     /// Fault injection / recovery counters.
@@ -454,6 +460,8 @@ fn board_to_json(b: &BoardTelemetry) -> Json {
             "accelerated_seconds".into(),
             Json::Num(b.accelerated_seconds),
         ),
+        ("overlap_seconds".into(), Json::Num(b.overlap_seconds)),
+        ("overlap_occupancy".into(), Json::Num(b.overlap_occupancy)),
         ("entries".into(), Json::Num(b.entries as f64)),
         ("hit_count".into(), Json::Num(b.hit_count as f64)),
         (
@@ -535,6 +543,16 @@ fn board_from_json(json: &Json) -> Result<BoardTelemetry, String> {
         sync_seconds: num_field(json, "sync_seconds")?,
         setup_seconds: num_field(json, "setup_seconds")?,
         accelerated_seconds: num_field(json, "accelerated_seconds")?,
+        // Absent in reports written before overlap accounting: that is
+        // a no-overlap run, not a schema error.
+        overlap_seconds: json
+            .get("overlap_seconds")
+            .and_then(|v| v.as_f64())
+            .unwrap_or(0.0),
+        overlap_occupancy: json
+            .get("overlap_occupancy")
+            .and_then(|v| v.as_f64())
+            .unwrap_or(0.0),
         entries: u64_field(json, "entries")?,
         hit_count: u64_field(json, "hit_count")?,
         faults: faults_from_json(json)?,
@@ -601,6 +619,8 @@ mod tests {
             sync_seconds: 1.0e-4,
             setup_seconds: 0.8,
             accelerated_seconds: 0.75,
+            overlap_seconds: 0.31,
+            overlap_occupancy: 0.42,
             entries: 42,
             hit_count: 99,
             faults: FaultTelemetry {
@@ -668,6 +688,27 @@ mod tests {
         let faults = back.board.as_ref().unwrap().faults;
         assert!(!faults.any());
         assert_eq!(faults, FaultTelemetry::default());
+    }
+
+    #[test]
+    fn report_without_overlap_fields_parses_to_zero() {
+        // Reports written before double-buffer accounting lack the
+        // board's overlap fields; they must still parse (same schema
+        // version) as a no-overlap run.
+        let report = sample_report();
+        let Json::Obj(mut members) = report.to_json() else {
+            unreachable!()
+        };
+        for (k, v) in &mut members {
+            if k == "board" {
+                let Json::Obj(board) = v else { unreachable!() };
+                board.retain(|(k, _)| k != "overlap_seconds" && k != "overlap_occupancy");
+            }
+        }
+        let back = RunReport::from_json(&Json::Obj(members)).unwrap();
+        let board = back.board.as_ref().unwrap();
+        assert_eq!(board.overlap_seconds, 0.0);
+        assert_eq!(board.overlap_occupancy, 0.0);
     }
 
     #[test]

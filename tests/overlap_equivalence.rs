@@ -1,0 +1,159 @@
+//! The overlapped streaming pipeline is an *optimisation*, never a
+//! semantic change: for every backend, thread count, and fault plan,
+//! `--overlap` + `--step3-threads N` must reproduce the sequential
+//! barrier run bit for bit — same HSPs, same counters, and a
+//! byte-identical stripped run-report JSON. This is the acceptance gate
+//! for the streamed execution mode.
+
+use psc_align::Hsp;
+use psc_core::{search_genome_recorded, MemRecorder, PipelineConfig, Step2Backend};
+use psc_datagen::{generate_genome, random_bank, BankConfig, GenomeConfig};
+use psc_score::blosum62;
+
+fn workload() -> (psc_seqio::Bank, psc_seqio::Seq) {
+    let proteins = random_bank(&BankConfig {
+        count: 10,
+        min_len: 80,
+        max_len: 150,
+        seed: 811,
+    });
+    let genome = generate_genome(
+        &GenomeConfig {
+            len: 15_000,
+            gene_count: 5,
+            repeat_tracts: 2,
+            seed: 812,
+            ..GenomeConfig::default()
+        },
+        &proteins,
+    );
+    (proteins, genome.genome)
+}
+
+/// One full recorded run: HSPs + step stats + the stripped report JSON.
+fn run(
+    proteins: &psc_seqio::Bank,
+    genome: &psc_seqio::Seq,
+    cfg: PipelineConfig,
+) -> (Vec<Hsp>, psc_core::PipelineStats, String) {
+    let rec = MemRecorder::new();
+    let result = search_genome_recorded(proteins, genome, blosum62(), cfg.clone(), &rec);
+    let mut report = psc_core::build_run_report(&result.output, &cfg, &rec.snapshot());
+    report.strip_wall_clock();
+    (
+        result.output.hsps,
+        result.output.stats,
+        report.to_json_string(),
+    )
+}
+
+/// Assert every (overlap, step3_threads) combination reproduces the
+/// sequential barrier baseline byte for byte.
+fn assert_equivalent(base_cfg: PipelineConfig) {
+    let (proteins, genome) = workload();
+    let barrier = run(
+        &proteins,
+        &genome,
+        PipelineConfig {
+            overlap: false,
+            step3_threads: 1,
+            ..base_cfg.clone()
+        },
+    );
+    assert!(
+        barrier.2.contains("step3.shards"),
+        "report lost the shard counter"
+    );
+    for (overlap, step3_threads) in [(false, 2), (false, 8), (true, 1), (true, 2), (true, 8)] {
+        let variant = run(
+            &proteins,
+            &genome,
+            PipelineConfig {
+                overlap,
+                step3_threads,
+                ..base_cfg.clone()
+            },
+        );
+        assert_eq!(
+            barrier.0, variant.0,
+            "HSPs diverged (overlap={overlap}, step3_threads={step3_threads})"
+        );
+        assert_eq!(
+            barrier.1, variant.1,
+            "stats diverged (overlap={overlap}, step3_threads={step3_threads})"
+        );
+        assert_eq!(
+            barrier.2, variant.2,
+            "stripped report diverged (overlap={overlap}, step3_threads={step3_threads})"
+        );
+    }
+}
+
+#[test]
+fn software_scalar_overlap_matches_barrier() {
+    assert_equivalent(PipelineConfig::default());
+}
+
+#[test]
+fn software_parallel_overlap_matches_barrier() {
+    assert_equivalent(PipelineConfig {
+        backend: Step2Backend::SoftwareParallel { threads: 3 },
+        ..PipelineConfig::default()
+    });
+}
+
+#[test]
+fn rasc_overlap_matches_barrier() {
+    assert_equivalent(PipelineConfig {
+        backend: Step2Backend::Rasc {
+            pe_count: 64,
+            fpga_count: 2,
+            host_threads: 2,
+        },
+        ..PipelineConfig::default()
+    });
+}
+
+#[test]
+fn hybrid_overlap_matches_barrier() {
+    assert_equivalent(PipelineConfig {
+        backend: Step2Backend::Hybrid {
+            pe_count: 64,
+            cpu_threads: 2,
+            fpga_share: 0.5,
+        },
+        ..PipelineConfig::default()
+    });
+}
+
+#[test]
+fn seeded_faults_overlap_matches_barrier() {
+    assert_equivalent(PipelineConfig {
+        backend: Step2Backend::Rasc {
+            pe_count: 64,
+            fpga_count: 2,
+            host_threads: 2,
+        },
+        fault_plan: Some(psc_rasc::FaultPlan::Seeded {
+            seed: 97,
+            rate_ppm: 250_000,
+        }),
+        ..PipelineConfig::default()
+    });
+}
+
+#[test]
+fn heavy_tail_faults_overlap_matches_barrier() {
+    assert_equivalent(PipelineConfig {
+        backend: Step2Backend::Rasc {
+            pe_count: 64,
+            fpga_count: 2,
+            host_threads: 2,
+        },
+        fault_plan: Some(psc_rasc::FaultPlan::SeededHeavyTail {
+            seed: 97,
+            rate_ppm: 250_000,
+        }),
+        ..PipelineConfig::default()
+    });
+}
