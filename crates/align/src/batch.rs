@@ -28,8 +28,13 @@ use psc_seqio::alphabet::AA_ALPHABET_LEN;
 
 use crate::ungapped::Kernel;
 
-/// Window pairs scored per SIMD recurrence step.
+/// Window pairs scored per 16-lane SIMD recurrence step.
 pub const LANES: usize = 16;
+
+/// Window pairs scored per wide (32-lane) recurrence step. The
+/// interleaved layout pads its stride to this, so every narrower path
+/// divides it evenly.
+pub const WIDE_LANES: usize = 32;
 
 /// Bytes per profile position: two 16-byte shuffle tables (codes 0–15
 /// and 16–23; the upper 8 slots of the second table stay zero).
@@ -46,6 +51,13 @@ pub enum KernelBackend {
     /// Batched SIMD kernel: score profiles plus 16 i16 lanes over the
     /// interleaved `IL1` stream.
     Simd,
+    /// Wide batched kernel: 32 i16 lanes per step (AVX-512BW on hosts
+    /// that have it, an autovectorizable 32-lane array elsewhere).
+    Wide,
+    /// Split accumulator kernel for short windows: 32 saturating i8
+    /// lanes per 256-bit op, exact while the whole window fits the i8
+    /// guard (see [`split_window_fits`]).
+    Split,
 }
 
 impl KernelBackend {
@@ -55,6 +67,18 @@ impl KernelBackend {
             KernelBackend::Scalar => "scalar",
             KernelBackend::Profile => "profile",
             KernelBackend::Simd => "simd",
+            KernelBackend::Wide => "wide",
+            KernelBackend::Split => "split",
+        }
+    }
+
+    /// Window pairs consumed per recurrence step — the denominator of
+    /// the lane-occupancy accounting.
+    pub fn lane_width(self) -> usize {
+        match self {
+            KernelBackend::Scalar | KernelBackend::Profile => 1,
+            KernelBackend::Simd => LANES,
+            KernelBackend::Wide | KernelBackend::Split => WIDE_LANES,
         }
     }
 }
@@ -68,6 +92,8 @@ pub enum KernelChoice {
     Scalar,
     Profile,
     Simd,
+    Wide,
+    Split,
 }
 
 impl KernelChoice {
@@ -78,6 +104,8 @@ impl KernelChoice {
             "scalar" => KernelChoice::Scalar,
             "profile" => KernelChoice::Profile,
             "simd" => KernelChoice::Simd,
+            "wide" => KernelChoice::Wide,
+            "split" => KernelChoice::Split,
             _ => return None,
         })
     }
@@ -85,20 +113,52 @@ impl KernelChoice {
     /// Resolve to a concrete backend for windows of `window_len` scored
     /// under `matrix`.
     ///
-    /// The SIMD path accumulates in 16-bit lanes, so it is only selected
-    /// (or honoured when requested) while `window_len * max_score` fits
-    /// an `i16`; beyond that the profile kernel takes over. `Auto`
-    /// prefers SIMD wherever [`simd_available`] says the host has the
-    /// required instructions.
+    /// The 16- and 32-lane paths accumulate in 16-bit lanes, so they
+    /// are only selected (or honoured when requested) while
+    /// `window_len * max_score` fits an `i16`; the split kernel's i8
+    /// lanes demand the tighter [`split_window_fits`] bound. `Auto`
+    /// prefers the widest path the host's instruction set and the
+    /// window's overflow guards allow.
     pub fn resolve(self, window_len: usize, matrix: &SubstitutionMatrix) -> KernelBackend {
+        self.resolve_with_reason(window_len, matrix).0
+    }
+
+    /// [`resolve`](KernelChoice::resolve), plus the reason when the
+    /// requested backend could not be honoured (`None` means the choice
+    /// resolved without a downgrade; `Auto` never downgrades — whatever
+    /// it picks is the policy).
+    pub fn resolve_with_reason(
+        self,
+        window_len: usize,
+        matrix: &SubstitutionMatrix,
+    ) -> (KernelBackend, Option<&'static str>) {
         let fits_i16 = simd_window_fits(window_len, matrix);
+        let fits_i8 = split_window_fits(window_len, matrix);
         match self {
-            KernelChoice::Scalar => KernelBackend::Scalar,
-            KernelChoice::Profile => KernelBackend::Profile,
-            KernelChoice::Simd if fits_i16 => KernelBackend::Simd,
-            KernelChoice::Simd => KernelBackend::Profile,
-            KernelChoice::Auto if fits_i16 && simd_available() => KernelBackend::Simd,
-            KernelChoice::Auto => KernelBackend::Profile,
+            KernelChoice::Scalar => (KernelBackend::Scalar, None),
+            KernelChoice::Profile => (KernelBackend::Profile, None),
+            KernelChoice::Simd if fits_i16 => (KernelBackend::Simd, None),
+            KernelChoice::Simd => (
+                KernelBackend::Profile,
+                Some("window overflows the i16 lane accumulator"),
+            ),
+            KernelChoice::Wide if fits_i16 => (KernelBackend::Wide, None),
+            KernelChoice::Wide => (
+                KernelBackend::Profile,
+                Some("window overflows the i16 lane accumulator"),
+            ),
+            KernelChoice::Split if fits_i8 => (KernelBackend::Split, None),
+            KernelChoice::Split if fits_i16 => (
+                KernelBackend::Simd,
+                Some("window overflows the saturating i8 accumulator"),
+            ),
+            KernelChoice::Split => (
+                KernelBackend::Profile,
+                Some("window overflows both the i8 and i16 lane accumulators"),
+            ),
+            KernelChoice::Auto if fits_i16 && wide_available() => (KernelBackend::Wide, None),
+            KernelChoice::Auto if fits_i16 && simd_available() => (KernelBackend::Simd, None),
+            KernelChoice::Auto => (KernelBackend::Profile, None),
         }
     }
 }
@@ -111,7 +171,21 @@ fn simd_window_fits(window_len: usize, matrix: &SubstitutionMatrix) -> bool {
     (window_len as i64) * max <= i16::MAX as i64
 }
 
-/// Does this host have the SIMD instructions the fast path wants?
+/// True when the split kernel's saturating i8 lanes are exact for this
+/// window/matrix combination.
+///
+/// The running clamped score after `k` steps is at most `k * max_score`,
+/// so while `window_len * max_score <= i8::MAX` no lane ever saturates
+/// upward; downward saturation at -128 is erased by the `max(0)` clamp.
+/// That makes the i8 path bit-identical to the scalar kernels — it is a
+/// short-window variant, not an approximation.
+pub fn split_window_fits(window_len: usize, matrix: &SubstitutionMatrix) -> bool {
+    let max = matrix.max_score().max(0) as i64;
+    (window_len as i64) * max <= i8::MAX as i64
+}
+
+/// Does this host have the SIMD instructions the 16-lane fast path
+/// wants?
 ///
 /// Without them [`score_lanes`] still works (the lane-array fallback is
 /// plain safe Rust the compiler autovectorizes), so this only steers
@@ -120,6 +194,20 @@ pub fn simd_available() -> bool {
     #[cfg(target_arch = "x86_64")]
     {
         std::arch::is_x86_feature_detected!("avx2")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Does this host have the AVX-512BW instructions the 32-lane wide path
+/// wants? Same contract as [`simd_available`]: the wide fallback is
+/// portable, this only informs `Auto` and the recorded profile.
+pub fn wide_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx512bw")
     }
     #[cfg(not(target_arch = "x86_64"))]
     {
@@ -256,8 +344,9 @@ pub fn profile_score2(
 /// `IL1` windows transposed into position-major (interleaved) order.
 ///
 /// `data[p * stride + j]` is residue `p` of window `j`; the lane stride
-/// is padded up to a multiple of [`LANES`] (pad windows read as residue
-/// 0 and their scores are simply never consumed). This is the transpose
+/// is padded up to a multiple of [`WIDE_LANES`] (pad windows read as
+/// residue 0 and their scores are simply never consumed), so both the
+/// 16- and 32-lane kernels can load full blocks. This is the transpose
 /// an input controller performs when it broadcasts the `IL1` byte stream
 /// across the PE array one residue per cycle.
 #[derive(Clone, Debug, Default)]
@@ -280,7 +369,7 @@ impl InterleavedWindows {
         debug_assert_eq!(count * len, windows.len());
         self.len = len;
         self.count = count;
-        self.stride = count.div_ceil(LANES) * LANES;
+        self.stride = count.div_ceil(WIDE_LANES) * WIDE_LANES;
         self.data.clear();
         self.data.resize(len * self.stride, 0);
         if len == 0 {
@@ -315,6 +404,12 @@ impl InterleavedWindows {
     #[inline(always)]
     pub fn lane_codes(&self, p: usize, j0: usize) -> &[u8] {
         &self.data[p * self.stride + j0..][..LANES]
+    }
+
+    /// Residues of wide lane block `j0..j0+WIDE_LANES` at position `p`.
+    #[inline(always)]
+    pub fn wide_lane_codes(&self, p: usize, j0: usize) -> &[u8] {
+        &self.data[p * self.stride + j0..][..WIDE_LANES]
     }
 }
 
@@ -389,6 +484,139 @@ fn score_lanes_fallback(
     }
 }
 
+/// Score one wide lane block: windows `j0 .. j0+WIDE_LANES` of `il1`
+/// against `profile`, writing [`WIDE_LANES`] max scores into `out`.
+///
+/// Same contract as [`score_lanes`] with `j0` a multiple of
+/// [`WIDE_LANES`]: pad-lane scores are meaningless, results are
+/// bit-identical to the scalar kernels while the window passes the i16
+/// guard of [`KernelChoice::resolve`].
+#[inline]
+pub fn score_lanes_wide(
+    kernel: Kernel,
+    profile: &ScoreProfile,
+    il1: &InterleavedWindows,
+    j0: usize,
+    out: &mut [i32; WIDE_LANES],
+) {
+    debug_assert_eq!(profile.len(), il1.len());
+    debug_assert_eq!(j0 % WIDE_LANES, 0);
+    debug_assert!(j0 + WIDE_LANES <= il1.stride);
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx512bw") {
+            // SAFETY: AVX-512F/BW confirmed present at runtime.
+            unsafe { x86::score_lanes_avx512(kernel, profile, il1, j0, out) };
+            return;
+        }
+    }
+    score_lanes_wide_fallback(kernel, profile, il1, j0, out);
+}
+
+/// Portable 32-lane i16 kernel for hosts without AVX-512BW.
+fn score_lanes_wide_fallback(
+    kernel: Kernel,
+    profile: &ScoreProfile,
+    il1: &InterleavedWindows,
+    j0: usize,
+    out: &mut [i32; WIDE_LANES],
+) {
+    let mut score = [0i16; WIDE_LANES];
+    let mut max_score = [0i16; WIDE_LANES];
+    for p in 0..profile.len() {
+        let codes = il1.wide_lane_codes(p, j0);
+        let row = &profile.data[p * PROFILE_STRIDE..][..PROFILE_STRIDE];
+        match kernel {
+            Kernel::ClampedSum => {
+                for l in 0..WIDE_LANES {
+                    let s = (score[l] + row[codes[l] as usize] as i16).max(0);
+                    score[l] = s;
+                    max_score[l] = max_score[l].max(s);
+                }
+            }
+            Kernel::PaperLiteral => {
+                for l in 0..WIDE_LANES {
+                    score[l] += (row[codes[l] as usize] as i16).max(0);
+                }
+            }
+        }
+    }
+    let final_v = match kernel {
+        Kernel::ClampedSum => max_score,
+        Kernel::PaperLiteral => score,
+    };
+    for l in 0..WIDE_LANES {
+        out[l] = final_v[l] as i32;
+    }
+}
+
+/// Score one wide lane block with the split (saturating i8) kernel:
+/// 32 window pairs per 256-bit op, twice the lanes of the i16 paths
+/// per vector register.
+///
+/// Only exact while [`split_window_fits`] holds for the profile's
+/// window — [`KernelChoice::resolve`] enforces that guard; callers
+/// going through [`score_batch`] inherit it.
+#[inline]
+pub fn score_lanes_split(
+    kernel: Kernel,
+    profile: &ScoreProfile,
+    il1: &InterleavedWindows,
+    j0: usize,
+    out: &mut [i32; WIDE_LANES],
+) {
+    debug_assert_eq!(profile.len(), il1.len());
+    debug_assert_eq!(j0 % WIDE_LANES, 0);
+    debug_assert!(j0 + WIDE_LANES <= il1.stride);
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: AVX2 confirmed present at runtime.
+            unsafe { x86::score_lanes_split_avx2(kernel, profile, il1, j0, out) };
+            return;
+        }
+    }
+    score_lanes_split_fallback(kernel, profile, il1, j0, out);
+}
+
+/// Portable saturating-i8 lane kernel, bit-identical to the AVX2 split
+/// path (both saturate at ±127/-128 the same way).
+fn score_lanes_split_fallback(
+    kernel: Kernel,
+    profile: &ScoreProfile,
+    il1: &InterleavedWindows,
+    j0: usize,
+    out: &mut [i32; WIDE_LANES],
+) {
+    let mut score = [0i8; WIDE_LANES];
+    let mut max_score = [0i8; WIDE_LANES];
+    for p in 0..profile.len() {
+        let codes = il1.wide_lane_codes(p, j0);
+        let row = &profile.data[p * PROFILE_STRIDE..][..PROFILE_STRIDE];
+        match kernel {
+            Kernel::ClampedSum => {
+                for l in 0..WIDE_LANES {
+                    let s = score[l].saturating_add(row[codes[l] as usize]).max(0);
+                    score[l] = s;
+                    max_score[l] = max_score[l].max(s);
+                }
+            }
+            Kernel::PaperLiteral => {
+                for l in 0..WIDE_LANES {
+                    score[l] = score[l].saturating_add(row[codes[l] as usize].max(0));
+                }
+            }
+        }
+    }
+    let final_v = match kernel {
+        Kernel::ClampedSum => max_score,
+        Kernel::PaperLiteral => score,
+    };
+    for l in 0..WIDE_LANES {
+        out[l] = final_v[l] as i32;
+    }
+}
+
 #[cfg(target_arch = "x86_64")]
 mod x86 {
     use super::*;
@@ -451,6 +679,125 @@ mod x86 {
         _mm256_storeu_si256(out.as_mut_ptr() as *mut __m256i, lo32);
         _mm256_storeu_si256(out.as_mut_ptr().add(8) as *mut __m256i, hi32);
     }
+
+    /// AVX-512BW 32-lane kernel. The recurrence step widens the AVX2
+    /// one: a 32-byte load of residue codes, the same two-table byte
+    /// shuffle done per 128-bit half of a 256-bit register (the shuffle
+    /// tables broadcast to both halves), a sign-extend of all 32 i8
+    /// substitution scores into one `__m512i` of i16 lanes, then the
+    /// add/max gates — 32 window pairs per step.
+    ///
+    /// # Safety
+    /// Caller must ensure AVX-512F and AVX-512BW are available.
+    #[target_feature(enable = "avx512f,avx512bw")]
+    pub(super) unsafe fn score_lanes_avx512(
+        kernel: Kernel,
+        profile: &ScoreProfile,
+        il1: &InterleavedWindows,
+        j0: usize,
+        out: &mut [i32; WIDE_LANES],
+    ) {
+        let l = profile.len();
+        let stride = il1.stride;
+        let codes_base = il1.data.as_ptr().add(j0);
+        let prof_base = profile.data.as_ptr();
+        let zero = _mm512_setzero_si512();
+        let fifteen = _mm256_set1_epi8(15);
+        let mut score = zero;
+        let mut max_score = zero;
+        for p in 0..l {
+            let codes = _mm256_loadu_si256(codes_base.add(p * stride) as *const __m256i);
+            let row = prof_base.add(p * PROFILE_STRIDE);
+            // Broadcast each 16-byte table to both 128-bit halves so
+            // `_mm256_shuffle_epi8` (which shuffles per half) sees the
+            // full table against either half of the code vector.
+            let lo = _mm256_broadcastsi128_si256(_mm_loadu_si128(row as *const __m128i));
+            let hi = _mm256_broadcastsi128_si256(_mm_loadu_si128(row.add(LANES) as *const __m128i));
+            let from_hi = _mm256_cmpgt_epi8(codes, fifteen);
+            let sub8 = _mm256_blendv_epi8(
+                _mm256_shuffle_epi8(lo, codes),
+                _mm256_shuffle_epi8(hi, codes),
+                from_hi,
+            );
+            let sub = _mm512_cvtepi8_epi16(sub8);
+            match kernel {
+                Kernel::ClampedSum => {
+                    score = _mm512_max_epi16(_mm512_add_epi16(score, sub), zero);
+                    max_score = _mm512_max_epi16(max_score, score);
+                }
+                Kernel::PaperLiteral => {
+                    score = _mm512_add_epi16(score, _mm512_max_epi16(sub, zero));
+                }
+            }
+        }
+        let final_v = match kernel {
+            Kernel::ClampedSum => max_score,
+            Kernel::PaperLiteral => score,
+        };
+        let lo32 = _mm512_cvtepi16_epi32(_mm512_castsi512_si256(final_v));
+        let hi32 = _mm512_cvtepi16_epi32(_mm512_extracti64x4_epi64(final_v, 1));
+        _mm512_storeu_si512(out.as_mut_ptr() as *mut _, lo32);
+        _mm512_storeu_si512(out.as_mut_ptr().add(16) as *mut _, hi32);
+    }
+
+    /// AVX2 split-accumulator kernel: the whole recurrence stays in
+    /// saturating i8 lanes, so one 256-bit register carries 32 window
+    /// pairs — double the lanes of the i16 paths per op. Exact only
+    /// under [`split_window_fits`] (no upward saturation possible;
+    /// downward saturation is erased by the `max(0)` clamp).
+    ///
+    /// # Safety
+    /// Caller must ensure AVX2 is available.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn score_lanes_split_avx2(
+        kernel: Kernel,
+        profile: &ScoreProfile,
+        il1: &InterleavedWindows,
+        j0: usize,
+        out: &mut [i32; WIDE_LANES],
+    ) {
+        let l = profile.len();
+        let stride = il1.stride;
+        let codes_base = il1.data.as_ptr().add(j0);
+        let prof_base = profile.data.as_ptr();
+        let zero = _mm256_setzero_si256();
+        let fifteen = _mm256_set1_epi8(15);
+        let mut score = zero;
+        let mut max_score = zero;
+        for p in 0..l {
+            let codes = _mm256_loadu_si256(codes_base.add(p * stride) as *const __m256i);
+            let row = prof_base.add(p * PROFILE_STRIDE);
+            let lo = _mm256_broadcastsi128_si256(_mm_loadu_si128(row as *const __m128i));
+            let hi = _mm256_broadcastsi128_si256(_mm_loadu_si128(row.add(LANES) as *const __m128i));
+            let from_hi = _mm256_cmpgt_epi8(codes, fifteen);
+            let sub8 = _mm256_blendv_epi8(
+                _mm256_shuffle_epi8(lo, codes),
+                _mm256_shuffle_epi8(hi, codes),
+                from_hi,
+            );
+            match kernel {
+                Kernel::ClampedSum => {
+                    score = _mm256_max_epi8(_mm256_adds_epi8(score, sub8), zero);
+                    max_score = _mm256_max_epi8(max_score, score);
+                }
+                Kernel::PaperLiteral => {
+                    score = _mm256_adds_epi8(score, _mm256_max_epi8(sub8, zero));
+                }
+            }
+        }
+        let final_v = match kernel {
+            Kernel::ClampedSum => max_score,
+            Kernel::PaperLiteral => score,
+        };
+        let q0 = _mm256_castsi256_si128(final_v);
+        let q1 = _mm256_extracti128_si256(final_v, 1);
+        for (i, q) in [q0, q1].into_iter().enumerate() {
+            let a = _mm256_cvtepi8_epi32(q);
+            let b = _mm256_cvtepi8_epi32(_mm_srli_si128(q, 8));
+            _mm256_storeu_si256(out.as_mut_ptr().add(16 * i) as *mut __m256i, a);
+            _mm256_storeu_si256(out.as_mut_ptr().add(16 * i + 8) as *mut __m256i, b);
+        }
+    }
 }
 
 /// Score every window of `il1` against `profile` under `backend`,
@@ -507,6 +854,26 @@ pub fn score_batch(
                 j += LANES;
             }
         }
+        KernelBackend::Wide => {
+            let mut lanes = [0i32; WIDE_LANES];
+            let mut j = 0;
+            while j < il1.count() {
+                score_lanes_wide(kernel, profile, il1, j, &mut lanes);
+                let take = WIDE_LANES.min(il1.count() - j);
+                out.extend_from_slice(&lanes[..take]);
+                j += WIDE_LANES;
+            }
+        }
+        KernelBackend::Split => {
+            let mut lanes = [0i32; WIDE_LANES];
+            let mut j = 0;
+            while j < il1.count() {
+                score_lanes_split(kernel, profile, il1, j, &mut lanes);
+                let take = WIDE_LANES.min(il1.count() - j);
+                out.extend_from_slice(&lanes[..take]);
+                j += WIDE_LANES;
+            }
+        }
     }
 }
 
@@ -549,6 +916,7 @@ mod tests {
                 KernelBackend::Scalar,
                 KernelBackend::Profile,
                 KernelBackend::Simd,
+                KernelBackend::Wide,
             ] {
                 let mut got = Vec::new();
                 score_batch(backend, kernel, m, w0, &profile, il1_rows, &il1, &mut got);
@@ -567,10 +935,51 @@ mod tests {
             (5, 48, 33), // several blocks, non-lane-multiple length
             (6, 3, 0),   // empty windows
             (7, 0, 12),  // empty IL1
+            (8, 33, 21), // one wide block + 1 tail window
+            (9, 95, 14), // several wide blocks, ragged tail
         ] {
             let w0 = windows(seed, 1, len);
             let il1 = windows(seed ^ 0xff, count, len);
             check_all_backends(&w0, &il1, len);
+        }
+    }
+
+    #[test]
+    fn split_backend_agrees_under_its_guard() {
+        // blosum62's max score is 11, so windows up to 11 residues pass
+        // the i8 guard; a ±3 matrix stretches the length to 42.
+        let cases: [(&SubstitutionMatrix, u64, usize, usize); 4] = [
+            (blosum62(), 41, 70, 11),
+            (blosum62(), 42, 7, 5),
+            (&match_mismatch("PM3", 3, -3), 43, 65, 42),
+            (&match_mismatch("PM2", 2, -2), 44, 33, 63),
+        ];
+        for (m, seed, count, len) in cases {
+            assert!(split_window_fits(len, m), "case must satisfy the guard");
+            let w0 = windows(seed, 1, len);
+            let rows = windows(seed ^ 0xff, count, len);
+            let mut profile = ScoreProfile::new();
+            profile.build(m, &w0);
+            let mut il1 = InterleavedWindows::new();
+            il1.build(&rows, len);
+            for kernel in [Kernel::ClampedSum, Kernel::PaperLiteral] {
+                let expect: Vec<i32> = rows
+                    .chunks_exact(len)
+                    .map(|w1| ungapped_score(kernel, m, &w0, w1))
+                    .collect();
+                let mut got = Vec::new();
+                score_batch(
+                    KernelBackend::Split,
+                    kernel,
+                    m,
+                    &w0,
+                    &profile,
+                    &rows,
+                    &il1,
+                    &mut got,
+                );
+                assert_eq!(got, expect, "{kernel:?} len={len} matrix={}", m.name);
+            }
         }
     }
 
@@ -622,6 +1031,52 @@ mod tests {
     }
 
     #[test]
+    fn resolve_reports_downgrades_with_reasons() {
+        let m = blosum62(); // max score 11
+                            // Honoured requests carry no reason.
+        assert_eq!(
+            KernelChoice::Wide.resolve_with_reason(60, m),
+            (KernelBackend::Wide, None)
+        );
+        assert_eq!(
+            KernelChoice::Split.resolve_with_reason(11, m),
+            (KernelBackend::Split, None)
+        );
+        // Wide shares the i16 guard with Simd.
+        let (b, why) = KernelChoice::Wide.resolve_with_reason(4000, m);
+        assert_eq!(b, KernelBackend::Profile);
+        assert!(why.is_some_and(|r| r.contains("i16")));
+        // Split degrades to Simd first, then Profile.
+        let (b, why) = KernelChoice::Split.resolve_with_reason(60, m);
+        assert_eq!(b, KernelBackend::Simd);
+        assert!(why.is_some_and(|r| r.contains("i8")));
+        let (b, why) = KernelChoice::Split.resolve_with_reason(4000, m);
+        assert_eq!(b, KernelBackend::Profile);
+        assert!(why.is_some_and(|r| r.contains("i16")));
+        // Auto never reports a downgrade, and picks the widest lane
+        // count the host supports when the window fits i16.
+        let (auto, why) = KernelChoice::Auto.resolve_with_reason(60, m);
+        assert_eq!(why, None);
+        if wide_available() {
+            assert_eq!(auto, KernelBackend::Wide);
+        } else if simd_available() {
+            assert_eq!(auto, KernelBackend::Simd);
+        } else {
+            assert_eq!(auto, KernelBackend::Profile);
+        }
+    }
+
+    #[test]
+    fn lane_widths_are_consistent() {
+        assert_eq!(KernelBackend::Scalar.lane_width(), 1);
+        assert_eq!(KernelBackend::Profile.lane_width(), 1);
+        assert_eq!(KernelBackend::Simd.lane_width(), LANES);
+        assert_eq!(KernelBackend::Wide.lane_width(), WIDE_LANES);
+        assert_eq!(KernelBackend::Split.lane_width(), WIDE_LANES);
+        assert_eq!(WIDE_LANES % LANES, 0);
+    }
+
+    #[test]
     fn extreme_matrix_scores_stay_exact() {
         // ±127 scores stress the i8 tables and i16 accumulation paths.
         let m = match_mismatch("MM", 127, -128);
@@ -637,7 +1092,11 @@ mod tests {
                 .chunks_exact(len)
                 .map(|w1| ungapped_score(kernel, &m, &w0, w1))
                 .collect();
-            for backend in [KernelBackend::Profile, KernelBackend::Simd] {
+            for backend in [
+                KernelBackend::Profile,
+                KernelBackend::Simd,
+                KernelBackend::Wide,
+            ] {
                 let mut got = Vec::new();
                 score_batch(backend, kernel, &m, &w0, &profile, &rows, &il1, &mut got);
                 assert_eq!(got, expect, "{backend:?} {kernel:?}");
@@ -651,6 +1110,8 @@ mod tests {
         assert_eq!(KernelChoice::parse("scalar"), Some(KernelChoice::Scalar));
         assert_eq!(KernelChoice::parse("profile"), Some(KernelChoice::Profile));
         assert_eq!(KernelChoice::parse("simd"), Some(KernelChoice::Simd));
+        assert_eq!(KernelChoice::parse("wide"), Some(KernelChoice::Wide));
+        assert_eq!(KernelChoice::parse("split"), Some(KernelChoice::Split));
         assert_eq!(KernelChoice::parse("fpga"), None);
     }
 }

@@ -1,7 +1,10 @@
 //! Property tests for the batched ungapped engine: every backend
-//! (profile scalar, interleaved SIMD) must be bit-identical to the
-//! reference `ungapped_score` kernel on arbitrary windows — including
-//! odd lengths, non-lane-multiple batch sizes and both kernel variants.
+//! (profile scalar, 16-lane SIMD, 32-lane wide, saturating i8 split)
+//! must be bit-identical to the reference `ungapped_score` kernel on
+//! arbitrary windows — including odd lengths, non-lane-multiple batch
+//! sizes and both kernel variants. The split backend is additionally
+//! pinned to its overflow guard: exact whenever the guard admits the
+//! window, refused by `resolve` otherwise.
 
 use proptest::prelude::*;
 use psc_align::{
@@ -62,13 +65,58 @@ proptest! {
             .chunks_exact(len)
             .map(|w1| ungapped_score(kernel, m, &w0, w1))
             .collect();
-        for backend in [KernelBackend::Scalar, KernelBackend::Profile, KernelBackend::Simd] {
-            if backend == KernelBackend::Simd && !psc_align::simd_available() {
-                continue;
-            }
+        for backend in [
+            KernelBackend::Scalar,
+            KernelBackend::Profile,
+            KernelBackend::Simd,
+            KernelBackend::Wide,
+        ] {
             let mut out = Vec::new();
             score_batch(backend, kernel, m, &w0, &prof, &il1, &inter, &mut out);
             prop_assert_eq!(&out, &expected, "backend {:?}", backend);
+        }
+        // The split kernel joins the agreement set whenever its i8
+        // saturation guard admits the window.
+        if psc_align::split_window_fits(len, m) {
+            let mut out = Vec::new();
+            score_batch(KernelBackend::Split, kernel, m, &w0, &prof, &il1, &inter, &mut out);
+            prop_assert_eq!(&out, &expected, "backend Split");
+        }
+    }
+
+    /// The split kernel is bit-identical to the reference on any
+    /// window/matrix combination its saturation guard admits, and
+    /// `resolve` refuses it (degrading to a 16-bit path) otherwise.
+    #[test]
+    fn split_matches_reference_under_guard(
+        (il1, len) in window_batch(),
+        s0 in residues(1..40),
+        mat in 1i8..=16,
+        mis in -16i8..=0,
+        kernel in prop_oneof![Just(Kernel::ClampedSum), Just(Kernel::PaperLiteral)],
+    ) {
+        let m = match_mismatch("split", mat, mis);
+        let w0: Vec<u8> = s0.iter().cycle().take(len).copied().collect();
+        let mut prof = ScoreProfile::default();
+        prof.build(&m, &w0);
+        let mut inter = InterleavedWindows::default();
+        inter.build(&il1, len);
+
+        let resolved = KernelChoice::Split.resolve(len, &m);
+        if psc_align::split_window_fits(len, &m) {
+            prop_assert_eq!(resolved, KernelBackend::Split);
+            let expected: Vec<i32> = il1
+                .chunks_exact(len)
+                .map(|w1| ungapped_score(kernel, &m, &w0, w1))
+                .collect();
+            let mut out = Vec::new();
+            score_batch(KernelBackend::Split, kernel, &m, &w0, &prof, &il1, &inter, &mut out);
+            prop_assert_eq!(&out, &expected);
+        } else {
+            prop_assert!(matches!(
+                resolved,
+                KernelBackend::Simd | KernelBackend::Profile
+            ));
         }
     }
 

@@ -25,6 +25,7 @@ const KNOWN: &[(&str, &[&str])] = &[
         &["time_allowed_crates", "ordered_modules"],
     ),
     ("lint.recorder-off-hot-loop", &["kernel_modules"]),
+    ("lint.hot-path-no-alloc", &["kernel_modules"]),
 ];
 
 impl Config {

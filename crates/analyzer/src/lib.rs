@@ -133,6 +133,7 @@ pub fn selection_for(config: &Config, crate_name: &str, rel: &str) -> LintSelect
             .any(|c| c == crate_name),
         ordered_module: in_list("lint.determinism", "ordered_modules"),
         kernel_module: in_list("lint.recorder-off-hot-loop", "kernel_modules"),
+        no_alloc_module: in_list("lint.hot-path-no-alloc", "kernel_modules"),
     }
 }
 

@@ -9,6 +9,7 @@ use crate::source::{LineKind, SourceFile};
 pub const SAFETY_COMMENT: &str = "safety-comment";
 pub const UNSAFE_SCOPE: &str = "unsafe-scope";
 pub const HOT_PATH_NO_PANIC: &str = "hot-path-no-panic";
+pub const HOT_PATH_NO_ALLOC: &str = "hot-path-no-alloc";
 pub const DETERMINISM: &str = "determinism";
 pub const RECORDER_OFF_HOT_LOOP: &str = "recorder-off-hot-loop";
 pub const PLACEHOLDER_URL: &str = "placeholder-url";
@@ -29,6 +30,8 @@ pub struct LintSelection {
     pub ordered_module: bool,
     /// `recorder-off-hot-loop` applies (file is a kernel module).
     pub kernel_module: bool,
+    /// `hot-path-no-alloc` applies (file holds kernel inner loops).
+    pub no_alloc_module: bool,
 }
 
 /// Run every applicable lint over `file`.
@@ -44,6 +47,9 @@ pub fn check_file(file: &SourceFile, sel: &LintSelection) -> Vec<Diagnostic> {
     out.extend(determinism(file, sel));
     if sel.kernel_module {
         out.extend(recorder_off_hot_loop(file));
+    }
+    if sel.no_alloc_module {
+        out.extend(hot_path_no_alloc(file));
     }
     out.sort();
     out
@@ -159,6 +165,107 @@ fn hot_path_no_panic(file: &SourceFile) -> Vec<Diagnostic> {
             HOT_PATH_NO_PANIC,
             format!(
                 "{call} in a hot module (return a Result or add a waiver with a justification)"
+            ),
+        ));
+    }
+    out
+}
+
+/// Constructor names that heap-allocate when reached through a
+/// `Type::ctor` path (`Vec::new`, `String::with_capacity`, …).
+const ALLOC_CTORS: &[&str] = &["new", "with_capacity", "from"];
+/// Allocating method calls, flagged when invoked as methods.
+const ALLOC_METHODS: &[&str] = &["to_vec", "to_owned", "to_string", "collect"];
+
+/// `hot-path-no-alloc`: heap-allocating idioms (`Vec::new`, `vec!`,
+/// `format!`, `.collect()`, …) inside `for`/`while`/`loop` bodies of
+/// kernel modules. The kernels amortize buffers by hoisting them into
+/// scratch structs; an allocation that genuinely belongs in a loop
+/// (e.g. a per-work-item result vector that is moved out) takes a
+/// waiver with a justification.
+fn hot_path_no_alloc(file: &SourceFile) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let toks = &file.toks;
+    // Brace stack: `true` marks a `{` that opened a loop body. Any
+    // `true` on the stack means the current token is in a loop,
+    // including closures defined inside one (they run per iteration).
+    let mut stack: Vec<bool> = Vec::new();
+    let mut loops_open = 0usize;
+    let mut pending_loop = false;
+    // `impl Trait for Type {` uses `for` as a keyword that opens the
+    // impl body, not a loop; suppress until that header's brace.
+    let mut in_impl_header = false;
+    for (i, t) in toks.iter().enumerate() {
+        if t.is_punct('{') {
+            stack.push(pending_loop);
+            loops_open += pending_loop as usize;
+            pending_loop = false;
+            in_impl_header = false;
+            continue;
+        }
+        if t.is_punct('}') {
+            loops_open -= stack.pop().unwrap_or(false) as usize;
+            continue;
+        }
+        if t.is_punct(';') {
+            in_impl_header = false;
+            continue;
+        }
+        let Some(name) = t.ident() else { continue };
+        match name {
+            "impl" => {
+                in_impl_header = true;
+                continue;
+            }
+            "for" | "while" | "loop" => {
+                if !in_impl_header {
+                    pending_loop = true;
+                }
+                continue;
+            }
+            _ => {}
+        }
+        if loops_open == 0 {
+            continue;
+        }
+        let alloc = match name {
+            "Vec" | "String" | "Box" => {
+                let pathed = toks.get(i + 1).is_some_and(|a| a.is_punct(':'))
+                    && toks.get(i + 2).is_some_and(|a| a.is_punct(':'));
+                match toks.get(i + 3).and_then(|a| a.ident()) {
+                    Some(ctor) if pathed && ALLOC_CTORS.contains(&ctor) => {
+                        format!("{name}::{ctor}")
+                    }
+                    _ => continue,
+                }
+            }
+            "vec" | "format" => {
+                if !toks.get(i + 1).is_some_and(|n| n.is_punct('!')) {
+                    continue;
+                }
+                format!("{name}!")
+            }
+            m if ALLOC_METHODS.contains(&m) => {
+                let method = i > 0
+                    && toks[i - 1].is_punct('.')
+                    && toks.get(i + 1).is_some_and(|n| n.is_punct('('));
+                if !method {
+                    continue;
+                }
+                format!(".{m}()")
+            }
+            _ => continue,
+        };
+        if file.in_test_code(t.line) || file.waived(HOT_PATH_NO_ALLOC, t.line) {
+            continue;
+        }
+        out.push(Diagnostic::new(
+            &file.path,
+            t.line,
+            HOT_PATH_NO_ALLOC,
+            format!(
+                "{alloc} inside a loop in a kernel module (hoist the buffer into scratch \
+                 or add a waiver with a justification)"
             ),
         ));
     }
@@ -412,6 +519,35 @@ mod tests {
             lints(&check_manifest("c/Cargo.toml", spaced)),
             [MANIFEST_STUB]
         );
+    }
+
+    #[test]
+    fn no_alloc_flags_only_loop_bodies() {
+        let f = file(
+            "fn k() {\n    let mut scratch = Vec::new();\n    for i in 0..n {\n        let v = vec![0; 4];\n        let s = format!(\"{i}\");\n        let w: Vec<u32> = xs.iter().collect();\n        let t = Vec::with_capacity(8);\n    }\n    while go {\n        let b = Box::new(1);\n    }\n    let after = Vec::new();\n}\n",
+        );
+        let found = hot_path_no_alloc(&f);
+        assert_eq!(found.len(), 5, "{found:?}");
+        assert!(found.iter().all(|d| d.lint == HOT_PATH_NO_ALLOC));
+        // Setup allocations outside loops (lines 2 and 12) stay clean.
+        assert!(found.iter().all(|d| d.line != 2 && d.line != 12));
+    }
+
+    #[test]
+    fn no_alloc_ignores_impl_for_and_tests() {
+        // `impl Trait for Type` must not count the impl body as a loop.
+        let f = file(
+            "impl Iterator for K {\n    fn next(&mut self) -> Option<u8> {\n        let v = Vec::new();\n        None\n    }\n}\n#[cfg(test)]\nmod tests {\n    fn t() { for _ in 0..2 { let v = vec![1]; } }\n}\n",
+        );
+        assert!(hot_path_no_alloc(&f).is_empty());
+    }
+
+    #[test]
+    fn no_alloc_waiver_with_reason() {
+        let f = file(
+            "fn k() {\n    loop {\n        // analyzer: allow(hot-path-no-alloc) -- per-item result vector, moved out on send\n        let out = Vec::new();\n    }\n}\n",
+        );
+        assert!(hot_path_no_alloc(&f).is_empty());
     }
 
     #[test]

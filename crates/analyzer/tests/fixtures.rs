@@ -99,6 +99,23 @@ fn determinism_fixtures() {
 }
 
 #[test]
+fn hot_alloc_fixtures() {
+    let sel = module_sel(LintSelection {
+        no_alloc_module: true,
+        ..LintSelection::default()
+    });
+    let bad = check("hot_alloc_bad.rs", false, &sel);
+    // vec!, format!, Vec::with_capacity, .to_string(), Box::new.
+    assert_eq!(bad.len(), 5, "{bad:?}");
+    assert!(bad.iter().all(|d| d.lint == "hot-path-no-alloc"));
+    assert!(check("hot_alloc_ok.rs", false, &sel).is_empty());
+    assert!(check("hot_alloc_waived.rs", false, &sel).is_empty());
+    // Outside the kernel-module list the same source is clean.
+    let cold = module_sel(LintSelection::default());
+    assert!(check("hot_alloc_bad.rs", false, &cold).is_empty());
+}
+
+#[test]
 fn recorder_fixtures() {
     let sel = module_sel(LintSelection {
         kernel_module: true,

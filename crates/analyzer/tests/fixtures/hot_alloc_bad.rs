@@ -1,0 +1,16 @@
+//! Violations: heap allocations inside kernel loop bodies.
+
+pub fn kernel(xs: &[u32]) -> u32 {
+    let mut acc = 0;
+    for &x in xs {
+        let v = vec![x; 4];
+        let s = format!("{x}");
+        let w = Vec::with_capacity(8);
+        let o = s.to_string();
+        acc += v.len() as u32 + w.capacity() as u32 + o.len() as u32;
+    }
+    while acc > 100 {
+        acc -= Box::new(1u32).as_ref();
+    }
+    acc
+}

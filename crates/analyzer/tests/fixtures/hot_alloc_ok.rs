@@ -1,0 +1,37 @@
+//! Clean: allocations stay outside the loops, the loop body reuses
+//! hoisted scratch, and `impl Trait for Type` is not a loop.
+
+pub struct Scratch {
+    buf: Vec<u32>,
+}
+
+impl Iterator for Scratch {
+    type Item = u32;
+    fn next(&mut self) -> Option<u32> {
+        // Inside an impl body but not a loop: allocation is fine.
+        let spare = Vec::new();
+        self.buf.pop().or(spare.first().copied())
+    }
+}
+
+pub fn kernel(xs: &[u32]) -> u32 {
+    let mut scratch = Vec::with_capacity(xs.len());
+    let mut acc = 0;
+    for &x in xs {
+        scratch.clear();
+        scratch.push(x);
+        acc += scratch.len() as u32;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn alloc_in_test_loops_is_fine() {
+        for i in 0..3 {
+            let v = vec![i; 2];
+            assert_eq!(v.len(), 2);
+        }
+    }
+}

@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use psc_align::{Kernel, KernelChoice};
-use psc_core::step2::{run_software, Step2Params};
+use psc_core::step2::{run_software, Step2Params, Step2Schedule};
 use psc_datagen::{random_bank, BankConfig};
 use psc_index::{subset_seed_span3, FlatBank, SeedIndex};
 use psc_score::blosum62;
@@ -35,6 +35,7 @@ fn bench_step2(c: &mut Criterion) {
         n_ctx: 28,
         threshold: 45,
         kernel_backend: KernelChoice::Scalar,
+        schedule: Step2Schedule::default(),
     };
 
     let mut group = c.benchmark_group("step2_software");

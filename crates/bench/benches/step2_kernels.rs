@@ -11,7 +11,7 @@ use psc_align::{
     score_batch, ungapped_score, InterleavedWindows, Kernel, KernelBackend, KernelChoice,
     ScoreProfile,
 };
-use psc_core::step2::{run_software, Step2Params};
+use psc_core::step2::{run_software, Step2Params, Step2Schedule};
 use psc_datagen::{random_bank, BankConfig};
 use psc_index::{subset_seed_span3, FlatBank, SeedIndex};
 use psc_score::blosum62;
@@ -117,6 +117,7 @@ fn bench_step2_backends(c: &mut Criterion) {
             n_ctx: 28,
             threshold: 45,
             kernel_backend: choice,
+            schedule: Step2Schedule::default(),
         };
         // On hosts without AVX2 the Simd choice resolves to Profile;
         // skip the duplicate rather than bench it twice.

@@ -6,6 +6,7 @@
 //!          fig1 fig2 fig3
 //!          ablation-kernel ablation-seed ablation-twohit
 //!          step2-kernels   (writes BENCH_step2_kernels.json)
+//!          step2-balance   (writes BENCH_step2_balance.json)
 //!          step3-overlap   (writes BENCH_step3_overlap.json)
 //!          all
 //! ```
@@ -26,7 +27,7 @@ fn main() {
         .map(String::as_str)
         .collect();
     if wants.is_empty() {
-        eprintln!("usage: experiments [--quick] <table1..table7|fig1..fig3|ablation-*|step2-kernels|step3-overlap|extension-step3|all>");
+        eprintln!("usage: experiments [--quick] <table1..table7|fig1..fig3|ablation-*|step2-kernels|step2-balance|step3-overlap|extension-step3|all>");
         std::process::exit(2);
     }
     let all = wants.contains(&"all");
@@ -119,6 +120,9 @@ fn main() {
     }
     if want("step2-kernels") {
         exps::step2_kernels(&workload);
+    }
+    if want("step2-balance") {
+        exps::step2_balance(&workload, quick);
     }
     if want("extension-step3") {
         exps::extension_step3(&workload);

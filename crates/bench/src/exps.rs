@@ -888,7 +888,7 @@ pub fn ablation_twohit(workload: &Workload) {
 /// step 2 go?"), answered on the host CPU instead of the PE array. All
 /// backends must produce identical candidate sets; this asserts it.
 pub fn step2_kernels(workload: &Workload) {
-    use psc_core::step2::{run_software, Step2Params};
+    use psc_core::step2::{run_software, Step2Params, Step2Schedule};
     use psc_core::KernelChoice;
     use psc_index::{subset_seed_span3, FlatBank, SeedIndex};
 
@@ -919,6 +919,7 @@ pub fn step2_kernels(workload: &Workload) {
             n_ctx: 28,
             threshold: 45,
             kernel_backend: choice,
+            schedule: Step2Schedule::default(),
         };
         window_len = params.window_len();
         let name = params.resolved_backend().name();
@@ -1032,6 +1033,235 @@ pub fn step2_kernels(workload: &Workload) {
         recorded_run.0,
     );
     let path = "BENCH_step2_kernels.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => eprintln!("[experiments] wrote {path}"),
+        Err(e) => eprintln!("[experiments] could not write {path}: {e}"),
+    }
+}
+
+/// Step-2 balance — the bucketed work-stealing schedule against the
+/// contiguous key-range split, across every resolved kernel backend and
+/// a thread sweep. Every configuration's candidate vector is asserted
+/// byte-identical to the scalar baseline, the widest lane kernel's
+/// per-item costs are replayed through [`psc_core::shard_critical_path`]
+/// for modeled 2/4/8-core walls, and the lane-occupancy means of both
+/// schedules are computed analytically from the index lists. Writes
+/// `BENCH_step2_balance.json`.
+pub fn step2_balance(workload: &Workload, quick: bool) {
+    use psc_core::step2::{
+        bucketed_items, lpt_order, rectangle_lane_slots, run_software, run_software_keys,
+        Step2Params, Step2Schedule,
+    };
+    use psc_core::{shard_critical_path, KernelChoice};
+    use psc_index::{subset_seed_span3, FlatBank, SeedIndex};
+
+    println!("## Step-2 balance — schedule × kernel × threads");
+    let frames = translate_six_frames(&workload.genome.genome, GeneticCode::standard()).to_bank();
+    let f0 = FlatBank::from_bank(&workload.banks[1]);
+    let f1 = FlatBank::from_bank(&frames);
+    let model = subset_seed_span3();
+    let i0 = SeedIndex::build(&f0, &model, 1);
+    let i1 = SeedIndex::build(&f1, &model, 1);
+    let pairs = i0.pair_count(&i1);
+    let key_count = i0.key_count() as u32;
+
+    let params_for = |choice: KernelChoice, schedule: Step2Schedule| Step2Params {
+        matrix: blosum62(),
+        kernel: Kernel::ClampedSum,
+        span: 3,
+        n_ctx: 28,
+        threshold: 45,
+        kernel_backend: choice,
+        schedule,
+    };
+    let thread_counts: &[usize] = if quick { &[1, 2] } else { &[1, 2, 8] };
+
+    let mut t = Table::new(&[
+        "backend",
+        "schedule",
+        "threads",
+        "seconds",
+        "pairs/s",
+        "vs scalar",
+    ]);
+    let mut json_rows: Vec<String> = Vec::new();
+    let mut scalar_secs = 0.0f64;
+    let mut baseline: Option<Vec<psc_core::step2::Candidate>> = None;
+    let mut configs_checked = 0usize;
+    let mut seen: Vec<&str> = Vec::new();
+    let mut window_len = 0usize;
+    let mut widest_choice = KernelChoice::Scalar;
+    let mut widest_name = "scalar";
+    let mut widest_width = 0usize;
+    let mut widest_speedup_1t = 0.0f64;
+    for choice in [
+        KernelChoice::Scalar,
+        KernelChoice::Profile,
+        KernelChoice::Simd,
+        KernelChoice::Wide,
+        KernelChoice::Split,
+    ] {
+        let probe = params_for(choice, Step2Schedule::Contiguous);
+        let backend = probe.resolved_backend();
+        let name = backend.name();
+        if seen.contains(&name) {
+            // Without the ISA the choice downgrades to a backend that
+            // already ran; one measurement per resolved backend.
+            continue;
+        }
+        seen.push(name);
+        window_len = probe.window_len();
+        for schedule in [Step2Schedule::Contiguous, Step2Schedule::Bucketed] {
+            let params = params_for(choice, schedule);
+            // Warm-up pass doubles as the bit-identity check.
+            let (cands, _) = run_software(&f0, &i0, &f1, &i1, &params, 1);
+            match &baseline {
+                None => baseline = Some(cands),
+                Some(b) => {
+                    assert_eq!(
+                        b,
+                        &cands,
+                        "{name}/{} diverged from the scalar candidates",
+                        schedule.name()
+                    );
+                    configs_checked += 1;
+                }
+            }
+            for &threads in thread_counts {
+                let reps = if threads == 1 && !quick { 3 } else { 1 };
+                let mut best = f64::INFINITY;
+                let mut out = Vec::new();
+                for _ in 0..reps {
+                    let t0 = Instant::now();
+                    let r = run_software(&f0, &i0, &f1, &i1, &params, threads);
+                    best = best.min(t0.elapsed().as_secs_f64());
+                    out = r.0;
+                }
+                assert_eq!(
+                    baseline.as_ref().expect("baseline set on warm-up"),
+                    &out,
+                    "{name}/{}/{threads}t diverged from the scalar candidates",
+                    schedule.name()
+                );
+                configs_checked += 1;
+                if name == "scalar" && schedule == Step2Schedule::Contiguous && threads == 1 {
+                    scalar_secs = best;
+                }
+                let rate = pairs as f64 / best;
+                let speedup = scalar_secs / best;
+                if threads == 1
+                    && (backend.lane_width() > widest_width
+                        || (backend.lane_width() == widest_width && speedup > widest_speedup_1t))
+                {
+                    widest_choice = choice;
+                    widest_name = name;
+                    widest_width = backend.lane_width();
+                    widest_speedup_1t = speedup;
+                }
+                t.row(vec![
+                    name.into(),
+                    schedule.name().into(),
+                    format!("{threads}"),
+                    secs(best),
+                    format!("{:.2e}", rate),
+                    ratio(speedup),
+                ]);
+                json_rows.push(format!(
+                    "    {{\"backend\": \"{name}\", \"schedule\": \"{}\", \
+                     \"threads\": {threads}, \"seconds\": {best:.6}, \
+                     \"pairs_per_sec\": {rate:.1}, \"speedup_vs_scalar\": {speedup:.3}}}",
+                    schedule.name()
+                ));
+            }
+        }
+    }
+    t.print();
+    println!();
+    println!("bit-identity: true ({configs_checked} configurations matched the scalar baseline)");
+
+    // Mean lane occupancy per schedule, analytically from the index
+    // lists under the widest resolved backend — the same accounting the
+    // pipeline's step2.lane_fill histogram uses.
+    let widest_backend = params_for(widest_choice, Step2Schedule::Contiguous).resolved_backend();
+    let fill_of = |schedule: Step2Schedule| -> f64 {
+        let (mut useful, mut total) = (0u64, 0u64);
+        for k in 0..key_count {
+            let (u, s) =
+                rectangle_lane_slots(i0.list(k).len(), i1.list(k).len(), widest_backend, schedule);
+            useful += u;
+            total += s;
+        }
+        if total == 0 {
+            0.0
+        } else {
+            useful as f64 * 100.0 / total as f64
+        }
+    };
+    let fill_contiguous = fill_of(Step2Schedule::Contiguous);
+    let fill_bucketed = fill_of(Step2Schedule::Bucketed);
+    println!(
+        "lane fill ({widest_name}): contiguous {fill_contiguous:.2} %, \
+         bucketed {fill_bucketed:.2} % mean occupancy"
+    );
+    assert!(
+        fill_bucketed > 0.0,
+        "bucketed schedule reported zero lane occupancy"
+    );
+    if !quick {
+        assert!(
+            fill_bucketed >= 90.0,
+            "bucketed mean lane occupancy {fill_bucketed:.2} % fell below the 90 % floor"
+        );
+        assert!(
+            widest_speedup_1t >= 34.919,
+            "widest kernel {widest_name} 1-thread speedup {widest_speedup_1t:.3}x \
+             fell below the 34.919x BENCH_step2_kernels simd baseline"
+        );
+    }
+
+    // Modeled scaling: time each bucketed work item sequentially on the
+    // widest kernel, then replay the costs through the same atomic-pull
+    // discipline the scheduler runs (LPT order, idlest worker next).
+    let items = bucketed_items(&i0, &i1, 0..key_count);
+    let wparams = params_for(widest_choice, Step2Schedule::Bucketed);
+    let mut costs = vec![0.0f64; items.len()];
+    for (i, item) in items.iter().enumerate() {
+        let t0 = Instant::now();
+        let r = run_software_keys(&f0, &i0, &f1, &i1, &wparams, item.keys.clone(), 1);
+        costs[i] = t0.elapsed().as_secs_f64();
+        std::hint::black_box(r);
+    }
+    let order = lpt_order(&items);
+    let ordered: Vec<f64> = order.iter().map(|&i| costs[i]).collect();
+    let modeled_p1: f64 = ordered.iter().sum();
+    let modeled_p2 = shard_critical_path(&ordered, 2);
+    let modeled_p4 = shard_critical_path(&ordered, 4);
+    let modeled_p8 = shard_critical_path(&ordered, 8);
+    println!(
+        "modeled pull schedule ({widest_name}, {} items): p1 {} p2 {} p4 {} p8 {} \
+         (8-core balance efficiency {:.1} %)\n",
+        items.len(),
+        secs(modeled_p1),
+        secs(modeled_p2),
+        secs(modeled_p4),
+        secs(modeled_p8),
+        modeled_p1 / (modeled_p8 * 8.0) * 100.0
+    );
+
+    let json = format!(
+        "{{\n  \"experiment\": \"step2_balance\",\n  \"window_len\": {window_len},\n  \
+         \"pairs\": {pairs},\n  \"quick\": {quick},\n  \"bit_identical\": true,\n  \
+         \"configs_checked\": {configs_checked},\n  \
+         \"widest\": {{\"backend\": \"{widest_name}\", \"lane_width\": {widest_width}, \
+         \"speedup_vs_scalar_1t\": {widest_speedup_1t:.3}}},\n  \
+         \"lane_fill_mean_pct\": {{\"contiguous\": {fill_contiguous:.2}, \
+         \"bucketed\": {fill_bucketed:.2}}},\n  \"bucketed_items\": {},\n  \
+         \"modeled\": {{\"p1\": {modeled_p1:.6}, \"p2\": {modeled_p2:.6}, \
+         \"p4\": {modeled_p4:.6}, \"p8\": {modeled_p8:.6}}},\n  \"rows\": [\n{}\n  ]\n}}\n",
+        items.len(),
+        json_rows.join(",\n"),
+    );
+    let path = "BENCH_step2_balance.json";
     match std::fs::write(path, &json) {
         Ok(()) => eprintln!("[experiments] wrote {path}"),
         Err(e) => eprintln!("[experiments] could not write {path}: {e}"),

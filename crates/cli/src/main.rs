@@ -7,7 +7,8 @@
 //! psc search          --proteins bank.fasta --genome genome.fasta
 //!                     [--backend scalar|parallel|rasc] [--pes 192] [--fpgas 1]
 //!                     [--threads T] [--evalue 1e-3] [--seed-model subset4|subset3|exact4]
-//!                     [--step2-kernel auto|scalar|profile|simd]
+//!                     [--step2-kernel auto|scalar|profile|simd|wide|split]
+//!                     [--step2-schedule contiguous|bucketed]
 //!                     [--report-json report.json]
 //! psc report          report.json
 //! psc blast           --proteins bank.fasta --genome genome.fasta [--evalue 1e-3]
@@ -88,7 +89,8 @@ commands:
   search          --proteins FILE --genome FILE [--backend scalar|parallel|rasc]
                   [--pes N] [--fpgas N] [--threads N] [--evalue E]
                   [--seed-model subset4|subset3|exact4] [--threshold T]
-                  [--step2-kernel auto|scalar|profile|simd]
+                  [--step2-kernel auto|scalar|profile|simd|wide|split]
+                  [--step2-schedule contiguous|bucketed]   (step-2 work distribution)
                   [--step3-threads N]    (parallel gapped extension workers)
                   [--overlap on|off]     (stream step-3 during step-2 shard completion)
                   [--format tab|pairwise|gff] [--mask on]
@@ -258,13 +260,20 @@ fn search(flags: &Flags) -> Result<(), String> {
     };
     let step2_kernel = match flags.get("step2-kernel") {
         None => psc_core::KernelChoice::Auto,
-        Some(s) => psc_core::KernelChoice::parse(s)
-            .ok_or_else(|| format!("bad --step2-kernel value {s:?} (auto|scalar|profile|simd)"))?,
+        Some(s) => psc_core::KernelChoice::parse(s).ok_or_else(|| {
+            format!("bad --step2-kernel value {s:?} (auto|scalar|profile|simd|wide|split)")
+        })?,
+    };
+    let step2_schedule = match flags.get("step2-schedule") {
+        None => psc_core::Step2Schedule::default(),
+        Some(s) => psc_core::Step2Schedule::parse(s)
+            .ok_or_else(|| format!("bad --step2-schedule value {s:?} (contiguous|bucketed)"))?,
     };
     let config = PipelineConfig {
         seed: seed_choice(flags)?,
         backend,
         step2_kernel,
+        step2_schedule,
         max_evalue: flags.parsed("evalue", 1e-3f64)?,
         threshold: flags.parsed("threshold", 45i32)?,
         index_threads: threads,

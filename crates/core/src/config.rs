@@ -106,6 +106,12 @@ pub struct PipelineConfig {
     /// (scalar / profile / simd; auto-detected by default). Ignored by
     /// the RASC backend, which has its own datapath.
     pub step2_kernel: KernelChoice,
+    /// Work-distribution schedule for the software step-2 backends:
+    /// contiguous key-range chunks (the historical walk) or
+    /// mass-bucketed work items pulled off an atomic counter
+    /// (the default; balances heavy-tailed key masses). Candidates are
+    /// bit-identical either way.
+    pub step2_schedule: crate::step2::Step2Schedule,
     /// Step-2 backend.
     pub backend: Step2Backend,
     /// Step-3 backend.
@@ -160,6 +166,7 @@ impl Default for PipelineConfig {
             threshold: 45,
             kernel: Kernel::ClampedSum,
             step2_kernel: KernelChoice::Auto,
+            step2_schedule: crate::step2::Step2Schedule::default(),
             backend: Step2Backend::SoftwareScalar,
             step3_backend: Step3Backend::default(),
             gap: GapConfig::default(),

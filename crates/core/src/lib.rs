@@ -39,8 +39,9 @@ pub use genome::{
     GenomeMatch, GenomeSearchResult,
 };
 pub use gff::to_gff3;
-pub use pipeline::{Pipeline, PipelineError, PipelineOutput, PipelineStats};
+pub use pipeline::{shard_critical_path, Pipeline, PipelineError, PipelineOutput, PipelineStats};
 pub use profile::StepProfile;
 pub use psc_align::{KernelBackend, KernelChoice};
 pub use psc_telemetry::{MemRecorder, NullRecorder, Recorder, RunReport};
 pub use report::build_run_report;
+pub use step2::Step2Schedule;

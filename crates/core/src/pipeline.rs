@@ -210,6 +210,7 @@ impl Pipeline {
             n_ctx: cfg.n_ctx,
             threshold: cfg.threshold,
             kernel_backend: cfg.step2_kernel,
+            schedule: cfg.step2_schedule,
         };
         let key_count = idx0.key_count() as u32;
         let mut dedup = AnchorDedup::new(&flat0, &flat1, cfg.min_anchor_sep);
@@ -233,10 +234,14 @@ impl Pipeline {
         let step2_accelerated =
             step2_accel_override.or_else(|| board.as_ref().map(|r| r.accelerated_seconds));
         // Which software kernel scored step 2 (the pure-board backend
-        // never touches the software kernels).
+        // never touches the software kernels), plus why `resolve` had to
+        // back off the requested choice, if it did.
+        let (resolved_kernel, kernel_downgrade) = cfg
+            .step2_kernel
+            .resolve_with_reason(params.window_len(), matrix);
         let step2_kernel = match &cfg.backend {
             Step2Backend::Rasc { .. } => None,
-            _ => Some(params.resolved_backend()),
+            _ => Some(resolved_kernel),
         };
 
         // Step-2 telemetry, all computed off the hot loop: counters from
@@ -258,22 +263,49 @@ impl Pipeline {
         if rec.enabled() {
             rec.set_meta("backend", cfg.backend.name());
             rec.set_meta("step3.backend", cfg.step3_backend.name());
+            rec.set_meta("step2.schedule", params.schedule.name());
             if let Some(k) = step2_kernel {
-                rec.set_meta("step2.kernel", &format!("{k:?}").to_lowercase());
+                rec.set_meta("step2.kernel", k.name());
+                rec.set_meta(
+                    "step2.kernel.requested",
+                    &format!("{:?}", cfg.step2_kernel).to_lowercase(),
+                );
+                if let Some(reason) = kernel_downgrade {
+                    rec.set_meta("step2.kernel.downgrade", reason);
+                }
             }
             rec.set_meta("window_len", &cfg.window_len().to_string());
             rec.set_meta("threshold", &cfg.threshold.to_string());
-            let mut simd_tiles = 0u64;
+            let mut lane_tiles = 0u64;
+            let (mut slots_useful, mut slots_total) = (0u64, 0u64);
             for key in 0..key_count {
                 let (n0, n1) = (idx0.list(key).len(), idx1.list(key).len());
                 if n0 == 0 || n1 == 0 {
                     continue;
                 }
-                rec.observe("step2.pairs_per_key", n0 as u64 * n1 as u64);
-                simd_tiles += step2::simd_tile_count(n0, n1, params.window_len());
+                let mass = n0 as u64 * n1 as u64;
+                rec.observe("step2.pairs_per_key", mass);
+                let Some(kb) = step2_kernel else { continue };
+                lane_tiles +=
+                    step2::rectangle_tile_count(n0, n1, params.window_len(), kb, params.schedule);
+                let (useful, total) = step2::rectangle_lane_slots(n0, n1, kb, params.schedule);
+                if kb.lane_width() > 1 && total > 0 {
+                    // Percent of vector slots doing useful work for this
+                    // key, and the same accounting split by log2 pair-mass
+                    // bucket — the heavy-tail keys the bucketed schedule
+                    // exists to balance are the high buckets.
+                    rec.observe("step2.lane_fill", useful * 100 / total);
+                    slots_useful += useful;
+                    slots_total += total;
+                    let b = step2::bucket_of_mass(mass);
+                    rec.add(&format!("step2.lane_slots_useful.b{b:02}"), useful);
+                    rec.add(&format!("step2.lane_slots_total.b{b:02}"), total);
+                }
             }
-            if step2_kernel == Some(psc_align::KernelBackend::Simd) {
-                rec.add("step2.simd_tiles", simd_tiles);
+            if step2_kernel.is_some_and(|k| k.lane_width() > 1) {
+                rec.add("step2.simd_tiles", lane_tiles);
+                rec.add("step2.lane_slots_useful", slots_useful);
+                rec.add("step2.lane_slots_total", slots_total);
             }
         }
 
@@ -615,7 +647,9 @@ fn extend_anchors(
 /// atomic-counter discipline [`extend_anchors`] runs. With measured
 /// per-shard costs this models the step-3 extension wall a host with
 /// that many cores would see, independent of how many this host has.
-fn shard_critical_path(shard_seconds: &[f64], workers: usize) -> f64 {
+/// The same pull discipline drives the bucketed step-2 scheduler, so
+/// `experiments step2-balance` replays per-item costs through it too.
+pub fn shard_critical_path(shard_seconds: &[f64], workers: usize) -> f64 {
     let workers = workers.max(1);
     if workers == 1 || shard_seconds.len() <= 1 {
         return shard_seconds.iter().sum();
@@ -691,7 +725,7 @@ fn run_step2_barrier(
             let board = RascBoard::new(cfg.board_config(*pe_count, 1), matrix)
                 .map_err(PipelineError::OperatorDoesNotFit)?;
             // FPGA takes the dense low keys; CPU workers the rest.
-            let (mut c, mut s, r) =
+            let (mut c, mut s, mut r) =
                 run_rasc_step2(&board, flat0, idx0, flat1, idx1, span, cfg.n_ctx, 1, 0..cut)?;
             // analyzer: allow(determinism) -- wall-clock step profile is the audited exception
             let t_cpu = Instant::now();
@@ -705,6 +739,23 @@ fn run_step2_barrier(
                 *cpu_threads,
             );
             let cpu_wall = t_cpu.elapsed().as_secs_f64();
+            // The host share sees the same fault plan as the board
+            // (its own fault domain); recovery restores every faulted
+            // block, so candidates stay bit-identical.
+            if let Some(plan) = &cfg.fault_plan {
+                let injector = psc_rasc::FaultInjector::new(plan.clone());
+                let host = host_share_faults(
+                    flat0,
+                    idx0,
+                    flat1,
+                    idx1,
+                    params,
+                    cut..key_count,
+                    &injector,
+                    &cfg.recovery,
+                )?;
+                r.faults.merge(&host);
+            }
             c.extend(c2);
             c.sort_unstable_by_key(|x| (x.pos0, x.pos1));
             s.pairs += s2.pairs;
@@ -809,7 +860,7 @@ fn run_step2_overlapped(
                     let cut = split_keys_by_pair_mass(idx0, idx1, *fpga_share);
                     let board = RascBoard::new(cfg.board_config(*pe_count, 1), matrix)
                         .map_err(PipelineError::OperatorDoesNotFit)?;
-                    let (mut stats, report) = run_rasc_step2_stream(
+                    let (mut stats, mut report) = run_rasc_step2_stream(
                         &board,
                         flat0,
                         idx0,
@@ -838,6 +889,23 @@ fn run_step2_overlapped(
                     let cpu_wall = t_cpu.elapsed().as_secs_f64();
                     stats.pairs += s2.pairs;
                     stats.active_keys += s2.active_keys;
+                    // Same host-share fault exposure as the barrier
+                    // path — the summary is workload + plan pure, so
+                    // both modes report identical fault counters.
+                    if let Some(plan) = &cfg.fault_plan {
+                        let injector = psc_rasc::FaultInjector::new(plan.clone());
+                        let host = host_share_faults(
+                            flat0,
+                            idx0,
+                            flat1,
+                            idx1,
+                            params,
+                            cut..key_count,
+                            &injector,
+                            &cfg.recovery,
+                        )?;
+                        report.faults.merge(&host);
+                    }
                     let effective = report.accelerated_seconds.max(cpu_wall);
                     (stats, Some(report), Some(effective))
                 }
@@ -848,6 +916,111 @@ fn run_step2_overlapped(
         result
     })
     .expect("overlap scope")
+}
+
+/// Virtual fault domain of the hybrid backend's host (CPU) share —
+/// disjoint from real FPGA indices so one seeded [`FaultPlan`] draws
+/// independent fault streams for the board and the host kernel.
+const HOST_FAULT_DOMAIN: usize = 0xFF;
+
+/// Checksum over a candidate list with the same Fletcher accumulator
+/// the board commits per entry ([`psc_rasc::fault::hits_checksum`]) —
+/// positions and scores both covered, so any PeFlip-style score
+/// corruption is caught.
+fn candidates_checksum(cands: &[Candidate]) -> u64 {
+    // Reuse the board's checksum by viewing each candidate as a hit.
+    let hits: Vec<psc_rasc::Hit> = cands
+        .iter()
+        .map(|c| psc_rasc::Hit {
+            i0: c.pos0,
+            i1: c.pos1,
+            score: c.score,
+        })
+        .collect();
+    psc_rasc::fault::hits_checksum(&hits)
+}
+
+/// Seeded fault injection over the host (CPU) share of a hybrid run.
+///
+/// The host share is exposed to the same [`FaultPlan`] as the board:
+/// each bucketed work item of the CPU key range is one fault "entry"
+/// (domain [`HOST_FAULT_DOMAIN`]), and a fired fault behaves like a PE
+/// score flip — one bit of one candidate's score is corrupted in the
+/// item's result block. Detection is the board's own mechanism: the
+/// per-item result checksum mismatches and the item is recomputed,
+/// backing off per [`psc_rasc::RecoveryPolicy`] until the fault clears
+/// or the retry budget degrades (host degradation *is* the software
+/// kernel, so recovery always restores the clean block). A corruption
+/// with nothing to corrupt (empty result block) is harmless and
+/// accepted, mirroring the board. Candidates are bit-identical with and
+/// without a plan; only the returned [`FaultSummary`] differs, and it
+/// is a pure function of workload + plan (thread-count independent).
+#[allow(clippy::too_many_arguments)]
+fn host_share_faults(
+    flat0: &FlatBank,
+    idx0: &SeedIndex,
+    flat1: &FlatBank,
+    idx1: &SeedIndex,
+    params: &Step2Params<'_>,
+    keys: std::ops::Range<u32>,
+    injector: &psc_rasc::FaultInjector,
+    recovery: &psc_rasc::RecoveryPolicy,
+) -> Result<psc_rasc::FaultSummary, PipelineError> {
+    let mut summary = psc_rasc::FaultSummary::default();
+    let items = step2::bucketed_items(idx0, idx1, keys);
+    for (i, item) in items.iter().enumerate() {
+        let entry = i as u64;
+        // Cheap probe: most items never fault, and the clean block is
+        // only needed once a fault actually fires.
+        if injector.fire(entry, HOST_FAULT_DOMAIN, 0).is_none() {
+            continue;
+        }
+        let (clean, _) =
+            step2::run_software_keys(flat0, idx0, flat1, idx1, params, item.keys.clone(), 1);
+        let clean_sum = candidates_checksum(&clean);
+        let mut attempt = 0u32;
+        // Loop until an attempt draws no fault: that recomputation is
+        // the clean block and its checksum matches the reference.
+        while let Some(kind) = injector.fire(entry, HOST_FAULT_DOMAIN, attempt) {
+            summary.faults_injected += 1;
+            if clean.is_empty() {
+                // Nothing to corrupt: the flip lands outside the result
+                // block, the checksum matches, the attempt is accepted.
+                break;
+            }
+            let mut corrupted = clean.clone();
+            let victim =
+                injector.roll(entry, HOST_FAULT_DOMAIN, attempt, corrupted.len() as u64) as usize;
+            let bit = injector.roll(entry, HOST_FAULT_DOMAIN, attempt.wrapping_add(97), 31);
+            corrupted[victim].score ^= 1i32 << bit;
+            if candidates_checksum(&corrupted) == clean_sum {
+                // Undetectable corruption (cannot happen with a bit
+                // flip under this checksum, but keep the board's
+                // accept-if-clean contract explicit).
+                break;
+            }
+            summary.faults_detected += 1;
+            summary.checksum_mismatches += 1;
+            if attempt >= recovery.max_retries {
+                if recovery.degrade {
+                    // "Degrading" the host share recomputes with the
+                    // same software kernel — the clean block stands.
+                    summary.entries_degraded += 1;
+                    break;
+                }
+                return Err(PipelineError::BoardFault(psc_rasc::BoardFault {
+                    entry,
+                    fpga: HOST_FAULT_DOMAIN,
+                    kind,
+                    attempts: attempt + 1,
+                }));
+            }
+            summary.retries += 1;
+            summary.backoff_cycles += recovery.backoff(attempt);
+            attempt += 1;
+        }
+    }
+    Ok(summary)
 }
 
 /// Prefix key cut such that keys `0..cut` carry ≈ `share` of the total
@@ -1081,6 +1254,8 @@ mod tests {
             KernelChoice::Auto,
             KernelChoice::Profile,
             KernelChoice::Simd,
+            KernelChoice::Wide,
+            KernelChoice::Split,
         ] {
             let out = mk(choice);
             assert_eq!(scalar.hsps, out.hsps, "{choice:?}");
@@ -1091,6 +1266,73 @@ mod tests {
                 KernelBackend::Scalar,
                 "{choice:?} must not fall back to scalar"
             );
+        }
+    }
+
+    #[test]
+    fn schedules_agree_and_lane_fill_is_recorded() {
+        use crate::step2::Step2Schedule;
+        let seqs: Vec<Vec<u8>> = (0..14)
+            .map(|i| {
+                (0..160u32)
+                    .map(|j| (((i * 23 + j * 5) % 83) % 20) as u8)
+                    .collect()
+            })
+            .collect();
+        let b0: Bank = seqs
+            .iter()
+            .enumerate()
+            .map(|(i, s)| Seq::from_codes(format!("q{i}"), s.clone(), psc_seqio::SeqKind::Protein))
+            .collect();
+        let b1 = b0.clone();
+        let mk = |schedule, threads| {
+            let cfg = PipelineConfig {
+                step2_schedule: schedule,
+                backend: if threads > 1 {
+                    Step2Backend::SoftwareParallel { threads }
+                } else {
+                    Step2Backend::SoftwareScalar
+                },
+                ..small_config()
+            };
+            let rec = psc_telemetry::MemRecorder::new();
+            let out = Pipeline::new(cfg).run_recorded(&b0, &b1, blosum62(), &rec);
+            (out, rec.snapshot())
+        };
+        let (want, base_snap) = mk(Step2Schedule::Contiguous, 1);
+        assert!(!want.hsps.is_empty());
+        for schedule in [Step2Schedule::Contiguous, Step2Schedule::Bucketed] {
+            for threads in [1, 4] {
+                let (out, snap) = mk(schedule, threads);
+                assert_eq!(want.hsps, out.hsps, "{schedule:?} threads={threads}");
+                assert_eq!(
+                    want.stats.step2, out.stats.step2,
+                    "{schedule:?} threads={threads}"
+                );
+                // Lane-occupancy diagnostics ride along whenever a lane
+                // kernel resolved (Auto resolves to one on SIMD hosts).
+                if snap
+                    .meta
+                    .get("step2.kernel")
+                    .is_some_and(|k| k != "scalar" && k != "profile")
+                {
+                    let fill = snap
+                        .histograms
+                        .get("step2.lane_fill")
+                        .expect("lane kernel must record step2.lane_fill");
+                    assert!(fill.count > 0, "empty lane_fill histogram");
+                    assert!(
+                        snap.counters.get("step2.lane_slots_total").copied() > Some(0),
+                        "missing lane slot counters"
+                    );
+                }
+                // The pair-mass histogram is schedule-independent.
+                assert_eq!(
+                    base_snap.histograms.get("step2.pairs_per_key"),
+                    snap.histograms.get("step2.pairs_per_key"),
+                    "{schedule:?} threads={threads}"
+                );
+            }
         }
     }
 
@@ -1165,6 +1407,58 @@ mod tests {
             assert_eq!(scalar.stats.step2, hybrid.stats.step2, "share={share}");
             assert!(hybrid.profile.step2_accelerated.is_some());
         }
+    }
+
+    #[test]
+    fn hybrid_host_share_faults_are_deterministic_and_harmless() {
+        let seqs: Vec<Vec<u8>> = (0..14)
+            .map(|i| {
+                (0..160u32)
+                    .map(|j| (((i * 17 + j * 3) % 79) % 20) as u8)
+                    .collect()
+            })
+            .collect();
+        let b0: Bank = seqs
+            .iter()
+            .enumerate()
+            .map(|(i, s)| Seq::from_codes(format!("q{i}"), s.clone(), psc_seqio::SeqKind::Protein))
+            .collect();
+        let b1 = b0.clone();
+        // share 0.0 sends every key to the host kernel, so the fault
+        // summary below is purely host-share activity.
+        let mk = |fault_plan, overlap| {
+            let cfg = PipelineConfig {
+                backend: Step2Backend::Hybrid {
+                    pe_count: 64,
+                    cpu_threads: 2,
+                    fpga_share: 0.0,
+                },
+                fault_plan,
+                overlap,
+                ..small_config()
+            };
+            Pipeline::new(cfg).run(&b0, &b1, blosum62())
+        };
+        let plan = psc_rasc::FaultPlan::Seeded {
+            seed: 7,
+            rate_ppm: 600_000,
+        };
+        let clean = mk(None, false);
+        let faulted = mk(Some(plan.clone()), false);
+        // Recovery restores every corrupted block: output identical.
+        assert_eq!(clean.hsps, faulted.hsps);
+        assert_eq!(clean.stats.step2, faulted.stats.step2);
+        let summary = faulted.board.as_ref().expect("hybrid board report").faults;
+        assert!(summary.faults_injected > 0, "plan never fired: {summary:?}");
+        assert_eq!(summary.faults_detected, summary.checksum_mismatches);
+        assert!(summary.retries > 0, "no retry exercised: {summary:?}");
+        // Pure function of workload + plan: replays and the overlapped
+        // mode report the exact same counters.
+        let replay = mk(Some(plan.clone()), false);
+        assert_eq!(summary, replay.board.as_ref().unwrap().faults);
+        let overlapped = mk(Some(plan), true);
+        assert_eq!(clean.hsps, overlapped.hsps);
+        assert_eq!(summary, overlapped.board.as_ref().unwrap().faults);
     }
 
     #[test]

@@ -9,21 +9,37 @@
 //! dense rectangular pair loop — exactly the data flow the PE array
 //! consumes.
 //!
-//! Three interchangeable kernel backends score that rectangle (selected
-//! by [`psc_align::KernelChoice`], auto-detected by default): the
-//! original per-pair `scalar` kernel, a score-`profile` kernel that
-//! builds one substitution table per `IL0` window, and a batched `simd`
-//! kernel that transposes `IL1` and scores [`psc_align::LANES`] window
-//! pairs per step through cache-sized tiles. All three emit bit-identical
-//! candidates in identical order.
+//! Interchangeable kernel backends score that rectangle (selected by
+//! [`psc_align::KernelChoice`], auto-detected by default): the original
+//! per-pair `scalar` kernel, a score-`profile` kernel that builds one
+//! substitution table per `IL0` window, and the batched lane kernels
+//! (`simd`, `wide`, `split`) that transpose one side and score
+//! [`psc_align::LANES`] or [`psc_align::WIDE_LANES`] window pairs per
+//! step through cache-sized tiles. All emit bit-identical candidates in
+//! identical order.
+//!
+//! Multi-threaded runs distribute keys under a [`Step2Schedule`]:
+//! `contiguous` cuts the key range into one balanced chunk per worker,
+//! while the default `bucketed` schedule builds mass-bucketed work
+//! items (heavy keys alone, light keys coalesced), executes them
+//! heaviest-first off an atomic pull counter, and routes each rectangle
+//! so the lane axis is the larger index list (transposing the
+//! orientation when `|IL1| < |IL0|`, falling back to the profile kernel
+//! when both sides are shorter than a lane block). Both schedules merge
+//! per-item results back into key order, so candidates, stats and
+//! report JSON are byte-identical at any thread count.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use crossbeam::{channel, thread};
 use psc_align::{
-    profile_score, profile_score2, score_lanes, ungapped_score, InterleavedWindows, Kernel,
-    KernelBackend, KernelChoice, ScoreProfile, LANES,
+    profile_score, profile_score2, score_lanes, score_lanes_split, score_lanes_wide,
+    ungapped_score, InterleavedWindows, Kernel, KernelBackend, KernelChoice, ScoreProfile, LANES,
+    WIDE_LANES,
 };
 use psc_index::{FlatBank, SeedIndex};
 use psc_score::SubstitutionMatrix;
+use psc_seqio::alphabet::AA_ALPHABET_LEN;
 
 /// A pair that survived step 2: global seed positions in each bank and
 /// the windowed score.
@@ -56,6 +72,38 @@ pub fn gather_windows(flat: &FlatBank, list: &[u32], span: usize, n_ctx: usize, 
     }
 }
 
+/// How step 2 distributes key work across workers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Step2Schedule {
+    /// Cut the key range into one contiguous, mass-balanced chunk per
+    /// worker (the original scheme).
+    Contiguous,
+    /// Mass-bucketed work items pulled off an atomic counter, heaviest
+    /// first, with light keys coalesced and each rectangle oriented so
+    /// the lane axis is the larger list.
+    #[default]
+    Bucketed,
+}
+
+impl Step2Schedule {
+    /// Parse a CLI-style name.
+    pub fn parse(s: &str) -> Option<Step2Schedule> {
+        Some(match s {
+            "contiguous" => Step2Schedule::Contiguous,
+            "bucketed" => Step2Schedule::Bucketed,
+            _ => return None,
+        })
+    }
+
+    /// Short stable name, for stats and profile output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Step2Schedule::Contiguous => "contiguous",
+            Step2Schedule::Bucketed => "bucketed",
+        }
+    }
+}
+
 /// Scoring parameters threaded through the software backends.
 #[derive(Clone, Copy, Debug)]
 pub struct Step2Params<'m> {
@@ -67,6 +115,9 @@ pub struct Step2Params<'m> {
     /// Which kernel implementation scores the pair rectangle
     /// (auto-detected by default; see [`Step2Params::resolved_backend`]).
     pub kernel_backend: KernelChoice,
+    /// How keys are distributed across workers (output-invariant; see
+    /// [`Step2Schedule`]).
+    pub schedule: Step2Schedule,
 }
 
 impl Step2Params<'_> {
@@ -90,24 +141,33 @@ const TILE_I: usize = 32;
 /// over it.
 const TILE_J_BYTES: usize = 32 << 10;
 
-/// j-tile width (in windows) for a given window length — the one
-/// formula both the hot loop and the analytic tile count derive from.
-fn simd_tile_j(window_len: usize) -> usize {
-    (TILE_J_BYTES / window_len.max(1)).clamp(LANES, 1 << 14) / LANES * LANES
+/// j-tile width (in windows) for a given window length and kernel lane
+/// width — the one formula both the hot loop and the analytic tile
+/// count derive from.
+fn tile_j_for(window_len: usize, lane_width: usize) -> usize {
+    (TILE_J_BYTES / window_len.max(1)).clamp(lane_width, 1 << 14) / lane_width * lane_width
 }
 
-/// The exact `(i, j)` tile sequence [`simd_rectangle`] walks for one
+/// j-tile width for the 16-lane kernel (kept for the existing tests
+/// and telemetry call sites).
+#[cfg(test)]
+fn simd_tile_j(window_len: usize) -> usize {
+    tile_j_for(window_len, LANES)
+}
+
+/// The exact `(i, j)` tile sequence [`lanes_rectangle`] walks for one
 /// key's `n0 × n1` pair rectangle — i-tiles outer, j-tiles inner. The
-/// hot loop iterates this directly, and tests pin [`simd_tile_count`]'s
-/// closed form to `simd_tile_walk(..).count()`, so the telemetry number
+/// hot loop iterates this directly, and tests pin [`tile_count`]'s
+/// closed form to `tile_walk(..).count()`, so the telemetry number
 /// cannot drift from the real walk.
 #[doc(hidden)]
-pub fn simd_tile_walk(
+pub fn tile_walk(
     n0: usize,
     n1: usize,
     window_len: usize,
+    lane_width: usize,
 ) -> impl Iterator<Item = (std::ops::Range<usize>, std::ops::Range<usize>)> {
-    let tile_j = simd_tile_j(window_len);
+    let tile_j = tile_j_for(window_len, lane_width);
     (0..n0).step_by(TILE_I).flat_map(move |i0| {
         let i_end = (i0 + TILE_I).min(n0);
         (0..n1)
@@ -116,15 +176,201 @@ pub fn simd_tile_walk(
     })
 }
 
-/// Number of cache tiles the SIMD kernel walks for one key's
-/// `n0 × n1` pair rectangle — the telemetry counterpart of
-/// [`simd_tile_walk`], computed analytically so instrumentation never
+/// [`tile_walk`] for the 16-lane kernel.
+#[doc(hidden)]
+pub fn simd_tile_walk(
+    n0: usize,
+    n1: usize,
+    window_len: usize,
+) -> impl Iterator<Item = (std::ops::Range<usize>, std::ops::Range<usize>)> {
+    tile_walk(n0, n1, window_len, LANES)
+}
+
+/// Number of cache tiles a lane kernel of `lane_width` walks for one
+/// key's `n0 × n1` pair rectangle — the telemetry counterpart of
+/// [`tile_walk`], computed analytically so instrumentation never
 /// touches the hot loop.
-pub fn simd_tile_count(n0: usize, n1: usize, window_len: usize) -> u64 {
+pub fn tile_count(n0: usize, n1: usize, window_len: usize, lane_width: usize) -> u64 {
     if n0 == 0 || n1 == 0 {
         return 0;
     }
-    n0.div_ceil(TILE_I) as u64 * n1.div_ceil(simd_tile_j(window_len)) as u64
+    n0.div_ceil(TILE_I) as u64 * n1.div_ceil(tile_j_for(window_len, lane_width)) as u64
+}
+
+/// [`tile_count`] for the 16-lane kernel.
+pub fn simd_tile_count(n0: usize, n1: usize, window_len: usize) -> u64 {
+    tile_count(n0, n1, window_len, LANES)
+}
+
+/// Cache tiles the resolved lane kernel walks for one key's `n0 × n1`
+/// rectangle under `schedule` — 0 for scalar-width backends and for
+/// rectangles [`lane_orientation`] routes to the profile path. Consults
+/// the same orientation the hot loop does, so the telemetry count
+/// cannot drift from the real walk.
+pub fn rectangle_tile_count(
+    n0: usize,
+    n1: usize,
+    window_len: usize,
+    backend: KernelBackend,
+    schedule: Step2Schedule,
+) -> u64 {
+    let width = backend.lane_width();
+    if width == 1 {
+        return 0;
+    }
+    match lane_orientation(n0, n1, schedule) {
+        None => 0,
+        Some(false) => tile_count(n0, n1, window_len, width),
+        Some(true) => tile_count(n1, n0, window_len, width),
+    }
+}
+
+/// Log2 mass bucket of a pair mass, using the same convention as the
+/// telemetry histograms: bucket 0 holds mass 0, bucket `b >= 1` holds
+/// `[2^(b-1), 2^b)`.
+#[inline]
+pub fn bucket_of_mass(mass: u64) -> u32 {
+    if mass == 0 {
+        0
+    } else {
+        64 - mass.leading_zeros()
+    }
+}
+
+/// One schedulable unit of bucketed step-2 work: a contiguous run of
+/// keys with its total pair mass.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WorkItem {
+    /// Keys this item covers (consecutive; empty keys ride along).
+    pub keys: std::ops::Range<u32>,
+    /// Total `|IL0|·|IL1|` pair mass over `keys`.
+    pub mass: u64,
+    /// Log2 mass bucket ([`bucket_of_mass`]).
+    pub bucket: u32,
+}
+
+impl WorkItem {
+    fn new(keys: std::ops::Range<u32>, mass: u64) -> WorkItem {
+        WorkItem {
+            keys,
+            mass,
+            bucket: bucket_of_mass(mass),
+        }
+    }
+}
+
+/// Pair mass at which a key is heavy enough to be its own work item;
+/// lighter consecutive keys coalesce until their run accumulates this
+/// much, so the atomic pull is never contended by near-empty grabs.
+const ITEM_MASS: u64 = 4096;
+
+/// Partition `keys` into bucketed-scheduler work items, in key order.
+///
+/// Every key of the range lands in exactly one item (the scheduler
+/// property tests pin the partition): keys of mass >= `ITEM_MASS` get a
+/// dedicated item, and runs of lighter keys (including empty ones)
+/// coalesce into shared items of roughly `ITEM_MASS` pairs.
+pub fn bucketed_items(
+    idx0: &SeedIndex,
+    idx1: &SeedIndex,
+    keys: std::ops::Range<u32>,
+) -> Vec<WorkItem> {
+    let mut items = Vec::new();
+    let mut run_start = keys.start;
+    let mut run_mass = 0u64;
+    for k in keys.clone() {
+        let mass = idx0.list(k).len() as u64 * idx1.list(k).len() as u64;
+        if mass >= ITEM_MASS {
+            if k > run_start {
+                items.push(WorkItem::new(run_start..k, run_mass));
+            }
+            items.push(WorkItem::new(k..k + 1, mass));
+            run_start = k + 1;
+            run_mass = 0;
+        } else {
+            run_mass += mass;
+            if run_mass >= ITEM_MASS {
+                items.push(WorkItem::new(run_start..k + 1, run_mass));
+                run_start = k + 1;
+                run_mass = 0;
+            }
+        }
+    }
+    if run_start < keys.end {
+        items.push(WorkItem::new(run_start..keys.end, run_mass));
+    }
+    items
+}
+
+/// Execution order over `items` for the atomic pull: heaviest mass
+/// first (longest-processing-time heuristic), ties broken by key order
+/// so the order — unlike the completion order — is deterministic.
+pub fn lpt_order(items: &[WorkItem]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..items.len()).collect();
+    order.sort_by_key(|&i| (std::cmp::Reverse(items[i].mass), items[i].keys.start));
+    order
+}
+
+/// How a lane kernel covers one `n0 × n1` rectangle under `schedule`:
+/// `None` routes it to the scalar profile kernel (both sides shorter
+/// than a lane block, so lanes would mostly idle), `Some(transposed)`
+/// keeps it on the lane path with the lane axis on `IL1` (`false`) or
+/// transposed onto the larger `IL0` (`true`).
+///
+/// This is the single routing decision both the hot loop and the
+/// analytic lane-occupancy accounting consult, so the recorded
+/// `step2.lane_fill` numbers cannot drift from the real walk.
+pub fn lane_orientation(n0: usize, n1: usize, schedule: Step2Schedule) -> Option<bool> {
+    match schedule {
+        Step2Schedule::Contiguous => Some(false),
+        Step2Schedule::Bucketed if n0.max(n1) < LANES => None,
+        Step2Schedule::Bucketed => Some(n1 < n0),
+    }
+}
+
+/// Lane-slot accounting for one key's `n0 × n1` rectangle: `(useful,
+/// total)` lane slots the resolved backend consumes under `schedule`.
+///
+/// Pure arithmetic mirroring [`lane_orientation`] — the pipeline
+/// derives the `step2.lane_fill` histogram and per-bucket occupancy
+/// counters from this after the run, never inside the kernel loop.
+pub fn rectangle_lane_slots(
+    n0: usize,
+    n1: usize,
+    backend: KernelBackend,
+    schedule: Step2Schedule,
+) -> (u64, u64) {
+    let useful = n0 as u64 * n1 as u64;
+    if useful == 0 {
+        return (0, 0);
+    }
+    let width = backend.lane_width();
+    if width == 1 {
+        return (useful, useful);
+    }
+    let (rows, cols) = match lane_orientation(n0, n1, schedule) {
+        None => return (useful, useful),
+        Some(false) => (n0, n1),
+        Some(true) => (n1, n0),
+    };
+    let total = rows as u64 * cols.div_ceil(width) as u64 * width as u64;
+    (useful, total)
+}
+
+/// The transposed substitution lookup used when a rectangle runs in
+/// transposed orientation: `t[b][a] = m[a][b]`, so scoring `IL1`
+/// profiles against streamed `IL0` windows adds exactly the same
+/// substitution score per recurrence step as the normal orientation —
+/// candidates stay bit-identical even for asymmetric matrices.
+fn transposed_matrix(m: &SubstitutionMatrix) -> SubstitutionMatrix {
+    let flat = m.flat();
+    let mut t = [0i8; AA_ALPHABET_LEN * AA_ALPHABET_LEN];
+    for a in 0..AA_ALPHABET_LEN {
+        for b in 0..AA_ALPHABET_LEN {
+            t[b * AA_ALPHABET_LEN + a] = flat[a * AA_ALPHABET_LEN + b];
+        }
+    }
+    SubstitutionMatrix::from_flat(format!("{}-transposed", m.name), t)
 }
 
 /// Reusable scratch buffers for one worker's key range, so the per-key
@@ -140,6 +386,11 @@ struct KeyScratch {
 }
 
 /// Run step 2 on one key range, appending candidates (key-major order).
+///
+/// `scratch` is reused across calls so the bucketed scheduler's
+/// per-item invocations allocate nothing in steady state; `tmat` is the
+/// run's [`transposed_matrix`], consulted only when a rectangle runs in
+/// transposed orientation.
 #[allow(clippy::too_many_arguments)]
 fn run_key_range(
     flat0: &FlatBank,
@@ -148,11 +399,12 @@ fn run_key_range(
     idx1: &SeedIndex,
     params: &Step2Params<'_>,
     backend: KernelBackend,
+    tmat: &SubstitutionMatrix,
     keys: std::ops::Range<u32>,
+    scratch: &mut KeyScratch,
     out: &mut Vec<Candidate>,
     stats: &mut Step2Stats,
 ) {
-    let mut scratch = KeyScratch::default();
     for key in keys {
         let list0 = idx0.list(key);
         let list1 = idx1.list(key);
@@ -167,11 +419,27 @@ fn run_key_range(
             KernelBackend::Scalar => {
                 scalar_rectangle(params, list0, list1, &scratch.w0, &scratch.w1, out)
             }
-            KernelBackend::Profile => profile_rectangle(params, list0, list1, &mut scratch, out),
-            KernelBackend::Simd => simd_rectangle(params, list0, list1, &mut scratch, out),
+            KernelBackend::Profile => profile_rectangle(params, list0, list1, scratch, out),
+            KernelBackend::Simd | KernelBackend::Wide | KernelBackend::Split => {
+                match lane_orientation(list0.len(), list1.len(), params.schedule) {
+                    None => profile_rectangle(params, list0, list1, scratch, out),
+                    Some(false) => lanes_rectangle(
+                        params,
+                        backend,
+                        params.matrix,
+                        false,
+                        list0,
+                        list1,
+                        scratch,
+                        out,
+                    ),
+                    Some(true) => {
+                        lanes_rectangle(params, backend, tmat, true, list0, list1, scratch, out)
+                    }
+                }
+            }
         }
     }
-    stats.candidates = out.len() as u64;
 }
 
 /// The original per-pair loop (the paper's sequential kernel).
@@ -250,53 +518,93 @@ fn profile_rectangle(
     }
 }
 
-/// Batched SIMD loop: transpose `IL1` once per key, then walk the
-/// `|IL0|×|IL1|` rectangle in cache-sized tiles — profiles for an
-/// i-tile are built together, and each j-tile of the interleaved stream
-/// is reused by every profile of the i-tile before moving on (the PE
-/// array's broadcast, tiled for a cache hierarchy instead of wires).
-fn simd_rectangle(
+/// Batched lane loop (the `simd`, `wide` and `split` backends):
+/// transpose the lane-axis windows once per key, then walk the pair
+/// rectangle in cache-sized tiles — profiles for an i-tile are built
+/// together, and each j-tile of the interleaved stream is reused by
+/// every profile of the i-tile before moving on (the PE array's
+/// broadcast, tiled for a cache hierarchy instead of wires).
+///
+/// With `transposed` set (bucketed schedule, `|IL1| < |IL0|`) the
+/// profile axis is `IL1` scored under `profile_matrix` =
+/// [`transposed_matrix`] and the lanes stream `IL0`, so lanes fill from
+/// the larger list while every recurrence step adds the same
+/// substitution score — hits are recorded in `(i0, i1)` coordinates
+/// either way and sorted back to the scalar loop's lexicographic order.
+#[allow(clippy::too_many_arguments)]
+fn lanes_rectangle(
     params: &Step2Params<'_>,
+    backend: KernelBackend,
+    profile_matrix: &SubstitutionMatrix,
+    transposed: bool,
     list0: &[u32],
     list1: &[u32],
     scratch: &mut KeyScratch,
     out: &mut Vec<Candidate>,
 ) {
     let l = params.window_len();
-    let (n0, n1) = (list0.len(), list1.len());
-    scratch.il1.build(&scratch.w1, l);
-    scratch.profiles.resize_with(TILE_I, ScoreProfile::new);
-    scratch.hits.clear();
+    let KeyScratch {
+        w0,
+        w1,
+        il1,
+        profiles,
+        hits,
+    } = scratch;
+    let (prof_rows, lane_rows, np, nl) = if transposed {
+        (&*w1, &*w0, list1.len(), list0.len())
+    } else {
+        (&*w0, &*w1, list0.len(), list1.len())
+    };
+    il1.build(lane_rows, l);
+    profiles.resize_with(TILE_I, ScoreProfile::new);
+    hits.clear();
 
-    let mut lanes = [0i32; LANES];
-    for (ti, tj) in simd_tile_walk(n0, n1, l) {
+    let width = backend.lane_width();
+    let mut lanes16 = [0i32; LANES];
+    let mut lanes32 = [0i32; WIDE_LANES];
+    for (ti, tj) in tile_walk(np, nl, l, width) {
         // First j-tile of an i-tile: (re)build that i-tile's profiles.
         if tj.start == 0 {
             for i in ti.clone() {
-                scratch.profiles[i - ti.start]
-                    .build(params.matrix, &scratch.w0[i * l..(i + 1) * l]);
+                profiles[i - ti.start].build(profile_matrix, &prof_rows[i * l..(i + 1) * l]);
             }
         }
         for i in ti.clone() {
-            let prof = &scratch.profiles[i - ti.start];
+            let prof = &profiles[i - ti.start];
             let mut j = tj.start;
             while j < tj.end {
-                score_lanes(params.kernel, prof, &scratch.il1, j, &mut lanes);
-                let take = LANES.min(tj.end - j);
-                for (t, &score) in lanes[..take].iter().enumerate() {
+                let block: &[i32] = match backend {
+                    KernelBackend::Wide => {
+                        score_lanes_wide(params.kernel, prof, il1, j, &mut lanes32);
+                        &lanes32
+                    }
+                    KernelBackend::Split => {
+                        score_lanes_split(params.kernel, prof, il1, j, &mut lanes32);
+                        &lanes32
+                    }
+                    // Scalar/Profile are never routed here; treat them
+                    // as the 16-lane path to keep the match total.
+                    KernelBackend::Simd | KernelBackend::Scalar | KernelBackend::Profile => {
+                        score_lanes(params.kernel, prof, il1, j, &mut lanes16);
+                        &lanes16
+                    }
+                };
+                let take = width.min(tj.end - j);
+                for (t, &score) in block[..take].iter().enumerate() {
                     if score >= params.threshold {
-                        scratch.hits.push((i as u32, (j + t) as u32, score));
+                        let (hi, hj) = if transposed { (j + t, i) } else { (i, j + t) };
+                        hits.push((hi as u32, hj as u32, score));
                     }
                 }
-                j += LANES;
+                j += width;
             }
         }
     }
 
-    // Tiles visit (i, j) out of order; restore the scalar loop's
-    // lexicographic candidate order.
-    scratch.hits.sort_unstable();
-    out.extend(scratch.hits.iter().map(|&(i, j, score)| Candidate {
+    // Tiles (and the transposed orientation) visit (i0, i1) out of
+    // order; restore the scalar loop's lexicographic candidate order.
+    hits.sort_unstable();
+    out.extend(hits.iter().map(|&(i, j, score)| Candidate {
         pos0: list0[i as usize],
         pos1: list1[j as usize],
         score,
@@ -332,16 +640,56 @@ pub fn run_software_keys(
     assert_eq!(idx0.key_count(), idx1.key_count(), "incompatible indexes");
     let threads = threads.max(1);
     let backend = params.resolved_backend();
+    let tmat = transposed_matrix(params.matrix);
 
     if threads == 1 {
+        // Sequentially, both schedules walk keys in order; only the
+        // per-rectangle lane routing differs, and that is a function of
+        // the schedule, not of the item partition.
+        let mut scratch = KeyScratch::default();
         let mut out = Vec::new();
         let mut stats = Step2Stats::default();
         run_key_range(
-            flat0, idx0, flat1, idx1, params, backend, keys, &mut out, &mut stats,
+            flat0,
+            idx0,
+            flat1,
+            idx1,
+            params,
+            backend,
+            &tmat,
+            keys,
+            &mut scratch,
+            &mut out,
+            &mut stats,
         );
+        stats.candidates = out.len() as u64;
         return (out, stats);
     }
 
+    match params.schedule {
+        Step2Schedule::Contiguous => run_contiguous(
+            flat0, idx0, flat1, idx1, params, backend, &tmat, keys, threads,
+        ),
+        Step2Schedule::Bucketed => run_bucketed(
+            flat0, idx0, flat1, idx1, params, backend, &tmat, keys, threads,
+        ),
+    }
+}
+
+/// Contiguous multi-threaded schedule: one balanced key-range chunk per
+/// worker, results concatenated in chunk (= key) order.
+#[allow(clippy::too_many_arguments)]
+fn run_contiguous(
+    flat0: &FlatBank,
+    idx0: &SeedIndex,
+    flat1: &FlatBank,
+    idx1: &SeedIndex,
+    params: &Step2Params<'_>,
+    backend: KernelBackend,
+    tmat: &SubstitutionMatrix,
+    keys: std::ops::Range<u32>,
+    threads: usize,
+) -> (Vec<Candidate>, Step2Stats) {
     let chunks = balanced_chunks(idx0, idx1, keys, threads);
     if chunks.is_empty() {
         return (Vec::new(), Step2Stats::default());
@@ -352,10 +700,21 @@ pub fn run_software_keys(
             .into_iter()
             .map(|range| {
                 s.spawn(move |_| {
+                    let mut scratch = KeyScratch::default();
                     let mut out = Vec::new();
                     let mut stats = Step2Stats::default();
                     run_key_range(
-                        flat0, idx0, flat1, idx1, params, backend, range, &mut out, &mut stats,
+                        flat0,
+                        idx0,
+                        flat1,
+                        idx1,
+                        params,
+                        backend,
+                        tmat,
+                        range,
+                        &mut scratch,
+                        &mut out,
+                        &mut stats,
                     );
                     (out, stats)
                 })
@@ -372,6 +731,84 @@ pub fn run_software_keys(
     let mut out = Vec::new();
     let mut stats = Step2Stats::default();
     for (mut part, st) in results {
+        out.append(&mut part);
+        stats.pairs += st.pairs;
+        stats.active_keys += st.active_keys;
+    }
+    stats.candidates = out.len() as u64;
+    (out, stats)
+}
+
+/// Bucketed multi-threaded schedule: workers pull [`WorkItem`]s off an
+/// atomic counter in heaviest-first order, then per-item results are
+/// stitched back together in item (= key) order — so the merged output
+/// is independent of which worker finished which item when.
+#[allow(clippy::too_many_arguments)]
+fn run_bucketed(
+    flat0: &FlatBank,
+    idx0: &SeedIndex,
+    flat1: &FlatBank,
+    idx1: &SeedIndex,
+    params: &Step2Params<'_>,
+    backend: KernelBackend,
+    tmat: &SubstitutionMatrix,
+    keys: std::ops::Range<u32>,
+    threads: usize,
+) -> (Vec<Candidate>, Step2Stats) {
+    let items = bucketed_items(idx0, idx1, keys);
+    let order = lpt_order(&items);
+    if items.is_empty() {
+        return (Vec::new(), Step2Stats::default());
+    }
+    let next = AtomicUsize::new(0);
+    let mut collected: Vec<(usize, Vec<Candidate>, Step2Stats)> = Vec::with_capacity(items.len());
+    thread::scope(|s| {
+        let handles: Vec<_> = (0..threads.min(items.len()))
+            .map(|_| {
+                let (items, order, next) = (&items, &order, &next);
+                s.spawn(move |_| {
+                    let mut scratch = KeyScratch::default();
+                    let mut mine = Vec::new();
+                    loop {
+                        let t = next.fetch_add(1, Ordering::Relaxed);
+                        if t >= order.len() {
+                            break;
+                        }
+                        let idx = order[t];
+                        // analyzer: allow(hot-path-no-alloc) -- per-item result vector, moved into the key-order merge
+                        let mut out = Vec::new();
+                        let mut st = Step2Stats::default();
+                        run_key_range(
+                            flat0,
+                            idx0,
+                            flat1,
+                            idx1,
+                            params,
+                            backend,
+                            tmat,
+                            items[idx].keys.clone(),
+                            &mut scratch,
+                            &mut out,
+                            &mut st,
+                        );
+                        mine.push((idx, out, st));
+                    }
+                    mine
+                })
+            })
+            .collect();
+        for h in handles {
+            // analyzer: allow(hot-path-no-panic) -- join only fails if a worker already panicked
+            collected.extend(h.join().expect("step-2 worker panicked"));
+        }
+    })
+    // analyzer: allow(hot-path-no-panic) -- scope only fails if a worker already panicked
+    .expect("step-2 scope");
+
+    collected.sort_unstable_by_key(|&(idx, ..)| idx);
+    let mut out = Vec::new();
+    let mut stats = Step2Stats::default();
+    for (_, mut part, st) in collected {
         out.append(&mut part);
         stats.pairs += st.pairs;
         stats.active_keys += st.active_keys;
@@ -437,52 +874,137 @@ pub fn run_software_stream(
     assert_eq!(idx0.key_count(), idx1.key_count(), "incompatible indexes");
     let threads = threads.max(1);
     let backend = params.resolved_backend();
+    let tmat = transposed_matrix(params.matrix);
 
     if threads == 1 {
+        let mut scratch = KeyScratch::default();
         let mut out = Vec::new();
         let mut stats = Step2Stats::default();
         run_key_range(
-            flat0, idx0, flat1, idx1, params, backend, keys, &mut out, &mut stats,
+            flat0,
+            idx0,
+            flat1,
+            idx1,
+            params,
+            backend,
+            &tmat,
+            keys,
+            &mut scratch,
+            &mut out,
+            &mut stats,
         );
+        stats.candidates = out.len() as u64;
         if !out.is_empty() {
             let _ = out_tx.send(out);
         }
         return stats;
     }
 
-    let chunks = balanced_chunks(idx0, idx1, keys, threads);
-    if chunks.is_empty() {
-        return Step2Stats::default();
-    }
     let mut stats = Step2Stats::default();
-    thread::scope(|s| {
-        let handles: Vec<_> = chunks
-            .into_iter()
-            .map(|range| {
-                let tx = out_tx.clone();
-                s.spawn(move |_| {
-                    let mut out = Vec::new();
-                    let mut st = Step2Stats::default();
-                    run_key_range(
-                        flat0, idx0, flat1, idx1, params, backend, range, &mut out, &mut st,
-                    );
-                    if !out.is_empty() {
-                        let _ = tx.send(out);
-                    }
-                    st
-                })
+    match params.schedule {
+        Step2Schedule::Contiguous => {
+            let chunks = balanced_chunks(idx0, idx1, keys, threads);
+            if chunks.is_empty() {
+                return Step2Stats::default();
+            }
+            thread::scope(|s| {
+                let handles: Vec<_> = chunks
+                    .into_iter()
+                    .map(|range| {
+                        let tx = out_tx.clone();
+                        let tmat = &tmat;
+                        s.spawn(move |_| {
+                            let mut scratch = KeyScratch::default();
+                            let mut out = Vec::new();
+                            let mut st = Step2Stats::default();
+                            run_key_range(
+                                flat0,
+                                idx0,
+                                flat1,
+                                idx1,
+                                params,
+                                backend,
+                                tmat,
+                                range,
+                                &mut scratch,
+                                &mut out,
+                                &mut st,
+                            );
+                            st.candidates = out.len() as u64;
+                            if !out.is_empty() {
+                                let _ = tx.send(out);
+                            }
+                            st
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    // analyzer: allow(hot-path-no-panic) -- join only fails if a worker already panicked
+                    let st = h.join().expect("step-2 worker panicked");
+                    stats.pairs += st.pairs;
+                    stats.active_keys += st.active_keys;
+                    stats.candidates += st.candidates;
+                }
             })
-            .collect();
-        for h in handles {
-            // analyzer: allow(hot-path-no-panic) -- join only fails if a worker already panicked
-            let st = h.join().expect("step-2 worker panicked");
-            stats.pairs += st.pairs;
-            stats.active_keys += st.active_keys;
-            stats.candidates += st.candidates;
+            // analyzer: allow(hot-path-no-panic) -- scope only fails if a worker already panicked
+            .expect("step-2 scope");
         }
-    })
-    // analyzer: allow(hot-path-no-panic) -- scope only fails if a worker already panicked
-    .expect("step-2 scope");
+        Step2Schedule::Bucketed => {
+            let items = bucketed_items(idx0, idx1, keys);
+            let order = lpt_order(&items);
+            if items.is_empty() {
+                return Step2Stats::default();
+            }
+            let next = AtomicUsize::new(0);
+            thread::scope(|s| {
+                let handles: Vec<_> = (0..threads.min(items.len()))
+                    .map(|_| {
+                        let tx = out_tx.clone();
+                        let (items, order, next, tmat) = (&items, &order, &next, &tmat);
+                        s.spawn(move |_| {
+                            let mut scratch = KeyScratch::default();
+                            let mut st = Step2Stats::default();
+                            loop {
+                                let t = next.fetch_add(1, Ordering::Relaxed);
+                                if t >= order.len() {
+                                    break;
+                                }
+                                // analyzer: allow(hot-path-no-alloc) -- per-item batch, ownership moves into the channel send
+                                let mut out = Vec::new();
+                                run_key_range(
+                                    flat0,
+                                    idx0,
+                                    flat1,
+                                    idx1,
+                                    params,
+                                    backend,
+                                    tmat,
+                                    items[order[t]].keys.clone(),
+                                    &mut scratch,
+                                    &mut out,
+                                    &mut st,
+                                );
+                                st.candidates += out.len() as u64;
+                                if !out.is_empty() {
+                                    let _ = tx.send(out);
+                                }
+                            }
+                            st
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    // analyzer: allow(hot-path-no-panic) -- join only fails if a worker already panicked
+                    let st = h.join().expect("step-2 worker panicked");
+                    stats.pairs += st.pairs;
+                    stats.active_keys += st.active_keys;
+                    stats.candidates += st.candidates;
+                }
+            })
+            // analyzer: allow(hot-path-no-panic) -- scope only fails if a worker already panicked
+            .expect("step-2 scope");
+        }
+    }
     stats
 }
 
@@ -520,6 +1042,7 @@ mod tests {
             n_ctx: 6,
             threshold,
             kernel_backend: KernelChoice::Auto,
+            schedule: Step2Schedule::default(),
         }
     }
 
@@ -625,15 +1148,26 @@ mod tests {
                 KernelChoice::Auto,
                 KernelChoice::Profile,
                 KernelChoice::Simd,
+                KernelChoice::Wide,
+                KernelChoice::Split,
             ] {
-                for threads in [1, 3] {
-                    let p = Step2Params {
-                        kernel_backend: choice,
-                        ..base
-                    };
-                    let (c, s) = run_software(&f0, &i0, &f1, &i1, &p, threads);
-                    assert_eq!(want_c, c, "{kernel:?} {choice:?} threads={threads}");
-                    assert_eq!(want_s, s, "{kernel:?} {choice:?} threads={threads}");
+                for schedule in [Step2Schedule::Contiguous, Step2Schedule::Bucketed] {
+                    for threads in [1, 3] {
+                        let p = Step2Params {
+                            kernel_backend: choice,
+                            schedule,
+                            ..base
+                        };
+                        let (c, s) = run_software(&f0, &i0, &f1, &i1, &p, threads);
+                        assert_eq!(
+                            want_c, c,
+                            "{kernel:?} {choice:?} {schedule:?} threads={threads}"
+                        );
+                        assert_eq!(
+                            want_s, s,
+                            "{kernel:?} {choice:?} {schedule:?} threads={threads}"
+                        );
+                    }
                 }
             }
         }
@@ -681,6 +1215,147 @@ mod tests {
             }
         }
         assert!(covered.iter().all(|&c| c), "walk left cells uncovered");
+    }
+
+    #[test]
+    fn tile_count_matches_walk_for_wide_lanes() {
+        // The generalized closed form must agree with the generalized
+        // walk at the 32-lane width the wide/split kernels step by.
+        for l in [1, 16, 60, 200] {
+            let tj = tile_j_for(l, WIDE_LANES);
+            for n0 in [0, 1, TILE_I, TILE_I + 1] {
+                for n1 in [0, 1, tj - 1, tj, tj + 1, 3 * tj + 17] {
+                    let walked = tile_walk(n0, n1, l, WIDE_LANES).count() as u64;
+                    assert_eq!(
+                        tile_count(n0, n1, l, WIDE_LANES),
+                        walked,
+                        "n0={n0} n1={n1} l={l}"
+                    );
+                }
+            }
+            // The j tile is always a whole number of 32-wide lane blocks.
+            assert_eq!(tj % WIDE_LANES, 0, "l={l}");
+        }
+    }
+
+    #[test]
+    fn bucketed_items_partition_key_range() {
+        let seqs: Vec<Vec<u8>> = (0..40)
+            .map(|i| {
+                (0..150u32)
+                    .map(|j| (((i * 37 + j * 11) % 89) % 20) as u8)
+                    .collect()
+            })
+            .collect();
+        let bank: Bank = seqs
+            .iter()
+            .enumerate()
+            .map(|(i, s)| Seq::from_codes(format!("s{i}"), s.clone(), psc_seqio::SeqKind::Protein))
+            .collect();
+        let flat = FlatBank::from_bank(&bank);
+        let idx = SeedIndex::build(&flat, &subset_seed_default(), 1);
+        let keys = 0..idx.key_count() as u32;
+        let items = bucketed_items(&idx, &idx, keys.clone());
+
+        // Item key ranges are non-empty, contiguous and in order: their
+        // concatenation is exactly the input key range (a permutation of
+        // every key, each covered once).
+        let mut cursor = keys.start;
+        for item in &items {
+            assert_eq!(item.keys.start, cursor, "gap or overlap before item");
+            assert!(item.keys.start < item.keys.end, "empty item");
+            assert_eq!(item.bucket, bucket_of_mass(item.mass));
+            let mass: u64 = item
+                .keys
+                .clone()
+                .map(|k| idx.list(k).len() as u64 * idx.list(k).len() as u64)
+                .sum();
+            assert_eq!(mass, item.mass, "item mass mismatch");
+            cursor = item.keys.end;
+        }
+        assert_eq!(cursor, keys.end, "items do not cover the key range");
+
+        // A heavy key owns its item; light keys coalesce.
+        for item in &items {
+            if item.keys.len() > 1 {
+                for k in item.keys.clone() {
+                    let m = idx.list(k).len() as u64 * idx.list(k).len() as u64;
+                    assert!(m < ITEM_MASS, "heavy key {k} coalesced into a run");
+                }
+            }
+        }
+
+        // LPT order is a heaviest-first permutation of all items.
+        let order = lpt_order(&items);
+        let mut seen = vec![false; items.len()];
+        for &i in &order {
+            assert!(!seen[i], "duplicate item in lpt order");
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "lpt order dropped an item");
+        for w in order.windows(2) {
+            assert!(items[w[0]].mass >= items[w[1]].mass, "not heaviest-first");
+        }
+    }
+
+    #[test]
+    fn bucket_of_mass_matches_log2_convention() {
+        assert_eq!(bucket_of_mass(0), 0);
+        assert_eq!(bucket_of_mass(1), 1);
+        assert_eq!(bucket_of_mass(2), 2);
+        assert_eq!(bucket_of_mass(3), 2);
+        assert_eq!(bucket_of_mass(4), 3);
+        assert_eq!(bucket_of_mass(u64::MAX), 64);
+    }
+
+    #[test]
+    fn lane_orientation_and_slots_are_consistent() {
+        // Contiguous never transposes (it reproduces the historical
+        // walk); bucketed picks the larger side as the lane axis and
+        // falls back to the profile path when both sides are narrow.
+        let c = Step2Schedule::Contiguous;
+        let b = Step2Schedule::Bucketed;
+        assert_eq!(lane_orientation(3, 500, c), Some(false));
+        // Lanes already run over the larger il1 side: no transpose.
+        assert_eq!(lane_orientation(3, 500, b), Some(false));
+        // il0 is the larger side: transpose so lanes run over it.
+        assert_eq!(lane_orientation(500, 3, b), Some(true));
+        assert_eq!(lane_orientation(5, 7, b), None);
+        assert_eq!(lane_orientation(5, 7, c), Some(false));
+
+        // Slot accounting mirrors orientation: scalar-width backends
+        // waste nothing; 16-lane contiguous pads the il1 axis; bucketed
+        // pads the larger axis so narrow-il1 rectangles stop wasting
+        // nearly the whole vector.
+        let wide = KernelBackend::Wide;
+        assert_eq!(
+            rectangle_lane_slots(10, 10, KernelBackend::Scalar, b),
+            (100, 100)
+        );
+        let (useful, total) = rectangle_lane_slots(3, 500, KernelBackend::Simd, c);
+        assert_eq!(useful, 1500);
+        assert_eq!(total, 3 * 500u64.div_ceil(16) * 16);
+        let (useful_b, total_b) = rectangle_lane_slots(3, 500, wide, b);
+        assert_eq!(useful_b, 1500);
+        assert_eq!(total_b, 3 * 500u64.div_ceil(32) * 32);
+        // Narrow-both rectangles route to the profile path: no padding.
+        assert_eq!(rectangle_lane_slots(5, 7, wide, b), (35, 35));
+        // Contiguous 16-lane on a lane-starved rectangle: 500×1 pads
+        // each row to a full vector.
+        let (u, t) = rectangle_lane_slots(500, 1, KernelBackend::Simd, c);
+        assert_eq!((u, t), (500, 500 * 16));
+        assert!(u * 10 < t, "expected heavy padding on starved axis");
+    }
+
+    #[test]
+    fn transposed_matrix_swaps_arguments() {
+        let m = blosum62();
+        let t = transposed_matrix(m);
+        for a in 0..AA_ALPHABET_LEN as u8 {
+            for b in 0..AA_ALPHABET_LEN as u8 {
+                assert_eq!(m.score(a, b), t.score(b, a));
+            }
+        }
     }
 
     #[test]

@@ -168,6 +168,13 @@ pub fn render_report(report: &RunReport) -> String {
             out.push_str(&format!("  {k} = {v}\n"));
         }
     }
+    if let Some(reason) = report.meta_value("step2.kernel.downgrade") {
+        let requested = report.meta_value("step2.kernel.requested").unwrap_or("?");
+        let resolved = report.meta_value("step2.kernel").unwrap_or("?");
+        out.push_str(&format!(
+            "  note: step-2 kernel downgraded {requested} -> {resolved} ({reason})\n"
+        ));
+    }
     out.push('\n');
     out.push_str(&render_breakdown(report));
     out.push('\n');
@@ -314,6 +321,28 @@ mod tests {
         // Tallest bucket gets the full width, the singleton a short bar.
         assert!(text.contains(&"#".repeat(40)), "{text}");
         assert!(!text.contains(&"#".repeat(41)), "{text}");
+    }
+
+    #[test]
+    fn kernel_downgrade_note_renders_only_when_present() {
+        let clean = render_report(&report_with_board());
+        assert!(!clean.contains("downgraded"), "{clean}");
+        let mut r = report_with_board();
+        r.meta.push(("step2.kernel".into(), "profile".into()));
+        r.meta
+            .push(("step2.kernel.requested".into(), "wide".into()));
+        r.meta.push((
+            "step2.kernel.downgrade".into(),
+            "window overflows the i16 lane accumulator".into(),
+        ));
+        let text = render_report(&r);
+        assert!(
+            text.contains(
+                "note: step-2 kernel downgraded wide -> profile \
+                 (window overflows the i16 lane accumulator)"
+            ),
+            "{text}"
+        );
     }
 
     #[test]
