@@ -368,13 +368,22 @@ const RECORDER_IDENTS: &[&str] = &[
     "MemRecorder",
     "NullRecorder",
     "psc_telemetry",
+    // The flight-recorder surface is held to the same discipline: a
+    // kernel returns plain timing structs, the driver commits them.
+    "Tracer",
+    "RingTracer",
+    "NullTracer",
+    "UnitTrace",
+    "UnitEvent",
+    "TraceClock",
 ];
-/// Recorder method names, flagged when invoked as methods.
-const RECORDER_METHODS: &[&str] = &["record_span", "set_meta", "observe"];
+/// Recorder/Tracer method names, flagged when invoked as methods.
+const RECORDER_METHODS: &[&str] = &["record_span", "set_meta", "observe", "commit"];
 
 /// `recorder-off-hot-loop`: kernel modules must not touch the telemetry
-/// surface at all — PR 2's zero-overhead promise, mechanized. No
-/// waivers: instrumentation belongs in the drivers around the kernels.
+/// surface at all — PR 2's zero-overhead promise, mechanized, and since
+/// PR 7 covering the flight recorder (`Tracer`) too. No waivers:
+/// instrumentation belongs in the drivers around the kernels.
 fn recorder_off_hot_loop(file: &SourceFile) -> Vec<Diagnostic> {
     let mut out = Vec::new();
     let toks = &file.toks;

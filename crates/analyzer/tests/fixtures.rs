@@ -128,6 +128,23 @@ fn recorder_fixtures() {
 }
 
 #[test]
+fn tracer_fixtures() {
+    let sel = module_sel(LintSelection {
+        kernel_module: true,
+        ..LintSelection::default()
+    });
+    let bad = check("tracer_bad.rs", false, &sel);
+    // psc_telemetry, Tracer x2, UnitTrace x2, .commit(.
+    assert_eq!(bad.len(), 6, "{bad:?}");
+    assert!(bad.iter().all(|d| d.lint == "recorder-off-hot-loop"));
+    // The epoch-in, timings-out shape the step-2 kernel uses is clean,
+    // and so is the same file outside the kernel-module list.
+    assert!(check("tracer_ok.rs", false, &sel).is_empty());
+    let outside = module_sel(LintSelection::default());
+    assert!(check("tracer_bad.rs", false, &outside).is_empty());
+}
+
+#[test]
 fn diagnostics_render_file_line_format() {
     let sel = module_sel(LintSelection {
         hot_module: true,

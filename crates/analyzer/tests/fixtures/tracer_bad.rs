@@ -1,0 +1,18 @@
+// Violates recorder-off-hot-loop: the flight recorder named inside a
+// kernel.
+
+use psc_telemetry::{Tracer, UnitTrace};
+
+pub fn kernel(tracer: &dyn Tracer, pairs: &[u64]) {
+    for &p in pairs {
+        let unit = UnitTrace {
+            stage: "step2".into(),
+            index: p,
+            lane: 0,
+            start_seconds: None,
+            sim_clock: false,
+            events: Vec::new(),
+        };
+        tracer.commit(unit);
+    }
+}

@@ -1,0 +1,20 @@
+// Clean under recorder-off-hot-loop: the kernel reads a caller-owned
+// epoch and returns plain timing rows; the driver outside this module
+// owns the tracer and commits units.
+
+pub struct Timing {
+    pub item: usize,
+    pub kernel_seconds: f64,
+}
+
+pub fn kernel(epoch: &std::time::Instant, items: &[u64]) -> Vec<Timing> {
+    let mut out = Vec::with_capacity(items.len());
+    for (item, _) in items.iter().enumerate() {
+        let t0 = epoch.elapsed().as_secs_f64();
+        out.push(Timing {
+            item,
+            kernel_seconds: epoch.elapsed().as_secs_f64() - t0,
+        });
+    }
+    out
+}

@@ -8,6 +8,7 @@
 //!          step2-kernels   (writes BENCH_step2_kernels.json)
 //!          step2-balance   (writes BENCH_step2_balance.json)
 //!          step3-overlap   (writes BENCH_step3_overlap.json)
+//!          trace-overhead  (writes BENCH_trace_overhead.json)
 //!          all
 //! ```
 
@@ -27,7 +28,7 @@ fn main() {
         .map(String::as_str)
         .collect();
     if wants.is_empty() {
-        eprintln!("usage: experiments [--quick] <table1..table7|fig1..fig3|ablation-*|step2-kernels|step2-balance|step3-overlap|extension-step3|all>");
+        eprintln!("usage: experiments [--quick] <table1..table7|fig1..fig3|ablation-*|step2-kernels|step2-balance|step3-overlap|trace-overhead|extension-step3|all>");
         std::process::exit(2);
     }
     let all = wants.contains(&"all");
@@ -129,5 +130,8 @@ fn main() {
     }
     if want("step3-overlap") {
         exps::step3_overlap(&workload);
+    }
+    if want("trace-overhead") {
+        exps::trace_overhead(&workload);
     }
 }

@@ -10,7 +10,10 @@
 //!                     [--step2-kernel auto|scalar|profile|simd|wide|split]
 //!                     [--step2-schedule contiguous|bucketed]
 //!                     [--report-json report.json]
+//!                     [--trace trace.json] [--trace-clock wall|virtual]
 //! psc report          report.json
+//! psc report          --compare old.json new.json [--max-wall-regress PCT]
+//! psc trace           render|analyze trace.json
 //! psc blast           --proteins bank.fasta --genome genome.fasta [--evalue 1e-3]
 //! psc resources       [--pes N] [--window W] [--slot S]
 //! psc matrix
@@ -38,9 +41,14 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::from(2);
     };
-    // `report` takes a positional path, not flag pairs.
-    if command == "report" {
-        return match report_cmd(args) {
+    // `report` and `trace` take positional paths, not flag pairs.
+    if command == "report" || command == "trace" {
+        let run = if command == "report" {
+            report_cmd(args)
+        } else {
+            trace_cmd(args)
+        };
+        return match run {
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => {
                 eprintln!("error: {e}");
@@ -99,8 +107,16 @@ commands:
                   [--fault-plan ENTRY:KIND[:ATTEMPTS][@FPGA],...]
                   [--fault-retries N] [--fault-degrade on|off]
                   [--report-json FILE]   (write a telemetry run report)
+                  [--trace FILE]         (write a flight-recorder Chrome trace)
+                  [--trace-clock wall|virtual]   (virtual = byte-deterministic)
   report          FILE                   (render a run report: step breakdown,
                                           PE utilization, pair histograms)
+  report          --compare OLD NEW [--max-wall-regress PCT]
+                  [--max-counter-regress PCT]   (regression diff; exits 1 when
+                                          a gated metric regresses past PCT)
+  trace           render FILE [--width N]       (terminal lane timeline)
+  trace           analyze FILE [--report FILE]  (critical path, stall classes;
+                                          --report reconciles span walls)
   blast           --proteins FILE --genome FILE [--evalue E] [--mask on]
   index           --genome FILE -o FILE [--seed-model ...]   (build + save)
   resources       [--pes N] [--window W] [--slot S]
@@ -292,25 +308,56 @@ fn search(flags: &Flags) -> Result<(), String> {
         recovery: recovery_policy(flags)?,
         ..PipelineConfig::default()
     };
-    // Telemetry is recorded only when a report is requested; otherwise
-    // the NullRecorder path keeps instrumentation off the hot loops.
+    // Telemetry is recorded only when a report is requested, and the
+    // flight recorder only when a trace is; otherwise the
+    // NullRecorder/NullTracer paths keep instrumentation off the hot
+    // loops.
     let report_path = flags.get("report-json");
     let recorder = report_path.map(|_| psc_core::MemRecorder::new());
-    let result = match &recorder {
-        Some(rec) => psc_core::try_search_genome_recorded(
-            &proteins,
-            &genome,
-            blosum62(),
-            config.clone(),
-            rec,
-        ),
-        None => try_search_genome(&proteins, &genome, blosum62(), config.clone()),
+    let trace_path = flags.get("trace");
+    let trace_clock = match flags.get("trace-clock") {
+        None => psc_core::TraceClock::Wall,
+        Some(s) => psc_core::TraceClock::from_name(s)
+            .ok_or_else(|| format!("bad --trace-clock value {s:?} (wall|virtual)"))?,
+    };
+    if flags.get("trace-clock").is_some() && trace_path.is_none() {
+        return Err("--trace-clock needs --trace".into());
+    }
+    let tracer = trace_path.map(|_| psc_core::RingTracer::new(trace_clock));
+    let rec: &dyn psc_core::Recorder = match &recorder {
+        Some(r) => r,
+        None => &psc_core::NullRecorder,
+    };
+    let trc: &dyn psc_core::Tracer = match &tracer {
+        Some(t) => t,
+        None => &psc_core::NullTracer,
+    };
+    let result = if recorder.is_none() && tracer.is_none() {
+        try_search_genome(&proteins, &genome, blosum62(), config.clone())
+    } else {
+        psc_core::try_search_genome_traced(&proteins, &genome, blosum62(), config.clone(), rec, trc)
     }
     .map_err(|e| e.to_string())?;
     if let (Some(path), Some(rec)) = (report_path, &recorder) {
         let report = psc_core::build_run_report(&result.output, &config, &rec.snapshot());
         std::fs::write(path, report.to_json_string()).map_err(|e| format!("write {path}: {e}"))?;
         eprintln!("run report written to {path} (render with `psc report {path}`)");
+    }
+    if let (Some(path), Some(tracer)) = (trace_path, &tracer) {
+        let meta = [
+            ("tool".to_string(), "psc search".to_string()),
+            (
+                "backend".to_string(),
+                flags.get("backend").unwrap_or("scalar").to_string(),
+            ),
+        ];
+        let trace = tracer.finish(&meta);
+        std::fs::write(path, trace.to_chrome_string()).map_err(|e| format!("write {path}: {e}"))?;
+        eprintln!(
+            "trace written to {path} ({} lanes, {} units dropped; render with `psc trace render {path}`)",
+            trace.lanes.len(),
+            trace.dropped
+        );
     }
 
     match flags.get("format") {
@@ -432,19 +479,91 @@ fn recovery_policy(flags: &Flags) -> Result<psc_rasc::RecoveryPolicy, String> {
 }
 
 /// Render a saved run report (`psc report FILE`): the paper-style step
-/// breakdown, per-FPGA PE utilization, counters and histograms.
+/// breakdown, per-FPGA PE utilization, counters and histograms. With
+/// `--compare OLD NEW` diff two reports instead, gated by
+/// `--max-wall-regress` / `--max-counter-regress` percent thresholds
+/// (exit 1 when a gate trips — CI's first perf gate).
 fn report_cmd(mut args: impl Iterator<Item = String>) -> Result<(), String> {
-    let Some(path) = args.next() else {
-        return Err("usage: psc report FILE".into());
+    let Some(first) = args.next() else {
+        return Err("usage: psc report FILE | psc report --compare OLD NEW".into());
     };
+    if first == "--compare" {
+        let (Some(old_path), Some(new_path)) = (args.next(), args.next()) else {
+            return Err("usage: psc report --compare OLD NEW [--max-wall-regress PCT] [--max-counter-regress PCT]".into());
+        };
+        let flags = Flags::parse(args)?;
+        let config = psc_telemetry::CompareConfig {
+            max_wall_regress_pct: flags
+                .get("max-wall-regress")
+                .map(|v| {
+                    v.parse()
+                        .map_err(|_| format!("bad --max-wall-regress value {v:?}"))
+                })
+                .transpose()?,
+            max_counter_regress_pct: flags
+                .get("max-counter-regress")
+                .map(|v| {
+                    v.parse()
+                        .map_err(|_| format!("bad --max-counter-regress value {v:?}"))
+                })
+                .transpose()?,
+        };
+        let old = load_report(&old_path)?;
+        let new = load_report(&new_path)?;
+        let diff = psc_telemetry::diff_reports(&old, &new, config);
+        print!("{}", psc_telemetry::render_diff(&diff));
+        let tripped = diff.regressions().len();
+        if tripped > 0 {
+            return Err(format!("{tripped} metric(s) regressed past the gates"));
+        }
+        return Ok(());
+    }
+    let path = first;
     if let Some(extra) = args.next() {
         return Err(format!(
             "unexpected argument {extra:?} (usage: psc report FILE)"
         ));
     }
-    let text = std::fs::read_to_string(&path).map_err(|e| format!("read {path}: {e}"))?;
-    let report = psc_telemetry::RunReport::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    let report = load_report(&path)?;
     print!("{}", psc_telemetry::render::render_report(&report));
+    Ok(())
+}
+
+fn load_report(path: &str) -> Result<psc_telemetry::RunReport, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    psc_telemetry::RunReport::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+/// `psc trace render|analyze FILE` — terminal views of a saved flight
+/// recording (see `psc search --trace`).
+fn trace_cmd(mut args: impl Iterator<Item = String>) -> Result<(), String> {
+    const USAGE: &str =
+        "usage: psc trace render FILE [--width N] | psc trace analyze FILE [--report FILE]";
+    let (Some(verb), Some(path)) = (args.next(), args.next()) else {
+        return Err(USAGE.into());
+    };
+    let flags = Flags::parse(args)?;
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("read {path}: {e}"))?;
+    let trace = psc_telemetry::Trace::from_chrome_str(&text).map_err(|e| format!("{path}: {e}"))?;
+    match verb.as_str() {
+        "render" => {
+            let width = flags.parsed("width", 72usize)?.max(16);
+            print!("{}", psc_telemetry::render_timeline(&trace, width));
+        }
+        "analyze" => {
+            let analysis = psc_telemetry::analyze(&trace);
+            print!("{}", psc_telemetry::render_analysis(&analysis));
+            if let Some(report_path) = flags.get("report") {
+                let report = load_report(report_path)?;
+                let rows = psc_telemetry::reconcile(&analysis, &report);
+                print!("{}", psc_telemetry::render_reconcile(&rows));
+                if rows.iter().any(|r| !r.ok) {
+                    return Err("trace does not reconcile with the run report".into());
+                }
+            }
+        }
+        other => return Err(format!("unknown trace subcommand {other:?} ({USAGE})")),
+    }
     Ok(())
 }
 

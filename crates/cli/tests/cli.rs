@@ -212,7 +212,7 @@ fn report_json_round_trip_through_report_command() {
     // The JSON carries the schema and the per-step / per-FPGA details.
     let json = std::fs::read_to_string(&report).unwrap();
     for needle in [
-        "\"schema_version\": 1",
+        "\"schema_version\": 2",
         "\"steps\"",
         "\"counters\"",
         "step2.pairs",

@@ -102,12 +102,33 @@ pub fn try_search_genome_recorded(
     config: PipelineConfig,
     rec: &dyn psc_telemetry::Recorder,
 ) -> Result<GenomeSearchResult, PipelineError> {
+    try_search_genome_traced(
+        proteins,
+        genome,
+        matrix,
+        config,
+        rec,
+        &psc_telemetry::NullTracer,
+    )
+}
+
+/// [`try_search_genome_recorded`] with a flight recorder attached (see
+/// [`Pipeline::try_run_traced`]).
+pub fn try_search_genome_traced(
+    proteins: &Bank,
+    genome: &Seq,
+    matrix: &SubstitutionMatrix,
+    config: PipelineConfig,
+    rec: &dyn psc_telemetry::Recorder,
+    tracer: &dyn psc_telemetry::Tracer,
+) -> Result<GenomeSearchResult, PipelineError> {
     let translated = translate_six_frames(genome, GeneticCode::standard());
     // NOTE: frame translation is genuinely part of step 1 in the paper's
     // accounting, but it is cheap (<1 % here); the pipeline times
     // indexing separately either way.
     let frames_bank = translated.to_bank();
-    let output = Pipeline::new(config).try_run_recorded(proteins, &frames_bank, matrix, rec)?;
+    let output =
+        Pipeline::new(config).try_run_traced(proteins, &frames_bank, matrix, rec, tracer)?;
 
     let matches = output
         .hsps

@@ -36,12 +36,14 @@ pub mod step2;
 pub use config::{PipelineConfig, SeedChoice, Step2Backend};
 pub use genome::{
     search_genome, search_genome_recorded, try_search_genome, try_search_genome_recorded,
-    GenomeMatch, GenomeSearchResult,
+    try_search_genome_traced, GenomeMatch, GenomeSearchResult,
 };
 pub use gff::to_gff3;
 pub use pipeline::{shard_critical_path, Pipeline, PipelineError, PipelineOutput, PipelineStats};
 pub use profile::StepProfile;
 pub use psc_align::{KernelBackend, KernelChoice};
-pub use psc_telemetry::{MemRecorder, NullRecorder, Recorder, RunReport};
+pub use psc_telemetry::{
+    MemRecorder, NullRecorder, NullTracer, Recorder, RingTracer, RunReport, TraceClock, Tracer,
+};
 pub use report::build_run_report;
 pub use step2::Step2Schedule;

@@ -12,11 +12,13 @@ use psc_score::karlin::{gapped_params, ungapped_params};
 use psc_score::{SubstitutionMatrix, ROBINSON_FREQS};
 use psc_seqio::Bank;
 
-use psc_telemetry::{NullRecorder, Recorder, SpanGuard};
+use psc_telemetry::{
+    NullRecorder, NullTracer, Recorder, SpanGuard, TraceClock, Tracer, UnitEvent, UnitTrace,
+};
 
 use crate::config::{PipelineConfig, Step2Backend, Step3Backend};
 use crate::profile::StepProfile;
-use crate::step2::{self, Candidate, Step2Params, Step2Stats};
+use crate::step2::{self, Candidate, ItemTiming, Step2Params, Step2Stats};
 
 /// Instrumentation of a pipeline run.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -152,6 +154,32 @@ impl Pipeline {
         matrix: &SubstitutionMatrix,
         rec: &dyn Recorder,
     ) -> Result<PipelineOutput, PipelineError> {
+        self.try_run_traced(bank0, bank1, matrix, rec, &NullTracer)
+    }
+
+    /// [`Pipeline::try_run_recorded`] with a flight recorder attached.
+    ///
+    /// The tracer follows the recorder's off-hot-loop discipline: the
+    /// step-2/step-3 kernels only ever collect plain timing numbers
+    /// (and only when the tracer is enabled); every [`UnitTrace`] is
+    /// committed from the driver after the unit completes. Candidate,
+    /// HSP, stats and report output are bit-identical with tracing on
+    /// or off, under any fault plan, with or without `--overlap`.
+    ///
+    /// Under [`TraceClock::Wall`] host lanes carry measured timings and
+    /// the overlap channel is instrumented; under [`TraceClock::Virtual`]
+    /// host units are emitted as deterministic scheduled work (weights
+    /// from pair mass / anchor counts) so the whole trace is
+    /// byte-identical across thread counts. Simulated board lanes are
+    /// cycle-derived and deterministic under both clocks.
+    pub fn try_run_traced(
+        &self,
+        bank0: &Bank,
+        bank1: &Bank,
+        matrix: &SubstitutionMatrix,
+        rec: &dyn Recorder,
+        tracer: &dyn Tracer,
+    ) -> Result<PipelineOutput, PipelineError> {
         let cfg = &self.config;
         let model = cfg.seed.model();
         let span = model.span();
@@ -214,19 +242,28 @@ impl Pipeline {
         };
         let key_count = idx0.key_count() as u32;
         let mut dedup = AnchorDedup::new(&flat0, &flat1, cfg.min_anchor_sep);
+        // Virtual-clock traces model step 2 as its deterministic work
+        // items, independent of backend, schedule and thread count.
+        if tracer.enabled() && tracer.clock() == TraceClock::Virtual {
+            commit_virtual_step2(tracer, &idx0, &idx1, key_count);
+        }
         let (mut s2stats, board, step2_accel_override) = if cfg.overlap {
             run_step2_overlapped(
                 cfg, &params, &flat0, &idx0, &flat1, &idx1, span, key_count, matrix, &mut dedup,
+                tracer,
             )?
         } else {
             let (candidates, s2stats, board, step2_accel_override) = run_step2_barrier(
-                cfg, &params, &flat0, &idx0, &flat1, &idx1, span, key_count, matrix,
+                cfg, &params, &flat0, &idx0, &flat1, &idx1, span, key_count, matrix, tracer,
             )?;
             for c in &candidates {
                 dedup.push(c);
             }
             (s2stats, board, step2_accel_override)
         };
+        if let Some(b) = board.as_ref().filter(|_| tracer.enabled()) {
+            commit_board_timeline(tracer, b);
+        }
         // Both modes push the same candidate multiset; the pushed count
         // is the one `candidates` counter.
         s2stats.candidates = dedup.pushed();
@@ -338,7 +375,8 @@ impl Pipeline {
         // Extension runs on `step3_threads` workers over fixed-size
         // shards; the merge below walks anchors in order, so counters
         // and HSP output cannot depend on the thread count.
-        let (extensions, shard_seconds) = extend_anchors(
+        let trace_wall = tracer.enabled() && tracer.clock() == TraceClock::Wall;
+        let (extensions, shard_seconds, shard_lanes) = extend_anchors(
             matrix,
             bank0,
             bank1,
@@ -346,6 +384,7 @@ impl Pipeline {
             gapped_op.as_ref(),
             &anchors,
             cfg.step3_threads,
+            if trace_wall { Some(tracer) } else { None },
         );
         // Machine-independent view of the shard schedule: the sum of
         // per-shard costs is the sequential extension time, and the
@@ -354,6 +393,28 @@ impl Pipeline {
         // clock and stripped with the other spans.
         let extension_seconds: f64 = shard_seconds.iter().sum();
         let modeled_parallel = shard_critical_path(&shard_seconds, cfg.step3_threads);
+        if trace_wall {
+            // Span durations reuse the exact `shard_seconds` values so
+            // the trace reconciles against the `step3.extension` report
+            // span without measurement skew.
+            for sl in &shard_lanes {
+                let size = STEP3_SHARD.min(anchors.len() - sl.shard * STEP3_SHARD) as u64;
+                tracer.commit(UnitTrace {
+                    stage: "step3".to_string(),
+                    index: sl.shard as u64,
+                    lane: sl.worker,
+                    start_seconds: Some(sl.start_seconds),
+                    sim_clock: false,
+                    events: vec![
+                        UnitEvent::span("extend", shard_seconds[sl.shard], size.max(1)),
+                        UnitEvent::mark("anchors", size),
+                    ],
+                });
+            }
+        } else if tracer.enabled() {
+            commit_virtual_step3(tracer, anchors.len());
+        }
+        let merge_start = tracer.epoch_seconds();
         // analyzer: allow(determinism) -- wall-clock step profile is the audited exception
         let t_merge = Instant::now();
         let mut step3_cycles = 0u64;
@@ -392,6 +453,19 @@ impl Pipeline {
             }
         }
         let merge_wait = t_merge.elapsed().as_secs_f64();
+        if trace_wall {
+            tracer.commit(UnitTrace {
+                stage: "step3.merge".to_string(),
+                index: 0,
+                lane: 0,
+                start_seconds: Some(merge_start),
+                sim_clock: false,
+                events: vec![
+                    UnitEvent::span("merge_wait", merge_wait, 1),
+                    UnitEvent::mark("anchors", anchors.len() as u64),
+                ],
+            });
+        }
         let mut hsps = cull_hsps(hsps, 0.9);
         hsps.sort_by(|a, b| a.evalue.total_cmp(&b.evalue));
         let step3 = t2.elapsed().as_secs_f64();
@@ -567,6 +641,11 @@ const STEP3_SHARD: usize = 64;
 /// The second return value is the wall seconds each shard spent in
 /// extension, indexed by shard. It feeds the `step3.extension` /
 /// `step3.modeled_parallel` spans; results never depend on it.
+///
+/// When a wall-clock `tracer` is attached, the third return value maps
+/// each shard to the worker that ran it and its start offset on the
+/// tracer's epoch (empty otherwise); the caller commits the spans.
+#[allow(clippy::too_many_arguments)]
 fn extend_anchors(
     matrix: &SubstitutionMatrix,
     bank0: &Bank,
@@ -575,7 +654,8 @@ fn extend_anchors(
     gapped_op: Option<&psc_rasc::GappedOperator>,
     anchors: &[Anchor],
     threads: usize,
-) -> (Vec<(GappedHit, u64)>, Vec<f64>) {
+    tracer: Option<&dyn Tracer>,
+) -> (Vec<(GappedHit, u64)>, Vec<f64>, Vec<ShardLane>) {
     let extend_one = |a: &Anchor| -> (GappedHit, u64) {
         let s0 = &bank0.get(a.seq0 as usize).residues;
         let s1 = &bank1.get(a.seq1 as usize).residues;
@@ -596,23 +676,34 @@ fn extend_anchors(
     if threads == 1 || anchors.len() <= STEP3_SHARD {
         let mut out = Vec::with_capacity(anchors.len());
         let mut shard_seconds = Vec::with_capacity(shard_count);
-        for shard in anchors.chunks(STEP3_SHARD) {
+        let mut lanes = Vec::new();
+        for (i, shard) in anchors.chunks(STEP3_SHARD).enumerate() {
+            if let Some(tr) = tracer {
+                lanes.push(ShardLane {
+                    shard: i,
+                    worker: 0,
+                    start_seconds: tr.epoch_seconds(),
+                });
+            }
             // analyzer: allow(determinism) -- span telemetry only, never results
             let t0 = Instant::now();
             out.extend(shard.iter().map(extend_one));
             shard_seconds.push(t0.elapsed().as_secs_f64());
         }
-        return (out, shard_seconds);
+        return (out, shard_seconds, lanes);
     }
     // (shard index, extended hits, shard wall seconds) from one worker.
     type ShardResult = (usize, Vec<(GappedHit, u64)>, f64);
     let next = AtomicUsize::new(0);
     let mut sharded: Vec<ShardResult> = Vec::with_capacity(shard_count);
+    let mut lanes: Vec<ShardLane> = Vec::new();
     thread::scope(|s| {
         let handles: Vec<_> = (0..threads.min(shard_count))
-            .map(|_| {
-                s.spawn(|_| {
+            .map(|w| {
+                let (next, extend_one) = (&next, &extend_one);
+                s.spawn(move |_| {
                     let mut local: Vec<ShardResult> = Vec::new();
+                    let mut my_lanes: Vec<ShardLane> = Vec::new();
                     loop {
                         let shard = next.fetch_add(1, Ordering::Relaxed);
                         if shard >= shard_count {
@@ -620,26 +711,45 @@ fn extend_anchors(
                         }
                         let lo = shard * STEP3_SHARD;
                         let hi = (lo + STEP3_SHARD).min(anchors.len());
+                        if let Some(tr) = tracer {
+                            my_lanes.push(ShardLane {
+                                shard,
+                                worker: w as u32,
+                                start_seconds: tr.epoch_seconds(),
+                            });
+                        }
                         // analyzer: allow(determinism) -- span telemetry only, never results
                         let t0 = Instant::now();
                         let hits: Vec<_> = anchors[lo..hi].iter().map(extend_one).collect();
                         local.push((shard, hits, t0.elapsed().as_secs_f64()));
                     }
-                    local
+                    (local, my_lanes)
                 })
             })
             .collect();
         for h in handles {
-            sharded.extend(h.join().expect("step-3 worker panicked"));
+            let (local, my_lanes) = h.join().expect("step-3 worker panicked");
+            sharded.extend(local);
+            lanes.extend(my_lanes);
         }
     })
     .expect("step-3 scope");
     sharded.sort_unstable_by_key(|&(shard, _, _)| shard);
+    lanes.sort_unstable_by_key(|l| l.shard);
     let shard_seconds = sharded.iter().map(|&(_, _, s)| s).collect();
     (
         sharded.into_iter().flat_map(|(_, v, _)| v).collect(),
         shard_seconds,
+        lanes,
     )
+}
+
+/// Which worker ran a step-3 shard and when it started, on the
+/// tracer's epoch — the pinning info for one `step3` trace span.
+struct ShardLane {
+    shard: usize,
+    worker: u32,
+    start_seconds: f64,
 }
 
 /// Finish time of the shard-pull schedule on `workers` free cores: each
@@ -669,6 +779,143 @@ pub fn shard_critical_path(shard_seconds: &[f64], workers: usize) -> f64 {
 /// producers instead of buffering the whole candidate set.
 const OVERLAP_CHANNEL_DEPTH: usize = 32;
 
+/// Pair mass → deterministic virtual-clock weight of a step-2 unit, in
+/// ticks; 256 pairs per tick keeps light items visible on the replay.
+fn step2_weight(pairs: u64) -> u64 {
+    pairs.div_ceil(256).max(1)
+}
+
+/// Commit measured software step-2 unit timings as wall-clock spans,
+/// pinned at `base` (the tracer-epoch offset of the stage's own epoch)
+/// plus each unit's offset.
+fn commit_step2_timings(tracer: &dyn Tracer, base: f64, times: &[ItemTiming]) {
+    for t in times {
+        let mut events = vec![UnitEvent::span(
+            "extend",
+            t.kernel_seconds,
+            step2_weight(t.pairs),
+        )];
+        if t.send_seconds > 0.0 {
+            events.push(UnitEvent::span("channel_full", t.send_seconds, 1));
+        }
+        events.push(UnitEvent::mark("candidates", t.candidates));
+        tracer.commit(UnitTrace {
+            stage: "step2".to_string(),
+            index: t.item as u64,
+            lane: t.worker,
+            start_seconds: Some(base + t.start_seconds),
+            sim_clock: false,
+            events,
+        });
+    }
+}
+
+/// Deterministic step-2 work model for virtual-clock traces: one
+/// scheduled unit per bucketed work item, weighted by pair mass —
+/// independent of backend, schedule and thread count.
+fn commit_virtual_step2(tracer: &dyn Tracer, idx0: &SeedIndex, idx1: &SeedIndex, key_count: u32) {
+    let items = step2::bucketed_items(idx0, idx1, 0..key_count);
+    for (i, item) in items.iter().enumerate() {
+        tracer.commit(UnitTrace {
+            stage: "step2".to_string(),
+            index: i as u64,
+            lane: 0,
+            start_seconds: None,
+            sim_clock: false,
+            events: vec![UnitEvent::span("extend", 0.0, step2_weight(item.mass))],
+        });
+    }
+}
+
+/// Deterministic step-3 work model for virtual-clock traces: one
+/// scheduled unit per fixed-size anchor shard plus the merge walk.
+fn commit_virtual_step3(tracer: &dyn Tracer, anchors: usize) {
+    let shard_count = anchors.div_ceil(STEP3_SHARD);
+    for shard in 0..shard_count {
+        let size = (STEP3_SHARD.min(anchors - shard * STEP3_SHARD)) as u64;
+        tracer.commit(UnitTrace {
+            stage: "step3".to_string(),
+            index: shard as u64,
+            lane: 0,
+            start_seconds: None,
+            sim_clock: false,
+            events: vec![UnitEvent::span("extend", 0.0, size)],
+        });
+    }
+    if anchors > 0 {
+        tracer.commit(UnitTrace {
+            stage: "step3.merge".to_string(),
+            index: 0,
+            lane: 0,
+            start_seconds: None,
+            sim_clock: false,
+            events: vec![UnitEvent::span(
+                "merge_wait",
+                0.0,
+                (anchors as u64).div_ceil(STEP3_SHARD as u64),
+            )],
+        });
+    }
+}
+
+/// Board lanes from the cycle-derived [`BoardReport`] timeline: DMA-in
+/// and compute (recovery backoff split out, fault marks attached) per
+/// FPGA, plus one result-link drain lane — all on the simulated clock,
+/// so they are deterministic under both trace clocks.
+fn commit_board_timeline(tracer: &dyn Tracer, report: &BoardReport) {
+    for (i, seg) in report.timeline.iter().enumerate() {
+        let idx = i as u64;
+        tracer.commit(UnitTrace {
+            stage: "board.dma".to_string(),
+            index: idx,
+            lane: seg.fpga as u32,
+            start_seconds: Some(seg.dma_start),
+            sim_clock: true,
+            events: vec![
+                UnitEvent::span("dma_in", seg.dma_end - seg.dma_start, 1),
+                UnitEvent::mark("entry", seg.entry),
+            ],
+        });
+        let busy = (seg.compute_end - seg.compute_start - seg.backoff_seconds).max(0.0);
+        let mut events = vec![UnitEvent::span("compute", busy, 1)];
+        if seg.backoff_seconds > 0.0 {
+            events.push(UnitEvent::span("retry_backoff", seg.backoff_seconds, 1));
+        }
+        if seg.retries > 0 {
+            events.push(UnitEvent::mark("fault.retry", seg.retries as u64));
+        }
+        if seg.degraded {
+            events.push(UnitEvent::mark("fault.degraded", 1));
+        }
+        tracer.commit(UnitTrace {
+            stage: "board.compute".to_string(),
+            index: idx,
+            lane: seg.fpga as u32,
+            start_seconds: Some(seg.compute_start),
+            sim_clock: true,
+            events,
+        });
+    }
+    if !report.timeline.is_empty() {
+        let drain_start = report
+            .timeline
+            .iter()
+            .map(|s| s.compute_end)
+            .fold(0.0, f64::max);
+        tracer.commit(UnitTrace {
+            stage: "board.link".to_string(),
+            index: 0,
+            lane: 0,
+            start_seconds: Some(drain_start),
+            sim_clock: true,
+            events: vec![
+                UnitEvent::span("dma_out", report.wire_out_seconds + report.sync_seconds, 1),
+                UnitEvent::mark("hits", report.hit_count),
+            ],
+        });
+    }
+}
+
 /// The historical barrier step 2: run the configured backend to
 /// completion and hand back the full candidate vector.
 #[allow(clippy::too_many_arguments)]
@@ -683,14 +930,38 @@ fn run_step2_barrier(
     span: usize,
     key_count: u32,
     matrix: &SubstitutionMatrix,
+    tracer: &dyn Tracer,
 ) -> Result<(Vec<Candidate>, Step2Stats, Option<BoardReport>, Option<f64>), PipelineError> {
+    let trace_wall = tracer.enabled() && tracer.clock() == TraceClock::Wall;
+    // Run the whole key range on `threads` software workers, timed when
+    // a wall-clock tracer is attached (timing changes no output).
+    let software = |threads: usize| -> (Vec<Candidate>, Step2Stats) {
+        if !trace_wall {
+            return step2::run_software(flat0, idx0, flat1, idx1, params, threads);
+        }
+        let base = tracer.epoch_seconds();
+        // analyzer: allow(determinism) -- flight-recorder stage epoch, never results
+        let epoch = Instant::now();
+        let (c, s, times) = step2::run_software_keys_timed(
+            flat0,
+            idx0,
+            flat1,
+            idx1,
+            params,
+            0..key_count,
+            threads,
+            &epoch,
+        );
+        commit_step2_timings(tracer, base, &times);
+        (c, s)
+    };
     Ok(match &cfg.backend {
         Step2Backend::SoftwareScalar => {
-            let (c, s) = step2::run_software(flat0, idx0, flat1, idx1, params, 1);
+            let (c, s) = software(1);
             (c, s, None, None)
         }
         Step2Backend::SoftwareParallel { threads } => {
-            let (c, s) = step2::run_software(flat0, idx0, flat1, idx1, params, *threads);
+            let (c, s) = software(*threads);
             (c, s, None, None)
         }
         Step2Backend::Rasc {
@@ -698,8 +969,10 @@ fn run_step2_barrier(
             fpga_count,
             host_threads,
         } => {
-            let board = RascBoard::new(cfg.board_config(*pe_count, *fpga_count), matrix)
-                .map_err(PipelineError::OperatorDoesNotFit)?;
+            let mut board_cfg = cfg.board_config(*pe_count, *fpga_count);
+            board_cfg.record_timeline = tracer.enabled();
+            let board =
+                RascBoard::new(board_cfg, matrix).map_err(PipelineError::OperatorDoesNotFit)?;
             let (c, s, r) = run_rasc_step2(
                 &board,
                 flat0,
@@ -722,22 +995,40 @@ fn run_step2_barrier(
                 return Err(PipelineError::InvalidFpgaShare(*fpga_share));
             }
             let cut = split_keys_by_pair_mass(idx0, idx1, *fpga_share);
-            let board = RascBoard::new(cfg.board_config(*pe_count, 1), matrix)
-                .map_err(PipelineError::OperatorDoesNotFit)?;
+            let mut board_cfg = cfg.board_config(*pe_count, 1);
+            board_cfg.record_timeline = tracer.enabled();
+            let board =
+                RascBoard::new(board_cfg, matrix).map_err(PipelineError::OperatorDoesNotFit)?;
             // FPGA takes the dense low keys; CPU workers the rest.
             let (mut c, mut s, mut r) =
                 run_rasc_step2(&board, flat0, idx0, flat1, idx1, span, cfg.n_ctx, 1, 0..cut)?;
+            let base = tracer.epoch_seconds();
             // analyzer: allow(determinism) -- wall-clock step profile is the audited exception
             let t_cpu = Instant::now();
-            let (c2, s2) = step2::run_software_keys(
-                flat0,
-                idx0,
-                flat1,
-                idx1,
-                params,
-                cut..key_count,
-                *cpu_threads,
-            );
+            let (c2, s2) = if trace_wall {
+                let (c2, s2, times) = step2::run_software_keys_timed(
+                    flat0,
+                    idx0,
+                    flat1,
+                    idx1,
+                    params,
+                    cut..key_count,
+                    *cpu_threads,
+                    &t_cpu,
+                );
+                commit_step2_timings(tracer, base, &times);
+                (c2, s2)
+            } else {
+                step2::run_software_keys(
+                    flat0,
+                    idx0,
+                    flat1,
+                    idx1,
+                    params,
+                    cut..key_count,
+                    *cpu_threads,
+                )
+            };
             let cpu_wall = t_cpu.elapsed().as_secs_f64();
             // The host share sees the same fault plan as the board
             // (its own fault domain); recovery restores every faulted
@@ -788,42 +1079,97 @@ fn run_step2_overlapped(
     key_count: u32,
     matrix: &SubstitutionMatrix,
     dedup: &mut AnchorDedup<'_>,
+    tracer: &dyn Tracer,
 ) -> Result<(Step2Stats, Option<BoardReport>, Option<f64>), PipelineError> {
+    let trace_wall = tracer.enabled() && tracer.clock() == TraceClock::Wall;
     let (tx, rx) = channel::bounded::<Vec<Candidate>>(OVERLAP_CHANNEL_DEPTH);
     thread::scope(|s| {
         let consumer = s.spawn(move |_| {
-            for batch in rx.iter() {
+            if !trace_wall {
+                for batch in rx.iter() {
+                    for c in &batch {
+                        dedup.push(c);
+                    }
+                }
+                return;
+            }
+            // Traced consumer: per batch, the blocked wait on an empty
+            // channel (stall), the dedup-push time (busy), and a
+            // queue-depth sample right after the take. Only clock
+            // samples are taken in the loop; units are committed once
+            // the channel closes, keeping the tracer's lock off the
+            // consumer's hot path.
+            let mut rows: Vec<(f64, f64, f64, u64, u64)> = Vec::new();
+            loop {
+                let wait0 = tracer.epoch_seconds();
+                let Ok(batch) = rx.recv() else { break };
+                let waited = (tracer.epoch_seconds() - wait0).max(0.0);
+                let depth = rx.len() as u64;
+                let push0 = tracer.epoch_seconds();
                 for c in &batch {
                     dedup.push(c);
                 }
+                let pushed = (tracer.epoch_seconds() - push0).max(0.0);
+                rows.push((wait0, waited, pushed, depth, batch.len() as u64));
+            }
+            for (index, (wait0, waited, pushed, depth, batch_len)) in rows.into_iter().enumerate() {
+                tracer.commit(UnitTrace {
+                    stage: "channel.recv".to_string(),
+                    index: index as u64,
+                    lane: 0,
+                    start_seconds: Some(wait0),
+                    sim_clock: false,
+                    events: vec![
+                        UnitEvent::span("channel_empty", waited, 1),
+                        UnitEvent::span("merge", pushed, 1),
+                        UnitEvent::mark("queue_depth", depth),
+                        UnitEvent::mark("batch", batch_len),
+                    ],
+                });
             }
         });
+        // Producer-side channel instrumentation for the board
+        // backends: each emitted batch becomes a `channel.send` unit
+        // whose span is the (possibly back-pressured) send. Samples
+        // accumulate here and are committed after the producer drains.
+        let mut sends: Vec<(f64, f64, u64, u64)> = Vec::new();
         let result = (|| {
+            let sends = &mut sends;
+            let mut emit = |batch: Vec<Candidate>| {
+                if !trace_wall {
+                    let _ = tx.send(batch);
+                    return;
+                }
+                let n = batch.len() as u64;
+                let s0 = tracer.epoch_seconds();
+                let _ = tx.send(batch);
+                let dur = (tracer.epoch_seconds() - s0).max(0.0);
+                sends.push((s0, dur, tx.len() as u64, n));
+            };
+            // Software producers over `keys` on `threads` workers,
+            // timed when a wall-clock tracer is attached.
+            let stream_software = |threads: usize, keys: std::ops::Range<u32>| -> Step2Stats {
+                if !trace_wall {
+                    return step2::run_software_stream(
+                        flat0, idx0, flat1, idx1, params, keys, threads, &tx,
+                    );
+                }
+                let base = tracer.epoch_seconds();
+                // analyzer: allow(determinism) -- flight-recorder stage epoch, never results
+                let epoch = Instant::now();
+                let (stats, times) = step2::run_software_stream_timed(
+                    flat0, idx0, flat1, idx1, params, keys, threads, &tx, &epoch,
+                );
+                commit_step2_timings(tracer, base, &times);
+                stats
+            };
             Ok(match &cfg.backend {
                 Step2Backend::SoftwareScalar => {
-                    let stats = step2::run_software_stream(
-                        flat0,
-                        idx0,
-                        flat1,
-                        idx1,
-                        params,
-                        0..key_count,
-                        1,
-                        &tx,
-                    );
+                    let stats = stream_software(1, 0..key_count);
                     (stats, None, None)
                 }
                 Step2Backend::SoftwareParallel { threads } => {
-                    let stats = step2::run_software_stream(
-                        flat0,
-                        idx0,
-                        flat1,
-                        idx1,
-                        params,
-                        0..key_count,
-                        *threads,
-                        &tx,
-                    );
+                    let stats = stream_software(*threads, 0..key_count);
                     (stats, None, None)
                 }
                 Step2Backend::Rasc {
@@ -831,7 +1177,9 @@ fn run_step2_overlapped(
                     fpga_count,
                     host_threads,
                 } => {
-                    let board = RascBoard::new(cfg.board_config(*pe_count, *fpga_count), matrix)
+                    let mut board_cfg = cfg.board_config(*pe_count, *fpga_count);
+                    board_cfg.record_timeline = tracer.enabled();
+                    let board = RascBoard::new(board_cfg, matrix)
                         .map_err(PipelineError::OperatorDoesNotFit)?;
                     let (stats, report) = run_rasc_step2_stream(
                         &board,
@@ -843,9 +1191,7 @@ fn run_step2_overlapped(
                         cfg.n_ctx,
                         *host_threads,
                         0..key_count,
-                        |batch| {
-                            let _ = tx.send(batch);
-                        },
+                        &mut emit,
                     )?;
                     (stats, Some(report), None)
                 }
@@ -858,7 +1204,9 @@ fn run_step2_overlapped(
                         return Err(PipelineError::InvalidFpgaShare(*fpga_share));
                     }
                     let cut = split_keys_by_pair_mass(idx0, idx1, *fpga_share);
-                    let board = RascBoard::new(cfg.board_config(*pe_count, 1), matrix)
+                    let mut board_cfg = cfg.board_config(*pe_count, 1);
+                    board_cfg.record_timeline = tracer.enabled();
+                    let board = RascBoard::new(board_cfg, matrix)
                         .map_err(PipelineError::OperatorDoesNotFit)?;
                     let (mut stats, mut report) = run_rasc_step2_stream(
                         &board,
@@ -870,22 +1218,11 @@ fn run_step2_overlapped(
                         cfg.n_ctx,
                         1,
                         0..cut,
-                        |batch| {
-                            let _ = tx.send(batch);
-                        },
+                        &mut emit,
                     )?;
                     // analyzer: allow(determinism) -- wall-clock step profile is the audited exception
                     let t_cpu = Instant::now();
-                    let s2 = step2::run_software_stream(
-                        flat0,
-                        idx0,
-                        flat1,
-                        idx1,
-                        params,
-                        cut..key_count,
-                        *cpu_threads,
-                        &tx,
-                    );
+                    let s2 = stream_software(*cpu_threads, cut..key_count);
                     let cpu_wall = t_cpu.elapsed().as_secs_f64();
                     stats.pairs += s2.pairs;
                     stats.active_keys += s2.active_keys;
@@ -912,6 +1249,20 @@ fn run_step2_overlapped(
             })
         })();
         drop(tx);
+        for (index, (s0, dur, depth, batch_len)) in sends.into_iter().enumerate() {
+            tracer.commit(UnitTrace {
+                stage: "channel.send".to_string(),
+                index: index as u64,
+                lane: 0,
+                start_seconds: Some(s0),
+                sim_clock: false,
+                events: vec![
+                    UnitEvent::span("channel_full", dur, 1),
+                    UnitEvent::mark("queue_depth", depth),
+                    UnitEvent::mark("batch", batch_len),
+                ],
+            });
+        }
         consumer.join().expect("overlap consumer panicked");
         result
     })

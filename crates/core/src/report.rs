@@ -8,7 +8,8 @@
 //! shared [`psc_rasc::pe_utilization`] helper).
 
 use psc_telemetry::{
-    BoardTelemetry, FaultTelemetry, FpgaTelemetry, RunReport, Snapshot, StepReport,
+    BoardTelemetry, DetectorTelemetry, FaultTelemetry, FpgaTelemetry, RecoveryTelemetry, RunReport,
+    Snapshot, StepReport,
 };
 
 use crate::config::{PipelineConfig, Step2Backend};
@@ -77,14 +78,18 @@ pub fn build_run_report(
             entries: board.entries,
             hit_count: board.hit_count,
             faults: FaultTelemetry {
-                faults_injected: board.faults.faults_injected,
-                faults_detected: board.faults.faults_detected,
-                checksum_mismatches: board.faults.checksum_mismatches,
-                watchdog_trips: board.faults.watchdog_trips,
-                protocol_faults: board.faults.protocol_faults,
-                retries: board.faults.retries,
-                entries_degraded: board.faults.entries_degraded,
-                backoff_cycles: board.faults.backoff_cycles,
+                injected: board.faults.faults_injected,
+                detected: board.faults.faults_detected,
+                detectors: DetectorTelemetry {
+                    checksum: board.faults.checksum_mismatches,
+                    watchdog: board.faults.watchdog_trips,
+                    protocol: board.faults.protocol_faults,
+                },
+                recovery: RecoveryTelemetry {
+                    retries: board.faults.retries,
+                    entries_degraded: board.faults.entries_degraded,
+                    backoff_cycles: board.faults.backoff_cycles,
+                },
             },
         });
     }

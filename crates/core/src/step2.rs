@@ -61,6 +61,34 @@ pub struct Step2Stats {
     pub active_keys: u64,
 }
 
+/// Wall timing of one step-2 work unit — a bucketed [`WorkItem`] or a
+/// contiguous chunk — collected by the `_timed` drivers for the flight
+/// recorder. Kernel modules stay off the telemetry surface, so these
+/// are plain numbers relative to a caller-owned epoch; the pipeline
+/// turns them into trace spans after the stage completes. All offsets
+/// come from `epoch.elapsed()` on the instant the caller passes in —
+/// this module never reads the clock on its own.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ItemTiming {
+    /// Work-item index (bucketed schedule) or chunk ordinal
+    /// (contiguous), both in key-major order.
+    pub item: usize,
+    /// Worker that ran the unit, in spawn order.
+    pub worker: u32,
+    /// Seconds from the epoch to the unit's kernel start.
+    pub start_seconds: f64,
+    /// Kernel time of the unit (gather + rectangle scoring).
+    pub kernel_seconds: f64,
+    /// Seconds spent blocked shipping the unit's batch into the
+    /// overlap channel (streaming drivers only; 0 for barrier runs and
+    /// for empty batches that are never sent).
+    pub send_seconds: f64,
+    /// Seed pairs the unit scored.
+    pub pairs: u64,
+    /// Candidates the unit produced.
+    pub candidates: u64,
+}
+
 /// Gather the extension windows for every position of an index list into
 /// one contiguous buffer (the byte stream an input controller would DMA).
 pub fn gather_windows(flat: &FlatBank, list: &[u32], span: usize, n_ctx: usize, out: &mut Vec<u8>) {
@@ -637,6 +665,40 @@ pub fn run_software_keys(
     keys: std::ops::Range<u32>,
     threads: usize,
 ) -> (Vec<Candidate>, Step2Stats) {
+    let (out, stats, _) =
+        run_software_keys_inner(flat0, idx0, flat1, idx1, params, keys, threads, None);
+    (out, stats)
+}
+
+/// [`run_software_keys`] that also returns per-unit wall timings for
+/// the flight recorder. Candidates and stats are byte-identical to the
+/// untimed driver; the only extra work is two `epoch.elapsed()` reads
+/// per unit, outside the kernels.
+#[allow(clippy::too_many_arguments)]
+pub fn run_software_keys_timed(
+    flat0: &FlatBank,
+    idx0: &SeedIndex,
+    flat1: &FlatBank,
+    idx1: &SeedIndex,
+    params: &Step2Params<'_>,
+    keys: std::ops::Range<u32>,
+    threads: usize,
+    epoch: &std::time::Instant,
+) -> (Vec<Candidate>, Step2Stats, Vec<ItemTiming>) {
+    run_software_keys_inner(flat0, idx0, flat1, idx1, params, keys, threads, Some(epoch))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_software_keys_inner(
+    flat0: &FlatBank,
+    idx0: &SeedIndex,
+    flat1: &FlatBank,
+    idx1: &SeedIndex,
+    params: &Step2Params<'_>,
+    keys: std::ops::Range<u32>,
+    threads: usize,
+    epoch: Option<&std::time::Instant>,
+) -> (Vec<Candidate>, Step2Stats, Vec<ItemTiming>) {
     assert_eq!(idx0.key_count(), idx1.key_count(), "incompatible indexes");
     let threads = threads.max(1);
     let backend = params.resolved_backend();
@@ -649,6 +711,7 @@ pub fn run_software_keys(
         let mut scratch = KeyScratch::default();
         let mut out = Vec::new();
         let mut stats = Step2Stats::default();
+        let t0 = epoch.map(|e| e.elapsed().as_secs_f64());
         run_key_range(
             flat0,
             idx0,
@@ -663,17 +726,45 @@ pub fn run_software_keys(
             &mut stats,
         );
         stats.candidates = out.len() as u64;
-        return (out, stats);
+        let times = unit_timing(epoch, t0, 0, 0, 0.0, stats.pairs, stats.candidates)
+            .into_iter()
+            .collect();
+        return (out, stats, times);
     }
 
     match params.schedule {
         Step2Schedule::Contiguous => run_contiguous(
-            flat0, idx0, flat1, idx1, params, backend, &tmat, keys, threads,
+            flat0, idx0, flat1, idx1, params, backend, &tmat, keys, threads, epoch,
         ),
         Step2Schedule::Bucketed => run_bucketed(
-            flat0, idx0, flat1, idx1, params, backend, &tmat, keys, threads,
+            flat0, idx0, flat1, idx1, params, backend, &tmat, keys, threads, epoch,
         ),
     }
+}
+
+/// Close one unit's timing record: `t0` was read before the kernel,
+/// "now" is read here (so the unit's span is kernel + send; the send
+/// share is subtracted back out). Returns `None` when timing is off.
+#[allow(clippy::too_many_arguments)]
+fn unit_timing(
+    epoch: Option<&std::time::Instant>,
+    t0: Option<f64>,
+    item: usize,
+    worker: u32,
+    send_seconds: f64,
+    pairs: u64,
+    candidates: u64,
+) -> Option<ItemTiming> {
+    let (e, t0) = (epoch?, t0?);
+    Some(ItemTiming {
+        item,
+        worker,
+        start_seconds: t0,
+        kernel_seconds: (e.elapsed().as_secs_f64() - t0 - send_seconds).max(0.0),
+        send_seconds,
+        pairs,
+        candidates,
+    })
 }
 
 /// Contiguous multi-threaded schedule: one balanced key-range chunk per
@@ -689,20 +780,24 @@ fn run_contiguous(
     tmat: &SubstitutionMatrix,
     keys: std::ops::Range<u32>,
     threads: usize,
-) -> (Vec<Candidate>, Step2Stats) {
+    epoch: Option<&std::time::Instant>,
+) -> (Vec<Candidate>, Step2Stats, Vec<ItemTiming>) {
     let chunks = balanced_chunks(idx0, idx1, keys, threads);
     if chunks.is_empty() {
-        return (Vec::new(), Step2Stats::default());
+        return (Vec::new(), Step2Stats::default(), Vec::new());
     }
-    let mut results: Vec<(Vec<Candidate>, Step2Stats)> = Vec::with_capacity(chunks.len());
+    let mut results: Vec<(Vec<Candidate>, Step2Stats, Option<ItemTiming>)> =
+        Vec::with_capacity(chunks.len());
     thread::scope(|s| {
         let handles: Vec<_> = chunks
             .into_iter()
-            .map(|range| {
+            .enumerate()
+            .map(|(w, range)| {
                 s.spawn(move |_| {
                     let mut scratch = KeyScratch::default();
                     let mut out = Vec::new();
                     let mut stats = Step2Stats::default();
+                    let t0 = epoch.map(|e| e.elapsed().as_secs_f64());
                     run_key_range(
                         flat0,
                         idx0,
@@ -716,7 +811,9 @@ fn run_contiguous(
                         &mut out,
                         &mut stats,
                     );
-                    (out, stats)
+                    let timing =
+                        unit_timing(epoch, t0, w, w as u32, 0.0, stats.pairs, out.len() as u64);
+                    (out, stats, timing)
                 })
             })
             .collect();
@@ -730,13 +827,15 @@ fn run_contiguous(
 
     let mut out = Vec::new();
     let mut stats = Step2Stats::default();
-    for (mut part, st) in results {
+    let mut times = Vec::new();
+    for (mut part, st, timing) in results {
         out.append(&mut part);
         stats.pairs += st.pairs;
         stats.active_keys += st.active_keys;
+        times.extend(timing);
     }
     stats.candidates = out.len() as u64;
-    (out, stats)
+    (out, stats, times)
 }
 
 /// Bucketed multi-threaded schedule: workers pull [`WorkItem`]s off an
@@ -754,27 +853,31 @@ fn run_bucketed(
     tmat: &SubstitutionMatrix,
     keys: std::ops::Range<u32>,
     threads: usize,
-) -> (Vec<Candidate>, Step2Stats) {
+    epoch: Option<&std::time::Instant>,
+) -> (Vec<Candidate>, Step2Stats, Vec<ItemTiming>) {
     let items = bucketed_items(idx0, idx1, keys);
     let order = lpt_order(&items);
     if items.is_empty() {
-        return (Vec::new(), Step2Stats::default());
+        return (Vec::new(), Step2Stats::default(), Vec::new());
     }
     let next = AtomicUsize::new(0);
     let mut collected: Vec<(usize, Vec<Candidate>, Step2Stats)> = Vec::with_capacity(items.len());
+    let mut times: Vec<ItemTiming> = Vec::new();
     thread::scope(|s| {
         let handles: Vec<_> = (0..threads.min(items.len()))
-            .map(|_| {
+            .map(|w| {
                 let (items, order, next) = (&items, &order, &next);
                 s.spawn(move |_| {
                     let mut scratch = KeyScratch::default();
                     let mut mine = Vec::new();
+                    let mut my_times = Vec::new();
                     loop {
                         let t = next.fetch_add(1, Ordering::Relaxed);
                         if t >= order.len() {
                             break;
                         }
                         let idx = order[t];
+                        let t0 = epoch.map(|e| e.elapsed().as_secs_f64());
                         // analyzer: allow(hot-path-no-alloc) -- per-item result vector, moved into the key-order merge
                         let mut out = Vec::new();
                         let mut st = Step2Stats::default();
@@ -791,21 +894,33 @@ fn run_bucketed(
                             &mut out,
                             &mut st,
                         );
+                        my_times.extend(unit_timing(
+                            epoch,
+                            t0,
+                            idx,
+                            w as u32,
+                            0.0,
+                            st.pairs,
+                            out.len() as u64,
+                        ));
                         mine.push((idx, out, st));
                     }
-                    mine
+                    (mine, my_times)
                 })
             })
             .collect();
         for h in handles {
             // analyzer: allow(hot-path-no-panic) -- join only fails if a worker already panicked
-            collected.extend(h.join().expect("step-2 worker panicked"));
+            let (mine, my_times) = h.join().expect("step-2 worker panicked");
+            collected.extend(mine);
+            times.extend(my_times);
         }
     })
     // analyzer: allow(hot-path-no-panic) -- scope only fails if a worker already panicked
     .expect("step-2 scope");
 
     collected.sort_unstable_by_key(|&(idx, ..)| idx);
+    times.sort_unstable_by_key(|t| t.item);
     let mut out = Vec::new();
     let mut stats = Step2Stats::default();
     for (_, mut part, st) in collected {
@@ -814,7 +929,7 @@ fn run_bucketed(
         stats.active_keys += st.active_keys;
     }
     stats.candidates = out.len() as u64;
-    (out, stats)
+    (out, stats, times)
 }
 
 /// Cut `keys` into at most `threads` ranges of roughly equal pair mass
@@ -871,6 +986,70 @@ pub fn run_software_stream(
     threads: usize,
     out_tx: &channel::Sender<Vec<Candidate>>,
 ) -> Step2Stats {
+    run_software_stream_inner(
+        flat0, idx0, flat1, idx1, params, keys, threads, out_tx, None,
+    )
+    .0
+}
+
+/// [`run_software_stream`] that also returns per-unit wall timings for
+/// the flight recorder, including the time each worker spent blocked
+/// on a full overlap channel (`send_seconds`).
+#[allow(clippy::too_many_arguments)]
+pub fn run_software_stream_timed(
+    flat0: &FlatBank,
+    idx0: &SeedIndex,
+    flat1: &FlatBank,
+    idx1: &SeedIndex,
+    params: &Step2Params<'_>,
+    keys: std::ops::Range<u32>,
+    threads: usize,
+    out_tx: &channel::Sender<Vec<Candidate>>,
+    epoch: &std::time::Instant,
+) -> (Step2Stats, Vec<ItemTiming>) {
+    run_software_stream_inner(
+        flat0,
+        idx0,
+        flat1,
+        idx1,
+        params,
+        keys,
+        threads,
+        out_tx,
+        Some(epoch),
+    )
+}
+
+/// Measure one channel send: returns the seconds the worker spent
+/// blocked in `send` (0 when timing is off or the batch is empty).
+fn timed_send(
+    tx: &channel::Sender<Vec<Candidate>>,
+    out: Vec<Candidate>,
+    epoch: Option<&std::time::Instant>,
+) -> f64 {
+    if out.is_empty() {
+        return 0.0;
+    }
+    let s0 = epoch.map(|e| e.elapsed().as_secs_f64());
+    let _ = tx.send(out);
+    match (epoch, s0) {
+        (Some(e), Some(s0)) => (e.elapsed().as_secs_f64() - s0).max(0.0),
+        _ => 0.0,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_software_stream_inner(
+    flat0: &FlatBank,
+    idx0: &SeedIndex,
+    flat1: &FlatBank,
+    idx1: &SeedIndex,
+    params: &Step2Params<'_>,
+    keys: std::ops::Range<u32>,
+    threads: usize,
+    out_tx: &channel::Sender<Vec<Candidate>>,
+    epoch: Option<&std::time::Instant>,
+) -> (Step2Stats, Vec<ItemTiming>) {
     assert_eq!(idx0.key_count(), idx1.key_count(), "incompatible indexes");
     let threads = threads.max(1);
     let backend = params.resolved_backend();
@@ -880,6 +1059,7 @@ pub fn run_software_stream(
         let mut scratch = KeyScratch::default();
         let mut out = Vec::new();
         let mut stats = Step2Stats::default();
+        let t0 = epoch.map(|e| e.elapsed().as_secs_f64());
         run_key_range(
             flat0,
             idx0,
@@ -894,29 +1074,33 @@ pub fn run_software_stream(
             &mut stats,
         );
         stats.candidates = out.len() as u64;
-        if !out.is_empty() {
-            let _ = out_tx.send(out);
-        }
-        return stats;
+        let send = timed_send(out_tx, out, epoch);
+        let times = unit_timing(epoch, t0, 0, 0, send, stats.pairs, stats.candidates)
+            .into_iter()
+            .collect();
+        return (stats, times);
     }
 
     let mut stats = Step2Stats::default();
+    let mut times: Vec<ItemTiming> = Vec::new();
     match params.schedule {
         Step2Schedule::Contiguous => {
             let chunks = balanced_chunks(idx0, idx1, keys, threads);
             if chunks.is_empty() {
-                return Step2Stats::default();
+                return (Step2Stats::default(), Vec::new());
             }
             thread::scope(|s| {
                 let handles: Vec<_> = chunks
                     .into_iter()
-                    .map(|range| {
+                    .enumerate()
+                    .map(|(w, range)| {
                         let tx = out_tx.clone();
                         let tmat = &tmat;
                         s.spawn(move |_| {
                             let mut scratch = KeyScratch::default();
                             let mut out = Vec::new();
                             let mut st = Step2Stats::default();
+                            let t0 = epoch.map(|e| e.elapsed().as_secs_f64());
                             run_key_range(
                                 flat0,
                                 idx0,
@@ -931,19 +1115,21 @@ pub fn run_software_stream(
                                 &mut st,
                             );
                             st.candidates = out.len() as u64;
-                            if !out.is_empty() {
-                                let _ = tx.send(out);
-                            }
-                            st
+                            let candidates = st.candidates;
+                            let send = timed_send(&tx, out, epoch);
+                            let timing =
+                                unit_timing(epoch, t0, w, w as u32, send, st.pairs, candidates);
+                            (st, timing)
                         })
                     })
                     .collect();
                 for h in handles {
                     // analyzer: allow(hot-path-no-panic) -- join only fails if a worker already panicked
-                    let st = h.join().expect("step-2 worker panicked");
+                    let (st, timing) = h.join().expect("step-2 worker panicked");
                     stats.pairs += st.pairs;
                     stats.active_keys += st.active_keys;
                     stats.candidates += st.candidates;
+                    times.extend(timing);
                 }
             })
             // analyzer: allow(hot-path-no-panic) -- scope only fails if a worker already panicked
@@ -953,22 +1139,26 @@ pub fn run_software_stream(
             let items = bucketed_items(idx0, idx1, keys);
             let order = lpt_order(&items);
             if items.is_empty() {
-                return Step2Stats::default();
+                return (Step2Stats::default(), Vec::new());
             }
             let next = AtomicUsize::new(0);
             thread::scope(|s| {
                 let handles: Vec<_> = (0..threads.min(items.len()))
-                    .map(|_| {
+                    .map(|w| {
                         let tx = out_tx.clone();
                         let (items, order, next, tmat) = (&items, &order, &next, &tmat);
                         s.spawn(move |_| {
                             let mut scratch = KeyScratch::default();
                             let mut st = Step2Stats::default();
+                            let mut my_times = Vec::new();
                             loop {
                                 let t = next.fetch_add(1, Ordering::Relaxed);
                                 if t >= order.len() {
                                     break;
                                 }
+                                let idx = order[t];
+                                let pairs_before = st.pairs;
+                                let t0 = epoch.map(|e| e.elapsed().as_secs_f64());
                                 // analyzer: allow(hot-path-no-alloc) -- per-item batch, ownership moves into the channel send
                                 let mut out = Vec::new();
                                 run_key_range(
@@ -979,33 +1169,43 @@ pub fn run_software_stream(
                                     params,
                                     backend,
                                     tmat,
-                                    items[order[t]].keys.clone(),
+                                    items[idx].keys.clone(),
                                     &mut scratch,
                                     &mut out,
                                     &mut st,
                                 );
                                 st.candidates += out.len() as u64;
-                                if !out.is_empty() {
-                                    let _ = tx.send(out);
-                                }
+                                let candidates = out.len() as u64;
+                                let send = timed_send(&tx, out, epoch);
+                                my_times.extend(unit_timing(
+                                    epoch,
+                                    t0,
+                                    idx,
+                                    w as u32,
+                                    send,
+                                    st.pairs - pairs_before,
+                                    candidates,
+                                ));
                             }
-                            st
+                            (st, my_times)
                         })
                     })
                     .collect();
                 for h in handles {
                     // analyzer: allow(hot-path-no-panic) -- join only fails if a worker already panicked
-                    let st = h.join().expect("step-2 worker panicked");
+                    let (st, my_times) = h.join().expect("step-2 worker panicked");
                     stats.pairs += st.pairs;
                     stats.active_keys += st.active_keys;
                     stats.candidates += st.candidates;
+                    times.extend(my_times);
                 }
             })
             // analyzer: allow(hot-path-no-panic) -- scope only fails if a worker already panicked
             .expect("step-2 scope");
         }
     }
-    stats
+    times.sort_unstable_by_key(|t| t.item);
+    (stats, times)
 }
 
 #[cfg(test)]

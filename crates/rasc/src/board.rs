@@ -59,6 +59,10 @@ pub struct BoardConfig {
     pub fault_plan: Option<FaultPlan>,
     /// Retry / degradation policy applied when a dispatch faults.
     pub recovery: RecoveryPolicy,
+    /// Emit the per-`(entry, fpga)` DMA/compute timeline on the report
+    /// (`BoardReport::timeline`) for flight-recorder export. Off by
+    /// default: plain runs should not grow a segment per entry.
+    pub record_timeline: bool,
 }
 
 impl BoardConfig {
@@ -70,6 +74,7 @@ impl BoardConfig {
             sync_per_entry: 1.5e-6,
             fault_plan: None,
             recovery: RecoveryPolicy::default(),
+            record_timeline: false,
         }
     }
 }
@@ -127,6 +132,33 @@ pub struct BoardReport {
     pub setup_seconds: f64,
     /// Fault injection / recovery counters for the run.
     pub faults: FaultSummary,
+    /// Per-`(entry, fpga)` double-buffer timeline, in dispatch order.
+    /// Empty unless [`BoardConfig::record_timeline`] is set. On the
+    /// simulated device clock (seconds from the accelerated section's
+    /// start), deterministic for every `host_threads`.
+    pub timeline: Vec<BoardSegment>,
+}
+
+/// One `(entry, fpga)` record of the double-buffered board timeline:
+/// when its input DMA ran, when its compute ran (including retry
+/// attempts and backoff), and what its recovery path did.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct BoardSegment {
+    pub entry: u64,
+    pub fpga: usize,
+    /// Input-stream window on the DMA engine, seconds.
+    pub dma_start: f64,
+    pub dma_end: f64,
+    /// PE-array window, seconds. Includes cycles burned by faulted
+    /// attempts and `backoff_seconds` of retry backoff.
+    pub compute_start: f64,
+    pub compute_end: f64,
+    /// Of the compute window: simulated retry backoff.
+    pub backoff_seconds: f64,
+    /// Fault-recovery retries this record took.
+    pub retries: u32,
+    /// Whether recovery exhausted retries and fell back to software.
+    pub degraded: bool,
 }
 
 impl BoardReport {
@@ -164,6 +196,10 @@ struct EntryCost {
     fpga: usize,
     cycles: u64,
     bytes_in: u64,
+    /// Recovery activity of this record, for the timeline.
+    retries: u32,
+    backoff_cycles: u64,
+    degraded: bool,
 }
 
 /// A simulated RASC-100 board.
@@ -235,6 +271,8 @@ impl RascBoard {
             let budget =
                 policy.watchdog_budget(op.cycles_lower_bound(hi - lo, k1), ((hi - lo) * k1) as u64);
             let mut attempt = 0u32;
+            let mut record_backoff = 0u64;
+            let mut record_degraded = false;
             let mut hits = loop {
                 let fault = injector.and_then(|i| i.fire(entry_idx, f, attempt));
                 let ctx = (entry_idx, f, attempt);
@@ -254,6 +292,7 @@ impl RascBoard {
                         if attempt >= policy.max_retries {
                             if policy.degrade {
                                 faults.entries_degraded += 1;
+                                record_degraded = true;
                                 break fault::score_entry_software(
                                     &self.matrix,
                                     &self.config.operator,
@@ -272,6 +311,7 @@ impl RascBoard {
                         let backoff = policy.backoff(attempt);
                         tallies[f].cycles += backoff;
                         faults.backoff_cycles += backoff;
+                        record_backoff += backoff;
                         attempt += 1;
                     }
                 }
@@ -285,6 +325,9 @@ impl RascBoard {
                 fpga: f,
                 cycles: tallies[f].cycles - cycles_before,
                 bytes_in: tallies[f].bytes_in - bytes_before,
+                retries: attempt,
+                backoff_cycles: record_backoff,
+                degraded: record_degraded,
             });
         }
         Ok(merged)
@@ -597,12 +640,30 @@ impl RascBoard {
                 compute_end = compute_start + c;
                 dma_busy.push((dma_start, dma_end));
                 compute_busy.push((compute_start, compute_end));
+                if self.config.record_timeline {
+                    report.timeline.push(BoardSegment {
+                        entry: r.entry,
+                        fpga: f,
+                        dma_start,
+                        dma_end,
+                        compute_start,
+                        compute_end,
+                        backoff_seconds: r.backoff_cycles as f64 / clock,
+                        retries: r.retries,
+                        degraded: r.degraded,
+                    });
+                }
             }
             if compute_end > worst_span {
                 worst_span = compute_end;
                 report.overlap_seconds = busy_intersection(&dma_busy, &compute_busy);
                 report.overlap_occupancy = report.overlap_seconds / compute_end;
             }
+        }
+        if self.config.record_timeline {
+            // Per-FPGA folds interleave; hand the flight recorder
+            // dispatch order.
+            report.timeline.sort_by_key(|a| (a.entry, a.fpga));
         }
         report.hit_count = total_hits;
         report.bytes_out = total_hits * std::mem::size_of::<(u32, u32)>() as u64;
@@ -783,6 +844,75 @@ mod tests {
             .unwrap();
         assert_eq!(one.overlap_seconds, 0.0);
         assert_eq!(one.overlap_occupancy, 0.0);
+    }
+
+    #[test]
+    fn timeline_records_match_the_fold_and_stay_thread_invariant() {
+        let m = blosum62();
+        let mut cfg = test_config(2);
+        cfg.record_timeline = true;
+        let board = RascBoard::new(cfg, m).unwrap();
+        let work: Vec<Entry> = (0..12)
+            .map(|i| Entry {
+                il0: (0..8 * 6u32).map(|r| ((r + i) % 20) as u8).collect(),
+                il1: (0..5 * 6u32).map(|r| ((r * 3 + i) % 20) as u8).collect(),
+            })
+            .collect();
+        let (_, seq) = board.run_workload(&work).unwrap();
+        let par = board
+            .run_stream(work.iter().cloned(), 4, |_, _| {})
+            .unwrap();
+        assert_eq!(seq.timeline, par.timeline);
+        assert_eq!(seq.timeline.len(), work.len() * 2); // two FPGAs
+                                                        // Dispatch order, per-lane monotonic, DMA precedes compute.
+        let mut last_end = [0.0f64; 2];
+        for (i, s) in seq.timeline.iter().enumerate() {
+            assert_eq!(s.entry, (i / 2) as u64);
+            assert_eq!(s.fpga, i % 2);
+            assert!(s.dma_end >= s.dma_start, "{s:?}");
+            assert!(s.compute_start >= s.dma_end, "{s:?}");
+            assert!(s.compute_end >= s.compute_start, "{s:?}");
+            assert!(s.compute_end >= last_end[s.fpga], "{s:?}");
+            last_end[s.fpga] = s.compute_end;
+            assert_eq!(s.retries, 0);
+            assert!(!s.degraded);
+            assert_eq!(s.backoff_seconds, 0.0);
+        }
+        // The slowest lane's last compute_end is the fold's worst span.
+        let span =
+            seq.accelerated_seconds - seq.wire_out_seconds - seq.sync_seconds - seq.setup_seconds;
+        let worst = seq
+            .timeline
+            .iter()
+            .map(|s| s.compute_end)
+            .fold(0.0f64, f64::max);
+        assert!((span - worst).abs() < 1e-15, "{span} vs {worst}");
+        // Off by default: no segments on a plain config.
+        let plain = RascBoard::new(test_config(2), m).unwrap();
+        let (_, r) = plain.run_workload(&work).unwrap();
+        assert!(r.timeline.is_empty());
+    }
+
+    #[test]
+    fn timeline_exposes_recovery_activity() {
+        use crate::fault::FaultPlan;
+        let m = blosum62();
+        let mut cfg = test_config(1);
+        cfg.record_timeline = true;
+        // Entry 1 faults twice then succeeds; entry 0 is clean.
+        cfg.fault_plan = Some(FaultPlan::parse("1:pe-flip:2").unwrap());
+        let board = RascBoard::new(cfg, m).unwrap();
+        let (_, r) = board.run_workload(&entries()).unwrap();
+        assert_eq!(r.timeline.len(), 2);
+        assert_eq!(r.timeline[0].retries, 0);
+        assert_eq!(r.timeline[1].retries, 2);
+        assert!(r.timeline[1].backoff_seconds > 0.0);
+        assert!(!r.timeline[1].degraded);
+        // The segment's backoff matches the summary's cycle account.
+        let clock = test_config(1).operator.clock_hz as f64;
+        assert!(
+            (r.timeline[1].backoff_seconds - r.faults.backoff_cycles as f64 / clock).abs() < 1e-18
+        );
     }
 
     #[test]

@@ -41,7 +41,7 @@ pub mod pe;
 pub mod resource;
 
 pub use adr::{run_via_adr, AdrDevice, AdrError};
-pub use board::{BoardConfig, BoardReport, Entry, RascBoard};
+pub use board::{BoardConfig, BoardReport, BoardSegment, Entry, RascBoard};
 pub use config::{OperatorConfig, DEFAULT_CLOCK_HZ};
 pub use dma::{DmaModel, NUMALINK_BANDWIDTH};
 pub use fault::{

@@ -52,12 +52,16 @@ pub fn render_breakdown(report: &RunReport) -> String {
             note
         ));
     }
+    let total = report.total_seconds();
     out.push_str(&format!(
         "  {:<10} {:>12} {:>7.2}%\n",
         "total",
-        fmt_seconds(report.total_seconds()),
-        100.0
+        fmt_seconds(total),
+        if total > 0.0 { 100.0 } else { 0.0 }
     ));
+    if total <= 0.0 {
+        out.push_str("  (no timed steps: stripped or empty run, percentages omitted)\n");
+    }
     out
 }
 
@@ -115,15 +119,15 @@ pub fn render_utilization(report: &RunReport) -> String {
     if f.any() {
         out.push_str(&format!(
             "  Faults: {} injected, {} detected ({} checksum, {} watchdog, {} protocol)\n",
-            f.faults_injected,
-            f.faults_detected,
-            f.checksum_mismatches,
-            f.watchdog_trips,
-            f.protocol_faults
+            f.injected,
+            f.detected,
+            f.detectors.checksum,
+            f.detectors.watchdog,
+            f.detectors.protocol
         ));
         out.push_str(&format!(
             "  Recovery: {} retries ({} backoff cycles), {} entries degraded to software\n",
-            f.retries, f.backoff_cycles, f.entries_degraded
+            f.recovery.retries, f.recovery.backoff_cycles, f.recovery.entries_degraded
         ));
     }
     out
@@ -177,6 +181,12 @@ pub fn render_report(report: &RunReport) -> String {
     }
     out.push('\n');
     out.push_str(&render_breakdown(report));
+    if report.counter("step3.anchors") == Some(0) {
+        out.push_str(
+            "  note: no anchors survived step 2 — step-3 sections are \
+             empty, percentages cover steps 1-2 only\n",
+        );
+    }
     out.push('\n');
     out.push_str(&render_utilization(report));
     if !report.counters.is_empty() {
@@ -206,7 +216,10 @@ pub fn render_report(report: &RunReport) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::report::{BoardTelemetry, FaultTelemetry, FpgaTelemetry, StepReport};
+    use crate::report::{
+        BoardTelemetry, DetectorTelemetry, FaultTelemetry, FpgaTelemetry, RecoveryTelemetry,
+        StepReport,
+    };
 
     fn report_with_board() -> RunReport {
         let mut r = RunReport::new();
@@ -280,14 +293,18 @@ mod tests {
         assert!(!clean.contains("Faults:"), "{clean}");
         let mut r = report_with_board();
         r.board.as_mut().unwrap().faults = FaultTelemetry {
-            faults_injected: 5,
-            faults_detected: 4,
-            checksum_mismatches: 2,
-            watchdog_trips: 1,
-            protocol_faults: 1,
-            retries: 3,
-            entries_degraded: 1,
-            backoff_cycles: 1792,
+            injected: 5,
+            detected: 4,
+            detectors: DetectorTelemetry {
+                checksum: 2,
+                watchdog: 1,
+                protocol: 1,
+            },
+            recovery: RecoveryTelemetry {
+                retries: 3,
+                entries_degraded: 1,
+                backoff_cycles: 1792,
+            },
         };
         let text = render_utilization(&r);
         assert!(
@@ -306,6 +323,30 @@ mod tests {
         r.board = None;
         let text = render_utilization(&r);
         assert!(text.contains("software backend"), "{text}");
+    }
+
+    #[test]
+    fn zero_anchor_run_says_so_explicitly() {
+        let mut r = report_with_board();
+        r.counters.push(("step3.anchors".into(), 0));
+        let text = render_report(&r);
+        assert!(text.contains("no anchors survived step 2"), "{text}");
+        // A run with anchors must not carry the note.
+        let mut ok = report_with_board();
+        ok.counters.push(("step3.anchors".into(), 17));
+        assert!(!render_report(&ok).contains("no anchors survived"));
+    }
+
+    #[test]
+    fn zero_total_breakdown_omits_percentages() {
+        let mut r = report_with_board();
+        for s in &mut r.steps {
+            s.wall_seconds = 0.0;
+            s.accelerated_seconds = None;
+        }
+        let text = render_breakdown(&r);
+        assert!(text.contains("no timed steps"), "{text}");
+        assert!(!text.contains("NaN"), "{text}");
     }
 
     #[test]
@@ -349,7 +390,7 @@ mod tests {
     fn full_report_renders_all_sections() {
         let text = render_report(&report_with_board());
         for needle in [
-            "schema v1",
+            "schema v2",
             "backend = rasc",
             "Step time breakdown",
             "Simulated RASC board",

@@ -14,8 +14,14 @@
 use crate::json::{Json, JsonError};
 use crate::recorder::{Histogram, Snapshot};
 
-/// Version written to and required from every report.
-pub const SCHEMA_VERSION: u64 = 1;
+/// Version written to every report. Schema v2 split the board's flat
+/// `faults` object into per-detector (`detectors`) and recovery
+/// (`recovery`) sub-objects; v1 reports still parse (and re-serialize
+/// upgraded to v2).
+pub const SCHEMA_VERSION: u64 = 2;
+
+/// Oldest schema this build still reads.
+pub const MIN_SCHEMA_VERSION: u64 = 1;
 
 /// One pipeline step's timing.
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -60,19 +66,44 @@ pub struct FpgaTelemetry {
     pub utilization: f64,
 }
 
-/// Fault injection / recovery counters from the simulated board. All
-/// zeros on a fault-free run; a missing `faults` object in older
-/// schema-v1 reports parses to zeros.
+/// Per-detector fault detection counts (schema v2): one field per
+/// detection mechanism the board model runs, so each detector's hit
+/// rate is individually diffable.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct FaultTelemetry {
-    pub faults_injected: u64,
-    pub faults_detected: u64,
-    pub checksum_mismatches: u64,
-    pub watchdog_trips: u64,
-    pub protocol_faults: u64,
+pub struct DetectorTelemetry {
+    /// Fletcher stream/result checksum mismatches (DMA corruption,
+    /// PE score flips — including the hybrid backend's host share).
+    pub checksum: u64,
+    /// Cycle-watchdog trips (FIFO stalls, hung entries).
+    pub watchdog: u64,
+    /// ADR protocol violations (truncated or malformed transfers).
+    pub protocol: u64,
+}
+
+impl DetectorTelemetry {
+    /// Total detections across all detectors.
+    pub fn total(&self) -> u64 {
+        self.checksum + self.watchdog + self.protocol
+    }
+}
+
+/// Recovery-path counters (schema v2).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryTelemetry {
     pub retries: u64,
     pub entries_degraded: u64,
     pub backoff_cycles: u64,
+}
+
+/// Fault injection / recovery counters from the simulated board. All
+/// zeros on a fault-free run; a missing `faults` object in older
+/// reports parses to zeros.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultTelemetry {
+    pub injected: u64,
+    pub detected: u64,
+    pub detectors: DetectorTelemetry,
+    pub recovery: RecoveryTelemetry,
 }
 
 impl FaultTelemetry {
@@ -291,13 +322,16 @@ impl RunReport {
         let version = require(json, "schema_version")?
             .as_u64()
             .ok_or("schema_version must be a non-negative integer")?;
-        if version != SCHEMA_VERSION {
+        if !(MIN_SCHEMA_VERSION..=SCHEMA_VERSION).contains(&version) {
             return Err(format!(
-                "unsupported schema_version {version} (this build reads {SCHEMA_VERSION})"
+                "unsupported schema_version {version} \
+                 (this build reads v{MIN_SCHEMA_VERSION}..=v{SCHEMA_VERSION})"
             ));
         }
+        // Old reports parse but normalize: re-serializing writes the
+        // current schema.
         let mut report = RunReport {
-            schema_version: version,
+            schema_version: SCHEMA_VERSION,
             ..RunReport::default()
         };
 
@@ -467,34 +501,41 @@ fn board_to_json(b: &BoardTelemetry) -> Json {
         (
             "faults".into(),
             Json::Obj(vec![
+                ("injected".into(), Json::Num(b.faults.injected as f64)),
+                ("detected".into(), Json::Num(b.faults.detected as f64)),
                 (
-                    "faults_injected".into(),
-                    Json::Num(b.faults.faults_injected as f64),
+                    "detectors".into(),
+                    Json::Obj(vec![
+                        (
+                            "checksum".into(),
+                            Json::Num(b.faults.detectors.checksum as f64),
+                        ),
+                        (
+                            "watchdog".into(),
+                            Json::Num(b.faults.detectors.watchdog as f64),
+                        ),
+                        (
+                            "protocol".into(),
+                            Json::Num(b.faults.detectors.protocol as f64),
+                        ),
+                    ]),
                 ),
                 (
-                    "faults_detected".into(),
-                    Json::Num(b.faults.faults_detected as f64),
-                ),
-                (
-                    "checksum_mismatches".into(),
-                    Json::Num(b.faults.checksum_mismatches as f64),
-                ),
-                (
-                    "watchdog_trips".into(),
-                    Json::Num(b.faults.watchdog_trips as f64),
-                ),
-                (
-                    "protocol_faults".into(),
-                    Json::Num(b.faults.protocol_faults as f64),
-                ),
-                ("retries".into(), Json::Num(b.faults.retries as f64)),
-                (
-                    "entries_degraded".into(),
-                    Json::Num(b.faults.entries_degraded as f64),
-                ),
-                (
-                    "backoff_cycles".into(),
-                    Json::Num(b.faults.backoff_cycles as f64),
+                    "recovery".into(),
+                    Json::Obj(vec![
+                        (
+                            "retries".into(),
+                            Json::Num(b.faults.recovery.retries as f64),
+                        ),
+                        (
+                            "entries_degraded".into(),
+                            Json::Num(b.faults.recovery.entries_degraded as f64),
+                        ),
+                        (
+                            "backoff_cycles".into(),
+                            Json::Num(b.faults.recovery.backoff_cycles as f64),
+                        ),
+                    ]),
                 ),
             ]),
         ),
@@ -507,15 +548,40 @@ fn faults_from_json(json: &Json) -> Result<FaultTelemetry, String> {
     let Some(f) = json.get("faults") else {
         return Ok(FaultTelemetry::default());
     };
+    // Schema v1 wrote one flat object; v2 nests detectors/recovery.
+    // Keyed on shape, not the version header, so hand-edited hybrids
+    // still parse.
+    if f.get("faults_injected").is_some() {
+        return Ok(FaultTelemetry {
+            injected: u64_field(f, "faults_injected")?,
+            detected: u64_field(f, "faults_detected")?,
+            detectors: DetectorTelemetry {
+                checksum: u64_field(f, "checksum_mismatches")?,
+                watchdog: u64_field(f, "watchdog_trips")?,
+                protocol: u64_field(f, "protocol_faults")?,
+            },
+            recovery: RecoveryTelemetry {
+                retries: u64_field(f, "retries")?,
+                entries_degraded: u64_field(f, "entries_degraded")?,
+                backoff_cycles: u64_field(f, "backoff_cycles")?,
+            },
+        });
+    }
+    let det = require(f, "detectors")?;
+    let rec = require(f, "recovery")?;
     Ok(FaultTelemetry {
-        faults_injected: u64_field(f, "faults_injected")?,
-        faults_detected: u64_field(f, "faults_detected")?,
-        checksum_mismatches: u64_field(f, "checksum_mismatches")?,
-        watchdog_trips: u64_field(f, "watchdog_trips")?,
-        protocol_faults: u64_field(f, "protocol_faults")?,
-        retries: u64_field(f, "retries")?,
-        entries_degraded: u64_field(f, "entries_degraded")?,
-        backoff_cycles: u64_field(f, "backoff_cycles")?,
+        injected: u64_field(f, "injected")?,
+        detected: u64_field(f, "detected")?,
+        detectors: DetectorTelemetry {
+            checksum: u64_field(det, "checksum")?,
+            watchdog: u64_field(det, "watchdog")?,
+            protocol: u64_field(det, "protocol")?,
+        },
+        recovery: RecoveryTelemetry {
+            retries: u64_field(rec, "retries")?,
+            entries_degraded: u64_field(rec, "entries_degraded")?,
+            backoff_cycles: u64_field(rec, "backoff_cycles")?,
+        },
     })
 }
 
@@ -624,14 +690,18 @@ mod tests {
             entries: 42,
             hit_count: 99,
             faults: FaultTelemetry {
-                faults_injected: 7,
-                faults_detected: 6,
-                checksum_mismatches: 3,
-                watchdog_trips: 1,
-                protocol_faults: 2,
-                retries: 5,
-                entries_degraded: 1,
-                backoff_cycles: 3840,
+                injected: 7,
+                detected: 6,
+                detectors: DetectorTelemetry {
+                    checksum: 3,
+                    watchdog: 1,
+                    protocol: 2,
+                },
+                recovery: RecoveryTelemetry {
+                    retries: 5,
+                    entries_degraded: 1,
+                    backoff_cycles: 3840,
+                },
             },
         });
         report
@@ -717,6 +787,57 @@ mod tests {
         report.schema_version = SCHEMA_VERSION + 1;
         let err = RunReport::parse(&report.to_json_string()).unwrap_err();
         assert!(err.contains("unsupported schema_version"), "{err}");
+        report.schema_version = MIN_SCHEMA_VERSION - 1;
+        let err = RunReport::parse(&report.to_json_string()).unwrap_err();
+        assert!(err.contains("unsupported schema_version"), "{err}");
+    }
+
+    #[test]
+    fn schema_v1_flat_faults_parse_and_upgrade() {
+        // A report as PR 4 wrote it: version 1, one flat faults object.
+        let v1 = r#"{
+          "schema_version": 1,
+          "meta": {"backend": "rasc"},
+          "steps": [{"name": "step2", "wall_seconds": 1.0}],
+          "counters": {},
+          "spans": [],
+          "histograms": [],
+          "board": {
+            "pe_count": 192,
+            "fpga": [],
+            "bytes_in": 1, "bytes_out": 1,
+            "wire_in_seconds": 0.0, "wire_out_seconds": 0.0,
+            "sync_seconds": 0.0, "setup_seconds": 0.0,
+            "accelerated_seconds": 0.5,
+            "entries": 1, "hit_count": 1,
+            "faults": {
+              "faults_injected": 7, "faults_detected": 6,
+              "checksum_mismatches": 3, "watchdog_trips": 1,
+              "protocol_faults": 2, "retries": 5,
+              "entries_degraded": 1, "backoff_cycles": 3840
+            }
+          }
+        }"#;
+        let report = RunReport::parse(v1).expect("v1 parses");
+        // Normalized forward to the current schema.
+        assert_eq!(report.schema_version, SCHEMA_VERSION);
+        let f = report.board.as_ref().unwrap().faults;
+        assert_eq!(f.injected, 7);
+        assert_eq!(f.detected, 6);
+        assert_eq!(f.detectors.checksum, 3);
+        assert_eq!(f.detectors.watchdog, 1);
+        assert_eq!(f.detectors.protocol, 2);
+        assert_eq!(f.detectors.total(), 6);
+        assert_eq!(f.recovery.retries, 5);
+        assert_eq!(f.recovery.entries_degraded, 1);
+        assert_eq!(f.recovery.backoff_cycles, 3840);
+        // Re-serialization writes the nested v2 shape.
+        let text = report.to_json_string();
+        assert!(text.contains("\"detectors\""), "{text}");
+        assert!(text.contains("\"recovery\""), "{text}");
+        assert!(!text.contains("faults_injected"), "{text}");
+        let back = RunReport::parse(&text).unwrap();
+        assert_eq!(back.board.unwrap().faults, f);
     }
 
     #[test]

@@ -105,7 +105,7 @@ fn degraded_run_is_bit_identical_and_reported() {
     assert!(report.counter("step2.faults_detected").unwrap() >= 4);
     let back = psc_core::RunReport::parse(&report.to_json_string()).unwrap();
     assert_eq!(report, back);
-    assert_eq!(back.board.unwrap().faults.entries_degraded, 1);
+    assert_eq!(back.board.unwrap().faults.recovery.entries_degraded, 1);
 }
 
 #[test]

@@ -1,0 +1,271 @@
+//! Flight-recorder guarantees at pipeline level: virtual-clock traces
+//! are byte-deterministic across thread counts and backends, tracing
+//! never changes pipeline output (fault plans and `--overlap`
+//! included), wall-clock traces reconcile against the run report, and
+//! every lane's time is exhaustively attributed
+//! (`busy + stalls == lane wall`).
+
+use psc_core::{
+    build_run_report, MemRecorder, NullRecorder, Pipeline, PipelineConfig, PipelineOutput,
+    RingTracer, Step2Backend, TraceClock,
+};
+use psc_datagen::{random_bank, BankConfig};
+use psc_rasc::FaultPlan;
+use psc_score::blosum62;
+use psc_seqio::Bank;
+use psc_telemetry::{analyze, reconcile, render_analysis, Trace};
+
+fn banks() -> (Bank, Bank) {
+    let b0 = random_bank(&BankConfig {
+        count: 10,
+        min_len: 80,
+        max_len: 150,
+        seed: 2201,
+    });
+    let b1 = random_bank(&BankConfig {
+        count: 8,
+        min_len: 80,
+        max_len: 150,
+        seed: 2202,
+    });
+    (b0, b1)
+}
+
+fn base_config() -> PipelineConfig {
+    PipelineConfig {
+        n_ctx: 8,
+        threshold: 22,
+        max_evalue: 10.0,
+        ..PipelineConfig::default()
+    }
+}
+
+fn run_traced(cfg: PipelineConfig, tracer: &RingTracer) -> (PipelineOutput, Trace) {
+    let (b0, b1) = banks();
+    let out = Pipeline::new(cfg)
+        .try_run_traced(&b0, &b1, blosum62(), &NullRecorder, tracer)
+        .unwrap();
+    (out, tracer.finish(&[]))
+}
+
+/// The virtual clock models scheduled work, not measured time, so the
+/// exported trace (and its analysis) must be byte-identical across
+/// worker counts, schedules, and overlap modes.
+#[test]
+fn virtual_trace_is_byte_deterministic_across_thread_counts() {
+    let variant = |threads: usize, step3_threads: usize, overlap: bool| {
+        let tracer = RingTracer::new(TraceClock::Virtual);
+        let cfg = PipelineConfig {
+            backend: Step2Backend::SoftwareParallel { threads },
+            step3_threads,
+            overlap,
+            ..base_config()
+        };
+        let (_, trace) = run_traced(cfg, &tracer);
+        (trace.to_chrome_string(), render_analysis(&analyze(&trace)))
+    };
+    let (chrome, analysis) = variant(1, 1, false);
+    assert!(chrome.contains("psc-trace-1"));
+    for (threads, step3_threads, overlap) in
+        [(2, 2, false), (4, 3, false), (2, 2, true), (4, 1, true)]
+    {
+        let (c, a) = variant(threads, step3_threads, overlap);
+        assert_eq!(
+            chrome, c,
+            "virtual trace changed at threads={threads} step3={step3_threads} overlap={overlap}"
+        );
+        assert_eq!(analysis, a, "virtual analysis changed");
+    }
+}
+
+/// The simulated board runs on its own deterministic clock, so its
+/// lanes are byte-stable even under a seeded fault plan.
+#[test]
+fn virtual_board_lanes_are_deterministic() {
+    let variant = |host_threads: usize| {
+        let tracer = RingTracer::new(TraceClock::Virtual);
+        let cfg = PipelineConfig {
+            backend: Step2Backend::Rasc {
+                pe_count: 64,
+                fpga_count: 2,
+                host_threads,
+            },
+            fault_plan: Some(FaultPlan::seeded(5)),
+            ..base_config()
+        };
+        run_traced(cfg, &tracer).1.to_chrome_string()
+    };
+    let a = variant(1);
+    assert!(a.contains("board.compute.fpga0"));
+    assert_eq!(a, variant(2));
+}
+
+/// Tracing only observes: output (HSPs, counters, board fault
+/// telemetry) is identical with the flight recorder on or off, for
+/// every backend, with faults, and with the overlapped pipeline.
+#[test]
+fn tracing_does_not_change_pipeline_output() {
+    let (b0, b1) = banks();
+    let configs = [
+        PipelineConfig {
+            backend: Step2Backend::SoftwareParallel { threads: 2 },
+            step3_threads: 2,
+            overlap: true,
+            ..base_config()
+        },
+        PipelineConfig {
+            backend: Step2Backend::Rasc {
+                pe_count: 64,
+                fpga_count: 2,
+                host_threads: 2,
+            },
+            fault_plan: Some(FaultPlan::seeded(5)),
+            ..base_config()
+        },
+        PipelineConfig {
+            backend: Step2Backend::Hybrid {
+                pe_count: 64,
+                cpu_threads: 2,
+                fpga_share: 0.5,
+            },
+            overlap: true,
+            ..base_config()
+        },
+    ];
+    for (i, cfg) in configs.into_iter().enumerate() {
+        let plain = Pipeline::new(cfg.clone())
+            .try_run(&b0, &b1, blosum62())
+            .unwrap();
+        for clock in [TraceClock::Wall, TraceClock::Virtual] {
+            let tracer = RingTracer::new(clock);
+            let traced = Pipeline::new(cfg.clone())
+                .try_run_traced(&b0, &b1, blosum62(), &NullRecorder, &tracer)
+                .unwrap();
+            assert_eq!(plain.hsps, traced.hsps, "config {i} clock {clock:?}");
+            assert_eq!(plain.stats.step2, traced.stats.step2);
+            assert_eq!(plain.stats.anchors, traced.stats.anchors);
+            assert_eq!(plain.stats.reported, traced.stats.reported);
+            if let (Some(pb), Some(tb)) = (&plain.board, &traced.board) {
+                assert_eq!(pb.hit_count, tb.hit_count);
+                assert_eq!(pb.fpga_cycles, tb.fpga_cycles);
+                assert_eq!(pb.faults, tb.faults);
+            }
+        }
+    }
+}
+
+/// Wall-clock traces must reconcile with the run report: the step-3
+/// extend spans and merge wait are the very same measurements the
+/// report sums, and step-2 busy is bounded by the report's step-2 wall.
+#[test]
+fn wall_trace_reconciles_with_run_report() {
+    let (b0, b1) = banks();
+    let cfg = PipelineConfig {
+        backend: Step2Backend::SoftwareParallel { threads: 2 },
+        step3_threads: 2,
+        ..base_config()
+    };
+    let rec = MemRecorder::new();
+    let tracer = RingTracer::new(TraceClock::Wall);
+    let out = Pipeline::new(cfg.clone())
+        .try_run_traced(&b0, &b1, blosum62(), &rec, &tracer)
+        .unwrap();
+    let report = build_run_report(&out, &cfg, &rec.snapshot());
+    let analysis = analyze(&tracer.finish(&[]));
+    let rows = reconcile(&analysis, &report);
+    assert!(rows.len() >= 3, "expected step2/step3 rows, got {rows:?}");
+    for row in &rows {
+        assert!(row.ok, "reconciliation failed: {row:?}");
+    }
+}
+
+/// Every non-busy second of every lane lands in a named stall class:
+/// `busy + stalls == lane wall`, enforced on a real traced run with
+/// faults, overlap, and parallel step 3 (the richest stall mix).
+#[test]
+fn stall_attribution_is_exhaustive() {
+    let tracer = RingTracer::new(TraceClock::Wall);
+    let cfg = PipelineConfig {
+        backend: Step2Backend::Rasc {
+            pe_count: 64,
+            fpga_count: 2,
+            host_threads: 2,
+        },
+        step3_threads: 2,
+        overlap: true,
+        fault_plan: Some(FaultPlan::seeded(5)),
+        ..base_config()
+    };
+    let (_, trace) = run_traced(cfg, &tracer);
+    let analysis = analyze(&trace);
+    assert!(
+        analysis.lanes.len() >= 4,
+        "lanes: {:?}",
+        analysis.lanes.len()
+    );
+    for lane in &analysis.lanes {
+        let err = (lane.accounted_us() - lane.wall_us).abs();
+        assert!(
+            err <= 1e-6 * lane.wall_us.max(1.0),
+            "lane {} leaks time: busy {} + stalls {} != wall {}",
+            lane.name,
+            lane.busy_us,
+            lane.stall_us(),
+            lane.wall_us
+        );
+    }
+    // Timestamps are monotonic within each exported lane.
+    for lane in &trace.lanes {
+        for w in lane.spans.windows(2) {
+            assert!(
+                w[0].start_us <= w[1].start_us,
+                "lane {} spans out of order",
+                lane.name
+            );
+        }
+    }
+}
+
+/// The per-stage rings drop oldest-first under pressure and say so in
+/// the export; a clipped trace still parses and analyzes.
+#[test]
+fn ring_overflow_drops_oldest_and_counts() {
+    // Bigger banks and a two-slot ring so step 3 commits far more
+    // shard units than the ring holds.
+    let b0 = random_bank(&BankConfig {
+        count: 24,
+        min_len: 100,
+        max_len: 220,
+        seed: 2203,
+    });
+    let b1 = random_bank(&BankConfig {
+        count: 20,
+        min_len: 100,
+        max_len: 220,
+        seed: 2204,
+    });
+    let tracer = RingTracer::with_capacity(TraceClock::Wall, 2);
+    let cfg = PipelineConfig {
+        backend: Step2Backend::SoftwareParallel { threads: 2 },
+        step3_threads: 2,
+        ..base_config()
+    };
+    let out = Pipeline::new(cfg)
+        .try_run_traced(&b0, &b1, blosum62(), &NullRecorder, &tracer)
+        .unwrap();
+    assert!(out.stats.anchors > 0);
+    let trace = tracer.finish(&[]);
+    assert!(
+        trace.dropped > 0,
+        "tiny rings must overflow on this workload"
+    );
+    assert_eq!(trace.dropped, tracer.dropped());
+    let text = trace.to_chrome_string();
+    let back = Trace::from_chrome_str(&text).unwrap();
+    assert_eq!(back.dropped, trace.dropped);
+    let analysis = analyze(&back);
+    assert_eq!(analysis.dropped, trace.dropped);
+    // The survivors are the newest units: the retained step-3 spans are
+    // the last shards, so their hull ends where the full run ends.
+    assert!(analysis.lanes.iter().any(|l| l.stage == "step3"));
+}
