@@ -4,20 +4,30 @@
 //! the subset the checked-in config uses — `[section]` headers, string
 //! scalars, and (possibly multi-line) string arrays, with `#` comments.
 //! Unknown sections and keys are errors: a typoed lint name must not
-//! silently disable a gate.
+//! silently disable a gate. Every item remembers the config line it
+//! was written on, so the `config-integrity` lint can anchor "this
+//! path does not exist" diagnostics to `analyzer.toml:<line>`.
 
 use std::collections::BTreeMap;
+
+/// One configured value: a scalar is a one-element list. `lines[i]` is
+/// the 1-based config line `items[i]` sits on.
+#[derive(Clone, Debug, Default)]
+struct Value {
+    items: Vec<String>,
+    lines: Vec<u32>,
+}
 
 /// Parsed configuration: every value is a list of strings (a scalar is
 /// a one-element list).
 #[derive(Clone, Debug, Default)]
 pub struct Config {
-    sections: BTreeMap<String, BTreeMap<String, Vec<String>>>,
+    sections: BTreeMap<String, BTreeMap<String, Value>>,
 }
 
 /// Section/key names the analyzer understands, used to reject typos.
 const KNOWN: &[(&str, &[&str])] = &[
-    ("workspace", &["crate_dirs"]),
+    ("workspace", &["crate_dirs", "max_call_depth"]),
     ("lint.unsafe-scope", &["allow_unsafe_crates"]),
     ("lint.hot-path-no-panic", &["hot_modules"]),
     (
@@ -26,6 +36,7 @@ const KNOWN: &[(&str, &[&str])] = &[
     ),
     ("lint.recorder-off-hot-loop", &["kernel_modules"]),
     ("lint.hot-path-no-alloc", &["kernel_modules"]),
+    ("lint.telemetry-key-registry", &["registry"]),
 ];
 
 impl Config {
@@ -64,23 +75,30 @@ impl Config {
                     i + 1
                 ));
             }
-            // Gather a multi-line array until the closing bracket.
-            let mut value = value.trim().to_string();
-            if value.starts_with('[') {
-                while !value.ends_with(']') {
-                    let Some((_, next)) = lines.next() else {
+            // Gather the value as (text, line) segments: a scalar or
+            // one-line array is a single segment; a multi-line array
+            // contributes one segment per physical line, so each item
+            // keeps the line it was written on.
+            let mut segments: Vec<(String, u32)> = vec![(value.trim().to_string(), i as u32 + 1)];
+            if value.trim().starts_with('[') {
+                while !segments
+                    .last()
+                    .map(|(s, _)| s.as_str())
+                    .unwrap_or("")
+                    .ends_with(']')
+                {
+                    let Some((j, next)) = lines.next() else {
                         return Err(format!("line {}: unterminated array for {key}", i + 1));
                     };
-                    value.push(' ');
-                    value.push_str(strip_comment(next).trim());
+                    segments.push((strip_comment(next).trim().to_string(), j as u32 + 1));
                 }
             }
-            let items = parse_value(&value)
+            let parsed = parse_segments(&segments)
                 .map_err(|e| format!("line {}: bad value for {key}: {e}", i + 1))?;
             cfg.sections
                 .entry(section.clone())
                 .or_default()
-                .insert(key, items);
+                .insert(key, parsed);
         }
         Ok(cfg)
     }
@@ -90,8 +108,23 @@ impl Config {
         self.sections
             .get(section)
             .and_then(|s| s.get(key))
-            .map(Vec::as_slice)
+            .map(|v| v.items.as_slice())
             .unwrap_or(&[])
+    }
+
+    /// The same list with each item's `analyzer.toml` line.
+    pub fn items(&self, section: &str, key: &str) -> Vec<(&str, u32)> {
+        self.sections
+            .get(section)
+            .and_then(|s| s.get(key))
+            .map(|v| {
+                v.items
+                    .iter()
+                    .map(String::as_str)
+                    .zip(v.lines.iter().copied())
+                    .collect()
+            })
+            .unwrap_or_default()
     }
 }
 
@@ -108,21 +141,38 @@ fn strip_comment(line: &str) -> &str {
     line
 }
 
-/// A quoted scalar or an array of quoted scalars.
-fn parse_value(value: &str) -> Result<Vec<String>, String> {
-    let value = value.trim();
-    if let Some(inner) = value.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
-        let mut items = Vec::new();
-        for part in inner.split(',') {
+/// A quoted scalar, or an array of quoted scalars split across the
+/// given `(text, line)` segments.
+fn parse_segments(segments: &[(String, u32)]) -> Result<Value, String> {
+    let first = segments[0].0.trim();
+    if !first.starts_with('[') {
+        let mut v = Value::default();
+        v.items.push(unquote(first)?);
+        v.lines.push(segments[0].1);
+        return Ok(v);
+    }
+    let mut v = Value::default();
+    for (idx, (text, line)) in segments.iter().enumerate() {
+        let mut text = text.trim();
+        if idx == 0 {
+            text = text.strip_prefix('[').unwrap_or(text).trim();
+        }
+        if idx == segments.len() - 1 {
+            text = text
+                .strip_suffix(']')
+                .ok_or_else(|| format!("expected `]`, got {text:?}"))?
+                .trim();
+        }
+        for part in text.split(',') {
             let part = part.trim();
             if part.is_empty() {
                 continue;
             }
-            items.push(unquote(part)?);
+            v.items.push(unquote(part)?);
+            v.lines.push(*line);
         }
-        return Ok(items);
     }
-    Ok(vec![unquote(value)?])
+    Ok(v)
 }
 
 fn unquote(s: &str) -> Result<String, String> {
@@ -161,6 +211,19 @@ hot_modules = [
             ["crates/core/src/step2.rs", "crates/align/src/batch.rs"]
         );
         assert!(cfg.list("lint.determinism", "ordered_modules").is_empty());
+    }
+
+    #[test]
+    fn items_carry_their_config_lines() {
+        let cfg = Config::parse(
+            "[workspace]\ncrate_dirs = \"crates\"\n[lint.hot-path-no-panic]\nhot_modules = [\n    \"a.rs\",\n    \"b.rs\", \"c.rs\",\n]\n",
+        )
+        .unwrap();
+        assert_eq!(cfg.items("workspace", "crate_dirs"), [("crates", 2)]);
+        assert_eq!(
+            cfg.items("lint.hot-path-no-panic", "hot_modules"),
+            [("a.rs", 5), ("b.rs", 6), ("c.rs", 6)]
+        );
     }
 
     #[test]

@@ -11,10 +11,13 @@
 //! a benign token stream without affecting any lint.
 
 /// What a token is. Comment *text* is kept — the safety-comment lint
-/// and the waiver scanner read it.
+/// and the waiver scanner read it. String-literal *content* is kept
+/// too (escapes unprocessed) — the telemetry-key-registry lint reads
+/// the key names passed to the Recorder/Tracer surface.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum TokKind {
-    /// Identifier or keyword.
+    /// Identifier or keyword (raw identifiers `r#ident` normalize to
+    /// their bare name, so keyword checks never see the `r#`).
     Ident(String),
     /// One punctuation character (`.`, `!`, `(`, `{`, …).
     Punct(char),
@@ -22,7 +25,10 @@ pub enum TokKind {
     LineComment(String),
     /// `/* … */` comment, text without the delimiters.
     BlockComment(String),
-    /// Any string/char/byte literal (content discarded).
+    /// A string / raw-string / byte-string literal; content without the
+    /// delimiters, escape sequences left as written.
+    Str(String),
+    /// A char or byte-char literal (content discarded).
     Literal,
     /// A lifetime such as `'a`.
     Lifetime,
@@ -55,6 +61,19 @@ impl Tok {
     pub fn comment(&self) -> Option<&str> {
         match &self.kind {
             TokKind::LineComment(s) | TokKind::BlockComment(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// True for `'a`-style lifetime (or char-literal) tokens.
+    pub fn is_lifetime(&self) -> bool {
+        matches!(self.kind, TokKind::Lifetime)
+    }
+
+    /// The literal content, if this token is a string-flavored literal.
+    pub fn str_lit(&self) -> Option<&str> {
+        match &self.kind {
+            TokKind::Str(s) => Some(s),
             _ => None,
         }
     }
@@ -94,6 +113,18 @@ impl Lexer {
                 'r' if self.raw_string_ahead(1) => {
                     self.bump();
                     self.raw_string(line);
+                }
+                // Raw identifier `r#ident`: normalize to the bare name
+                // so downstream keyword/symbol scans never see a stray
+                // `#` + keyword pair desyncing their token patterns.
+                'r' if self.peek(1) == Some('#')
+                    && self
+                        .peek(2)
+                        .is_some_and(|c| c == '_' || c.is_alphanumeric()) =>
+                {
+                    self.bump();
+                    self.bump();
+                    self.ident(line);
                 }
                 'b' => match (self.peek(1), self.peek(2)) {
                     (Some('"'), _) => {
@@ -193,19 +224,25 @@ impl Lexer {
         self.push(line, TokKind::BlockComment(text));
     }
 
-    /// A `"…"` string (the opening quote is at the cursor).
+    /// A `"…"` string (the opening quote is at the cursor). Escape
+    /// sequences are kept as written: the lints compare literal keys
+    /// that never contain escapes, so decoding would be dead weight.
     fn string(&mut self, line: u32) {
         self.bump();
+        let mut text = String::new();
         while let Some(c) = self.bump() {
             match c {
                 '\\' => {
-                    self.bump();
+                    text.push(c);
+                    if let Some(esc) = self.bump() {
+                        text.push(esc);
+                    }
                 }
                 '"' => break,
-                _ => {}
+                _ => text.push(c),
             }
         }
-        self.push(line, TokKind::Literal);
+        self.push(line, TokKind::Str(text));
     }
 
     /// A raw string `#…#"…"#…#` (cursor on the first `#` or the quote;
@@ -217,10 +254,12 @@ impl Lexer {
             self.bump();
         }
         self.bump(); // opening quote
+        let mut text = String::new();
         'outer: while let Some(c) = self.bump() {
             if c == '"' {
                 for i in 0..hashes {
                     if self.peek(i) != Some('#') {
+                        text.push(c);
                         continue 'outer;
                     }
                 }
@@ -229,8 +268,9 @@ impl Lexer {
                 }
                 break;
             }
+            text.push(c);
         }
-        self.push(line, TokKind::Literal);
+        self.push(line, TokKind::Str(text));
     }
 
     /// `'` — either a char literal or a lifetime.
@@ -316,13 +356,20 @@ mod tests {
         assert!(toks.iter().any(|t| t.is_punct('.')));
     }
 
+    fn strs(src: &str) -> Vec<String> {
+        lex(src)
+            .iter()
+            .filter_map(|t| t.str_lit().map(str::to_string))
+            .collect()
+    }
+
     #[test]
     fn strings_hide_their_contents() {
         let toks = kinds(r#"let s = "unsafe { panic!() }";"#);
         assert!(!toks
             .iter()
             .any(|k| matches!(k, TokKind::Ident(s) if s == "unsafe" || s == "panic")));
-        assert!(toks.contains(&TokKind::Literal));
+        assert!(matches!(&toks[3], TokKind::Str(s) if s == "unsafe { panic!() }"));
     }
 
     #[test]
@@ -332,10 +379,81 @@ mod tests {
             .iter()
             .any(|k| matches!(k, TokKind::Ident(s) if s == "unsafe" || s == "unwrap")));
         assert_eq!(
-            toks.iter().filter(|k| **k == TokKind::Literal).count(),
+            toks.iter().filter(|k| matches!(k, TokKind::Str(_))).count(),
             3,
             "{toks:?}"
         );
+    }
+
+    #[test]
+    fn string_content_is_kept_for_the_key_lints() {
+        assert_eq!(strs(r#"rec.add("step2.pairs", n);"#), ["step2.pairs"]);
+        // Escapes stay as written; keys never contain them anyway.
+        assert_eq!(strs(r#"let s = "a\"b\\c";"#), [r#"a\"b\\c"#]);
+    }
+
+    /// Regression battery (ISSUE 8 satellite): raw strings with hash
+    /// guards must not desync the token stream or line numbers —
+    /// everything after the literal must lex at its true position.
+    #[test]
+    fn raw_string_regressions_keep_positions() {
+        // Embedded quote, embedded quote+hash shorter than the guard,
+        // zero-hash raw string with a backslash (raw strings have no
+        // escapes), and a byte-raw string.
+        for (src, content) in [
+            (r###"let s = r#"a"b"#; after();"###, r#"a"b"#),
+            (r####"let s = r##"x"#y"##; after();"####, r##"x"#y"##),
+            ("let s = r\"\\\"; after();", "\\"),
+            (
+                r###"let s = br#"raw "bytes""#; after();"###,
+                r#"raw "bytes""#,
+            ),
+        ] {
+            let toks = lex(src);
+            assert_eq!(strs(src), [content], "{src}");
+            let after = toks.iter().find(|t| t.ident() == Some("after"));
+            assert!(after.is_some(), "token stream desynced on {src}: {toks:?}");
+            assert_eq!(after.unwrap().line, 1, "{src}");
+        }
+        // Multi-line raw string: line counting resumes correctly.
+        let toks = lex("let a = r#\"multi\nline\"#;\nzap();");
+        let zap = toks.iter().find(|t| t.ident() == Some("zap")).unwrap();
+        assert_eq!(zap.line, 3);
+        // Unterminated raw string recovers by consuming to EOF.
+        assert_eq!(strs("let s = r#\"never closed"), ["never closed"]);
+    }
+
+    /// Regression battery (ISSUE 8 satellite): nested block comments.
+    #[test]
+    fn nested_block_comment_regressions_keep_positions() {
+        // Two levels, text preserved, following token at position.
+        let toks = lex("/* a /* b */ c */ qux();");
+        assert_eq!(toks[0].comment(), Some(" a /* b */ c "));
+        assert_eq!(toks[1].ident(), Some("qux"));
+        // Three levels across lines.
+        let toks = lex("/* 1 /* 2\n/* 3 */ 2 */ 1 */\nmarker();");
+        let marker = toks.iter().find(|t| t.ident() == Some("marker")).unwrap();
+        assert_eq!(marker.line, 3);
+        // `/*/` does not self-close (the `/` belongs to the text).
+        let toks = lex("/*/ tricky */ w();");
+        assert_eq!(toks[0].comment(), Some("/ tricky "));
+        assert_eq!(toks[1].ident(), Some("w"));
+        // A `*/` inside a string inside code after the comment is inert.
+        assert_eq!(strs("/* c */ let s = \"*/\";"), ["*/"]);
+    }
+
+    /// Raw identifiers normalize to their bare name: `r#fn` must not
+    /// leak a `fn` keyword token into the symbol scanner.
+    #[test]
+    fn raw_identifiers_lex_as_one_ident() {
+        let toks = lex("let r#fn = r#type; r#match();");
+        let idents: Vec<&str> = toks.iter().filter_map(|t| t.ident()).collect();
+        assert_eq!(idents, ["let", "fn", "type", "match"]);
+        assert!(!toks.iter().any(|t| t.is_punct('#')));
+        // But `r` alone, and raw strings, still lex as before.
+        let toks = lex(r##"let r = 1; let s = r#"x"#;"##);
+        assert!(toks.iter().any(|t| t.ident() == Some("r")));
+        assert_eq!(strs(r##"let r = 1; let s = r#"x"#;"##), ["x"]);
     }
 
     #[test]

@@ -18,24 +18,36 @@
 
 #![forbid(unsafe_code)]
 
+pub mod callgraph;
 pub mod config;
 pub mod diag;
 pub mod lexer;
 pub mod lints;
+pub mod sarif;
 pub mod source;
+pub mod symbols;
 
+use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
 
 pub use config::Config;
 pub use diag::Diagnostic;
 pub use lints::LintSelection;
 use source::SourceFile;
+use symbols::FileSymbols;
 
 /// Outcome of a workspace pass.
 #[derive(Clone, Debug, Default)]
 pub struct Report {
     pub diagnostics: Vec<Diagnostic>,
     pub files_checked: usize,
+    /// Linkable fns pass 1 indexed (non-test, with a body).
+    pub functions: usize,
+    /// Resolved call edges in the workspace graph.
+    pub call_edges: usize,
+    /// Call sites resolved to nothing — assumed safe, counted so the
+    /// conservatism is visible in the summary line.
+    pub unresolved_calls: usize,
 }
 
 impl Report {
@@ -57,14 +69,22 @@ pub fn analyze_source(
     lints::check_file(&file, sel)
 }
 
-/// Lint every `.rs` source under the workspace's crate directories.
+/// Analyze the workspace in two passes: pass 1 runs the file-local
+/// lints while building per-file symbol tables; pass 2 builds the call
+/// graph and runs the transitive lints over it. Workspace-level lints
+/// (`config-integrity`, `telemetry-key-registry`) and the stale-waiver
+/// sweep (which must observe every other lint's waiver use) complete
+/// the report.
 pub fn analyze_workspace(root: &Path, config: &Config) -> Result<Report, String> {
     let mut report = Report::default();
+    report.diagnostics.extend(config_integrity(root, config));
     check_manifest_file(&root.join("Cargo.toml"), root, &mut report)?;
     let crate_dirs = match config.list("workspace", "crate_dirs") {
         [] => vec!["crates".to_string()],
         dirs => dirs.to_vec(),
     };
+    let mut files: Vec<SourceFile> = Vec::new();
+    let mut sels: Vec<LintSelection> = Vec::new();
     for dir in crate_dirs {
         let dir_path = root.join(&dir);
         for krate in sorted_dir(&dir_path)? {
@@ -77,9 +97,9 @@ pub fn analyze_workspace(root: &Path, config: &Config) -> Result<Report, String>
             if !src.is_dir() {
                 continue;
             }
-            let mut files = Vec::new();
-            walk_rs(&src, &mut files)?;
-            for path in files {
+            let mut paths = Vec::new();
+            walk_rs(&src, &mut paths)?;
+            for path in paths {
                 let rel = relative(&path, root);
                 let text = std::fs::read_to_string(&path)
                     .map_err(|e| format!("read {}: {e}", path.display()))?;
@@ -88,11 +108,154 @@ pub fn analyze_workspace(root: &Path, config: &Config) -> Result<Report, String>
                 let file = SourceFile::new(&rel, &crate_name, is_root, &text);
                 report.diagnostics.extend(lints::check_file(&file, &sel));
                 report.files_checked += 1;
+                files.push(file);
+                sels.push(sel);
             }
         }
     }
+
+    // Telemetry key registry: collect the declared keys, then hold
+    // every literal passed to a Recorder/Tracer sink against them.
+    if let Some((registry_rel, keys)) = telemetry_registry(root, config, &files) {
+        for file in &files {
+            if file.path == registry_rel {
+                continue; // the registry declares keys, it doesn't emit
+            }
+            report
+                .diagnostics
+                .extend(lints::telemetry_keys(file, &keys));
+        }
+    }
+
+    // Pass 2: symbol index, call graph, transitive lints.
+    let syms: Vec<FileSymbols> = files.iter().map(symbols::scan).collect();
+    let graph = callgraph::build(&syms);
+    report.functions = syms
+        .iter()
+        .flat_map(|s| s.fns.iter())
+        .filter(|f| f.has_body && !f.is_test)
+        .count();
+    report.call_edges = graph.n_edges;
+    report.unresolved_calls = graph.unresolved;
+    let ws = callgraph::Workspace {
+        files: &files,
+        sels: &sels,
+        syms: &syms,
+    };
+    report.diagnostics.extend(callgraph::transitive_check(
+        &ws,
+        &graph,
+        max_call_depth(config),
+    ));
+
+    // Last: waivers nothing above consulted are stale.
+    for file in &files {
+        report.diagnostics.extend(file.stale_waivers());
+    }
     report.diagnostics.sort();
+    report.diagnostics.dedup();
     Ok(report)
+}
+
+/// The configured reachability bound for the transitive lints. A
+/// non-numeric value is reported by `config_integrity`; here it just
+/// falls back to the default.
+fn max_call_depth(config: &Config) -> usize {
+    config
+        .list("workspace", "max_call_depth")
+        .first()
+        .and_then(|v| v.parse().ok())
+        .filter(|&d| d >= 1)
+        .unwrap_or(callgraph::DEFAULT_MAX_DEPTH)
+}
+
+/// `config-integrity`: every path in `analyzer.toml` must resolve to a
+/// real file or directory, every crate name to a crate directory, and
+/// numeric knobs must parse — a typoed `hot_modules` entry silently
+/// un-lints the hot path, which is the worst possible failure mode for
+/// a gate. Diagnostics anchor to the config file's own lines.
+fn config_integrity(root: &Path, config: &Config) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let config_rel = "analyzer.toml";
+    const PATH_KEYS: &[(&str, &str)] = &[
+        ("workspace", "crate_dirs"),
+        ("lint.hot-path-no-panic", "hot_modules"),
+        ("lint.determinism", "ordered_modules"),
+        ("lint.recorder-off-hot-loop", "kernel_modules"),
+        ("lint.hot-path-no-alloc", "kernel_modules"),
+        ("lint.telemetry-key-registry", "registry"),
+    ];
+    for (section, key) in PATH_KEYS {
+        for (item, line) in config.items(section, key) {
+            if !root.join(item).exists() {
+                out.push(Diagnostic::new(
+                    config_rel,
+                    line,
+                    lints::CONFIG_INTEGRITY,
+                    format!("[{section}] {key}: `{item}` does not resolve to a file or directory"),
+                ));
+            }
+        }
+    }
+    const CRATE_KEYS: &[(&str, &str)] = &[
+        ("lint.unsafe-scope", "allow_unsafe_crates"),
+        ("lint.determinism", "time_allowed_crates"),
+    ];
+    let crate_dirs = match config.list("workspace", "crate_dirs") {
+        [] => vec!["crates".to_string()],
+        dirs => dirs.to_vec(),
+    };
+    for (section, key) in CRATE_KEYS {
+        for (item, line) in config.items(section, key) {
+            let found = crate_dirs
+                .iter()
+                .any(|d| root.join(d).join(item).join("Cargo.toml").is_file());
+            if !found {
+                out.push(Diagnostic::new(
+                    config_rel,
+                    line,
+                    lints::CONFIG_INTEGRITY,
+                    format!("[{section}] {key}: no crate named `{item}` under the crate dirs"),
+                ));
+            }
+        }
+    }
+    for (item, line) in config.items("workspace", "max_call_depth") {
+        if item.parse::<usize>().map_or(true, |d| d < 1) {
+            out.push(Diagnostic::new(
+                config_rel,
+                line,
+                lints::CONFIG_INTEGRITY,
+                format!("[workspace] max_call_depth: `{item}` is not a positive integer"),
+            ));
+        }
+    }
+    out
+}
+
+/// The declared telemetry key set: every string literal in the
+/// configured registry module (outside test code). `None` when no
+/// registry is configured (the lint is off) — a configured-but-missing
+/// registry file is already a `config-integrity` finding.
+fn telemetry_registry(
+    root: &Path,
+    config: &Config,
+    files: &[SourceFile],
+) -> Option<(String, BTreeSet<String>)> {
+    let registry_rel = config
+        .list("lint.telemetry-key-registry", "registry")
+        .first()?
+        .clone();
+    let keys = match files.iter().find(|f| f.path == registry_rel) {
+        Some(file) => lints::registry_keys(file),
+        None => {
+            // Registry outside the walked crate dirs: read it directly.
+            let text = std::fs::read_to_string(root.join(&registry_rel)).ok()?;
+            let file = SourceFile::new(&registry_rel, "", false, &text);
+            lints::registry_keys(&file)
+        }
+    };
+    Some((registry_rel, keys))
 }
 
 /// Lint one Cargo manifest (the `placeholder-url` check), counting it

@@ -3,6 +3,8 @@
 //! (`// analyzer: allow(<lint>) -- reason`) and `#[cfg(test)]` regions
 //! are honored where documented.
 
+use std::collections::BTreeSet;
+
 use crate::diag::Diagnostic;
 use crate::source::{LineKind, SourceFile};
 
@@ -14,6 +16,9 @@ pub const DETERMINISM: &str = "determinism";
 pub const RECORDER_OFF_HOT_LOOP: &str = "recorder-off-hot-loop";
 pub const PLACEHOLDER_URL: &str = "placeholder-url";
 pub const MANIFEST_STUB: &str = "manifest-stub";
+pub const TELEMETRY_KEY_REGISTRY: &str = "telemetry-key-registry";
+pub const WAIVER_HYGIENE: &str = "waiver-hygiene";
+pub const CONFIG_INTEGRITY: &str = "config-integrity";
 
 /// Which lints apply to the file being checked, derived from
 /// `analyzer.toml` by the driver (or built directly by fixture tests).
@@ -172,10 +177,11 @@ fn hot_path_no_panic(file: &SourceFile) -> Vec<Diagnostic> {
 }
 
 /// Constructor names that heap-allocate when reached through a
-/// `Type::ctor` path (`Vec::new`, `String::with_capacity`, …).
-const ALLOC_CTORS: &[&str] = &["new", "with_capacity", "from"];
+/// `Type::ctor` path (`Vec::new`, `String::with_capacity`, …). Shared
+/// with the pass-1 symbol scanner ([`crate::symbols`]).
+pub(crate) const ALLOC_CTORS: &[&str] = &["new", "with_capacity", "from"];
 /// Allocating method calls, flagged when invoked as methods.
-const ALLOC_METHODS: &[&str] = &["to_vec", "to_owned", "to_string", "collect"];
+pub(crate) const ALLOC_METHODS: &[&str] = &["to_vec", "to_owned", "to_string", "collect"];
 
 /// `hot-path-no-alloc`: heap-allocating idioms (`Vec::new`, `vec!`,
 /// `format!`, `.collect()`, …) inside `for`/`while`/`loop` bodies of
@@ -362,7 +368,7 @@ pub fn check_manifest(rel: &str, text: &str) -> Vec<Diagnostic> {
 }
 
 /// Identifiers that mean telemetry crossed into a kernel module.
-const RECORDER_IDENTS: &[&str] = &[
+pub(crate) const RECORDER_IDENTS: &[&str] = &[
     "Recorder",
     "SpanGuard",
     "MemRecorder",
@@ -378,7 +384,7 @@ const RECORDER_IDENTS: &[&str] = &[
     "TraceClock",
 ];
 /// Recorder/Tracer method names, flagged when invoked as methods.
-const RECORDER_METHODS: &[&str] = &["record_span", "set_meta", "observe", "commit"];
+pub(crate) const RECORDER_METHODS: &[&str] = &["record_span", "set_meta", "observe", "commit"];
 
 /// `recorder-off-hot-loop`: kernel modules must not touch the telemetry
 /// surface at all — PR 2's zero-overhead promise, mechanized, and since
@@ -403,6 +409,95 @@ fn recorder_off_hot_loop(file: &SourceFile) -> Vec<Diagnostic> {
             RECORDER_OFF_HOT_LOOP,
             format!("`{name}` inside a kernel module — telemetry must stay off the hot loop"),
         ));
+    }
+    out
+}
+
+/// Recorder/Tracer entry points that take a telemetry *name*, and
+/// which argument position carries it.
+const KEY_SINKS_METHOD: &[&str] = &["add", "observe", "record_span", "set_meta"];
+const KEY_SINKS_PATH: &[(&str, &str, usize)] = &[
+    ("SpanGuard", "enter", 1),
+    ("UnitEvent", "span", 0),
+    ("UnitEvent", "mark", 0),
+];
+
+/// The declared key set: every string literal in the registry module,
+/// outside test code. Helper fns for dynamic key families live in the
+/// same module, so their format templates register too.
+pub fn registry_keys(file: &SourceFile) -> BTreeSet<String> {
+    file.toks
+        .iter()
+        .filter(|t| !file.in_test_code(t.line))
+        .filter_map(|t| t.str_lit())
+        .map(str::to_string)
+        .collect()
+}
+
+/// `telemetry-key-registry`: a string literal passed as the *name*
+/// argument of a Recorder/Tracer sink must be declared in the keys
+/// registry. Names that arrive through a const or a helper fn are
+/// trusted (the registry module is where those live) — the lint exists
+/// to stop ad-hoc literals from drifting the emitter vocabulary away
+/// from what `psc report` and `--compare` read.
+pub fn telemetry_keys(file: &SourceFile, keys: &BTreeSet<String>) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let toks = &file.toks;
+    for (i, t) in toks.iter().enumerate() {
+        let Some(name) = t.ident() else { continue };
+        if !toks.get(i + 1).is_some_and(|n| n.is_punct('(')) {
+            continue;
+        }
+        let method = i > 0 && toks[i - 1].is_punct('.');
+        let arg_index = if method && KEY_SINKS_METHOD.contains(&name) {
+            0
+        } else if i >= 3 && toks[i - 1].is_punct(':') && toks[i - 2].is_punct(':') {
+            let qual = toks[i - 3].ident();
+            match KEY_SINKS_PATH
+                .iter()
+                .find(|(q, m, _)| qual == Some(q) && *m == name)
+            {
+                Some((_, _, idx)) => *idx,
+                None => continue,
+            }
+        } else {
+            continue;
+        };
+        // Walk the argument list; literals in the name position must
+        // be registered. A `format!` in that position is scanned too:
+        // dynamic key families belong in the registry as helper fns.
+        let mut depth = 1usize;
+        let mut arg = 0usize;
+        let mut j = i + 2;
+        while depth > 0 {
+            let Some(tok) = toks.get(j) else { break };
+            match &tok.kind {
+                crate::lexer::TokKind::Punct('(' | '[' | '{') => depth += 1,
+                crate::lexer::TokKind::Punct(')' | ']' | '}') => depth -= 1,
+                crate::lexer::TokKind::Punct(',') if depth == 1 => arg += 1,
+                _ => {
+                    if arg == arg_index {
+                        if let Some(s) = tok.str_lit() {
+                            if !keys.contains(s)
+                                && !file.in_test_code(tok.line)
+                                && !file.waived(TELEMETRY_KEY_REGISTRY, tok.line)
+                            {
+                                out.push(Diagnostic::new(
+                                    &file.path,
+                                    tok.line,
+                                    TELEMETRY_KEY_REGISTRY,
+                                    format!(
+                                        "telemetry key {s:?} is not declared in the keys registry \
+                                         (add it to psc-telemetry's `keys` module and use the const)"
+                                    ),
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+            j += 1;
+        }
     }
     out
 }
@@ -557,6 +652,38 @@ mod tests {
             "fn k() {\n    loop {\n        // analyzer: allow(hot-path-no-alloc) -- per-item result vector, moved out on send\n        let out = Vec::new();\n    }\n}\n",
         );
         assert!(hot_path_no_alloc(&f).is_empty());
+    }
+
+    #[test]
+    fn telemetry_keys_flag_unregistered_name_literals() {
+        let keys: BTreeSet<String> = ["step2.pairs", "step1"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let f = file(
+            "fn drive(rec: &dyn Recorder) {\n    rec.observe(\"step2.pairs\", 1);\n    rec.add(\"step2.typo\", 1);\n    let _g = SpanGuard::enter(rec, \"step1\");\n    let e = UnitEvent::mark(\"unregistered\", 2);\n    rec.set_meta(name_var, \"free-text value\");\n    rec.observe(&format!(\"step2.b{i:02}\"), 1);\n    plain.observe_like(\"not-a-sink\");\n}\n",
+        );
+        let found = telemetry_keys(&f, &keys);
+        let lines: Vec<u32> = found.iter().map(|d| d.line).collect();
+        assert_eq!(lines, vec![3, 5, 7], "{found:?}");
+        assert!(found.iter().all(|d| d.lint == TELEMETRY_KEY_REGISTRY));
+        // Registered names, non-literal names, and value-position
+        // literals all pass; test code is exempt.
+        let test_only = file(
+            "#[cfg(test)]\nmod tests {\n    fn t(rec: &dyn Recorder) { rec.observe(\"anything\", 1); }\n}\n",
+        );
+        assert!(telemetry_keys(&test_only, &keys).is_empty());
+    }
+
+    #[test]
+    fn registry_keys_collects_nontest_literals() {
+        let reg = file(
+            "pub const STEP1: &str = \"step1\";\npub fn lane(b: usize) -> String { format!(\"step2.lane.b{b:02}\") }\n#[cfg(test)]\nmod tests { const T: &str = \"test-only\"; }\n",
+        );
+        let keys = registry_keys(&reg);
+        assert!(keys.contains("step1"));
+        assert!(keys.contains("step2.lane.b{b:02}"));
+        assert!(!keys.contains("test-only"));
     }
 
     #[test]

@@ -1,0 +1,199 @@
+//! Machine-readable output: SARIF 2.1.0 for CI code-scanning upload,
+//! and a flat JSON form for scripting. Both are hand-rolled writers —
+//! the analyzer is std-only by design — emitting deterministic,
+//! sorted output so two runs over the same tree are byte-identical.
+
+use crate::lints;
+use crate::Report;
+
+/// Every lint the analyzer can emit, with a one-line description —
+/// the SARIF `rules` catalogue. Kept complete (not just the lints that
+/// fired) so rule metadata is stable across runs.
+pub const RULES: &[(&str, &str)] = &[
+    (
+        lints::SAFETY_COMMENT,
+        "every `unsafe` needs a `// SAFETY:` justification",
+    ),
+    (
+        lints::UNSAFE_SCOPE,
+        "crates outside the allow-list must forbid unsafe code",
+    ),
+    (
+        lints::HOT_PATH_NO_PANIC,
+        "no panicking calls on the hot path, directly or transitively",
+    ),
+    (
+        lints::HOT_PATH_NO_ALLOC,
+        "no heap allocation in kernel loops, directly or transitively",
+    ),
+    (
+        lints::DETERMINISM,
+        "no wall-clock reads or unordered maps where results must be reproducible",
+    ),
+    (
+        lints::RECORDER_OFF_HOT_LOOP,
+        "kernel modules must not touch the telemetry surface",
+    ),
+    (
+        lints::PLACEHOLDER_URL,
+        "Cargo manifests must not ship template placeholder hosts",
+    ),
+    (
+        lints::MANIFEST_STUB,
+        "Cargo manifests must not ship stub version/description fields",
+    ),
+    (
+        lints::TELEMETRY_KEY_REGISTRY,
+        "telemetry names must be declared in the shared keys registry",
+    ),
+    (
+        lints::WAIVER_HYGIENE,
+        "inline waivers that suppress nothing are stale and must go",
+    ),
+    (
+        lints::CONFIG_INTEGRITY,
+        "every analyzer.toml path and knob must resolve",
+    ),
+    ("bad-waiver", "inline waivers must carry a `-- reason`"),
+];
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// SARIF 2.1.0 (`--format sarif`): one run, one result per diagnostic.
+pub fn to_sarif(report: &Report) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(
+        "  \"$schema\": \"https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json\",\n",
+    );
+    out.push_str("  \"version\": \"2.1.0\",\n");
+    out.push_str("  \"runs\": [\n    {\n");
+    out.push_str("      \"tool\": {\n        \"driver\": {\n");
+    out.push_str("          \"name\": \"psc-analyzer\",\n");
+    out.push_str("          \"informationUri\": \"https://github.com/psc/psc\",\n");
+    out.push_str("          \"rules\": [\n");
+    for (i, (id, desc)) in RULES.iter().enumerate() {
+        out.push_str(&format!(
+            "            {{\"id\": \"{}\", \"shortDescription\": {{\"text\": \"{}\"}}}}{}\n",
+            esc(id),
+            esc(desc),
+            if i + 1 < RULES.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("          ]\n        }\n      },\n");
+    out.push_str("      \"results\": [\n");
+    for (i, d) in report.diagnostics.iter().enumerate() {
+        out.push_str(&format!(
+            "        {{\"ruleId\": \"{}\", \"level\": \"error\", \"message\": {{\"text\": \"{}\"}}, \"locations\": [{{\"physicalLocation\": {{\"artifactLocation\": {{\"uri\": \"{}\"}}, \"region\": {{\"startLine\": {}}}}}}}]}}{}\n",
+            esc(d.lint),
+            esc(&d.message),
+            esc(&d.file),
+            d.line.max(1),
+            if i + 1 < report.diagnostics.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("      ]\n    }\n  ]\n}\n");
+    out
+}
+
+/// Flat JSON (`--format json`): the summary counters plus every
+/// diagnostic, for scripts that don't want to parse SARIF.
+pub fn to_json(report: &Report) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!(
+        "  \"files_checked\": {},\n  \"functions\": {},\n  \"call_edges\": {},\n  \"unresolved_calls\": {},\n",
+        report.files_checked, report.functions, report.call_edges, report.unresolved_calls
+    ));
+    out.push_str("  \"diagnostics\": [\n");
+    for (i, d) in report.diagnostics.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"file\": \"{}\", \"line\": {}, \"lint\": \"{}\", \"message\": \"{}\"}}{}\n",
+            esc(&d.file),
+            d.line,
+            esc(d.lint),
+            esc(&d.message),
+            if i + 1 < report.diagnostics.len() {
+                ","
+            } else {
+                ""
+            }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::Diagnostic;
+
+    fn report() -> Report {
+        Report {
+            diagnostics: vec![
+                Diagnostic::new(
+                    "crates/core/src/util.rs",
+                    7,
+                    lints::HOT_PATH_NO_PANIC,
+                    ".unwrap() reachable from the hot path: step2.rs:run → util.rs:merge → .unwrap()",
+                ),
+                Diagnostic::new("analyzer.toml", 12, lints::CONFIG_INTEGRITY, "path \"x\" missing"),
+            ],
+            files_checked: 2,
+            functions: 3,
+            call_edges: 4,
+            unresolved_calls: 5,
+        }
+    }
+
+    #[test]
+    fn sarif_has_the_2_1_0_shape() {
+        let s = to_sarif(&report());
+        for needle in [
+            "\"version\": \"2.1.0\"",
+            "sarif-schema-2.1.0.json",
+            "\"name\": \"psc-analyzer\"",
+            "\"ruleId\": \"hot-path-no-panic\"",
+            "\"startLine\": 7",
+            "\"uri\": \"crates/core/src/util.rs\"",
+        ] {
+            assert!(s.contains(needle), "missing {needle}\n{s}");
+        }
+        // Every emitted ruleId is declared in the rules catalogue.
+        for (id, _) in RULES {
+            assert!(s.contains(&format!("\"id\": \"{id}\"")), "{id}");
+        }
+    }
+
+    #[test]
+    fn json_escapes_and_counts() {
+        let mut r = report();
+        r.diagnostics[1].message = "quote \" backslash \\ tab\t".into();
+        let s = to_json(&r);
+        assert!(s.contains("\"files_checked\": 2"), "{s}");
+        assert!(s.contains("\"unresolved_calls\": 5"), "{s}");
+        assert!(s.contains("quote \\\" backslash \\\\ tab\\t"), "{s}");
+    }
+
+    #[test]
+    fn empty_report_is_valid_output() {
+        let r = Report::default();
+        assert!(to_sarif(&r).contains("\"results\": [\n      ]"));
+        assert!(to_json(&r).contains("\"diagnostics\": [\n  ]"));
+    }
+}

@@ -2,7 +2,8 @@
 //! per-line classification, `#[cfg(test)]` region tracking, and inline
 //! waivers.
 
-use std::collections::BTreeMap;
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet};
 
 use crate::diag::Diagnostic;
 use crate::lexer::{lex, Tok, TokKind};
@@ -41,6 +42,9 @@ pub struct SourceFile {
     /// Lines covered by a `#[cfg(test)]` / `#[test]` item.
     test_lines: Vec<bool>,
     waivers: BTreeMap<u32, Vec<Waiver>>,
+    /// `(waiver line, lint)` pairs some lint actually consulted — what
+    /// is left over at the end of the pass is a stale waiver.
+    used_waivers: RefCell<BTreeSet<(u32, String)>>,
 }
 
 impl SourceFile {
@@ -65,6 +69,7 @@ impl SourceFile {
             comments,
             test_lines,
             waivers,
+            used_waivers: RefCell::new(BTreeSet::new()),
         }
     }
 
@@ -91,13 +96,22 @@ impl SourceFile {
     /// Does a waiver for `lint` cover `line`? A waiver covers its own
     /// line and the line directly below it, so it works both trailing
     /// (`stmt; // analyzer: allow(…) -- why`) and preceding (its own
-    /// comment line above the statement).
+    /// comment line above the statement). A hit is remembered: the
+    /// `waiver-hygiene` lint reports waivers nothing consulted.
     pub fn waived(&self, lint: &str, line: u32) -> bool {
-        [line.saturating_sub(1), line]
-            .iter()
-            .filter(|&&l| l > 0)
-            .flat_map(|l| self.waivers.get(l).into_iter().flatten())
-            .any(|w| w.lint == lint)
+        let mut hit = false;
+        for l in [line.saturating_sub(1), line] {
+            if l == 0 {
+                continue;
+            }
+            for w in self.waivers.get(&l).into_iter().flatten() {
+                if w.lint == lint {
+                    self.used_waivers.borrow_mut().insert((l, w.lint.clone()));
+                    hit = true;
+                }
+            }
+        }
+        hit
     }
 
     /// Malformed waivers (missing `-- reason`) are themselves findings:
@@ -112,6 +126,35 @@ impl SourceFile {
                         line,
                         "bad-waiver",
                         format!("waiver for `{}` lacks a `-- reason`", w.lint),
+                    ));
+                }
+            }
+        }
+        out
+    }
+
+    /// `waiver-hygiene`: waivers that suppressed nothing. Must run
+    /// *after* every pass (file-local and transitive) has had its
+    /// chance to consult them — the driver calls this last. A waiver
+    /// naming a lint that never fires on its lines is dead weight at
+    /// best and a typoed lint slug at worst; both are findings.
+    pub fn stale_waivers(&self) -> Vec<Diagnostic> {
+        let used = self.used_waivers.borrow();
+        let mut out = Vec::new();
+        for (&line, ws) in &self.waivers {
+            for w in ws {
+                if w.reason.is_empty() {
+                    continue; // already reported as bad-waiver
+                }
+                if !used.contains(&(line, w.lint.clone())) {
+                    out.push(Diagnostic::new(
+                        &self.path,
+                        line,
+                        crate::lints::WAIVER_HYGIENE,
+                        format!(
+                            "stale waiver: `{}` suppresses no diagnostic here (remove it, or fix the lint name)",
+                            w.lint
+                        ),
                     ));
                 }
             }
@@ -311,6 +354,21 @@ mod tests {
         assert!(!f.waived("hot-path-no-panic", 3));
         assert!(!f.waived("determinism", 2));
         assert!(f.waiver_problems().is_empty());
+    }
+
+    #[test]
+    fn unconsulted_waivers_are_stale() {
+        let f = file(
+            "// analyzer: allow(hot-path-no-panic) -- checked above\nx.unwrap();\n// analyzer: allow(hot-path-nopanic) -- typoed slug\ny.unwrap();\n",
+        );
+        // Only the first waiver is consulted (correct slug, right line).
+        assert!(f.waived("hot-path-no-panic", 2));
+        assert!(!f.waived("hot-path-no-panic", 4));
+        let stale = f.stale_waivers();
+        assert_eq!(stale.len(), 1, "{stale:?}");
+        assert_eq!(stale[0].line, 3);
+        assert_eq!(stale[0].lint, "waiver-hygiene");
+        assert!(stale[0].message.contains("hot-path-nopanic"));
     }
 
     #[test]

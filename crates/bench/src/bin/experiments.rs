@@ -9,6 +9,7 @@
 //!          step2-balance   (writes BENCH_step2_balance.json)
 //!          step3-overlap   (writes BENCH_step3_overlap.json)
 //!          trace-overhead  (writes BENCH_trace_overhead.json)
+//!          analyzer-bench  (writes BENCH_analyzer.json)
 //!          all
 //! ```
 
@@ -28,7 +29,7 @@ fn main() {
         .map(String::as_str)
         .collect();
     if wants.is_empty() {
-        eprintln!("usage: experiments [--quick] <table1..table7|fig1..fig3|ablation-*|step2-kernels|step2-balance|step3-overlap|trace-overhead|extension-step3|all>");
+        eprintln!("usage: experiments [--quick] <table1..table7|fig1..fig3|ablation-*|step2-kernels|step2-balance|step3-overlap|trace-overhead|extension-step3|analyzer-bench|all>");
         std::process::exit(2);
     }
     let all = wants.contains(&"all");
@@ -133,5 +134,8 @@ fn main() {
     }
     if want("trace-overhead") {
         exps::trace_overhead(&workload);
+    }
+    if want("analyzer-bench") {
+        exps::analyzer_bench();
     }
 }

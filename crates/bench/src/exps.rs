@@ -1370,3 +1370,56 @@ pub fn trace_overhead(workload: &Workload) {
         traced - plain
     );
 }
+
+/// `experiments analyzer-bench` — wall time of the full two-pass
+/// workspace analysis (lex, symbol index, call graph, transitive
+/// lints), best of 3, written to `BENCH_analyzer.json`. The 5 s budget
+/// keeps the CI lint gate a cheap pre-merge step, not a build phase.
+pub fn analyzer_bench() {
+    println!("## Analyzer — full workspace analysis, best of 3 (budget: < 5 s)\n");
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(std::path::Path::parent)
+        .expect("workspace root");
+    let text = std::fs::read_to_string(root.join("analyzer.toml")).expect("read analyzer.toml");
+    let config = psc_analyzer::Config::parse(&text).expect("parse analyzer.toml");
+    let mut best = f64::INFINITY;
+    let mut report = None;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        let r = psc_analyzer::analyze_workspace(root, &config).expect("analyze workspace");
+        let wall = t0.elapsed().as_secs_f64();
+        best = best.min(wall);
+        report = Some(r);
+    }
+    let r = report.expect("three reps ran");
+    println!(
+        "   {} files, {} fns, {} call edges, {} unresolved calls, {} diagnostics in {:.3} s",
+        r.files_checked,
+        r.functions,
+        r.call_edges,
+        r.unresolved_calls,
+        r.diagnostics.len(),
+        best
+    );
+    let json = format!(
+        "{{\n  \"experiment\": \"analyzer\",\n  \"best_of\": 3,\n  \
+         \"wall_seconds\": {best:.4},\n  \"budget_seconds\": 5.0,\n  \
+         \"files_checked\": {},\n  \"functions\": {},\n  \"call_edges\": {},\n  \
+         \"unresolved_calls\": {},\n  \"diagnostics\": {}\n}}\n",
+        r.files_checked,
+        r.functions,
+        r.call_edges,
+        r.unresolved_calls,
+        r.diagnostics.len()
+    );
+    let path = "BENCH_analyzer.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => eprintln!("[experiments] wrote {path}"),
+        Err(e) => eprintln!("[experiments] could not write {path}: {e}"),
+    }
+    assert!(
+        best < 5.0,
+        "workspace analysis took {best:.2} s — over the 5 s budget"
+    );
+}

@@ -46,13 +46,13 @@ fn main() -> ExitCode {
         let run = if command == "report" {
             report_cmd(args)
         } else {
-            trace_cmd(args)
+            trace_cmd(args).map_err(CliFailure::from)
         };
         return match run {
             Ok(()) => ExitCode::SUCCESS,
-            Err(e) => {
-                eprintln!("error: {e}");
-                ExitCode::FAILURE
+            Err(f) => {
+                eprintln!("error: {}", f.message);
+                ExitCode::from(f.code)
             }
         };
     }
@@ -113,7 +113,9 @@ commands:
                                           PE utilization, pair histograms)
   report          --compare OLD NEW [--max-wall-regress PCT]
                   [--max-counter-regress PCT]   (regression diff; exits 1 when
-                                          a gated metric regresses past PCT)
+                                          a gated metric regresses past PCT,
+                                          3 when the two reports use different
+                                          schema versions)
   trace           render FILE [--width N]       (terminal lane timeline)
   trace           analyze FILE [--report FILE]  (critical path, stall classes;
                                           --report reconciles span walls)
@@ -480,10 +482,49 @@ fn recovery_policy(flags: &Flags) -> Result<psc_rasc::RecoveryPolicy, String> {
 
 /// Render a saved run report (`psc report FILE`): the paper-style step
 /// breakdown, per-FPGA PE utilization, counters and histograms. With
+/// A `psc report` failure with the exit code the driver maps it to:
+/// 1 for ordinary errors and tripped gates, [`SCHEMA_MISMATCH_EXIT`]
+/// when `--compare` refuses mixed schema versions — scripts can tell
+/// "the numbers regressed" from "the inputs aren't comparable".
+struct CliFailure {
+    code: u8,
+    message: String,
+}
+
+impl From<String> for CliFailure {
+    fn from(message: String) -> Self {
+        CliFailure { code: 1, message }
+    }
+}
+
+impl From<&str> for CliFailure {
+    fn from(message: &str) -> Self {
+        CliFailure {
+            code: 1,
+            message: message.to_string(),
+        }
+    }
+}
+
+/// Exit code for `--compare` across different report schema versions.
+const SCHEMA_MISMATCH_EXIT: u8 = 3;
+
+/// The on-disk `schema_version` of a report file, read raw:
+/// `RunReport::parse` normalizes old versions to the current schema,
+/// but `--compare` must refuse to diff across versions rather than
+/// gate on rows one side cannot even carry.
+fn raw_schema_version(path: &str, text: &str) -> Result<u64, String> {
+    let json = psc_telemetry::Json::parse(text).map_err(|e| format!("{path}: {e}"))?;
+    json.get("schema_version")
+        .and_then(psc_telemetry::Json::as_u64)
+        .ok_or_else(|| format!("{path}: no schema_version field"))
+}
+
 /// `--compare OLD NEW` diff two reports instead, gated by
 /// `--max-wall-regress` / `--max-counter-regress` percent thresholds
-/// (exit 1 when a gate trips — CI's first perf gate).
-fn report_cmd(mut args: impl Iterator<Item = String>) -> Result<(), String> {
+/// (exit 1 when a gate trips — CI's first perf gate; exit 3 when the
+/// two reports use different schema versions).
+fn report_cmd(mut args: impl Iterator<Item = String>) -> Result<(), CliFailure> {
     let Some(first) = args.next() else {
         return Err("usage: psc report FILE | psc report --compare OLD NEW".into());
     };
@@ -508,21 +549,39 @@ fn report_cmd(mut args: impl Iterator<Item = String>) -> Result<(), String> {
                 })
                 .transpose()?,
         };
-        let old = load_report(&old_path)?;
-        let new = load_report(&new_path)?;
+        let old_text =
+            std::fs::read_to_string(&old_path).map_err(|e| format!("read {old_path}: {e}"))?;
+        let new_text =
+            std::fs::read_to_string(&new_path).map_err(|e| format!("read {new_path}: {e}"))?;
+        let (old_v, new_v) = (
+            raw_schema_version(&old_path, &old_text)?,
+            raw_schema_version(&new_path, &new_text)?,
+        );
+        if old_v != new_v {
+            return Err(CliFailure {
+                code: SCHEMA_MISMATCH_EXIT,
+                message: format!(
+                    "cannot compare reports with different schema versions \
+                     ({old_path} is v{old_v}, {new_path} is v{new_v}); \
+                     regenerate the older report with this build"
+                ),
+            });
+        }
+        let old =
+            psc_telemetry::RunReport::parse(&old_text).map_err(|e| format!("{old_path}: {e}"))?;
+        let new =
+            psc_telemetry::RunReport::parse(&new_text).map_err(|e| format!("{new_path}: {e}"))?;
         let diff = psc_telemetry::diff_reports(&old, &new, config);
         print!("{}", psc_telemetry::render_diff(&diff));
         let tripped = diff.regressions().len();
         if tripped > 0 {
-            return Err(format!("{tripped} metric(s) regressed past the gates"));
+            return Err(format!("{tripped} metric(s) regressed past the gates").into());
         }
         return Ok(());
     }
     let path = first;
     if let Some(extra) = args.next() {
-        return Err(format!(
-            "unexpected argument {extra:?} (usage: psc report FILE)"
-        ));
+        return Err(format!("unexpected argument {extra:?} (usage: psc report FILE)").into());
     }
     let report = load_report(&path)?;
     print!("{}", psc_telemetry::render::render_report(&report));

@@ -50,6 +50,26 @@ fn resources_reports_fit() {
 }
 
 #[test]
+fn compare_refuses_mixed_schema_versions_with_exit_3() {
+    let dir = tmpdir("schema-mismatch");
+    let old = dir.join("old.json");
+    let new = dir.join("new.json");
+    std::fs::write(&old, "{\"schema_version\": 1}").unwrap();
+    std::fs::write(&new, "{\"schema_version\": 2}").unwrap();
+    let out = psc()
+        .args(["report", "--compare"])
+        .args([old.to_str().unwrap(), new.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(3), "{out:?}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("different schema versions") && err.contains("v1") && err.contains("v2"),
+        "{err}"
+    );
+}
+
+#[test]
 fn generate_search_blast_round_trip() {
     let dir = tmpdir("roundtrip");
     let bank = dir.join("bank.fasta");

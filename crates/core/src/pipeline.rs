@@ -13,7 +13,7 @@ use psc_score::{SubstitutionMatrix, ROBINSON_FREQS};
 use psc_seqio::Bank;
 
 use psc_telemetry::{
-    NullRecorder, NullTracer, Recorder, SpanGuard, TraceClock, Tracer, UnitEvent, UnitTrace,
+    keys, NullRecorder, NullTracer, Recorder, SpanGuard, TraceClock, Tracer, UnitEvent, UnitTrace,
 };
 
 use crate::config::{PipelineConfig, Step2Backend, Step3Backend};
@@ -211,20 +211,20 @@ impl Pipeline {
             }
         };
         let idx0 = {
-            let _g = SpanGuard::enter(rec, "step1.index_bank0");
+            let _g = SpanGuard::enter(rec, keys::STEP1_INDEX_BANK0);
             SeedIndex::build(&flat0, model.as_ref(), cfg.index_threads)
         };
         let idx1 = {
-            let _g = SpanGuard::enter(rec, "step1.index_bank1");
+            let _g = SpanGuard::enter(rec, keys::STEP1_INDEX_BANK1);
             SeedIndex::build(&flat1, model.as_ref(), cfg.index_threads)
         };
         let step1 = t0.elapsed().as_secs_f64();
         rec.add(
-            "step1.positions_indexed.bank0",
+            keys::STEP1_POSITIONS_INDEXED_BANK0,
             idx0.total_positions() as u64,
         );
         rec.add(
-            "step1.positions_indexed.bank1",
+            keys::STEP1_POSITIONS_INDEXED_BANK1,
             idx1.total_positions() as u64,
         );
 
@@ -285,34 +285,34 @@ impl Pipeline {
         // the stats the run produced anyway, and an O(key-count) pass
         // over the indexes for the per-key pair distribution and the
         // SIMD tile count — never taken with a disabled recorder.
-        rec.add("step2.pairs", s2stats.pairs);
-        rec.add("step2.candidates_kept", s2stats.candidates);
+        rec.add(keys::STEP2_PAIRS, s2stats.pairs);
+        rec.add(keys::STEP2_CANDIDATES_KEPT, s2stats.candidates);
         rec.add(
-            "step2.candidates_culled",
+            keys::STEP2_CANDIDATES_CULLED,
             s2stats.pairs - s2stats.candidates,
         );
-        rec.add("step2.active_keys", s2stats.active_keys);
+        rec.add(keys::STEP2_ACTIVE_KEYS, s2stats.active_keys);
         if let Some(b) = board.as_ref().filter(|b| b.faults.any()) {
-            rec.add("step2.faults_detected", b.faults.faults_detected);
-            rec.add("step2.fault_retries", b.faults.retries);
-            rec.add("step2.entries_degraded", b.faults.entries_degraded);
+            rec.add(keys::STEP2_FAULTS_DETECTED, b.faults.faults_detected);
+            rec.add(keys::STEP2_FAULT_RETRIES, b.faults.retries);
+            rec.add(keys::STEP2_ENTRIES_DEGRADED, b.faults.entries_degraded);
         }
         if rec.enabled() {
-            rec.set_meta("backend", cfg.backend.name());
-            rec.set_meta("step3.backend", cfg.step3_backend.name());
-            rec.set_meta("step2.schedule", params.schedule.name());
+            rec.set_meta(keys::BACKEND, cfg.backend.name());
+            rec.set_meta(keys::STEP3_BACKEND, cfg.step3_backend.name());
+            rec.set_meta(keys::STEP2_SCHEDULE, params.schedule.name());
             if let Some(k) = step2_kernel {
-                rec.set_meta("step2.kernel", k.name());
+                rec.set_meta(keys::STEP2_KERNEL, k.name());
                 rec.set_meta(
-                    "step2.kernel.requested",
+                    keys::STEP2_KERNEL_REQUESTED,
                     &format!("{:?}", cfg.step2_kernel).to_lowercase(),
                 );
                 if let Some(reason) = kernel_downgrade {
-                    rec.set_meta("step2.kernel.downgrade", reason);
+                    rec.set_meta(keys::STEP2_KERNEL_DOWNGRADE, reason);
                 }
             }
-            rec.set_meta("window_len", &cfg.window_len().to_string());
-            rec.set_meta("threshold", &cfg.threshold.to_string());
+            rec.set_meta(keys::WINDOW_LEN, &cfg.window_len().to_string());
+            rec.set_meta(keys::THRESHOLD, &cfg.threshold.to_string());
             let mut lane_tiles = 0u64;
             let (mut slots_useful, mut slots_total) = (0u64, 0u64);
             for key in 0..key_count {
@@ -321,7 +321,7 @@ impl Pipeline {
                     continue;
                 }
                 let mass = n0 as u64 * n1 as u64;
-                rec.observe("step2.pairs_per_key", mass);
+                rec.observe(keys::STEP2_PAIRS_PER_KEY, mass);
                 let Some(kb) = step2_kernel else { continue };
                 lane_tiles +=
                     step2::rectangle_tile_count(n0, n1, params.window_len(), kb, params.schedule);
@@ -331,18 +331,18 @@ impl Pipeline {
                     // key, and the same accounting split by log2 pair-mass
                     // bucket — the heavy-tail keys the bucketed schedule
                     // exists to balance are the high buckets.
-                    rec.observe("step2.lane_fill", useful * 100 / total);
+                    rec.observe(keys::STEP2_LANE_FILL, useful * 100 / total);
                     slots_useful += useful;
                     slots_total += total;
                     let b = step2::bucket_of_mass(mass);
-                    rec.add(&format!("step2.lane_slots_useful.b{b:02}"), useful);
-                    rec.add(&format!("step2.lane_slots_total.b{b:02}"), total);
+                    rec.add(&keys::step2_lane_slots_useful_bucket(b), useful);
+                    rec.add(&keys::step2_lane_slots_total_bucket(b), total);
                 }
             }
             if step2_kernel.is_some_and(|k| k.lane_width() > 1) {
-                rec.add("step2.simd_tiles", lane_tiles);
-                rec.add("step2.lane_slots_useful", slots_useful);
-                rec.add("step2.lane_slots_total", slots_total);
+                rec.add(keys::STEP2_SIMD_TILES, lane_tiles);
+                rec.add(keys::STEP2_LANE_SLOTS_USEFUL, slots_useful);
+                rec.add(keys::STEP2_LANE_SLOTS_TOTAL, slots_total);
             }
         }
 
@@ -400,14 +400,14 @@ impl Pipeline {
             for sl in &shard_lanes {
                 let size = STEP3_SHARD.min(anchors.len() - sl.shard * STEP3_SHARD) as u64;
                 tracer.commit(UnitTrace {
-                    stage: "step3".to_string(),
+                    stage: keys::STAGE_STEP3.to_string(),
                     index: sl.shard as u64,
                     lane: sl.worker,
                     start_seconds: Some(sl.start_seconds),
                     sim_clock: false,
                     events: vec![
-                        UnitEvent::span("extend", shard_seconds[sl.shard], size.max(1)),
-                        UnitEvent::mark("anchors", size),
+                        UnitEvent::span(keys::EV_EXTEND, shard_seconds[sl.shard], size.max(1)),
+                        UnitEvent::mark(keys::EV_ANCHORS, size),
                     ],
                 });
             }
@@ -455,14 +455,14 @@ impl Pipeline {
         let merge_wait = t_merge.elapsed().as_secs_f64();
         if trace_wall {
             tracer.commit(UnitTrace {
-                stage: "step3.merge".to_string(),
+                stage: keys::STAGE_STEP3_MERGE.to_string(),
                 index: 0,
                 lane: 0,
                 start_seconds: Some(merge_start),
                 sim_clock: false,
                 events: vec![
-                    UnitEvent::span("merge_wait", merge_wait, 1),
-                    UnitEvent::mark("anchors", anchors.len() as u64),
+                    UnitEvent::span(keys::EV_MERGE_WAIT, merge_wait, 1),
+                    UnitEvent::mark(keys::EV_ANCHORS, anchors.len() as u64),
                 ],
             });
         }
@@ -470,26 +470,29 @@ impl Pipeline {
         hsps.sort_by(|a, b| a.evalue.total_cmp(&b.evalue));
         let step3 = t2.elapsed().as_secs_f64();
 
-        rec.add("step3.anchors", anchors.len() as u64);
-        rec.add("step3.shards", anchors.len().div_ceil(STEP3_SHARD) as u64);
-        rec.add("step3.xdrop_terminations", xdrop_terminations);
-        rec.add("step3.evalue_rejected", evalue_rejected);
-        rec.add("step3.hsps_reported", hsps.len() as u64);
-        rec.record_span("step1", step1);
-        rec.record_span("step2.wall", step2_wall);
-        rec.record_span("step3", step3);
-        rec.record_span("step3.extension", extension_seconds);
-        rec.record_span("step3.modeled_parallel", modeled_parallel);
+        rec.add(keys::STEP3_ANCHORS, anchors.len() as u64);
+        rec.add(
+            keys::STEP3_SHARDS,
+            anchors.len().div_ceil(STEP3_SHARD) as u64,
+        );
+        rec.add(keys::STEP3_XDROP_TERMINATIONS, xdrop_terminations);
+        rec.add(keys::STEP3_EVALUE_REJECTED, evalue_rejected);
+        rec.add(keys::STEP3_HSPS_REPORTED, hsps.len() as u64);
+        rec.record_span(keys::STEP1, step1);
+        rec.record_span(keys::STEP2_WALL, step2_wall);
+        rec.record_span(keys::STEP3, step3);
+        rec.record_span(keys::STEP3_EXTENSION, extension_seconds);
+        rec.record_span(keys::STEP3_MODELED_PARALLEL, modeled_parallel);
         // Fixed ladder so an uncontended run reports what wider hosts
         // would see; only meaningful when this run was sequential (a
         // contended run's shard costs already include descheduling).
         for workers in [2usize, 4, 8] {
             rec.record_span(
-                &format!("step3.modeled_p{workers}"),
+                &keys::step3_modeled_workers(workers),
                 shard_critical_path(&shard_seconds, workers),
             );
         }
-        rec.record_span("step3.merge_wait", merge_wait);
+        rec.record_span(keys::STEP3_MERGE_WAIT, merge_wait);
 
         Ok(PipelineOutput {
             stats: PipelineStats {
@@ -791,16 +794,16 @@ fn step2_weight(pairs: u64) -> u64 {
 fn commit_step2_timings(tracer: &dyn Tracer, base: f64, times: &[ItemTiming]) {
     for t in times {
         let mut events = vec![UnitEvent::span(
-            "extend",
+            keys::EV_EXTEND,
             t.kernel_seconds,
             step2_weight(t.pairs),
         )];
         if t.send_seconds > 0.0 {
-            events.push(UnitEvent::span("channel_full", t.send_seconds, 1));
+            events.push(UnitEvent::span(keys::EV_CHANNEL_FULL, t.send_seconds, 1));
         }
-        events.push(UnitEvent::mark("candidates", t.candidates));
+        events.push(UnitEvent::mark(keys::EV_CANDIDATES, t.candidates));
         tracer.commit(UnitTrace {
-            stage: "step2".to_string(),
+            stage: keys::STAGE_STEP2.to_string(),
             index: t.item as u64,
             lane: t.worker,
             start_seconds: Some(base + t.start_seconds),
@@ -817,12 +820,16 @@ fn commit_virtual_step2(tracer: &dyn Tracer, idx0: &SeedIndex, idx1: &SeedIndex,
     let items = step2::bucketed_items(idx0, idx1, 0..key_count);
     for (i, item) in items.iter().enumerate() {
         tracer.commit(UnitTrace {
-            stage: "step2".to_string(),
+            stage: keys::STAGE_STEP2.to_string(),
             index: i as u64,
             lane: 0,
             start_seconds: None,
             sim_clock: false,
-            events: vec![UnitEvent::span("extend", 0.0, step2_weight(item.mass))],
+            events: vec![UnitEvent::span(
+                keys::EV_EXTEND,
+                0.0,
+                step2_weight(item.mass),
+            )],
         });
     }
 }
@@ -834,23 +841,23 @@ fn commit_virtual_step3(tracer: &dyn Tracer, anchors: usize) {
     for shard in 0..shard_count {
         let size = (STEP3_SHARD.min(anchors - shard * STEP3_SHARD)) as u64;
         tracer.commit(UnitTrace {
-            stage: "step3".to_string(),
+            stage: keys::STAGE_STEP3.to_string(),
             index: shard as u64,
             lane: 0,
             start_seconds: None,
             sim_clock: false,
-            events: vec![UnitEvent::span("extend", 0.0, size)],
+            events: vec![UnitEvent::span(keys::EV_EXTEND, 0.0, size)],
         });
     }
     if anchors > 0 {
         tracer.commit(UnitTrace {
-            stage: "step3.merge".to_string(),
+            stage: keys::STAGE_STEP3_MERGE.to_string(),
             index: 0,
             lane: 0,
             start_seconds: None,
             sim_clock: false,
             events: vec![UnitEvent::span(
-                "merge_wait",
+                keys::EV_MERGE_WAIT,
                 0.0,
                 (anchors as u64).div_ceil(STEP3_SHARD as u64),
             )],
@@ -866,29 +873,33 @@ fn commit_board_timeline(tracer: &dyn Tracer, report: &BoardReport) {
     for (i, seg) in report.timeline.iter().enumerate() {
         let idx = i as u64;
         tracer.commit(UnitTrace {
-            stage: "board.dma".to_string(),
+            stage: keys::STAGE_BOARD_DMA.to_string(),
             index: idx,
             lane: seg.fpga as u32,
             start_seconds: Some(seg.dma_start),
             sim_clock: true,
             events: vec![
-                UnitEvent::span("dma_in", seg.dma_end - seg.dma_start, 1),
-                UnitEvent::mark("entry", seg.entry),
+                UnitEvent::span(keys::EV_DMA_IN, seg.dma_end - seg.dma_start, 1),
+                UnitEvent::mark(keys::EV_ENTRY, seg.entry),
             ],
         });
         let busy = (seg.compute_end - seg.compute_start - seg.backoff_seconds).max(0.0);
-        let mut events = vec![UnitEvent::span("compute", busy, 1)];
+        let mut events = vec![UnitEvent::span(keys::EV_COMPUTE, busy, 1)];
         if seg.backoff_seconds > 0.0 {
-            events.push(UnitEvent::span("retry_backoff", seg.backoff_seconds, 1));
+            events.push(UnitEvent::span(
+                keys::EV_RETRY_BACKOFF,
+                seg.backoff_seconds,
+                1,
+            ));
         }
         if seg.retries > 0 {
-            events.push(UnitEvent::mark("fault.retry", seg.retries as u64));
+            events.push(UnitEvent::mark(keys::EV_FAULT_RETRY, seg.retries as u64));
         }
         if seg.degraded {
-            events.push(UnitEvent::mark("fault.degraded", 1));
+            events.push(UnitEvent::mark(keys::EV_FAULT_DEGRADED, 1));
         }
         tracer.commit(UnitTrace {
-            stage: "board.compute".to_string(),
+            stage: keys::STAGE_BOARD_COMPUTE.to_string(),
             index: idx,
             lane: seg.fpga as u32,
             start_seconds: Some(seg.compute_start),
@@ -903,14 +914,18 @@ fn commit_board_timeline(tracer: &dyn Tracer, report: &BoardReport) {
             .map(|s| s.compute_end)
             .fold(0.0, f64::max);
         tracer.commit(UnitTrace {
-            stage: "board.link".to_string(),
+            stage: keys::STAGE_BOARD_LINK.to_string(),
             index: 0,
             lane: 0,
             start_seconds: Some(drain_start),
             sim_clock: true,
             events: vec![
-                UnitEvent::span("dma_out", report.wire_out_seconds + report.sync_seconds, 1),
-                UnitEvent::mark("hits", report.hit_count),
+                UnitEvent::span(
+                    keys::EV_DMA_OUT,
+                    report.wire_out_seconds + report.sync_seconds,
+                    1,
+                ),
+                UnitEvent::mark(keys::EV_HITS, report.hit_count),
             ],
         });
     }
@@ -1114,16 +1129,16 @@ fn run_step2_overlapped(
             }
             for (index, (wait0, waited, pushed, depth, batch_len)) in rows.into_iter().enumerate() {
                 tracer.commit(UnitTrace {
-                    stage: "channel.recv".to_string(),
+                    stage: keys::STAGE_CHANNEL_RECV.to_string(),
                     index: index as u64,
                     lane: 0,
                     start_seconds: Some(wait0),
                     sim_clock: false,
                     events: vec![
-                        UnitEvent::span("channel_empty", waited, 1),
-                        UnitEvent::span("merge", pushed, 1),
-                        UnitEvent::mark("queue_depth", depth),
-                        UnitEvent::mark("batch", batch_len),
+                        UnitEvent::span(keys::EV_CHANNEL_EMPTY, waited, 1),
+                        UnitEvent::span(keys::EV_MERGE, pushed, 1),
+                        UnitEvent::mark(keys::EV_QUEUE_DEPTH, depth),
+                        UnitEvent::mark(keys::EV_BATCH, batch_len),
                     ],
                 });
             }
@@ -1251,15 +1266,15 @@ fn run_step2_overlapped(
         drop(tx);
         for (index, (s0, dur, depth, batch_len)) in sends.into_iter().enumerate() {
             tracer.commit(UnitTrace {
-                stage: "channel.send".to_string(),
+                stage: keys::STAGE_CHANNEL_SEND.to_string(),
                 index: index as u64,
                 lane: 0,
                 start_seconds: Some(s0),
                 sim_clock: false,
                 events: vec![
-                    UnitEvent::span("channel_full", dur, 1),
-                    UnitEvent::mark("queue_depth", depth),
-                    UnitEvent::mark("batch", batch_len),
+                    UnitEvent::span(keys::EV_CHANNEL_FULL, dur, 1),
+                    UnitEvent::mark(keys::EV_QUEUE_DEPTH, depth),
+                    UnitEvent::mark(keys::EV_BATCH, batch_len),
                 ],
             });
         }

@@ -36,6 +36,7 @@
 
 pub mod compare;
 pub mod json;
+pub mod keys;
 pub mod recorder;
 pub mod render;
 pub mod report;

@@ -325,7 +325,7 @@ pub fn reconcile(analysis: &TraceAnalysis, report: &RunReport) -> Vec<ReconcileR
         let trace_s = (analysis
             .lanes
             .iter()
-            .filter(|l| l.stage == "step3")
+            .filter(|l| l.stage == crate::keys::STAGE_STEP3)
             .map(|l| l.busy_us)
             .sum::<f64>()
             + 0.0)
@@ -360,13 +360,13 @@ pub fn reconcile(analysis: &TraceAnalysis, report: &RunReport) -> Vec<ReconcileR
         let threads: f64 = analysis
             .lanes
             .iter()
-            .filter(|l| l.stage == "step2")
+            .filter(|l| l.stage == crate::keys::STAGE_STEP2)
             .count()
             .max(1) as f64;
         let trace_s = (analysis
             .lanes
             .iter()
-            .filter(|l| l.stage == "step2")
+            .filter(|l| l.stage == crate::keys::STAGE_STEP2)
             .map(|l| l.busy_us)
             .sum::<f64>()
             + 0.0)
