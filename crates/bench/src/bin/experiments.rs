@@ -8,6 +8,7 @@
 //!          step2-kernels   (writes BENCH_step2_kernels.json)
 //!          step2-balance   (writes BENCH_step2_balance.json)
 //!          step3-overlap   (writes BENCH_step3_overlap.json)
+//!          serve-amortize  (writes BENCH_serve_amortize.json)
 //!          trace-overhead  (writes BENCH_trace_overhead.json)
 //!          analyzer-bench  (writes BENCH_analyzer.json)
 //!          all
@@ -29,7 +30,7 @@ fn main() {
         .map(String::as_str)
         .collect();
     if wants.is_empty() {
-        eprintln!("usage: experiments [--quick] <table1..table7|fig1..fig3|ablation-*|step2-kernels|step2-balance|step3-overlap|trace-overhead|extension-step3|analyzer-bench|all>");
+        eprintln!("usage: experiments [--quick] <table1..table7|fig1..fig3|ablation-*|step2-kernels|step2-balance|step3-overlap|serve-amortize|trace-overhead|extension-step3|analyzer-bench|all>");
         std::process::exit(2);
     }
     let all = wants.contains(&"all");
@@ -131,6 +132,9 @@ fn main() {
     }
     if want("step3-overlap") {
         exps::step3_overlap(&workload);
+    }
+    if want("serve-amortize") {
+        exps::serve_amortize(&workload);
     }
     if want("trace-overhead") {
         exps::trace_overhead(&workload);

@@ -1275,6 +1275,116 @@ pub fn step2_balance(workload: &Workload, quick: bool) {
 /// richest event mix), asserts the recorded overhead stays within the
 /// 2 % budget DESIGN.md §13 promises, and writes
 /// `BENCH_trace_overhead.json`.
+/// `BENCH_serve_amortize.json`: per-query latency answering from
+/// pipeline state loaded once from an index bundle (the `psc serve`
+/// path) vs one-shot searches that rebuild the genome-side index on
+/// every query. Served per-query walls exclude the index build — that
+/// is the amortization the artifact exists for.
+pub fn serve_amortize(workload: &Workload) {
+    use psc_core::{NullRecorder, NullTracer, SearchEngine};
+    println!("## Serve amortization — bundle loaded once vs per-query index builds (3× bank)");
+    println!("   (identical queries; served and one-shot outputs asserted bit-identical)\n");
+    let cfg = experiment_config();
+    let bank = &workload.banks[1];
+    let genome = &workload.genome.genome;
+    const QUERIES: usize = 5;
+
+    // One-shot path: every query pays frame translation + T1 build.
+    let mut oneshot = Vec::with_capacity(QUERIES);
+    let mut reference = None;
+    for _ in 0..QUERIES {
+        let t0 = Instant::now();
+        let r = search_genome(bank, genome, blosum62(), cfg.clone());
+        oneshot.push(t0.elapsed().as_secs_f64());
+        if let Some(prev) = reference.replace(r) {
+            let now = reference.as_ref().unwrap();
+            assert_eq!(prev.output.hsps, now.output.hsps, "one-shot runs diverged");
+        }
+    }
+    let reference = reference.unwrap();
+
+    // Serve path: build the engine once, round-trip it through the
+    // bundle format, then answer the same query repeatedly.
+    let t0 = Instant::now();
+    let built = SearchEngine::for_genome(genome, blosum62(), cfg.clone(), &NullRecorder);
+    let bytes = built.to_bundle_bytes(None);
+    let build_seconds = t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    let engine =
+        SearchEngine::from_bundle(&bytes, blosum62(), cfg.clone()).expect("bundle round trip");
+    let load_seconds = t0.elapsed().as_secs_f64();
+    let mut served = Vec::with_capacity(QUERIES);
+    for _ in 0..QUERIES {
+        let t0 = Instant::now();
+        let r = engine
+            .query_traced(bank, &NullRecorder, &NullTracer)
+            .expect("served query");
+        served.push(t0.elapsed().as_secs_f64());
+        assert_eq!(
+            reference.output.hsps, r.output.hsps,
+            "served query diverged from one-shot search"
+        );
+    }
+
+    let best = |walls: &[f64]| walls.iter().copied().fold(f64::INFINITY, f64::min);
+    let (best_oneshot, best_served) = (best(&oneshot), best(&served));
+    let mut t = Table::new(&["path", "best query (s)", "index build", "speedup"]);
+    t.row(vec![
+        "one-shot search".to_string(),
+        secs(best_oneshot),
+        "every query".to_string(),
+        ratio(1.0),
+    ]);
+    t.row(vec![
+        "serve (bundle)".to_string(),
+        secs(best_served),
+        format!("once ({})", secs(build_seconds)),
+        ratio(best_oneshot / best_served),
+    ]);
+    t.print();
+    println!(
+        "\n   (bundle: {} bytes, loads in {}; served walls exclude the build —",
+        bytes.len(),
+        secs(load_seconds)
+    );
+    println!(
+        "    after ~{:.0} queries the build cost is fully amortized)\n",
+        (build_seconds / (best_oneshot - best_served).max(1e-9)).ceil()
+    );
+
+    let fmt_list = |walls: &[f64]| {
+        walls
+            .iter()
+            .map(|w| format!("{w:.6}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    let json = format!(
+        "{{\n  \"experiment\": \"serve_amortize\",\n  \
+         \"queries\": {QUERIES},\n  \
+         \"bundle_bytes\": {},\n  \
+         \"index_build_seconds\": {build_seconds:.6},\n  \
+         \"bundle_load_seconds\": {load_seconds:.6},\n  \
+         \"oneshot_query_walls\": [{}],\n  \
+         \"served_query_walls\": [{}],\n  \
+         \"best_oneshot_seconds\": {best_oneshot:.6},\n  \
+         \"best_served_seconds\": {best_served:.6},\n  \
+         \"amortized_speedup\": {:.3},\n  \
+         \"served_excludes_index_build\": true,\n  \
+         \"hsps\": {}\n}}\n",
+        bytes.len(),
+        fmt_list(&oneshot),
+        fmt_list(&served),
+        best_oneshot / best_served,
+        reference.output.hsps.len(),
+    );
+    let path = "BENCH_serve_amortize.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => eprintln!("[experiments] wrote {path}"),
+        Err(e) => eprintln!("[experiments] could not write {path}: {e}"),
+    }
+}
+
 pub fn trace_overhead(workload: &Workload) {
     println!("## Tracing overhead — flight recorder on vs off (10x bank)");
     println!("   (budget: <= 2 % wall overhead with the wall-clock tracer attached)\n");

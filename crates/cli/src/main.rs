@@ -15,18 +15,23 @@
 //! psc report          --compare old.json new.json [--max-wall-regress PCT]
 //! psc trace           render|analyze trace.json
 //! psc blast           --proteins bank.fasta --genome genome.fasta [--evalue 1e-3]
+//! psc index           --genome genome.fasta -o genome.psc [--proteins bank.fasta]
+//! psc serve           --index genome.psc [--listen 127.0.0.1:0] [--queue N]
+//! psc query           --connect HOST:PORT --proteins bank.fasta
 //! psc resources       [--pes N] [--window W] [--slot S]
 //! psc matrix
 //! ```
 
 #![forbid(unsafe_code)]
 
+mod serve;
+
 use std::collections::BTreeMap;
 use std::io::Write;
 use std::process::ExitCode;
 
 use psc_blast::{tblastn, BlastConfig};
-use psc_core::{try_search_genome, PipelineConfig, SeedChoice, Step2Backend};
+use psc_core::{PipelineConfig, SeedChoice, Step2Backend};
 use psc_datagen::{generate_genome, random_bank, BankConfig, GenomeConfig};
 use psc_index::subset_seed_span3;
 use psc_rasc::{OperatorConfig, ResourceModel};
@@ -56,7 +61,19 @@ fn main() -> ExitCode {
             }
         };
     }
-    let flags = match Flags::parse(args) {
+    let known = match command.as_str() {
+        "generate-bank" => KNOWN_GENERATE_BANK,
+        "generate-genome" => KNOWN_GENERATE_GENOME,
+        "translate" => KNOWN_TRANSLATE,
+        "search" => KNOWN_SEARCH,
+        "blast" => KNOWN_BLAST,
+        "index" => KNOWN_INDEX,
+        "serve" => KNOWN_SERVE,
+        "query" => KNOWN_QUERY,
+        "resources" => KNOWN_RESOURCES,
+        _ => &[],
+    };
+    let flags = match Flags::parse_known(args, &command, known) {
         Ok(f) => f,
         Err(e) => {
             eprintln!("error: {e}\n\n{USAGE}");
@@ -70,6 +87,8 @@ fn main() -> ExitCode {
         "search" => search(&flags),
         "blast" => blast(&flags),
         "index" => index_cmd(&flags),
+        "serve" => serve::serve(&flags),
+        "query" => return serve::query(&flags),
         "resources" => resources(&flags),
         "matrix" => matrix(),
         "help" | "--help" | "-h" => {
@@ -120,9 +139,116 @@ commands:
   trace           analyze FILE [--report FILE]  (critical path, stall classes;
                                           --report reconciles span walls)
   blast           --proteins FILE --genome FILE [--evalue E] [--mask on]
-  index           --genome FILE -o FILE [--seed-model ...]   (build + save)
+  index           --genome FILE -o FILE [--seed-model ...] [--mask on]
+                  [--proteins FILE]      (embed a T0 protein-bank section)
+                  (writes an index bundle: frames + T1 index + score
+                   profile + model fingerprint, for --index / serve)
+  serve           --index FILE [--listen ADDR] [--queue N] [--report-dir DIR]
+                  [search config flags]  (long-running query server; prints
+                                          the bound address on stdout)
+  query           --connect HOST:PORT --proteins FILE   (run one query
+                                          against a psc serve instance)
   resources       [--pes N] [--window W] [--slot S]
-  matrix";
+  matrix
+
+search also accepts --index FILE in place of --genome: the pipeline
+state (frames, T1 index, scoring) loads from the bundle, so the query
+skips the genome-side index build. Mistyped flags are rejected with a
+nearest-match suggestion.";
+
+// --- per-command flag tables --------------------------------------
+//
+// `Flags::parse_known` rejects anything not listed for its command:
+// a mistyped flag used to be silently swallowed (`--step2-kernal
+// wide` ran the default kernel without a word), which is the worst
+// possible behavior for benchmark flags.
+
+const KNOWN_GENERATE_BANK: &[&str] = &["count", "min-len", "max-len", "seed", "o"];
+const KNOWN_GENERATE_GENOME: &[&str] = &["len", "genes", "bank", "seed", "o"];
+const KNOWN_TRANSLATE: &[&str] = &["genome", "o"];
+const KNOWN_SEARCH: &[&str] = &[
+    "proteins",
+    "genome",
+    "index",
+    "backend",
+    "pes",
+    "fpgas",
+    "threads",
+    "evalue",
+    "seed-model",
+    "threshold",
+    "step2-kernel",
+    "step2-schedule",
+    "step3-threads",
+    "overlap",
+    "format",
+    "mask",
+    "fault-seed",
+    "fault-rate",
+    "fault-tail",
+    "fault-plan",
+    "fault-retries",
+    "fault-degrade",
+    "report-json",
+    "trace",
+    "trace-clock",
+];
+const KNOWN_BLAST: &[&str] = &["proteins", "genome", "evalue", "mask"];
+const KNOWN_INDEX: &[&str] = &["genome", "o", "seed-model", "threads", "proteins", "mask"];
+const KNOWN_SERVE: &[&str] = &[
+    "index",
+    "listen",
+    "queue",
+    "report-dir",
+    "backend",
+    "pes",
+    "fpgas",
+    "threads",
+    "evalue",
+    "seed-model",
+    "threshold",
+    "step2-kernel",
+    "step2-schedule",
+    "step3-threads",
+    "overlap",
+    "mask",
+    "fault-seed",
+    "fault-rate",
+    "fault-tail",
+    "fault-plan",
+    "fault-retries",
+    "fault-degrade",
+];
+const KNOWN_QUERY: &[&str] = &["connect", "proteins"];
+const KNOWN_RESOURCES: &[&str] = &["pes", "window", "slot"];
+const KNOWN_REPORT_COMPARE: &[&str] = &["max-wall-regress", "max-counter-regress"];
+const KNOWN_TRACE: &[&str] = &["width", "report"];
+
+/// Edit distance for the did-you-mean suggestion.
+fn levenshtein(a: &str, b: &str) -> usize {
+    let (a, b): (Vec<u8>, Vec<u8>) = (a.bytes().collect(), b.bytes().collect());
+    let mut row: Vec<usize> = (0..=b.len()).collect();
+    for (i, &ca) in a.iter().enumerate() {
+        let mut prev = row[0];
+        row[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let cost = if ca == cb { prev } else { prev + 1 };
+            prev = row[j + 1];
+            row[j + 1] = cost.min(prev + 1).min(row[j] + 1);
+        }
+    }
+    row[b.len()]
+}
+
+/// The closest known flag within edit distance 2, if any.
+fn nearest_flag<'a>(key: &str, known: &[&'a str]) -> Option<&'a str> {
+    known
+        .iter()
+        .map(|k| (levenshtein(key, k), *k))
+        .filter(|&(d, _)| d <= 2)
+        .min()
+        .map(|(_, k)| k)
+}
 
 /// Trivial `--flag value` parser.
 struct Flags(BTreeMap<String, String>);
@@ -142,6 +268,26 @@ impl Flags {
             map.insert(key.to_string(), value);
         }
         Ok(Flags(map))
+    }
+
+    /// [`Flags::parse`], then reject any flag the command does not
+    /// know, suggesting the nearest known one.
+    fn parse_known(
+        args: impl Iterator<Item = String>,
+        command: &str,
+        known: &[&str],
+    ) -> Result<Flags, String> {
+        let flags = Flags::parse(args)?;
+        for key in flags.0.keys() {
+            if !known.contains(&key.as_str()) {
+                let hint = match nearest_flag(key, known) {
+                    Some(k) => format!(" (did you mean --{k}?)"),
+                    None => String::new(),
+                };
+                return Err(format!("unknown flag --{key} for `psc {command}`{hint}"));
+            }
+        }
+        Ok(flags)
     }
 
     fn get(&self, key: &str) -> Option<&str> {
@@ -261,10 +407,18 @@ fn seed_choice(flags: &Flags) -> Result<SeedChoice, String> {
     })
 }
 
-fn search(flags: &Flags) -> Result<(), String> {
-    let proteins = read_fasta_path(flags.required("proteins")?, SeqKind::Protein)
-        .map_err(|e| e.to_string())?;
-    let genome = load_genome(flags.required("genome")?)?;
+/// `--mask on|off` as a [`MaskConfig`].
+fn mask_flag(flags: &Flags) -> Result<Option<psc_seqio::MaskConfig>, String> {
+    match flags.get("mask") {
+        Some("on") => Ok(Some(psc_seqio::MaskConfig::default())),
+        Some("off") | None => Ok(None),
+        Some(other) => Err(format!("bad --mask value {other:?}")),
+    }
+}
+
+/// The full pipeline configuration from command-line flags (shared by
+/// `psc search` and `psc serve`).
+fn pipeline_config(flags: &Flags) -> Result<PipelineConfig, String> {
     let threads = flags.parsed("threads", 1usize)?;
     let backend = match flags.get("backend").unwrap_or("scalar") {
         "scalar" => Step2Backend::SoftwareScalar,
@@ -287,7 +441,7 @@ fn search(flags: &Flags) -> Result<(), String> {
         Some(s) => psc_core::Step2Schedule::parse(s)
             .ok_or_else(|| format!("bad --step2-schedule value {s:?} (contiguous|bucketed)"))?,
     };
-    let config = PipelineConfig {
+    Ok(PipelineConfig {
         seed: seed_choice(flags)?,
         backend,
         step2_kernel,
@@ -295,11 +449,7 @@ fn search(flags: &Flags) -> Result<(), String> {
         max_evalue: flags.parsed("evalue", 1e-3f64)?,
         threshold: flags.parsed("threshold", 45i32)?,
         index_threads: threads,
-        mask: match flags.get("mask") {
-            Some("on") => Some(psc_seqio::MaskConfig::default()),
-            Some("off") | None => None,
-            Some(other) => return Err(format!("bad --mask value {other:?}")),
-        },
+        mask: mask_flag(flags)?,
         step3_threads: flags.parsed("step3-threads", 1usize)?.max(1),
         overlap: match flags.get("overlap") {
             Some("on") => true,
@@ -309,7 +459,43 @@ fn search(flags: &Flags) -> Result<(), String> {
         fault_plan: fault_plan(flags)?,
         recovery: recovery_policy(flags)?,
         ..PipelineConfig::default()
+    })
+}
+
+/// Header of the tab output format, shared with `psc serve` so a
+/// served query's stdout is byte-identical to `psc search`'s.
+const TAB_HEADER: &str = "# protein\tframe\tgenome_start\tgenome_end\tstrand\traw\tbits\tevalue";
+
+/// One tab-format match line (no trailing newline).
+fn match_line(m: &psc_core::GenomeMatch) -> String {
+    format!(
+        "{}\t{:+}\t{}\t{}\t{}\t{}\t{:.1}\t{:.2e}",
+        m.protein_id,
+        m.frame.number(),
+        m.genome_start,
+        m.genome_end,
+        if m.forward { "+" } else { "-" },
+        m.score,
+        m.bit_score,
+        m.evalue
+    )
+}
+
+fn search(flags: &Flags) -> Result<(), String> {
+    let proteins = read_fasta_path(flags.required("proteins")?, SeqKind::Protein)
+        .map_err(|e| e.to_string())?;
+    let index_path = flags.get("index");
+    if index_path.is_some() && flags.get("genome").is_some() {
+        return Err(
+            "--index and --genome are mutually exclusive (the bundle already carries the genome)"
+                .into(),
+        );
+    }
+    let genome = match index_path {
+        Some(_) => None,
+        None => Some(load_genome(flags.required("genome")?)?),
     };
+    let config = pipeline_config(flags)?;
     // Telemetry is recorded only when a report is requested, and the
     // flight recorder only when a trace is; otherwise the
     // NullRecorder/NullTracer paths keep instrumentation off the hot
@@ -334,12 +520,26 @@ fn search(flags: &Flags) -> Result<(), String> {
         Some(t) => t,
         None => &psc_core::NullTracer,
     };
-    let result = if recorder.is_none() && tracer.is_none() {
-        try_search_genome(&proteins, &genome, blosum62(), config.clone())
-    } else {
-        psc_core::try_search_genome_traced(&proteins, &genome, blosum62(), config.clone(), rec, trc)
-    }
-    .map_err(|e| e.to_string())?;
+    // One-shot and from-artifact runs share the engine path: build (or
+    // load) the pipeline state, then run one query against it. The
+    // loaded path skips the genome-side index build — its step1 span
+    // reports only the query-side prep.
+    let engine = match index_path {
+        Some(path) => {
+            let data = std::fs::read(path).map_err(|e| format!("read {path}: {e}"))?;
+            psc_core::SearchEngine::from_bundle(&data, blosum62(), config.clone())
+                .map_err(|e| e.to_string())?
+        }
+        None => psc_core::SearchEngine::for_genome(
+            genome.as_ref().expect("--genome checked above"),
+            blosum62(),
+            config.clone(),
+            rec,
+        ),
+    };
+    let result = engine
+        .query_traced(&proteins, rec, trc)
+        .map_err(|e| e.to_string())?;
     if let (Some(path), Some(rec)) = (report_path, &recorder) {
         let report = psc_core::build_run_report(&result.output, &config, &rec.snapshot());
         std::fs::write(path, report.to_json_string()).map_err(|e| format!("write {path}: {e}"))?;
@@ -363,11 +563,16 @@ fn search(flags: &Flags) -> Result<(), String> {
     }
 
     match flags.get("format") {
-        Some("pairwise") => return print_pairwise(&proteins, &genome, &result),
+        Some("pairwise") => {
+            let genome = genome
+                .as_ref()
+                .ok_or("--format pairwise needs --genome (not available with --index)")?;
+            return print_pairwise(&proteins, genome, &result);
+        }
         Some("gff") => {
             print!(
                 "{}",
-                psc_core::to_gff3(&genome.id, "psc-rasc", &result.matches)
+                psc_core::to_gff3(engine.genome_id(), "psc-rasc", &result.matches)
             );
             eprintln!("{} matches as GFF3", result.matches.len());
             return Ok(());
@@ -378,25 +583,9 @@ fn search(flags: &Flags) -> Result<(), String> {
 
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
-    writeln!(
-        out,
-        "# protein\tframe\tgenome_start\tgenome_end\tstrand\traw\tbits\tevalue"
-    )
-    .map_err(|e| e.to_string())?;
+    writeln!(out, "{TAB_HEADER}").map_err(|e| e.to_string())?;
     for m in &result.matches {
-        writeln!(
-            out,
-            "{}\t{:+}\t{}\t{}\t{}\t{}\t{:.1}\t{:.2e}",
-            m.protein_id,
-            m.frame.number(),
-            m.genome_start,
-            m.genome_end,
-            if m.forward { "+" } else { "-" },
-            m.score,
-            m.bit_score,
-            m.evalue
-        )
-        .map_err(|e| e.to_string())?;
+        writeln!(out, "{}", match_line(m)).map_err(|e| e.to_string())?;
     }
     let p = &result.output.profile;
     let kernel = match p.step2_kernel {
@@ -532,7 +721,7 @@ fn report_cmd(mut args: impl Iterator<Item = String>) -> Result<(), CliFailure> 
         let (Some(old_path), Some(new_path)) = (args.next(), args.next()) else {
             return Err("usage: psc report --compare OLD NEW [--max-wall-regress PCT] [--max-counter-regress PCT]".into());
         };
-        let flags = Flags::parse(args)?;
+        let flags = Flags::parse_known(args, "report --compare", KNOWN_REPORT_COMPARE)?;
         let config = psc_telemetry::CompareConfig {
             max_wall_regress_pct: flags
                 .get("max-wall-regress")
@@ -601,7 +790,7 @@ fn trace_cmd(mut args: impl Iterator<Item = String>) -> Result<(), String> {
     let (Some(verb), Some(path)) = (args.next(), args.next()) else {
         return Err(USAGE.into());
     };
-    let flags = Flags::parse(args)?;
+    let flags = Flags::parse_known(args, "trace", KNOWN_TRACE)?;
     let text = std::fs::read_to_string(&path).map_err(|e| format!("read {path}: {e}"))?;
     let trace = psc_telemetry::Trace::from_chrome_str(&text).map_err(|e| format!("{path}: {e}"))?;
     match verb.as_str() {
@@ -670,32 +859,49 @@ fn print_pairwise(
     Ok(())
 }
 
-/// Build a seed index of a genome's six frames and save it to disk.
+/// Build an index bundle — translated frames, T1 seed index, score
+/// profile, seed-model fingerprint, optionally a protein-bank T0
+/// section — and save it for `psc search --index` / `psc serve`.
 fn index_cmd(flags: &Flags) -> Result<(), String> {
-    use psc_index::{deserialize_index, serialize_index, FlatBank, SeedIndex};
     let genome = load_genome(flags.required("genome")?)?;
     let out = flags.required("o")?;
-    let choice = seed_choice(flags)?;
-    let model = choice.model();
-    let translated = translate_six_frames(&genome, GeneticCode::standard());
-    let flat = FlatBank::from_bank(&translated.to_bank());
+    let proteins = match flags.get("proteins") {
+        Some(path) => Some(read_fasta_path(path, SeqKind::Protein).map_err(|e| e.to_string())?),
+        None => None,
+    };
+    let config = PipelineConfig {
+        seed: seed_choice(flags)?,
+        index_threads: flags.parsed("threads", 1usize)?,
+        mask: mask_flag(flags)?,
+        ..PipelineConfig::default()
+    };
     let t0 = std::time::Instant::now();
-    let idx = SeedIndex::build(&flat, model.as_ref(), flags.parsed("threads", 1usize)?);
+    let engine = psc_core::SearchEngine::for_genome(
+        &genome,
+        blosum62(),
+        config.clone(),
+        &psc_core::NullRecorder,
+    );
+    let bytes = engine.to_bundle_bytes(proteins.as_ref());
     let build = t0.elapsed().as_secs_f64();
-    let bytes = serialize_index(&idx, model.as_ref());
     std::fs::write(out, &bytes).map_err(|e| format!("write {out}: {e}"))?;
-    // Verify the round trip before declaring success.
+    // Verify the round trip before declaring success: the checksum, the
+    // model fingerprint and the matrix/mask sections must all load back.
     let reread = std::fs::read(out).map_err(|e| e.to_string())?;
-    let back = deserialize_index(&reread, model.as_ref()).map_err(|e| e.to_string())?;
-    let st = back.stats();
+    psc_core::SearchEngine::from_bundle(&reread, blosum62(), config)
+        .map_err(|e| format!("bundle failed verification after write: {e}"))?;
+    let info = psc_index::peek_bundle(&reread).map_err(|e| e.to_string())?;
     eprintln!(
-        "indexed {} aa in {build:.2}s under {}; {} positions, {} non-empty keys (max list {}); wrote {} bytes to {out}",
-        flat.len(),
-        model.name(),
-        st.total_positions,
-        st.nonempty_keys,
-        st.max_list_len,
-        bytes.len()
+        "indexed genome {} ({} nt) under {} in {build:.2}s; bundle of {} bytes (mask {}, T0 {}) to {out}",
+        info.genome_id,
+        info.genome_len,
+        info.model_name,
+        bytes.len(),
+        if info.masked { "on" } else { "off" },
+        match &proteins {
+            Some(bank) => format!("{} proteins", bank.len()),
+            None => "none".to_string(),
+        }
     );
     Ok(())
 }

@@ -1,0 +1,460 @@
+//! The persistent query engine: pipeline state split from query state.
+//!
+//! A [`SearchEngine`] owns everything about a genome that is invariant
+//! across queries — the six translated frames, the seeding-view flat
+//! bank, the T1 seed index, the scoring matrix and the configuration —
+//! built once by [`SearchEngine::for_genome`] or loaded in one read by
+//! [`SearchEngine::from_bundle`]. Each [`SearchEngine::query_traced`]
+//! call then builds only the cheap per-query state (the protein bank's
+//! flat view and index) and runs steps 2 and 3 through
+//! [`Pipeline::try_run_prepared_traced`].
+//!
+//! Because the one-shot [`crate::genome::try_search_genome_traced`]
+//! path is itself engine construction followed by one query, a server
+//! answering from a loaded bundle produces output bit-identical to a
+//! fresh `psc search` by construction — the equivalence the serve-mode
+//! tests pin.
+//!
+//! The engine is plain shared data (`Send + Sync`); a server wraps it
+//! in an `Arc` and runs concurrent queries against one instance. Any
+//! simulated-board state is created per query, so queries never share
+//! mutable state.
+
+use psc_index::bundle::{BundleT0, IndexBundle};
+use psc_index::{deserialize_bundle, serialize_bundle, SeedIndex, SerialError};
+use psc_score::SubstitutionMatrix;
+use psc_seqio::{
+    translate_six_frames, Bank, Frame, FrameCoord, GeneticCode, MaskConfig, Seq, TranslatedGenome,
+};
+use psc_telemetry::{Recorder, Tracer};
+
+use crate::config::PipelineConfig;
+use crate::genome::{GenomeMatch, GenomeSearchResult};
+use crate::pipeline::{seeding_flat, Pipeline, PipelineError, PreparedBank};
+
+/// Why an engine could not be loaded from a bundle, or a query could
+/// not run.
+#[derive(Clone, Debug, PartialEq)]
+pub enum EngineError {
+    /// The artifact failed to parse or verify (bad magic/version,
+    /// checksum mismatch, seed-model fingerprint mismatch, …).
+    Serial(SerialError),
+    /// The artifact parsed but does not match the run configuration
+    /// (different matrix or masking than the indexes were built under).
+    BundleMismatch(String),
+    /// The underlying pipeline rejected the configuration or faulted.
+    Pipeline(PipelineError),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Serial(e) => write!(f, "index bundle: {e}"),
+            EngineError::BundleMismatch(why) => {
+                write!(f, "index bundle does not match this run: {why}")
+            }
+            EngineError::Pipeline(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<SerialError> for EngineError {
+    fn from(e: SerialError) -> EngineError {
+        EngineError::Serial(e)
+    }
+}
+
+impl From<PipelineError> for EngineError {
+    fn from(e: PipelineError) -> EngineError {
+        EngineError::Pipeline(e)
+    }
+}
+
+/// Persistent pipeline state for protein-vs-genome queries.
+pub struct SearchEngine {
+    pipeline: Pipeline,
+    matrix: SubstitutionMatrix,
+    translated: TranslatedGenome,
+    /// The six frames as bank 1, original residues (the step-3 view).
+    frames_bank: Bank,
+    /// Seeding view + T1 index of the frames.
+    prep1: PreparedBank,
+    /// Optional protein-bank section carried by the bundle: reused
+    /// (skipping the per-query index build) when a query bank is
+    /// sequence-identical to it.
+    t0: Option<BundleT0>,
+}
+
+impl std::fmt::Debug for SearchEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SearchEngine")
+            .field("genome_id", &self.translated.genome_id)
+            .field("genome_len", &self.translated.genome_len)
+            .field("matrix", &self.matrix.name)
+            .field("has_t0", &self.t0.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+impl SearchEngine {
+    /// Build the engine from a genome: translate the six frames and run
+    /// step 1 over them. Step-1 telemetry (the bank-1 index span) lands
+    /// in `rec`; the build time is attributed to the first query's
+    /// `step1` span, preserving one-shot accounting.
+    pub fn for_genome(
+        genome: &Seq,
+        matrix: &SubstitutionMatrix,
+        config: PipelineConfig,
+        rec: &dyn Recorder,
+    ) -> SearchEngine {
+        let translated = translate_six_frames(genome, GeneticCode::standard());
+        Self::from_translated(translated, matrix, config, rec)
+    }
+
+    /// [`SearchEngine::for_genome`] from an existing translation.
+    pub fn from_translated(
+        translated: TranslatedGenome,
+        matrix: &SubstitutionMatrix,
+        config: PipelineConfig,
+        rec: &dyn Recorder,
+    ) -> SearchEngine {
+        let pipeline = Pipeline::new(config);
+        let frames_bank = translated.to_bank();
+        let prep1 = pipeline.prepare_bank(1, &frames_bank, rec);
+        SearchEngine {
+            pipeline,
+            matrix: matrix.clone(),
+            translated,
+            frames_bank,
+            prep1,
+            t0: None,
+        }
+    }
+
+    /// Load the engine from a serialized index bundle.
+    ///
+    /// The bundle's checksum, seed-model fingerprint, matrix and mask
+    /// configuration are all verified against `config`/`matrix` before
+    /// anything is used; the T1 index is taken from the artifact (that
+    /// is the amortization) while the cheap seeding-view flattening is
+    /// recomputed from the stored frames, so query results are
+    /// bit-identical to an engine built fresh from the genome.
+    pub fn from_bundle(
+        data: &[u8],
+        matrix: &SubstitutionMatrix,
+        config: PipelineConfig,
+    ) -> Result<SearchEngine, EngineError> {
+        let model = config.seed.model();
+        let bundle = deserialize_bundle(data, model.as_ref())?;
+        if bundle.matrix != *matrix {
+            return Err(EngineError::BundleMismatch(format!(
+                "bundle was scored with matrix {}, this run uses {}",
+                bundle.matrix.name, matrix.name
+            )));
+        }
+        if !mask_eq(&bundle.mask, &config.mask) {
+            return Err(EngineError::BundleMismatch(format!(
+                "bundle was built with masking {}, this run uses {}",
+                mask_desc(&bundle.mask),
+                mask_desc(&config.mask)
+            )));
+        }
+        let frames: [Seq; 6] = bundle
+            .frames
+            .clone()
+            .try_into()
+            .map_err(|_| EngineError::Serial(SerialError::Corrupt("bundle frame count")))?;
+        let translated =
+            TranslatedGenome::from_parts(bundle.genome_id, bundle.genome_len as usize, frames);
+        let frames_bank = translated.to_bank();
+        let flat1 = seeding_flat(&config.mask, &frames_bank);
+        Ok(SearchEngine {
+            pipeline: Pipeline::new(config),
+            matrix: matrix.clone(),
+            translated,
+            frames_bank,
+            prep1: PreparedBank::from_parts(flat1, bundle.t1),
+            t0: bundle.t0,
+        })
+    }
+
+    /// Serialize the engine's pipeline state as an index bundle.
+    /// `proteins` adds the optional T0 section: the bank plus its index
+    /// under the same model, letting a later `--index` run skip its own
+    /// step-1 build when it queries that exact bank.
+    pub fn to_bundle_bytes(&self, proteins: Option<&Bank>) -> Vec<u8> {
+        let cfg = self.pipeline.config();
+        let model = cfg.seed.model();
+        let t0 = proteins.map(|bank| BundleT0 {
+            bank: bank.clone(),
+            index: SeedIndex::build(
+                &seeding_flat(&cfg.mask, bank),
+                model.as_ref(),
+                cfg.index_threads,
+            ),
+        });
+        let bundle = IndexBundle {
+            model_name: model.name(),
+            genome_id: self.translated.genome_id.clone(),
+            genome_len: self.translated.genome_len as u64,
+            frames: self.translated.frames().to_vec(),
+            mask: cfg.mask,
+            matrix: self.matrix.clone(),
+            t1: self.prep1.index().clone(),
+            t0,
+        };
+        serialize_bundle(&bundle, model.as_ref()).to_vec()
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &PipelineConfig {
+        self.pipeline.config()
+    }
+
+    /// Id of the genome this engine serves.
+    pub fn genome_id(&self) -> &str {
+        &self.translated.genome_id
+    }
+
+    /// Genome length in nucleotides.
+    pub fn genome_len(&self) -> usize {
+        self.translated.genome_len
+    }
+
+    /// Whether the engine carries a T0 (protein-bank) section.
+    pub fn has_t0(&self) -> bool {
+        self.t0.is_some()
+    }
+
+    /// Run one query: the per-query state (protein-side step 1) is
+    /// built here — or reused from the bundle's T0 section when the
+    /// query bank is sequence-identical to it — then steps 2 and 3 run
+    /// over the shared pipeline state.
+    pub fn query_traced(
+        &self,
+        proteins: &Bank,
+        rec: &dyn Recorder,
+        tracer: &dyn Tracer,
+    ) -> Result<GenomeSearchResult, PipelineError> {
+        let prep0 = match self
+            .t0
+            .as_ref()
+            .filter(|t0| banks_identical(&t0.bank, proteins))
+        {
+            Some(t0) => PreparedBank::from_parts(
+                seeding_flat(&self.pipeline.config().mask, proteins),
+                t0.index.clone(),
+            ),
+            None => self.pipeline.prepare_bank(0, proteins, rec),
+        };
+        let output = self.pipeline.try_run_prepared_traced(
+            proteins,
+            &prep0,
+            &self.frames_bank,
+            &self.prep1,
+            &self.matrix,
+            rec,
+            tracer,
+        )?;
+
+        let matches = output
+            .hsps
+            .iter()
+            .map(|h| {
+                let frame = Frame::ALL[h.seq1 as usize];
+                let aa_len = (h.end1 - h.start1) as usize;
+                let (genome_start, genome_end, forward) = self.translated.to_genome_interval(
+                    FrameCoord {
+                        frame,
+                        aa_pos: h.start1 as usize,
+                    },
+                    aa_len,
+                );
+                GenomeMatch {
+                    protein_idx: h.seq0 as usize,
+                    protein_id: proteins.get(h.seq0 as usize).id.clone(),
+                    frame,
+                    genome_start,
+                    genome_end,
+                    forward,
+                    protein_start: h.start0 as usize,
+                    protein_end: h.end0 as usize,
+                    score: h.score,
+                    bit_score: h.bit_score,
+                    evalue: h.evalue,
+                }
+            })
+            .collect();
+
+        Ok(GenomeSearchResult { matches, output })
+    }
+}
+
+/// Bit-level mask-config equality (f64 thresholds compared by bits: the
+/// indexes are only reusable under the *exact* masking they were built
+/// with).
+fn mask_eq(a: &Option<MaskConfig>, b: &Option<MaskConfig>) -> bool {
+    match (a, b) {
+        (None, None) => true,
+        (Some(x), Some(y)) => {
+            x.window == y.window
+                && x.trigger.to_bits() == y.trigger.to_bits()
+                && x.extend.to_bits() == y.extend.to_bits()
+        }
+        _ => false,
+    }
+}
+
+fn mask_desc(m: &Option<MaskConfig>) -> String {
+    match m {
+        None => "off".to_string(),
+        Some(c) => format!(
+            "on (window {}, trigger {}, extend {})",
+            c.window, c.trigger, c.extend
+        ),
+    }
+}
+
+/// Sequence-identical banks: same ids, same residues, same order.
+fn banks_identical(a: &Bank, b: &Bank) -> bool {
+    a.len() == b.len()
+        && a.iter()
+            .zip(b.iter())
+            .all(|((_, x), (_, y))| x.id == y.id && x.residues == y.residues)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::genome::try_search_genome_traced;
+    use psc_datagen::{generate_genome, random_bank, BankConfig, GenomeConfig};
+    use psc_score::blosum62;
+    use psc_telemetry::{NullRecorder, NullTracer};
+
+    fn workload() -> (Bank, Seq) {
+        let donors = random_bank(&BankConfig {
+            count: 6,
+            min_len: 80,
+            max_len: 140,
+            seed: 21,
+        });
+        let synth = generate_genome(
+            &GenomeConfig {
+                len: 30_000,
+                gene_count: 6,
+                seed: 22,
+                ..GenomeConfig::default()
+            },
+            &donors,
+        );
+        (donors, synth.genome)
+    }
+
+    fn same_matches(a: &GenomeSearchResult, b: &GenomeSearchResult) {
+        assert_eq!(a.matches.len(), b.matches.len());
+        for (x, y) in a.matches.iter().zip(&b.matches) {
+            assert_eq!(x.protein_idx, y.protein_idx);
+            assert_eq!(x.frame, y.frame);
+            assert_eq!(
+                (x.genome_start, x.genome_end),
+                (y.genome_start, y.genome_end)
+            );
+            assert_eq!(x.score, y.score);
+            assert_eq!(x.evalue.to_bits(), y.evalue.to_bits());
+        }
+    }
+
+    #[test]
+    fn bundle_round_trip_preserves_query_results() {
+        let (proteins, genome) = workload();
+        let matrix = blosum62();
+        let config = PipelineConfig::default();
+        let fresh = SearchEngine::for_genome(&genome, matrix, config.clone(), &NullRecorder);
+        let bytes = fresh.to_bundle_bytes(None);
+        let loaded = SearchEngine::from_bundle(&bytes, matrix, config.clone()).unwrap();
+        let a = fresh
+            .query_traced(&proteins, &NullRecorder, &NullTracer)
+            .unwrap();
+        let b = loaded
+            .query_traced(&proteins, &NullRecorder, &NullTracer)
+            .unwrap();
+        let oneshot = try_search_genome_traced(
+            &proteins,
+            &genome,
+            matrix,
+            config,
+            &NullRecorder,
+            &NullTracer,
+        )
+        .unwrap();
+        assert!(!a.matches.is_empty());
+        same_matches(&a, &b);
+        same_matches(&a, &oneshot);
+    }
+
+    #[test]
+    fn t0_section_is_reused_for_identical_bank() {
+        let (proteins, genome) = workload();
+        let matrix = blosum62();
+        let config = PipelineConfig::default();
+        let fresh = SearchEngine::for_genome(&genome, matrix, config.clone(), &NullRecorder);
+        let bytes = fresh.to_bundle_bytes(Some(&proteins));
+        let loaded = SearchEngine::from_bundle(&bytes, matrix, config).unwrap();
+        assert!(loaded.has_t0());
+        let a = fresh
+            .query_traced(&proteins, &NullRecorder, &NullTracer)
+            .unwrap();
+        let b = loaded
+            .query_traced(&proteins, &NullRecorder, &NullTracer)
+            .unwrap();
+        same_matches(&a, &b);
+        // A different bank must not hit the T0 fast path (results still
+        // correct, just rebuilt).
+        let other = random_bank(&BankConfig {
+            count: 3,
+            min_len: 60,
+            max_len: 90,
+            seed: 77,
+        });
+        let c = loaded
+            .query_traced(&other, &NullRecorder, &NullTracer)
+            .unwrap();
+        let c2 = fresh
+            .query_traced(&other, &NullRecorder, &NullTracer)
+            .unwrap();
+        same_matches(&c, &c2);
+    }
+
+    #[test]
+    fn mismatched_matrix_and_mask_are_clean_errors() {
+        let (_, genome) = workload();
+        let matrix = blosum62();
+        let config = PipelineConfig::default();
+        let engine = SearchEngine::for_genome(&genome, matrix, config.clone(), &NullRecorder);
+        let bytes = engine.to_bundle_bytes(None);
+
+        let mut other = matrix.clone();
+        other.name = "OTHER".to_string();
+        let err = SearchEngine::from_bundle(&bytes, &other, config.clone()).unwrap_err();
+        assert!(matches!(err, EngineError::BundleMismatch(_)), "{err}");
+
+        let masked = PipelineConfig {
+            mask: Some(MaskConfig::default()),
+            ..config.clone()
+        };
+        let err = SearchEngine::from_bundle(&bytes, matrix, masked).unwrap_err();
+        assert!(matches!(err, EngineError::BundleMismatch(_)), "{err}");
+
+        let exact = PipelineConfig {
+            seed: crate::config::SeedChoice::Exact(4),
+            ..config
+        };
+        let err = SearchEngine::from_bundle(&bytes, matrix, exact).unwrap_err();
+        assert!(
+            matches!(err, EngineError::Serial(SerialError::ModelMismatch { .. })),
+            "{err}"
+        );
+    }
+}

@@ -26,6 +26,7 @@
 #![forbid(unsafe_code)]
 
 pub mod config;
+pub mod engine;
 pub mod genome;
 pub mod gff;
 pub mod pipeline;
@@ -34,12 +35,15 @@ pub mod report;
 pub mod step2;
 
 pub use config::{PipelineConfig, SeedChoice, Step2Backend};
+pub use engine::{EngineError, SearchEngine};
 pub use genome::{
     search_genome, search_genome_recorded, try_search_genome, try_search_genome_recorded,
     try_search_genome_traced, GenomeMatch, GenomeSearchResult,
 };
 pub use gff::to_gff3;
-pub use pipeline::{shard_critical_path, Pipeline, PipelineError, PipelineOutput, PipelineStats};
+pub use pipeline::{
+    shard_critical_path, Pipeline, PipelineError, PipelineOutput, PipelineStats, PreparedBank,
+};
 pub use profile::StepProfile;
 pub use psc_align::{KernelBackend, KernelChoice};
 pub use psc_telemetry::{

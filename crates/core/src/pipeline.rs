@@ -180,45 +180,62 @@ impl Pipeline {
         rec: &dyn Recorder,
         tracer: &dyn Tracer,
     ) -> Result<PipelineOutput, PipelineError> {
+        let prep0 = self.prepare_bank(0, bank0, rec);
+        let prep1 = self.prepare_bank(1, bank1, rec);
+        self.try_run_prepared_traced(bank0, &prep0, bank1, &prep1, matrix, rec, tracer)
+    }
+
+    /// Step 1 for one bank (`which` = 0 or 1): apply the soft mask,
+    /// flatten, and build the seed index. The result is the immutable,
+    /// shareable half of a run — build it once (or load it from an
+    /// index bundle) and feed any number of
+    /// [`Pipeline::try_run_prepared_traced`] calls.
+    pub fn prepare_bank(&self, which: usize, bank: &Bank, rec: &dyn Recorder) -> PreparedBank {
         let cfg = &self.config;
         let model = cfg.seed.model();
-        let span = model.span();
-
-        // ---- Step 1: indexing --------------------------------------
         // analyzer: allow(determinism) -- wall-clock step profile is the audited exception
         let t0 = Instant::now();
-        // Soft masking: the seeding/step-2 view of the banks is entropy
-        // masked; step 3 extends over the original residues.
-        let (flat0, flat1) = match &cfg.mask {
-            None => (FlatBank::from_bank(bank0), FlatBank::from_bank(bank1)),
-            Some(mask_cfg) => {
-                let masked = |bank: &Bank| -> Bank {
-                    bank.seqs()
-                        .iter()
-                        .map(|s| {
-                            psc_seqio::Seq::from_codes(
-                                s.id.clone(),
-                                psc_seqio::mask_low_complexity(&s.residues, mask_cfg),
-                                s.kind,
-                            )
-                        })
-                        .collect()
-                };
-                (
-                    FlatBank::from_bank(&masked(bank0)),
-                    FlatBank::from_bank(&masked(bank1)),
-                )
-            }
+        let flat = seeding_flat(&cfg.mask, bank);
+        let idx = {
+            let key = if which == 0 {
+                keys::STEP1_INDEX_BANK0
+            } else {
+                keys::STEP1_INDEX_BANK1
+            };
+            let _g = SpanGuard::enter(rec, key);
+            SeedIndex::build(&flat, model.as_ref(), cfg.index_threads)
         };
-        let idx0 = {
-            let _g = SpanGuard::enter(rec, keys::STEP1_INDEX_BANK0);
-            SeedIndex::build(&flat0, model.as_ref(), cfg.index_threads)
-        };
-        let idx1 = {
-            let _g = SpanGuard::enter(rec, keys::STEP1_INDEX_BANK1);
-            SeedIndex::build(&flat1, model.as_ref(), cfg.index_threads)
-        };
-        let step1 = t0.elapsed().as_secs_f64();
+        PreparedBank {
+            flat,
+            idx,
+            prep_seconds: t0.elapsed().as_secs_f64(),
+        }
+    }
+
+    /// Steps 2 and 3 over banks prepared by [`Pipeline::prepare_bank`]
+    /// (or loaded from an index bundle) — the per-query half of a run.
+    /// `bank0`/`bank1` must be the *original* (unmasked) banks the
+    /// prepared state was built from; step 3 extends over them.
+    ///
+    /// [`Pipeline::try_run_traced`] is exactly `prepare_bank` twice
+    /// followed by this, so a query against persisted pipeline state is
+    /// bit-identical to a one-shot run by construction.
+    #[allow(clippy::too_many_arguments)]
+    pub fn try_run_prepared_traced(
+        &self,
+        bank0: &Bank,
+        prep0: &PreparedBank,
+        bank1: &Bank,
+        prep1: &PreparedBank,
+        matrix: &SubstitutionMatrix,
+        rec: &dyn Recorder,
+        tracer: &dyn Tracer,
+    ) -> Result<PipelineOutput, PipelineError> {
+        let cfg = &self.config;
+        let span = cfg.seed.model().span();
+        let (flat0, idx0) = (&prep0.flat, &prep0.idx);
+        let (flat1, idx1) = (&prep1.flat, &prep1.idx);
+        let step1 = prep0.prep_seconds + prep1.prep_seconds;
         rec.add(
             keys::STEP1_POSITIONS_INDEXED_BANK0,
             idx0.total_positions() as u64,
@@ -241,20 +258,19 @@ impl Pipeline {
             schedule: cfg.step2_schedule,
         };
         let key_count = idx0.key_count() as u32;
-        let mut dedup = AnchorDedup::new(&flat0, &flat1, cfg.min_anchor_sep);
+        let mut dedup = AnchorDedup::new(flat0, flat1, cfg.min_anchor_sep);
         // Virtual-clock traces model step 2 as its deterministic work
         // items, independent of backend, schedule and thread count.
         if tracer.enabled() && tracer.clock() == TraceClock::Virtual {
-            commit_virtual_step2(tracer, &idx0, &idx1, key_count);
+            commit_virtual_step2(tracer, idx0, idx1, key_count);
         }
         let (mut s2stats, board, step2_accel_override) = if cfg.overlap {
             run_step2_overlapped(
-                cfg, &params, &flat0, &idx0, &flat1, &idx1, span, key_count, matrix, &mut dedup,
-                tracer,
+                cfg, &params, flat0, idx0, flat1, idx1, span, key_count, matrix, &mut dedup, tracer,
             )?
         } else {
             let (candidates, s2stats, board, step2_accel_override) = run_step2_barrier(
-                cfg, &params, &flat0, &idx0, &flat1, &idx1, span, key_count, matrix, tracer,
+                cfg, &params, flat0, idx0, flat1, idx1, span, key_count, matrix, tracer,
             )?;
             for c in &candidates {
                 dedup.push(c);
@@ -515,6 +531,71 @@ impl Pipeline {
             },
             board,
         })
+    }
+}
+
+/// The seeding/step-2 view of a bank: entropy soft-masked when masking
+/// is configured (step 3 extends over the original residues),
+/// flattened to global `u32` coordinates.
+pub(crate) fn seeding_flat(mask: &Option<psc_seqio::MaskConfig>, bank: &Bank) -> FlatBank {
+    match mask {
+        None => FlatBank::from_bank(bank),
+        Some(mask_cfg) => {
+            let masked: Bank = bank
+                .seqs()
+                .iter()
+                .map(|s| {
+                    psc_seqio::Seq::from_codes(
+                        s.id.clone(),
+                        psc_seqio::mask_low_complexity(&s.residues, mask_cfg),
+                        s.kind,
+                    )
+                })
+                .collect();
+            FlatBank::from_bank(&masked)
+        }
+    }
+}
+
+/// Step-1 output for one bank: the seeding-view flat bank plus its
+/// seed index — the pipeline state a server shares across queries,
+/// as opposed to the per-query state steps 2 and 3 build and discard.
+///
+/// Produced by [`Pipeline::prepare_bank`], or assembled from a
+/// persisted index bundle via [`PreparedBank::from_parts`].
+#[derive(Clone, Debug)]
+pub struct PreparedBank {
+    flat: FlatBank,
+    idx: SeedIndex,
+    /// Wall seconds step 1 spent building this bank's state (zero when
+    /// loaded from an artifact — that is the amortization).
+    prep_seconds: f64,
+}
+
+impl PreparedBank {
+    /// Assemble from an already-built flat bank and index (artifact
+    /// load). `prep_seconds` is zero: the build was paid elsewhere.
+    pub fn from_parts(flat: FlatBank, idx: SeedIndex) -> PreparedBank {
+        PreparedBank {
+            flat,
+            idx,
+            prep_seconds: 0.0,
+        }
+    }
+
+    /// The seeding-view flat bank.
+    pub fn flat(&self) -> &FlatBank {
+        &self.flat
+    }
+
+    /// The seed index over [`PreparedBank::flat`].
+    pub fn index(&self) -> &SeedIndex {
+        &self.idx
+    }
+
+    /// Wall seconds step 1 spent on this bank (zero for artifact loads).
+    pub fn prep_seconds(&self) -> f64 {
+        self.prep_seconds
     }
 }
 

@@ -16,13 +16,17 @@
 //! * [`neighborhood`]: BLAST-style neighbourhood word generation (used by
 //!   the `psc-blast` baseline, not by the paper's pipeline).
 
+pub mod bundle;
 pub mod flat;
 pub mod neighborhood;
 pub mod seed;
 pub mod serial;
 pub mod table;
 
+pub use bundle::{
+    deserialize_bundle, peek_bundle, serialize_bundle, BundleInfo, BundleT0, IndexBundle,
+};
 pub use flat::FlatBank;
 pub use seed::{subset_seed_default, subset_seed_span3, ExactSeed, SeedModel, SubsetSeed};
-pub use serial::{deserialize_index, serialize_index, SerialError};
+pub use serial::{deserialize_index, fletcher64, serialize_index, SerialError};
 pub use table::SeedIndex;

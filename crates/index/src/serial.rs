@@ -7,16 +7,37 @@
 //! little-endian sectioned layout with a magic, a format version, and a
 //! seed-model fingerprint so an index cannot silently be used with the
 //! wrong model.
+//!
+//! # Format versions
+//!
+//! * **v1** (legacy, read-only): magic, version, model name, counts,
+//!   offsets, positions — structural validation only. A bit flip inside
+//!   the `positions` payload passes the monotone-offset checks and
+//!   silently changes step-2 results, which is why v1 is no longer
+//!   written.
+//! * **v2** (current): the v1 layout plus a [`fletcher64`] checksum
+//!   between the model name and the counts, covering everything after
+//!   it (counts, offsets, positions). The checksum is verified *before*
+//!   the structural checks, so any payload corruption — including the
+//!   bit-flipped-positions case — surfaces as
+//!   [`SerialError::Corrupt`], never as a wrong answer.
+//!
+//! The checksum follows the same Fletcher discipline as the simulated
+//! board's result-integrity machinery (`psc_rasc::fault`): two 16-bit
+//! accumulators seeded `0xF1EA`/`0x5EED`, folded modulo the prime
+//! `0xFFFF_FFFB`, combined `(b << 32) | a`. Index files and board result
+//! blocks are guarded by the same arithmetic, so a single discipline is
+//! audited in both places.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 use crate::seed::SeedModel;
 use crate::table::SeedIndex;
 
-const MAGIC: &[u8; 8] = b"PSCIDX\x00\x01";
+pub(crate) const MAGIC: &[u8; 8] = b"PSCIDX\x00\x01";
 
 /// Serialization errors.
-#[derive(Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum SerialError {
     /// Not a PSC index file (bad magic or truncated header).
     BadMagic,
@@ -24,7 +45,8 @@ pub enum SerialError {
     BadVersion(u16),
     /// Built under a different seed model than the one supplied.
     ModelMismatch { stored: String, supplied: String },
-    /// Structurally invalid payload (truncation, inconsistent counts).
+    /// Structurally invalid payload (truncation, inconsistent counts,
+    /// checksum mismatch).
     Corrupt(&'static str),
 }
 
@@ -44,39 +66,67 @@ impl std::fmt::Display for SerialError {
 
 impl std::error::Error for SerialError {}
 
-const VERSION: u16 = 1;
+/// Legacy checksum-free layout, still parsed.
+const VERSION_V1: u16 = 1;
+/// Current layout: v1 plus a Fletcher payload checksum.
+const VERSION_V2: u16 = 2;
 
-/// Serialize an index together with its seed-model fingerprint.
+/// Fletcher checksum over a sequence of byte slices, byte-for-byte the
+/// arithmetic of `psc_rasc::fault::stream_checksum`: two accumulators
+/// seeded `0xF1EA`/`0x5EED`, each input byte added (+1, so trailing
+/// zeros still move the sum) and folded modulo the prime `0xFFFF_FFFB`,
+/// combined `(b << 32) | a`. Streaming over parts equals checksumming
+/// the concatenation. (psc-rasc depends on this crate, so the board
+/// code cannot be imported here; an equivalence test on the rasc side
+/// pins the two copies together.)
+pub fn fletcher64(parts: &[&[u8]]) -> u64 {
+    const MOD: u64 = 0xFFFF_FFFB;
+    let (mut a, mut b) = (0xF1EAu64, 0x5EEDu64);
+    for part in parts {
+        for &byte in *part {
+            a = (a + byte as u64 + 1) % MOD;
+            b = (b + a) % MOD;
+        }
+    }
+    (b << 32) | a
+}
+
+/// Serialize an index together with its seed-model fingerprint, in the
+/// current (v2, checksummed) format.
 pub fn serialize_index(index: &SeedIndex, model: &dyn SeedModel) -> Bytes {
     let offsets = index.offsets();
     let positions = index.positions();
     let name = model.name();
-    let mut buf = BytesMut::with_capacity(
-        MAGIC.len() + 2 + 2 + name.len() + 16 + offsets.len() * 4 + positions.len() * 4,
-    );
-    buf.put_slice(MAGIC);
-    buf.put_u16_le(VERSION);
-    buf.put_u16_le(name.len() as u16);
-    buf.put_slice(name.as_bytes());
-    buf.put_u64_le(index.key_count() as u64);
-    buf.put_u64_le(positions.len() as u64);
+    let mut payload = BytesMut::with_capacity(16 + (offsets.len() + positions.len()) * 4);
+    payload.put_u64_le(index.key_count() as u64);
+    payload.put_u64_le(positions.len() as u64);
     for &o in offsets {
-        buf.put_u32_le(o);
+        payload.put_u32_le(o);
     }
     for &p in positions {
-        buf.put_u32_le(p);
+        payload.put_u32_le(p);
     }
+    let checksum = fletcher64(&[&payload]);
+    let mut buf = BytesMut::with_capacity(MAGIC.len() + 4 + name.len() + 8 + payload.len());
+    buf.put_slice(MAGIC);
+    buf.put_u16_le(VERSION_V2);
+    buf.put_u16_le(name.len() as u16);
+    buf.put_slice(name.as_bytes());
+    buf.put_u64_le(checksum);
+    buf.put_slice(&payload);
     buf.freeze()
 }
 
-/// Deserialize an index, verifying it was built under `model`.
+/// Deserialize an index (v1 or v2), verifying it was built under
+/// `model`. For v2 data the payload checksum is verified before any
+/// structural parsing.
 pub fn deserialize_index(mut data: &[u8], model: &dyn SeedModel) -> Result<SeedIndex, SerialError> {
     if data.len() < MAGIC.len() + 4 || &data[..MAGIC.len()] != MAGIC {
         return Err(SerialError::BadMagic);
     }
     data.advance(MAGIC.len());
     let version = data.get_u16_le();
-    if version != VERSION {
+    if version != VERSION_V1 && version != VERSION_V2 {
         return Err(SerialError::BadVersion(version));
     }
     let name_len = data.get_u16_le() as usize;
@@ -89,6 +139,24 @@ pub fn deserialize_index(mut data: &[u8], model: &dyn SeedModel) -> Result<SeedI
     if stored != supplied {
         return Err(SerialError::ModelMismatch { stored, supplied });
     }
+    if version == VERSION_V2 {
+        if data.remaining() < 8 {
+            return Err(SerialError::Corrupt("checksum truncated"));
+        }
+        let stored_sum = data.get_u64_le();
+        if fletcher64(&[data]) != stored_sum {
+            return Err(SerialError::Corrupt("payload checksum mismatch"));
+        }
+    }
+    deserialize_index_body(data, model)
+}
+
+/// The counts + offsets + positions body shared by both versions (and
+/// embedded, pre-checksummed, inside bundle sections).
+pub(crate) fn deserialize_index_body(
+    mut data: &[u8],
+    model: &dyn SeedModel,
+) -> Result<SeedIndex, SerialError> {
     if data.remaining() < 16 {
         return Err(SerialError::Corrupt("header truncated"));
     }
@@ -133,7 +201,9 @@ mod tests {
     use crate::seed::{subset_seed_default, ExactSeed};
     use psc_seqio::{Bank, Seq};
 
-    fn sample_index() -> (SeedIndex, crate::seed::SubsetSeed) {
+    /// A deliberately small model (400 keys): the every-offset flip and
+    /// truncation sweeps below are quadratic in the artifact size.
+    fn sample_index() -> (SeedIndex, ExactSeed) {
         let bank: Bank = (0..10)
             .map(|i| {
                 let res: Vec<u8> = (0..80u32).map(|j| ((i * 7 + j * 3) % 20) as u8).collect();
@@ -141,8 +211,27 @@ mod tests {
             })
             .collect();
         let flat = FlatBank::from_bank(&bank);
-        let model = subset_seed_default();
+        let model = ExactSeed::new(2);
         (SeedIndex::build(&flat, &model, 1), model)
+    }
+
+    /// Hand-roll the legacy v1 layout for the compatibility tests.
+    fn serialize_v1(index: &SeedIndex, model: &dyn SeedModel) -> Vec<u8> {
+        let name = model.name();
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&VERSION_V1.to_le_bytes());
+        buf.extend_from_slice(&(name.len() as u16).to_le_bytes());
+        buf.extend_from_slice(name.as_bytes());
+        buf.extend_from_slice(&(index.key_count() as u64).to_le_bytes());
+        buf.extend_from_slice(&(index.positions().len() as u64).to_le_bytes());
+        for &o in index.offsets() {
+            buf.extend_from_slice(&o.to_le_bytes());
+        }
+        for &p in index.positions() {
+            buf.extend_from_slice(&p.to_le_bytes());
+        }
+        buf
     }
 
     #[test]
@@ -155,6 +244,55 @@ mod tests {
         for k in idx.nonempty_keys() {
             assert_eq!(back.list(k), idx.list(k));
         }
+    }
+
+    #[test]
+    fn round_trip_subset_model() {
+        // Full-size paper model (22500 keys) — one linear round trip.
+        let bank: Bank = (0..10)
+            .map(|i| {
+                let res: Vec<u8> = (0..80u32).map(|j| ((i * 7 + j * 3) % 20) as u8).collect();
+                Seq::from_codes(format!("s{i}"), res, psc_seqio::SeqKind::Protein)
+            })
+            .collect();
+        let model = subset_seed_default();
+        let idx = SeedIndex::build(&FlatBank::from_bank(&bank), &model, 1);
+        let bytes = serialize_index(&idx, &model);
+        let back = deserialize_index(&bytes, &model).unwrap();
+        assert_eq!(back.total_positions(), idx.total_positions());
+        for k in idx.nonempty_keys() {
+            assert_eq!(back.list(k), idx.list(k));
+        }
+    }
+
+    #[test]
+    fn v1_still_parses() {
+        let (idx, model) = sample_index();
+        let bytes = serialize_v1(&idx, &model);
+        let back = deserialize_index(&bytes, &model).unwrap();
+        assert_eq!(back.total_positions(), idx.total_positions());
+        for k in idx.nonempty_keys() {
+            assert_eq!(back.list(k), idx.list(k));
+        }
+    }
+
+    #[test]
+    fn fletcher_matches_rasc_discipline() {
+        // Same constants and fold as psc_rasc::fault::stream_checksum;
+        // pin the arithmetic with fixed vectors so a drive-by
+        // "simplification" of either copy shows up here (the rasc side
+        // has the cross-crate equivalence test).
+        assert_eq!(fletcher64(&[]), (0x5EEDu64 << 32) | 0xF1EA);
+        let one = fletcher64(&[&[0x07]]);
+        assert_eq!(one & 0xFFFF_FFFF, 0xF1EA + 7 + 1);
+        assert_eq!(one >> 32, 0x5EED + 0xF1EA + 8);
+        // Streaming over parts equals the concatenation, and trailing
+        // zero bytes are not absorbed.
+        assert_eq!(
+            fletcher64(&[&[1, 2, 3, 4]]),
+            fletcher64(&[&[1, 2], &[3, 4]])
+        );
+        assert_ne!(fletcher64(&[&[1, 2]]), fletcher64(&[&[1, 2, 0]]));
     }
 
     #[test]
@@ -180,13 +318,55 @@ mod tests {
     }
 
     #[test]
-    fn rejects_truncation() {
+    fn rejects_truncation_at_every_boundary() {
         let (idx, model) = sample_index();
         let bytes = serialize_index(&idx, &model);
-        for cut in [bytes.len() - 1, bytes.len() / 2, MAGIC.len() + 3] {
+        for cut in 0..bytes.len() {
             let err = deserialize_index(&bytes[..cut], &model);
             assert!(err.is_err(), "cut at {cut} accepted");
         }
+    }
+
+    /// The v1 hole the v2 checksum closes: a bit flip at *any* offset —
+    /// most importantly inside the `positions` words, which pass every
+    /// structural check — must surface as an error, never as a
+    /// different index and never as a panic.
+    #[test]
+    fn rejects_single_byte_flip_at_every_offset() {
+        let (idx, model) = sample_index();
+        let bytes = serialize_index(&idx, &model).to_vec();
+        let payload_start = MAGIC.len() + 4 + model.name().len() + 8;
+        for at in 0..bytes.len() {
+            let mut raw = bytes.clone();
+            raw[at] ^= 0x40;
+            let got = deserialize_index(&raw, &model);
+            assert!(got.is_err(), "flip at {at} accepted");
+            // Flips past the header are exactly the silent-corruption
+            // surface: they must be reported as Corrupt (the checksum),
+            // not misclassified.
+            if at >= payload_start {
+                assert!(
+                    matches!(got, Err(SerialError::Corrupt(_))),
+                    "flip at {at}: {got:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn v1_accepts_flipped_positions_motivating_v2() {
+        // Documented v1 weakness (the reason v2 exists): a flipped
+        // positions word parses as a *different* index.
+        let (idx, model) = sample_index();
+        let mut raw = serialize_v1(&idx, &model);
+        let n = raw.len();
+        raw[n - 2] ^= 0x01;
+        let back = deserialize_index(&raw, &model).expect("v1 cannot detect payload flips");
+        assert_ne!(
+            back.positions(),
+            idx.positions(),
+            "flip must have changed a position"
+        );
     }
 
     #[test]
@@ -195,7 +375,7 @@ mod tests {
         let bytes = serialize_index(&idx, &model);
         let mut raw = bytes.to_vec();
         // Flip a byte inside the offsets table (after the header).
-        let header = MAGIC.len() + 2 + 2 + model.name().len() + 16;
+        let header = MAGIC.len() + 2 + 2 + model.name().len() + 8 + 16;
         raw[header + 5] ^= 0xFF;
         let err = deserialize_index(&raw, &model).unwrap_err();
         assert!(matches!(err, SerialError::Corrupt(_)), "{err}");

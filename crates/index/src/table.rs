@@ -23,7 +23,7 @@ pub struct IndexStats {
 }
 
 /// A seed index over one flattened bank.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SeedIndex {
     key_count: usize,
     offsets: Vec<u32>,

@@ -618,6 +618,27 @@ mod tests {
     }
 
     #[test]
+    fn index_serial_checksum_matches_board_discipline() {
+        // The v2 index artifact reuses this module's checksum discipline
+        // (`psc_index::fletcher64` is a dependency-order mirror of
+        // `stream_checksum`). Pin the equivalence so the two copies
+        // cannot drift apart silently.
+        let samples: [&[u8]; 4] = [b"", b"\x07", b"MKVLAWRN\x00\x00", &[0xFF; 300]];
+        for bytes in samples {
+            assert_eq!(
+                psc_index::fletcher64(&[bytes]),
+                stream_checksum(&[bytes]),
+                "fletcher64 diverged from stream_checksum on {bytes:?}"
+            );
+        }
+        assert_eq!(
+            psc_index::fletcher64(&[b"MKVL", b"AWRN"]),
+            stream_checksum(&[b"MKVLAWRN"]),
+            "part boundaries must not affect the sum"
+        );
+    }
+
+    #[test]
     fn watchdog_budget_covers_legitimate_runs() {
         let p = RecoveryPolicy::default();
         // lower_bound + stalls (≤ pairs) is the legitimate ceiling.

@@ -78,6 +78,17 @@ pub struct TranslatedGenome {
 }
 
 impl TranslatedGenome {
+    /// Reassemble a translation from persisted parts (an index-bundle
+    /// load). `frames` must be in [`Frame::ALL`] order, as produced by
+    /// [`translate_six_frames`].
+    pub fn from_parts(genome_id: String, genome_len: usize, frames: [Seq; 6]) -> TranslatedGenome {
+        TranslatedGenome {
+            genome_id,
+            genome_len,
+            frames,
+        }
+    }
+
     /// Translated sequence for a frame.
     pub fn frame(&self, frame: Frame) -> &Seq {
         &self.frames[frame.index()]

@@ -29,6 +29,10 @@ pub const STEP3_MODELED_PARALLEL: &str = "step3.modeled_parallel";
 /// Time step-3 merge spent waiting on extension shards.
 pub const STEP3_MERGE_WAIT: &str = "step3.merge_wait";
 
+/// End-to-end wall time of one served query, admission included
+/// (`psc serve`).
+pub const SERVE_QUERY_WALL: &str = "serve.query_wall";
+
 /// `step3.modeled_p{workers}` — the modeled-parallelism ladder
 /// (`step3.modeled_p2`, `step3.modeled_p4`, …).
 pub fn step3_modeled_workers(workers: usize) -> String {
@@ -56,6 +60,9 @@ pub const STEP2_CANDIDATES_KEPT: &str = "step2.candidates_kept";
 pub const STEP2_CANDIDATES_CULLED: &str = "step2.candidates_culled";
 /// Seed keys with a non-empty position list in both banks.
 pub const STEP2_ACTIVE_KEYS: &str = "step2.active_keys";
+/// In-flight queries observed when a served query was admitted
+/// (admission-queue depth, this query included).
+pub const SERVE_QUEUE_DEPTH: &str = "serve.queue_depth";
 /// Simulated board faults detected during step 2.
 pub const STEP2_FAULTS_DETECTED: &str = "step2.faults_detected";
 /// Step-2 entries retried after a fault.
@@ -116,6 +123,8 @@ pub const STEP2_KERNEL_DOWNGRADE: &str = "step2.kernel.downgrade";
 pub const WINDOW_LEN: &str = "window_len";
 /// Configured ungapped score threshold.
 pub const THRESHOLD: &str = "threshold";
+/// Sequence number of a served query within its server's lifetime.
+pub const SERVE_QUERY_SEQ: &str = "serve.query_seq";
 
 // --- unit-event names (`UnitEvent::span` / `UnitEvent::mark`) -----
 
