@@ -10,6 +10,7 @@
 //!          step3-overlap   (writes BENCH_step3_overlap.json)
 //!          serve-amortize  (writes BENCH_serve_amortize.json)
 //!          trace-overhead  (writes BENCH_trace_overhead.json)
+//!          fleet-scaling   (writes BENCH_fleet_scaling.json)
 //!          analyzer-bench  (writes BENCH_analyzer.json)
 //!          all
 //! ```
@@ -30,7 +31,7 @@ fn main() {
         .map(String::as_str)
         .collect();
     if wants.is_empty() {
-        eprintln!("usage: experiments [--quick] <table1..table7|fig1..fig3|ablation-*|step2-kernels|step2-balance|step3-overlap|serve-amortize|trace-overhead|extension-step3|analyzer-bench|all>");
+        eprintln!("usage: experiments [--quick] <table1..table7|fig1..fig3|ablation-*|step2-kernels|step2-balance|step3-overlap|serve-amortize|trace-overhead|extension-step3|fleet-scaling|analyzer-bench|all>");
         std::process::exit(2);
     }
     let all = wants.contains(&"all");
@@ -138,6 +139,9 @@ fn main() {
     }
     if want("trace-overhead") {
         exps::trace_overhead(&workload);
+    }
+    if want("fleet-scaling") {
+        exps::fleet_scaling(&workload, quick);
     }
     if want("analyzer-bench") {
         exps::analyzer_bench();

@@ -1481,6 +1481,191 @@ pub fn trace_overhead(workload: &Workload) {
     );
 }
 
+/// `experiments fleet-scaling` — the multi-board fleet sweep: HSP
+/// bit-identity across every boards × steal-policy × fault-plan combo,
+/// quarantine engagement under a heavy-tail plan, and the modeled
+/// cluster-speedup ladder (the exact dispatch schedule replayed at each
+/// fleet size), written to `BENCH_fleet_scaling.json`. The wall budget
+/// keeps the sweep a cheap CI gate, like `analyzer-bench`.
+pub fn fleet_scaling(workload: &Workload, quick: bool) {
+    use psc_rasc::{FleetConfig, StealPolicy};
+    println!("## Fleet scaling — work-stealing dispatch across N simulated boards (3x bank)");
+    println!("   (HSPs asserted bit-identical to the 1-board run for every combo)\n");
+    let t_sweep = Instant::now();
+    let bank = &workload.banks[1];
+    let genome = &workload.genome.genome;
+    let cfg_for =
+        |boards: usize, steal: StealPolicy, plan: Option<psc_rasc::FaultPlan>| PipelineConfig {
+            backend: Step2Backend::Rasc {
+                pe_count: 192,
+                fpga_count: 2,
+                host_threads: 2,
+            },
+            fleet: FleetConfig {
+                boards,
+                steal_policy: steal,
+                ..FleetConfig::default()
+            },
+            fault_plan: plan,
+            ..experiment_config()
+        };
+
+    // Reference: the classic single board, fault-free.
+    let reference = search_genome(
+        bank,
+        genome,
+        blosum62(),
+        cfg_for(1, StealPolicy::Richest, None),
+    );
+    let mut rows = Vec::new();
+    let mut checked = 0u32;
+    for boards in [1usize, 2, 4, 8] {
+        for steal in [StealPolicy::Richest, StealPolicy::None] {
+            for plan in [Option::None, Some(psc_rasc::FaultPlan::seeded_heavy(11))] {
+                let tail = plan.is_some();
+                let r = search_genome(bank, genome, blosum62(), cfg_for(boards, steal, plan));
+                assert_eq!(
+                    reference.output.hsps,
+                    r.output.hsps,
+                    "HSPs diverged at boards={boards} steal={} heavy_tail={tail}",
+                    steal.name()
+                );
+                assert_eq!(
+                    reference.output.stats,
+                    r.output.stats,
+                    "stats diverged at boards={boards} steal={} heavy_tail={tail}",
+                    steal.name()
+                );
+                checked += 1;
+                if let Some(f) = &r.output.fleet {
+                    rows.push((
+                        boards,
+                        steal.name(),
+                        tail,
+                        f.steals,
+                        f.quarantined.len(),
+                        f.makespan_seconds,
+                    ));
+                }
+            }
+        }
+    }
+
+    // Quarantine engagement: a heavy-tail plan with a one-strike
+    // threshold must drain at least one board — deterministically, so
+    // scan seeds in order and pin the first that does.
+    let mut quarantine = Option::None;
+    for seed in 1u64..=24 {
+        let mut cfg = cfg_for(
+            4,
+            StealPolicy::Richest,
+            Some(psc_rasc::FaultPlan::seeded_heavy(seed)),
+        );
+        cfg.fleet.quarantine_after = 1;
+        let r = search_genome(bank, genome, blosum62(), cfg);
+        assert_eq!(
+            reference.output.hsps, r.output.hsps,
+            "HSPs diverged under quarantine (seed {seed})"
+        );
+        let f = r.output.fleet.expect("fleet report at 4 boards");
+        if !f.quarantined.is_empty() {
+            quarantine = Some((seed, f.quarantined.len(), f.redispatched, f.steals));
+            break;
+        }
+    }
+    let (q_seed, q_boards, q_redispatched, q_steals) =
+        quarantine.expect("no heavy-tail seed in 1..=24 quarantined a board");
+
+    // Modeled cluster-speedup ladder from the fault-free 8-board run:
+    // the same dispatch schedule replayed at each fleet size.
+    let r8 = search_genome(
+        bank,
+        genome,
+        blosum62(),
+        cfg_for(8, StealPolicy::Richest, None),
+    );
+    let fleet8 = r8.output.fleet.expect("fleet report at 8 boards");
+    let ladder = &fleet8.modeled;
+    let at = |n: usize| {
+        ladder
+            .iter()
+            .find(|&&(b, _)| b == n)
+            .map(|&(_, s)| s)
+            .expect("ladder point")
+    };
+    let speedup = |n: usize| at(1) / at(n);
+
+    let mut t = Table::new(&["boards", "modeled makespan (s)", "speedup vs 1 board"]);
+    for &(n, s) in ladder {
+        t.row(vec![n.to_string(), secs(s), ratio(speedup(n))]);
+    }
+    t.print();
+    println!(
+        "\n   ({checked} configs bit-identical; quarantine: seed {q_seed} drained {q_boards} board(s), \
+         {q_redispatched} entries re-dispatched, {q_steals} steals)\n"
+    );
+
+    let wall = t_sweep.elapsed().as_secs_f64();
+    let budget = 120.0;
+    let ladder_json = ladder
+        .iter()
+        .map(|&(n, s)| {
+            format!(
+                "{{\"boards\": {n}, \"makespan_seconds\": {s:.9}, \"speedup\": {:.3}}}",
+                speedup(n)
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n    ");
+    let rows_json = rows
+        .iter()
+        .map(|(b, steal, tail, steals, quarantined, makespan)| {
+            format!(
+                "{{\"boards\": {b}, \"steal\": \"{steal}\", \"heavy_tail\": {tail}, \
+                 \"steals\": {steals}, \"quarantined\": {quarantined}, \
+                 \"makespan_seconds\": {makespan:.9}}}"
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n    ");
+    let json = format!(
+        "{{\n  \"experiment\": \"fleet_scaling\",\n  \
+         \"quick\": {quick},\n  \
+         \"configs_checked_bit_identical\": {checked},\n  \
+         \"hsps\": {},\n  \
+         \"modeled_ladder\": [\n    {ladder_json}\n  ],\n  \
+         \"speedup_4_boards\": {:.3},\n  \
+         \"speedup_8_boards\": {:.3},\n  \
+         \"quarantine\": {{\"seed\": {q_seed}, \"boards_drained\": {q_boards}, \
+         \"entries_redispatched\": {q_redispatched}, \"steals\": {q_steals}, \
+         \"output_unchanged\": true}},\n  \
+         \"fleet_runs\": [\n    {rows_json}\n  ],\n  \
+         \"wall_seconds\": {wall:.3},\n  \"budget_seconds\": {budget}\n}}\n",
+        reference.output.hsps.len(),
+        speedup(4),
+        speedup(8),
+    );
+    let path = "BENCH_fleet_scaling.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => eprintln!("[experiments] wrote {path}"),
+        Err(e) => eprintln!("[experiments] could not write {path}: {e}"),
+    }
+    assert!(
+        speedup(4) >= 3.5,
+        "modeled 4-board speedup {:.2} below the 3.5x floor",
+        speedup(4)
+    );
+    assert!(
+        speedup(8) >= 6.0,
+        "modeled 8-board speedup {:.2} below the 6x floor",
+        speedup(8)
+    );
+    assert!(
+        wall < budget,
+        "fleet-scaling sweep took {wall:.1} s — over the {budget} s budget"
+    );
+}
+
 /// `experiments analyzer-bench` — wall time of the full two-pass
 /// workspace analysis (lex, symbol index, call graph, transitive
 /// lints), best of 3, written to `BENCH_analyzer.json`. The 5 s budget

@@ -115,6 +115,8 @@ commands:
   translate       --genome FILE [-o FILE]
   search          --proteins FILE --genome FILE [--backend scalar|parallel|rasc]
                   [--pes N] [--fpgas N] [--threads N] [--evalue E]
+                  [--boards N]           (simulated multi-board fleet; rasc only)
+                  [--steal-policy richest|none] [--quarantine-after K]
                   [--seed-model subset4|subset3|exact4] [--threshold T]
                   [--step2-kernel auto|scalar|profile|simd|wide|split]
                   [--step2-schedule contiguous|bucketed]   (step-2 work distribution)
@@ -173,6 +175,9 @@ const KNOWN_SEARCH: &[&str] = &[
     "backend",
     "pes",
     "fpgas",
+    "boards",
+    "steal-policy",
+    "quarantine-after",
     "threads",
     "evalue",
     "seed-model",
@@ -203,6 +208,9 @@ const KNOWN_SERVE: &[&str] = &[
     "backend",
     "pes",
     "fpgas",
+    "boards",
+    "steal-policy",
+    "quarantine-after",
     "threads",
     "evalue",
     "seed-model",
@@ -430,6 +438,39 @@ fn pipeline_config(flags: &Flags) -> Result<PipelineConfig, String> {
         },
         other => return Err(format!("unknown backend {other:?}")),
     };
+    // Fleet shape: `--boards N` engages the multi-board work-stealing
+    // dispatcher (rasc backend only; HSP output is bit-identical at any
+    // board count). The tuning flags only mean something with a fleet.
+    let boards = flags.parsed("boards", 1usize)?;
+    if !(1..=psc_rasc::MAX_BOARDS).contains(&boards) {
+        return Err(format!(
+            "--boards must be 1..={} (got {boards})",
+            psc_rasc::MAX_BOARDS
+        ));
+    }
+    if boards > 1 && !matches!(backend, Step2Backend::Rasc { .. }) {
+        return Err("--boards N > 1 needs --backend rasc".into());
+    }
+    let mut fleet = psc_rasc::FleetConfig {
+        boards,
+        ..psc_rasc::FleetConfig::default()
+    };
+    if let Some(s) = flags.get("steal-policy") {
+        if boards < 2 {
+            return Err("--steal-policy needs --boards N >= 2".into());
+        }
+        fleet.steal_policy = psc_rasc::StealPolicy::parse(s)?;
+    }
+    if flags.get("quarantine-after").is_some() {
+        if boards < 2 {
+            return Err("--quarantine-after needs --boards N >= 2".into());
+        }
+        let k = flags.parsed("quarantine-after", 2u32)?;
+        if k == 0 {
+            return Err("--quarantine-after must be at least 1".into());
+        }
+        fleet.quarantine_after = k;
+    }
     let step2_kernel = match flags.get("step2-kernel") {
         None => psc_core::KernelChoice::Auto,
         Some(s) => psc_core::KernelChoice::parse(s).ok_or_else(|| {
@@ -458,6 +499,7 @@ fn pipeline_config(flags: &Flags) -> Result<PipelineConfig, String> {
         },
         fault_plan: fault_plan(flags)?,
         recovery: recovery_policy(flags)?,
+        fleet,
         ..PipelineConfig::default()
     })
 }

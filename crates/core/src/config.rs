@@ -156,6 +156,12 @@ pub struct PipelineConfig {
     /// Retry / degradation policy the board applies when a dispatch
     /// faults.
     pub recovery: psc_rasc::RecoveryPolicy,
+    /// Fleet shape for the RASC backend: number of simulated boards,
+    /// steal policy, and quarantine threshold. `boards == 1` (the
+    /// default) keeps the classic single-board path; `boards >= 2`
+    /// routes step 2 through the work-stealing fleet dispatcher.
+    /// HSP output is bit-identical at any board count.
+    pub fleet: psc_rasc::FleetConfig,
 }
 
 impl Default for PipelineConfig {
@@ -181,6 +187,7 @@ impl Default for PipelineConfig {
             dma_override: None,
             fault_plan: None,
             recovery: psc_rasc::RecoveryPolicy::default(),
+            fleet: psc_rasc::FleetConfig::default(),
         }
     }
 }

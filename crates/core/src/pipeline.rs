@@ -7,7 +7,7 @@ use std::time::Instant;
 use crossbeam::{channel, thread};
 use psc_align::{cull_hsps, gapped_extend, GapConfig, GappedHit, Hsp};
 use psc_index::{FlatBank, SeedIndex};
-use psc_rasc::{BoardReport, Entry, RascBoard};
+use psc_rasc::{BoardReport, Entry, FleetReport, RascBoard, RascFleet};
 use psc_score::karlin::{gapped_params, ungapped_params};
 use psc_score::{SubstitutionMatrix, ROBINSON_FREQS};
 use psc_seqio::Bank;
@@ -42,8 +42,13 @@ pub struct PipelineOutput {
     pub hsps: Vec<Hsp>,
     pub profile: StepProfile,
     pub stats: PipelineStats,
-    /// Present when step 2 ran on the simulated RASC board.
+    /// Present when step 2 ran on the simulated RASC board. For a
+    /// fleet run this is the fleet-wide aggregate
+    /// ([`FleetReport::aggregate`]).
     pub board: Option<BoardReport>,
+    /// Present when step 2 ran on a multi-board fleet
+    /// (`PipelineConfig::fleet.boards >= 2` with the RASC backend).
+    pub fleet: Option<FleetReport>,
 }
 
 /// Why a pipeline run could not start or complete. All variants but
@@ -264,21 +269,29 @@ impl Pipeline {
         if tracer.enabled() && tracer.clock() == TraceClock::Virtual {
             commit_virtual_step2(tracer, idx0, idx1, key_count);
         }
-        let (mut s2stats, board, step2_accel_override) = if cfg.overlap {
+        let (mut s2stats, board, fleet, step2_accel_override) = if cfg.overlap {
             run_step2_overlapped(
                 cfg, &params, flat0, idx0, flat1, idx1, span, key_count, matrix, &mut dedup, tracer,
             )?
         } else {
-            let (candidates, s2stats, board, step2_accel_override) = run_step2_barrier(
+            let (candidates, s2stats, board, fleet, step2_accel_override) = run_step2_barrier(
                 cfg, &params, flat0, idx0, flat1, idx1, span, key_count, matrix, tracer,
             )?;
             for c in &candidates {
                 dedup.push(c);
             }
-            (s2stats, board, step2_accel_override)
+            (s2stats, board, fleet, step2_accel_override)
         };
+        // A fleet run reports through the same single-board shape: the
+        // aggregate sums every board. Its timeline lives on the fleet
+        // report (per-board lanes), so `commit_board_timeline` below is
+        // a no-op for it.
+        let board = board.or_else(|| fleet.as_ref().map(|f| f.aggregate.clone()));
         if let Some(b) = board.as_ref().filter(|_| tracer.enabled()) {
             commit_board_timeline(tracer, b);
+        }
+        if let Some(f) = fleet.as_ref().filter(|_| tracer.enabled()) {
+            commit_fleet_timeline(tracer, f);
         }
         // Both modes push the same candidate multiset; the pushed count
         // is the one `candidates` counter.
@@ -312,6 +325,24 @@ impl Pipeline {
             rec.add(keys::STEP2_FAULTS_DETECTED, b.faults.faults_detected);
             rec.add(keys::STEP2_FAULT_RETRIES, b.faults.retries);
             rec.add(keys::STEP2_ENTRIES_DEGRADED, b.faults.entries_degraded);
+        }
+        if let Some(f) = fleet.as_ref() {
+            rec.add(keys::FLEET_BOARDS, f.boards as u64);
+            rec.add(keys::FLEET_STEALS, f.steals);
+            rec.add(keys::FLEET_QUARANTINED, f.quarantined.len() as u64);
+            rec.add(keys::FLEET_REDISPATCHED, f.redispatched);
+            for b in 0..f.boards {
+                rec.add(
+                    &keys::fleet_board_occupancy(b),
+                    (f.occupancy(b) * 100.0).round() as u64,
+                );
+            }
+            // The modeled cluster-speedup ladder: the same dispatch
+            // schedule replayed at each fleet size; the entry at the
+            // actual board count equals the run's makespan.
+            for &(n, makespan) in &f.modeled {
+                rec.record_span(&keys::fleet_modeled_boards(n), makespan);
+            }
         }
         if rec.enabled() {
             rec.set_meta(keys::BACKEND, cfg.backend.name());
@@ -530,6 +561,7 @@ impl Pipeline {
                     .map(|op| step3_cycles as f64 / op.config().clock_hz as f64),
             },
             board,
+            fleet,
         })
     }
 }
@@ -1012,6 +1044,73 @@ fn commit_board_timeline(tracer: &dyn Tracer, report: &BoardReport) {
     }
 }
 
+/// Fleet lanes: the same DMA/compute decomposition as
+/// [`commit_board_timeline`], but on per-board stages
+/// (`board.dma.bNN` / `board.compute.bNN`, lane = FPGA) so the trace
+/// shows every board's simulated clock side by side; steal pulls and
+/// quarantine drains land as their own spans (stall classes
+/// `fleet-steal` / `fleet-quarantine-drain`) with victim / drained-count
+/// marks. All sim-clock, so deterministic under both trace clocks.
+fn commit_fleet_timeline(tracer: &dyn Tracer, report: &FleetReport) {
+    for (i, (b, seg)) in report.timeline.iter().enumerate() {
+        let idx = i as u64;
+        tracer.commit(UnitTrace {
+            stage: keys::board_dma_stage(*b),
+            index: idx,
+            lane: seg.fpga as u32,
+            start_seconds: Some(seg.dma_start),
+            sim_clock: true,
+            events: vec![
+                UnitEvent::span(keys::EV_DMA_IN, seg.dma_end - seg.dma_start, 1),
+                UnitEvent::mark(keys::EV_ENTRY, seg.entry),
+            ],
+        });
+        let busy = (seg.compute_end - seg.compute_start - seg.backoff_seconds).max(0.0);
+        let mut events = vec![UnitEvent::span(keys::EV_COMPUTE, busy, 1)];
+        if seg.backoff_seconds > 0.0 {
+            events.push(UnitEvent::span(
+                keys::EV_RETRY_BACKOFF,
+                seg.backoff_seconds,
+                1,
+            ));
+        }
+        if seg.retries > 0 {
+            events.push(UnitEvent::mark(keys::EV_FAULT_RETRY, seg.retries as u64));
+        }
+        if seg.degraded {
+            events.push(UnitEvent::mark(keys::EV_FAULT_DEGRADED, 1));
+        }
+        tracer.commit(UnitTrace {
+            stage: keys::board_compute_stage(*b),
+            index: idx,
+            lane: seg.fpga as u32,
+            start_seconds: Some(seg.compute_start),
+            sim_clock: true,
+            events,
+        });
+    }
+    for (i, ev) in report.events.iter().enumerate() {
+        let events = match ev.kind {
+            psc_rasc::FleetEventKind::Steal { victim } => vec![
+                UnitEvent::span(keys::EV_STEAL_WAIT, ev.seconds, 1),
+                UnitEvent::mark(keys::EV_STEAL_VICTIM, victim as u64),
+            ],
+            psc_rasc::FleetEventKind::QuarantineDrain { drained } => vec![
+                UnitEvent::span(keys::EV_QUARANTINE_DRAIN, ev.seconds, 1),
+                UnitEvent::mark(keys::EV_QUARANTINED, drained),
+            ],
+        };
+        tracer.commit(UnitTrace {
+            stage: keys::board_dma_stage(ev.board),
+            index: (report.timeline.len() + i) as u64,
+            lane: 0,
+            start_seconds: Some(ev.at),
+            sim_clock: true,
+            events,
+        });
+    }
+}
+
 /// The historical barrier step 2: run the configured backend to
 /// completion and hand back the full candidate vector.
 #[allow(clippy::too_many_arguments)]
@@ -1027,7 +1126,16 @@ fn run_step2_barrier(
     key_count: u32,
     matrix: &SubstitutionMatrix,
     tracer: &dyn Tracer,
-) -> Result<(Vec<Candidate>, Step2Stats, Option<BoardReport>, Option<f64>), PipelineError> {
+) -> Result<
+    (
+        Vec<Candidate>,
+        Step2Stats,
+        Option<BoardReport>,
+        Option<FleetReport>,
+        Option<f64>,
+    ),
+    PipelineError,
+> {
     let trace_wall = tracer.enabled() && tracer.clock() == TraceClock::Wall;
     // Run the whole key range on `threads` software workers, timed when
     // a wall-clock tracer is attached (timing changes no output).
@@ -1054,11 +1162,11 @@ fn run_step2_barrier(
     Ok(match &cfg.backend {
         Step2Backend::SoftwareScalar => {
             let (c, s) = software(1);
-            (c, s, None, None)
+            (c, s, None, None, None)
         }
         Step2Backend::SoftwareParallel { threads } => {
             let (c, s) = software(*threads);
-            (c, s, None, None)
+            (c, s, None, None, None)
         }
         Step2Backend::Rasc {
             pe_count,
@@ -1067,20 +1175,44 @@ fn run_step2_barrier(
         } => {
             let mut board_cfg = cfg.board_config(*pe_count, *fpga_count);
             board_cfg.record_timeline = tracer.enabled();
-            let board =
-                RascBoard::new(board_cfg, matrix).map_err(PipelineError::OperatorDoesNotFit)?;
-            let (c, s, r) = run_rasc_step2(
-                &board,
-                flat0,
-                idx0,
-                flat1,
-                idx1,
-                span,
-                cfg.n_ctx,
-                *host_threads,
-                0..key_count,
-            )?;
-            (c, s, Some(r), None)
+            if cfg.fleet.boards >= 2 {
+                // Multi-board fleet: same entries, work-stealing
+                // dispatch, bit-identical hit stream (the fleet emits
+                // fault-free results by construction).
+                let fleet = RascFleet::new(board_cfg, cfg.fleet, matrix)
+                    .map_err(PipelineError::OperatorDoesNotFit)?;
+                let mut candidates: Vec<Candidate> = Vec::new();
+                let (mut s, r) = run_rasc_fleet_step2_stream(
+                    &fleet,
+                    flat0,
+                    idx0,
+                    flat1,
+                    idx1,
+                    span,
+                    cfg.n_ctx,
+                    *host_threads,
+                    0..key_count,
+                    |batch| candidates.extend(batch),
+                )?;
+                candidates.sort_unstable_by_key(|c| (c.pos0, c.pos1));
+                s.candidates = candidates.len() as u64;
+                (candidates, s, None, Some(r), None)
+            } else {
+                let board =
+                    RascBoard::new(board_cfg, matrix).map_err(PipelineError::OperatorDoesNotFit)?;
+                let (c, s, r) = run_rasc_step2(
+                    &board,
+                    flat0,
+                    idx0,
+                    flat1,
+                    idx1,
+                    span,
+                    cfg.n_ctx,
+                    *host_threads,
+                    0..key_count,
+                )?;
+                (c, s, Some(r), None, None)
+            }
         }
         Step2Backend::Hybrid {
             pe_count,
@@ -1151,7 +1283,7 @@ fn run_step2_barrier(
             // CPU and FPGA run concurrently: the slower side bounds
             // the effective step-2 time.
             let effective = r.accelerated_seconds.max(cpu_wall);
-            (c, s, Some(r), Some(effective))
+            (c, s, Some(r), None, Some(effective))
         }
     })
 }
@@ -1163,6 +1295,16 @@ fn run_step2_barrier(
 /// are bit-identical to [`run_step2_barrier`]; only wall clock changes.
 /// `stats.candidates` is left for the caller to fill from
 /// [`AnchorDedup::pushed`].
+/// What the streamed step 2 hands back besides its side effects on the
+/// dedup: counters, the board or fleet report (at most one is `Some`),
+/// and the hybrid backend's effective FPGA share.
+type Step2OverlapOutput = (
+    Step2Stats,
+    Option<BoardReport>,
+    Option<FleetReport>,
+    Option<f64>,
+);
+
 #[allow(clippy::too_many_arguments)]
 fn run_step2_overlapped(
     cfg: &PipelineConfig,
@@ -1176,7 +1318,7 @@ fn run_step2_overlapped(
     matrix: &SubstitutionMatrix,
     dedup: &mut AnchorDedup<'_>,
     tracer: &dyn Tracer,
-) -> Result<(Step2Stats, Option<BoardReport>, Option<f64>), PipelineError> {
+) -> Result<Step2OverlapOutput, PipelineError> {
     let trace_wall = tracer.enabled() && tracer.clock() == TraceClock::Wall;
     let (tx, rx) = channel::bounded::<Vec<Candidate>>(OVERLAP_CHANNEL_DEPTH);
     thread::scope(|s| {
@@ -1262,11 +1404,11 @@ fn run_step2_overlapped(
             Ok(match &cfg.backend {
                 Step2Backend::SoftwareScalar => {
                     let stats = stream_software(1, 0..key_count);
-                    (stats, None, None)
+                    (stats, None, None, None)
                 }
                 Step2Backend::SoftwareParallel { threads } => {
                     let stats = stream_software(*threads, 0..key_count);
-                    (stats, None, None)
+                    (stats, None, None, None)
                 }
                 Step2Backend::Rasc {
                     pe_count,
@@ -1275,21 +1417,39 @@ fn run_step2_overlapped(
                 } => {
                     let mut board_cfg = cfg.board_config(*pe_count, *fpga_count);
                     board_cfg.record_timeline = tracer.enabled();
-                    let board = RascBoard::new(board_cfg, matrix)
-                        .map_err(PipelineError::OperatorDoesNotFit)?;
-                    let (stats, report) = run_rasc_step2_stream(
-                        &board,
-                        flat0,
-                        idx0,
-                        flat1,
-                        idx1,
-                        span,
-                        cfg.n_ctx,
-                        *host_threads,
-                        0..key_count,
-                        &mut emit,
-                    )?;
-                    (stats, Some(report), None)
+                    if cfg.fleet.boards >= 2 {
+                        let fleet = RascFleet::new(board_cfg, cfg.fleet, matrix)
+                            .map_err(PipelineError::OperatorDoesNotFit)?;
+                        let (stats, report) = run_rasc_fleet_step2_stream(
+                            &fleet,
+                            flat0,
+                            idx0,
+                            flat1,
+                            idx1,
+                            span,
+                            cfg.n_ctx,
+                            *host_threads,
+                            0..key_count,
+                            &mut emit,
+                        )?;
+                        (stats, None, Some(report), None)
+                    } else {
+                        let board = RascBoard::new(board_cfg, matrix)
+                            .map_err(PipelineError::OperatorDoesNotFit)?;
+                        let (stats, report) = run_rasc_step2_stream(
+                            &board,
+                            flat0,
+                            idx0,
+                            flat1,
+                            idx1,
+                            span,
+                            cfg.n_ctx,
+                            *host_threads,
+                            0..key_count,
+                            &mut emit,
+                        )?;
+                        (stats, Some(report), None, None)
+                    }
                 }
                 Step2Backend::Hybrid {
                     pe_count,
@@ -1340,7 +1500,7 @@ fn run_step2_overlapped(
                         report.faults.merge(&host);
                     }
                     let effective = report.accelerated_seconds.max(cpu_wall);
-                    (stats, Some(report), Some(effective))
+                    (stats, Some(report), None, Some(effective))
                 }
             })
         })();
@@ -1578,6 +1738,65 @@ fn run_rasc_step2(
     candidates.sort_unstable_by_key(|c| (c.pos0, c.pos1));
     stats.candidates = candidates.len() as u64;
     Ok((candidates, stats, report))
+}
+
+/// [`run_rasc_step2_stream`] across a multi-board fleet: one entry per
+/// active key, dispatched by the fleet's work-stealing scheduler. The
+/// emitted candidate multiset is bit-identical to the single-board run
+/// at any board count, steal policy, or fault plan — the fleet streams
+/// fault-free results by construction (see `psc_rasc::fleet`).
+#[allow(clippy::too_many_arguments)]
+fn run_rasc_fleet_step2_stream(
+    fleet: &RascFleet,
+    flat0: &FlatBank,
+    idx0: &SeedIndex,
+    flat1: &FlatBank,
+    idx1: &SeedIndex,
+    span: usize,
+    n_ctx: usize,
+    host_threads: usize,
+    keys: std::ops::Range<u32>,
+    mut emit: impl FnMut(Vec<Candidate>),
+) -> Result<(Step2Stats, FleetReport), PipelineError> {
+    let active: Vec<u32> = keys
+        .filter(|&k| !idx0.list(k).is_empty() && !idx1.list(k).is_empty())
+        .collect();
+
+    let mut stats = Step2Stats {
+        active_keys: active.len() as u64,
+        ..Step2Stats::default()
+    };
+    for &k in &active {
+        stats.pairs += idx0.list(k).len() as u64 * idx1.list(k).len() as u64;
+    }
+
+    let entries = active.iter().map(|&key| {
+        let mut il0 = Vec::new();
+        let mut il1 = Vec::new();
+        step2::gather_windows(flat0, idx0.list(key), span, n_ctx, &mut il0);
+        step2::gather_windows(flat1, idx1.list(key), span, n_ctx, &mut il1);
+        Entry { il0, il1 }
+    });
+
+    let report = fleet
+        .run_stream(entries, host_threads, |entry_idx, hits| {
+            let key = active[entry_idx as usize];
+            let list0 = idx0.list(key);
+            let list1 = idx1.list(key);
+            let mut batch = Vec::with_capacity(hits.len());
+            for h in hits {
+                batch.push(Candidate {
+                    pos0: list0[h.i0 as usize],
+                    pos1: list1[h.i1 as usize],
+                    score: h.score,
+                });
+            }
+            if !batch.is_empty() {
+                emit(batch);
+            }
+        })
+        .map_err(PipelineError::BoardFault)?;
+    Ok((stats, report))
 }
 
 #[cfg(test)]

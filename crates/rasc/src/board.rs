@@ -42,8 +42,8 @@ use crate::operator::{pe_utilization, Hit};
 use crate::resource::{ResourceError, ResourceModel};
 
 /// Simulated cycles an ADR dispatch handshake burns before the
-/// protocol check rejects it.
-const ADR_HANDSHAKE_CYCLES: u64 = 8;
+/// protocol check rejects it (shared with the fleet replay).
+pub(crate) const ADR_HANDSHAKE_CYCLES: u64 = 8;
 
 /// Board-level configuration.
 #[derive(Clone, Debug)]

@@ -96,13 +96,19 @@ impl std::fmt::Display for FaultKind {
 }
 
 /// One scripted fault: fires on the first `attempts` attempts of one
-/// entry, on one FPGA or on all of them.
+/// entry, on one FPGA or on all of them, on one fleet board or on
+/// whichever board the entry lands on.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct FaultSpec {
     /// Stream index of the entry to hit.
     pub entry: u64,
     /// Restrict to one FPGA of the board (`None` = every FPGA).
     pub fpga: Option<usize>,
+    /// Restrict to one board of a fleet (`None` = any board). A spec
+    /// pinned to board `b` follows its entry only while the fleet
+    /// dispatcher places it there — the lever the quarantine tests use
+    /// to wedge exactly one board.
+    pub board: Option<usize>,
     pub kind: FaultKind,
     /// How many consecutive attempts fail before the fault clears; a
     /// value above the retry budget makes the fault persistent.
@@ -152,20 +158,29 @@ impl FaultPlan {
     }
 
     /// Parse the CLI plan syntax: comma-separated
-    /// `ENTRY:KIND[:ATTEMPTS][@FPGA]` items, e.g.
-    /// `0:pe-flip,3:fifo-stall:9@1`.
+    /// `ENTRY:KIND[:ATTEMPTS][@FPGA][#BOARD]` items, e.g.
+    /// `0:pe-flip,3:fifo-stall:9@1,5:fifo-stall:99#2`.
     pub fn parse(text: &str) -> Result<FaultPlan, String> {
         let mut specs = Vec::new();
         for item in text.split(',').filter(|s| !s.trim().is_empty()) {
             let item = item.trim();
-            let (body, fpga) = match item.split_once('@') {
+            let (item_body, board) = match item.split_once('#') {
+                Some((body, b)) => {
+                    let b = b
+                        .parse::<usize>()
+                        .map_err(|_| format!("bad board index in fault spec {item:?}"))?;
+                    (body, Some(b))
+                }
+                None => (item, None),
+            };
+            let (body, fpga) = match item_body.split_once('@') {
                 Some((body, f)) => {
                     let f = f
                         .parse::<usize>()
                         .map_err(|_| format!("bad FPGA index in fault spec {item:?}"))?;
                     (body, Some(f))
                 }
-                None => (item, None),
+                None => (item_body, None),
             };
             let mut parts = body.split(':');
             let entry = parts
@@ -188,6 +203,7 @@ impl FaultPlan {
             specs.push(FaultSpec {
                 entry,
                 fpga,
+                board,
                 kind,
                 attempts,
             });
@@ -214,14 +230,36 @@ fn mix4(seed: u64, entry: u64, fpga: u64, salt: u64) -> u64 {
 }
 
 /// Evaluates a [`FaultPlan`] at each dispatch attempt.
+///
+/// An injector is bound to one board of a fleet: seeded draws salt the
+/// plan seed with the board id so two boards never share a fault
+/// stream (a stuck `(entry, fpga)` pair on board 3 says nothing about
+/// the same pair on board 5), and scripted specs pinned with `#BOARD`
+/// only fire on that board. [`FaultInjector::new`] binds board 0 with
+/// a zero salt, so single-board behaviour — and every pinned seeded
+/// count in the test suite — is unchanged.
 #[derive(Clone, Debug)]
 pub struct FaultInjector {
     plan: FaultPlan,
+    /// Fleet board this injector evaluates the plan for.
+    board: usize,
+    /// `board * φ64`, XORed into the plan seed of seeded draws.
+    /// Zero for board 0, so the unsalted stream is preserved exactly.
+    board_salt: u64,
 }
 
 impl FaultInjector {
     pub fn new(plan: FaultPlan) -> FaultInjector {
-        FaultInjector { plan }
+        FaultInjector::for_board(plan, 0)
+    }
+
+    /// Bind the plan to fleet board `board`.
+    pub fn for_board(plan: FaultPlan, board: usize) -> FaultInjector {
+        FaultInjector {
+            plan,
+            board,
+            board_salt: (board as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        }
     }
 
     /// Does attempt `attempt` (0-based) of `entry` on FPGA `fpga`
@@ -231,17 +269,21 @@ impl FaultInjector {
             FaultPlan::Scripted(specs) => specs
                 .iter()
                 .find(|s| {
-                    s.entry == entry && s.fpga.is_none_or(|f| f == fpga) && attempt < s.attempts
+                    s.entry == entry
+                        && s.fpga.is_none_or(|f| f == fpga)
+                        && s.board.is_none_or(|b| b == self.board)
+                        && attempt < s.attempts
                 })
                 .map(|s| s.kind),
             FaultPlan::Seeded { seed, rate_ppm }
             | FaultPlan::SeededHeavyTail { seed, rate_ppm } => {
                 let heavy = matches!(&self.plan, FaultPlan::SeededHeavyTail { .. });
-                let faulty = mix4(*seed, entry, fpga as u64, 1) % 1_000_000 < *rate_ppm as u64;
+                let seed = *seed ^ self.board_salt;
+                let faulty = mix4(seed, entry, fpga as u64, 1) % 1_000_000 < *rate_ppm as u64;
                 if !faulty {
                     return None;
                 }
-                let draw = mix4(*seed, entry, fpga as u64, 3);
+                let draw = mix4(seed, entry, fpga as u64, 3);
                 let persistence = if heavy {
                     // Pareto-ish: the number of trailing zero bits of a
                     // uniform word is geometric, so `2^tz` has
@@ -258,7 +300,7 @@ impl FaultInjector {
                     return None;
                 }
                 let kind = ALL_FAULT_KINDS
-                    [(mix4(*seed, entry, fpga as u64, 2) % ALL_FAULT_KINDS.len() as u64) as usize];
+                    [(mix4(seed, entry, fpga as u64, 2) % ALL_FAULT_KINDS.len() as u64) as usize];
                 Some(kind)
             }
         }
@@ -271,7 +313,12 @@ impl FaultInjector {
             FaultPlan::Scripted(_) => 0,
             FaultPlan::Seeded { seed, .. } | FaultPlan::SeededHeavyTail { seed, .. } => *seed,
         };
-        mix4(seed, entry, fpga as u64, 100 + attempt as u64) % bound.max(1)
+        mix4(
+            seed ^ self.board_salt,
+            entry,
+            fpga as u64,
+            100 + attempt as u64,
+        ) % bound.max(1)
     }
 }
 
@@ -465,6 +512,7 @@ mod tests {
             FaultSpec {
                 entry: 0,
                 fpga: None,
+                board: None,
                 kind: FaultKind::PeFlip,
                 attempts: 1
             }
@@ -474,12 +522,43 @@ mod tests {
             FaultSpec {
                 entry: 3,
                 fpga: Some(1),
+                board: None,
                 kind: FaultKind::FifoStall,
                 attempts: 9
             }
         );
         assert_eq!(specs[2].entry, 7);
         assert_eq!(specs[2].attempts, 2);
+    }
+
+    #[test]
+    fn plan_parse_accepts_board_pin() {
+        let plan = FaultPlan::parse("5:fifo-stall:99@1#2").unwrap();
+        let FaultPlan::Scripted(specs) = &plan else {
+            panic!("scripted expected")
+        };
+        assert_eq!(
+            specs[0],
+            FaultSpec {
+                entry: 5,
+                fpga: Some(1),
+                board: Some(2),
+                kind: FaultKind::FifoStall,
+                attempts: 99
+            }
+        );
+        assert!(FaultPlan::parse("5:fifo-stall#x").is_err());
+    }
+
+    #[test]
+    fn scripted_board_pin_fires_only_on_that_board() {
+        let plan = FaultPlan::parse("2:fifo-stall:99#1").unwrap();
+        let b0 = FaultInjector::for_board(plan.clone(), 0);
+        let b1 = FaultInjector::for_board(plan, 1);
+        assert_eq!(b0.fire(2, 0, 0), None, "pinned to board 1, not 0");
+        assert_eq!(b1.fire(2, 0, 0), Some(FaultKind::FifoStall));
+        assert_eq!(b1.fire(2, 0, 98), Some(FaultKind::FifoStall));
+        assert_eq!(b1.fire(2, 0, 99), None);
     }
 
     #[test]
@@ -585,6 +664,50 @@ mod tests {
         let uniform = FaultInjector::new(FaultPlan::seeded(11));
         assert!((0..4000u64).all(|e| uniform.fire(e, 0, 6).is_none()));
         assert!((0..4000u64).any(|e| inj.fire(e, 0, 6).is_some()));
+    }
+
+    #[test]
+    fn board_salt_decorrelates_seeded_streams() {
+        // Board 0 must reproduce the unsalted stream bit-for-bit (every
+        // pinned seeded count in the suite depends on it), and distinct
+        // boards must draw independent fault/persistence streams — in
+        // particular the heavy tail's stuck pairs must not recur on
+        // every board of a fleet.
+        let plan = FaultPlan::seeded_heavy(11);
+        let unsalted = FaultInjector::new(plan.clone());
+        let b0 = FaultInjector::for_board(plan.clone(), 0);
+        for entry in 0..500u64 {
+            for attempt in [0, 1, 3, 7, 63] {
+                assert_eq!(unsalted.fire(entry, 0, attempt), b0.fire(entry, 0, attempt));
+                assert_eq!(
+                    unsalted.roll(entry, 1, attempt, 97),
+                    b0.roll(entry, 1, attempt, 97)
+                );
+            }
+        }
+        // Deterministic per-board fault totals over 2000 entries at the
+        // default 25% rate: pinned so a hash regression is loud.
+        let totals: Vec<u64> = (0..4)
+            .map(|board| {
+                let inj = FaultInjector::for_board(plan.clone(), board);
+                (0..2000u64)
+                    .filter(|&e| inj.fire(e, 0, 0).is_some())
+                    .count() as u64
+            })
+            .collect();
+        assert_eq!(totals, vec![505, 483, 506, 467], "per-board totals moved");
+        // Stuck pairs (persistence = MAX_STUCK_ATTEMPTS) on board 0 must
+        // not all be stuck on board 1: correlated streams would wedge a
+        // whole fleet at once.
+        let b1 = FaultInjector::for_board(plan, 1);
+        let stuck_on =
+            |inj: &FaultInjector, e: u64| inj.fire(e, 0, MAX_STUCK_ATTEMPTS / 2).is_some();
+        let stuck0: Vec<u64> = (0..4000u64).filter(|&e| stuck_on(&b0, e)).collect();
+        assert!(!stuck0.is_empty(), "no stuck pairs drawn on board 0");
+        assert!(
+            stuck0.iter().any(|&e| !stuck_on(&b1, e)),
+            "every board-0 stuck pair is also stuck on board 1: streams correlated"
+        );
     }
 
     #[test]

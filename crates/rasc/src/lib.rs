@@ -34,6 +34,7 @@ pub mod config;
 pub mod dma;
 pub mod fault;
 pub mod fifo;
+pub mod fleet;
 pub mod functional;
 pub mod gapped_op;
 pub mod operator;
@@ -47,6 +48,10 @@ pub use dma::{DmaModel, NUMALINK_BANDWIDTH};
 pub use fault::{
     BoardFault, FaultInjector, FaultKind, FaultPlan, FaultSpec, FaultSummary, RecoveryPolicy,
     DEFAULT_FAULT_RATE_PPM,
+};
+pub use fleet::{
+    FleetConfig, FleetEvent, FleetEventKind, FleetReport, RascFleet, StealPolicy, Topology,
+    MAX_BOARDS, MODELED_BOARD_LADDER,
 };
 pub use functional::FunctionalOperator;
 pub use gapped_op::{

@@ -71,6 +71,7 @@ fn every_fault_kind_recovers_bit_identical() {
         cfg.fault_plan = Some(FaultPlan::Scripted(vec![FaultSpec {
             entry: 1,
             fpga: None,
+            board: None,
             kind,
             attempts: 2,
         }]));
@@ -109,6 +110,7 @@ fn backoff_escalates_deterministically() {
     cfg.fault_plan = Some(FaultPlan::Scripted(vec![FaultSpec {
         entry: 2,
         fpga: None,
+        board: None,
         kind: FaultKind::AdrFault,
         attempts: 3,
     }]));
@@ -130,6 +132,7 @@ fn watchdog_trip_costs_simulated_time() {
     cfg.fault_plan = Some(FaultPlan::Scripted(vec![FaultSpec {
         entry: 0,
         fpga: Some(0),
+        board: None,
         kind: FaultKind::FifoStall,
         attempts: 1,
     }]));
@@ -154,6 +157,7 @@ fn persistent_fault_degrades_to_software_with_identical_results() {
     cfg.fault_plan = Some(FaultPlan::Scripted(vec![FaultSpec {
         entry: 4,
         fpga: Some(1),
+        board: None,
         kind: FaultKind::PeFlip,
         attempts: 100,
     }]));
@@ -178,12 +182,14 @@ fn exhausted_recovery_without_degradation_is_an_error() {
         FaultSpec {
             entry: 5,
             fpga: None,
+            board: None,
             kind: FaultKind::DmaCorrupt,
             attempts: 100,
         },
         FaultSpec {
             entry: 3,
             fpga: Some(1),
+            board: None,
             kind: FaultKind::AdrFault,
             attempts: 100,
         },

@@ -39,6 +39,13 @@ pub fn step3_modeled_workers(workers: usize) -> String {
     format!("step3.modeled_p{workers}")
 }
 
+/// `fleet.modeled_b{boards}` — the modeled cluster-speedup ladder:
+/// makespan of the same dispatch schedule replayed at `boards` boards
+/// (`fleet.modeled_b1`, `fleet.modeled_b2`, …).
+pub fn fleet_modeled_boards(boards: usize) -> String {
+    format!("fleet.modeled_b{boards}")
+}
+
 // --- scoped spans (`SpanGuard::enter`) ----------------------------
 
 /// Seed-index build for bank 0, under step 1.
@@ -85,6 +92,23 @@ pub const STEP3_XDROP_TERMINATIONS: &str = "step3.xdrop_terminations";
 pub const STEP3_EVALUE_REJECTED: &str = "step3.evalue_rejected";
 /// HSPs surviving to the final report.
 pub const STEP3_HSPS_REPORTED: &str = "step3.hsps_reported";
+/// Simulated boards in the step-2 fleet (recorded when ≥ 2).
+pub const FLEET_BOARDS: &str = "fleet.boards";
+/// Work-steal pulls the fleet dispatcher performed.
+pub const FLEET_STEALS: &str = "fleet.steals";
+/// Boards drained and quarantined during the run.
+pub const FLEET_QUARANTINED: &str = "fleet.quarantined";
+/// Entries re-dispatched after a board exhausted its retry budget.
+pub const FLEET_REDISPATCHED: &str = "fleet.redispatched";
+/// Simulated boards serving the query's fleet (`psc serve`).
+pub const SERVE_FLEET_BOARDS: &str = "serve.fleet_boards";
+
+/// `fleet.board_occupancy.b{board:02}` — percent of the fleet makespan
+/// board `board` spent processing entries (a keyed family: `--compare`
+/// collapses it so runs at different board counts stay comparable).
+pub fn fleet_board_occupancy(board: usize) -> String {
+    format!("fleet.board_occupancy.b{board:02}")
+}
 
 /// `step2.lane_slots_useful.b{bucket:02}` — per-bucket useful-slot
 /// counts behind [`STEP2_LANE_SLOTS_USEFUL`].
@@ -162,6 +186,14 @@ pub const EV_HITS: &str = "hits";
 pub const EV_QUEUE_DEPTH: &str = "queue_depth";
 /// Batch length observed at the event.
 pub const EV_BATCH: &str = "batch";
+/// A dry fleet board waiting on a work-steal pull (span).
+pub const EV_STEAL_WAIT: &str = "steal_wait";
+/// A quarantined fleet board draining its queue (span).
+pub const EV_QUARANTINE_DRAIN: &str = "quarantine_drain";
+/// Victim board id of a steal (mark).
+pub const EV_STEAL_VICTIM: &str = "steal.victim";
+/// Entries drained when the board was quarantined (mark).
+pub const EV_QUARANTINED: &str = "quarantined";
 
 // --- trace-lane (stage) names (`UnitTrace::stage`) ----------------
 
@@ -177,6 +209,18 @@ pub const STAGE_BOARD_DMA: &str = "board.dma";
 pub const STAGE_BOARD_COMPUTE: &str = "board.compute";
 /// Simulated board link (readback) units.
 pub const STAGE_BOARD_LINK: &str = "board.link";
+
+/// `board.dma.b{board:02}` — per-board DMA lanes of a fleet run (lane
+/// index within the stage is the FPGA).
+pub fn board_dma_stage(board: usize) -> String {
+    format!("board.dma.b{board:02}")
+}
+
+/// `board.compute.b{board:02}` — per-board compute lanes of a fleet
+/// run (lane index within the stage is the FPGA).
+pub fn board_compute_stage(board: usize) -> String {
+    format!("board.compute.b{board:02}")
+}
 /// Producer-side channel sends.
 pub const STAGE_CHANNEL_SEND: &str = "channel.send";
 /// Consumer-side channel receives.
@@ -197,8 +241,15 @@ mod tests {
             "step2.lane_slots_total.b12"
         );
         assert_eq!(step3_modeled_workers(4), "step3.modeled_p4");
+        assert_eq!(fleet_modeled_boards(16), "fleet.modeled_b16");
+        assert_eq!(fleet_board_occupancy(3), "fleet.board_occupancy.b03");
+        assert_eq!(board_dma_stage(7), "board.dma.b07");
+        assert_eq!(board_compute_stage(12), "board.compute.b12");
         let a = step2_lane_slots_useful_bucket(2);
         let b = step2_lane_slots_useful_bucket(10);
         assert!(a < b, "bucket keys must sort numerically: {a} vs {b}");
+        let a = fleet_board_occupancy(2);
+        let b = fleet_board_occupancy(10);
+        assert!(a < b, "board keys must sort numerically: {a} vs {b}");
     }
 }

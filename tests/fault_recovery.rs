@@ -84,6 +84,7 @@ fn degraded_run_is_bit_identical_and_reported() {
         fault_plan: Some(FaultPlan::Scripted(vec![FaultSpec {
             entry: 1,
             fpga: Some(0),
+            board: None,
             kind: FaultKind::DmaCorrupt,
             attempts: u32::MAX,
         }])),
@@ -116,6 +117,7 @@ fn exhausted_recovery_surfaces_as_pipeline_error() {
             fault_plan: Some(FaultPlan::Scripted(vec![FaultSpec {
                 entry: 0,
                 fpga: None,
+                board: None,
                 kind: FaultKind::DmaCorrupt,
                 attempts: u32::MAX,
             }])),
